@@ -1,0 +1,92 @@
+// Reproduces paper Fig. 1 — when does it pay to move the data to cheaper
+// cycles? "Moving the data from A to B makes sense only when c·a > c·b + d."
+// The figure plots the answer per job type as a function of the ratio of
+// transfer cost to CPU savings; CPU-intensive applications (Pi) move, data-
+// intensive ones (Grep) keep computation near the data.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/breakeven.hpp"
+
+namespace {
+
+using namespace lips;
+
+// Source node: m1.medium mid price; destination: c1.medium mid price —
+// the paper's canonical "cheaper cycles elsewhere" pair (Table III).
+constexpr double kSrcPrice = 5.415;  // m¢ / ECU-second
+constexpr double kDstPrice = 1.100;
+
+void print_tables() {
+  bench::banner("Fig. 1 — break-even for moving data to cheaper cycles");
+
+  Table t("Per-job break-even at the EC2 cross-zone transfer price"
+          " (62.5 m¢ / 64 MB)");
+  t.set_header({"job", "cpu-s/64MB", "savings m¢/MB", "transfer/savings ratio",
+                "move data?"});
+  for (const workload::JobProfile& p : workload::job_profiles()) {
+    core::BreakEvenInput in;
+    in.cpu_s_per_mb = p.input_free() ? 1e9 : p.tcp_cpu_s_per_mb();
+    in.src_price_mc = kSrcPrice;
+    in.dst_price_mc = kDstPrice;
+    in.transfer_cost_mc_per_mb = cluster::Cluster::kInterZoneCostMcPerMB;
+    const double ratio = core::transfer_to_savings_ratio(in);
+    t.add_row({std::string(p.name),
+               p.input_free() ? "inf" : Table::num(p.cpu_s_per_block, 0),
+               Table::num(core::move_savings_mc_per_mb(in), 3),
+               std::isinf(ratio) ? "inf" : Table::num(ratio, 4),
+               core::should_move_data(in) ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  // The Fig-1 sweep: x-axis = transfer-cost-to-CPU-savings ratio; the move
+  // decision flips at exactly 1.0 for every job type.
+  Table sweep("Decision vs transfer/savings ratio (1.0 is the break-even)");
+  std::vector<std::string> header{"ratio"};
+  for (const workload::JobProfile& p : workload::job_profiles())
+    if (!p.input_free()) header.push_back(std::string(p.name));
+  header.push_back("Pi");
+  sweep.set_header(header);
+  for (double ratio : {0.25, 0.5, 0.75, 0.99, 1.01, 1.5, 2.0, 4.0}) {
+    std::vector<std::string> row{Table::num(ratio, 2)};
+    for (const workload::JobProfile& p : workload::job_profiles()) {
+      if (p.input_free()) continue;
+      core::BreakEvenInput in;
+      in.cpu_s_per_mb = p.tcp_cpu_s_per_mb();
+      in.src_price_mc = kSrcPrice;
+      in.dst_price_mc = kDstPrice;
+      // Set d so that d / (c (a-b)) equals the requested ratio.
+      in.transfer_cost_mc_per_mb =
+          ratio * in.cpu_s_per_mb * (kSrcPrice - kDstPrice);
+      row.push_back(core::should_move_data(in) ? "move" : "stay");
+    }
+    // Pi has no input: moving "its data" is free, the savings are pure.
+    row.push_back("move");
+    sweep.add_row(row);
+  }
+  sweep.print(std::cout);
+  std::cout << "Paper Fig. 1: the flip is at ratio 1; Pi always moves"
+               " (nothing to transfer), Grep crosses first as transfer"
+               " prices rise (smallest CPU savings per MB).\n";
+}
+
+void BM_BreakEvenSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double d = 0.0; d < 10.0; d += 0.01) {
+      core::BreakEvenInput in{1.0, kSrcPrice, kDstPrice, d};
+      acc += core::move_savings_mc_per_mb(in);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_BreakEvenSweep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Reproduces paper Fig. 5 — average cost reduction of LiPS versus the
+// default scheduler in simulated environments.
+//
+// Methodology follows the paper §VI-B exactly: random clusters and jobs
+// (CPU-second cost 0–5 millicents, input size 0–6 GB, transfer cost 0–60
+// millicents per 64 MB block, job CPU requirement 0–1000 CPU-seconds); the
+// simulator "creates and solves the LP problem, and therefore computes the
+// dollar cost of the optimal scheduling result. With the same setting, it
+// then shuffles the data blocks randomly within the cluster and then
+// schedules ALL tasks local to the data blocks" — the ideal 100%-locality
+// schedule, equal to an ideal delay scheduler.
+//
+// Paper's reported shape: savings grow with problem size, from ~30% at
+// (J=200 tasks, S=20, M=10) to ~70% at (J=1000, S=150, M=100).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/baseline_cost.hpp"
+#include "core/lp_models.hpp"
+
+namespace {
+
+using namespace lips;
+
+struct GridPoint {
+  std::size_t tasks, stores, machines;
+};
+
+// The x-axis sizes of the paper's Fig. 5.
+constexpr GridPoint kGrid[] = {
+    {200, 20, 10}, {400, 50, 25}, {600, 80, 50}, {800, 120, 75},
+    {1000, 150, 100},
+};
+
+struct PointResult {
+  double avg_reduction = 0.0;
+  double avg_lips_mc = 0.0;
+  double avg_baseline_mc = 0.0;
+  std::size_t lp_vars = 0;
+  std::size_t lp_rows = 0;
+};
+
+PointResult run_point(const GridPoint& g, int trials, std::uint64_t seed) {
+  PointResult out;
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    cluster::RandomClusterParams cp;
+    cp.n_machines = g.machines;
+    cp.n_stores = g.stores;
+    Rng crng = rng.split();
+    const cluster::Cluster c = make_random_cluster(cp, crng);
+
+    workload::RandomWorkloadParams wp;
+    wp.n_tasks = g.tasks;
+    wp.tasks_per_job = 10;
+    Rng wrng = rng.split();
+    const workload::Workload w = make_random_workload(wp, c, wrng);
+
+    core::ModelOptions opt;
+    // Pruning keeps the largest grid point tractable; K is generous enough
+    // that the optimum is preserved within noise (ablation bench verifies).
+    opt.max_candidate_machines = std::min<std::size_t>(g.machines, 12);
+    opt.max_candidate_stores = std::min<std::size_t>(g.stores, 12);
+    const core::LpSchedule s = core::solve_co_scheduling(c, w, opt);
+    LIPS_REQUIRE(s.optimal(), "Fig-5 LP must be feasible");
+
+    Rng brng = rng.split();
+    const double baseline = core::ideal_locality_cost_mc(c, w, brng);
+    out.avg_lips_mc += s.objective_mc;
+    out.avg_baseline_mc += baseline;
+    out.avg_reduction += bench::cost_reduction(s.objective_mc, baseline);
+    out.lp_vars = s.lp_variables;
+    out.lp_rows = s.lp_constraints;
+  }
+  out.avg_reduction /= trials;
+  out.avg_lips_mc /= trials;
+  out.avg_baseline_mc /= trials;
+  return out;
+}
+
+void print_table() {
+  bench::banner("Fig. 5 — average simulated cost reduction vs cluster size");
+  Table t;
+  t.set_header({"J (tasks)", "S", "M", "baseline m¢", "LiPS m¢",
+                "avg cost reduction", "LP vars", "LP rows"});
+  for (const GridPoint& g : kGrid) {
+    const PointResult r = run_point(g, /*trials=*/5, /*seed=*/42);
+    t.add_row({std::to_string(g.tasks), std::to_string(g.stores),
+               std::to_string(g.machines), Table::num(r.avg_baseline_mc, 0),
+               Table::num(r.avg_lips_mc, 0), Table::pct(r.avg_reduction),
+               std::to_string(r.lp_vars), std::to_string(r.lp_rows)});
+  }
+  t.print(std::cout);
+  std::cout << "Paper Fig. 5: reduction rises from ~30% (200 tasks, 10"
+               " nodes) to ~70% (1000 tasks, 100 nodes) — more nodes give"
+               " the LP more freedom.\n";
+}
+
+void BM_Fig5LpSolve(benchmark::State& state) {
+  const GridPoint g = kGrid[static_cast<std::size_t>(state.range(0))];
+  Rng rng(7);
+  cluster::RandomClusterParams cp;
+  cp.n_machines = g.machines;
+  cp.n_stores = g.stores;
+  const cluster::Cluster c = make_random_cluster(cp, rng);
+  workload::RandomWorkloadParams wp;
+  wp.n_tasks = g.tasks;
+  const workload::Workload w = make_random_workload(wp, c, rng);
+  core::ModelOptions opt;
+  opt.max_candidate_machines = 12;
+  opt.max_candidate_stores = 12;
+  for (auto _ : state) {
+    const core::LpSchedule s = core::solve_co_scheduling(c, w, opt);
+    benchmark::DoNotOptimize(s.objective_mc);
+  }
+}
+BENCHMARK(BM_Fig5LpSolve)->Arg(0)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces paper Table I — CPU intensiveness per benchmark job type
+// (EC2-compute-unit seconds per 64 MB input block) — and verifies that the
+// simulator's task execution reproduces those profiles on a reference
+// 1-ECU machine.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sched/fifo_scheduler.hpp"
+
+namespace {
+
+using namespace lips;
+
+// One machine with 1 ECU and a co-located store.
+cluster::Cluster reference_node() {
+  cluster::Cluster c;
+  const ZoneId z = c.add_zone("ref");
+  cluster::Machine m;
+  m.name = "ref";
+  m.zone = z;
+  m.throughput_ecu = 1.0;
+  m.cpu_price_mc = 1.0;
+  m.map_slots = 1;
+  m.uptime_s = 1e9;
+  c.add_machine(std::move(m));
+  cluster::DataStore s;
+  s.name = "ref-store";
+  s.zone = z;
+  s.capacity_mb = 1e9;
+  s.colocated_machine = 0;
+  c.add_store(std::move(s));
+  c.finalize();
+  return c;
+}
+
+// Simulate one single-block task of the profile on the reference node and
+// report the measured CPU seconds (wall time minus the local read).
+double measured_cpu_seconds_per_block(const workload::JobProfile& p) {
+  const cluster::Cluster c = reference_node();
+  workload::Workload w;
+  workload::Job j;
+  j.name = std::string(p.name);
+  j.num_tasks = 1;
+  if (p.input_free()) {
+    j.cpu_fixed_ecu_s = workload::kPiTaskCpuEcuS;
+  } else {
+    const DataId d = w.add_data({"block", kBlockSizeMB, StoreId{0}});
+    j.tcp_cpu_s_per_mb = p.tcp_cpu_s_per_mb();
+    j.data = {d};
+  }
+  w.add_job(std::move(j));
+  sched::FifoLocalityScheduler fifo;
+  const sim::SimResult r = sim::simulate(c, w, fifo);
+  const double read_s =
+      p.input_free() ? 0.0 : kBlockSizeMB / cluster::Cluster::kLocalBandwidthMBs;
+  return r.makespan_s - read_s;
+}
+
+void print_table() {
+  bench::banner("Table I — CPU intensiveness per job type");
+  Table t;
+  t.set_header({"job", "property", "paper cpu-s / 64MB", "measured cpu-s / 64MB"});
+  for (const workload::JobProfile& p : workload::job_profiles()) {
+    const double measured = measured_cpu_seconds_per_block(p);
+    t.add_row({std::string(p.name), std::string(p.character),
+               p.input_free() ? "inf (no input)" : Table::num(p.cpu_s_per_block, 0),
+               p.input_free() ? Table::num(measured, 0) + " (per task)"
+                              : Table::num(measured, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "Paper Table I: Grep 20, Stress1 37, Stress2 75, WordCount 90,"
+               " Pi inf (1e9 samples/task, no input).\n";
+}
+
+void BM_SimulateOneBlockTask(benchmark::State& state) {
+  const workload::JobProfile& p =
+      workload::job_profiles()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measured_cpu_seconds_per_block(p));
+  }
+}
+BENCHMARK(BM_SimulateOneBlockTask)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared helpers for the per-figure/per-table benchmark harness binaries.
+//
+// Each binary in bench/ regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md §5) by running the relevant experiment through
+// the simulator (or the analytic LP path), printing the rows the paper
+// reports, and then running google-benchmark timings for the pieces whose
+// wall-clock cost the paper itself discusses (the LiPS LP overhead, §VI-A).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/lips_policy.hpp"
+#include "sched/delay_scheduler.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace lips::bench {
+
+/// Results of running one workload under the three schedulers the paper
+/// compares: Hadoop default (FIFO + locality + speculation + 3× HDFS
+/// replication), delay scheduling (same substrate), and LiPS (epoch LP,
+/// no speculation, self-managed placement).
+struct ThreeWayResult {
+  sim::SimResult hadoop_default;
+  sim::SimResult delay;
+  sim::SimResult lips;
+  double lips_planned_cost_mc = 0.0;
+  std::size_t lips_lp_solves = 0;
+};
+
+struct ThreeWayOptions {
+  double lips_epoch_s = 600.0;
+  std::size_t hdfs_replication = 3;
+  std::uint64_t replication_seed = 1;
+  /// Candidate pruning for the LiPS LP (0 = exact; benches at 100 nodes
+  /// need pruning to keep epoch solves sub-second).
+  std::size_t prune_machines = 0;
+  std::size_t prune_stores = 0;
+  double delay_node_s = 15.0;
+  double delay_zone_s = 45.0;
+  /// Hadoop's progress timeout (10 min default; the paper raises LiPS runs
+  /// to 20 min so long remote reads survive).
+  double baseline_timeout_s = 600.0;
+  double lips_timeout_s = 1200.0;
+};
+
+/// Run the three schedulers on the same cluster/workload.
+inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
+                                    const workload::Workload& workload,
+                                    const ThreeWayOptions& opt = {}) {
+  ThreeWayResult out;
+
+  sim::SimConfig base_cfg;
+  base_cfg.hdfs_replication = opt.hdfs_replication;
+  base_cfg.replication_seed = opt.replication_seed;
+  base_cfg.speculative_execution = true;  // Hadoop default (paper §VI-A)
+  base_cfg.task_timeout_s = opt.baseline_timeout_s;
+
+  {
+    sched::FifoLocalityScheduler fifo;
+    out.hadoop_default = sim::simulate(cluster, workload, fifo, base_cfg);
+  }
+  {
+    sched::DelayScheduler delay(opt.delay_node_s, opt.delay_zone_s);
+    out.delay = sim::simulate(cluster, workload, delay, base_cfg);
+  }
+  {
+    core::LipsPolicyOptions lo;
+    lo.epoch_s = opt.lips_epoch_s;
+    lo.model.max_candidate_machines = opt.prune_machines;
+    lo.model.max_candidate_stores = opt.prune_stores;
+    core::LipsPolicy lips(lo);
+    sim::SimConfig lips_cfg;
+    lips_cfg.hdfs_replication = 1;  // LiPS manages placement itself
+    lips_cfg.speculative_execution = false;  // disabled for LiPS (paper)
+    lips_cfg.task_timeout_s = opt.lips_timeout_s;
+    out.lips = sim::simulate(cluster, workload, lips, lips_cfg);
+    out.lips_planned_cost_mc = lips.planned_cost_mc();
+    out.lips_lp_solves = lips.lp_solves();
+  }
+  return out;
+}
+
+/// "saves X% compared with Y" — the paper's headline metric.
+[[nodiscard]] inline double cost_reduction(double lips_mc, double other_mc) {
+  return other_mc <= 0 ? 0.0 : 1.0 - lips_mc / other_mc;
+}
+
+/// Format millicents as dollars for human-readable rows.
+[[nodiscard]] inline std::string dollars(double mc) {
+  return "$" + Table::num(millicents_to_dollars(mc), 2);
+}
+
+/// Standard banner for each bench binary.
+inline void banner(const std::string& what) {
+  std::cout << "\n=== LiPS reproduction: " << what << " ===\n";
+}
+
+}  // namespace lips::bench

@@ -1,0 +1,60 @@
+// Scenario: tuning the cost-vs-completion-time dial.
+//
+// LiPS exposes two knobs for the trade-off the paper's Fig. 8 explores:
+//   * the scheduling epoch length (paper §V-B), and
+//   * the fake-node pricing mode (this library's extension: how hard the
+//     scheduler waits for cheap capacity instead of buying dear cycles).
+// This example sweeps both on a mid-size cluster and prints a small
+// decision matrix an operator could use to pick a configuration.
+//
+// Build & run:  ./examples/epoch_tuning
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/lips_policy.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace lips;
+
+  const cluster::Cluster c = cluster::make_ec2_cluster(12, 0.5, 3);
+  Rng rng(11);
+  workload::RandomWorkloadParams wp;
+  wp.n_tasks = 300;
+  wp.tasks_per_job = 20;
+  wp.cpu_lo_ecu_s = 200.0;
+  wp.cpu_hi_ecu_s = 900.0;
+  const workload::Workload w = workload::make_random_workload(wp, c, rng);
+  std::cout << "cluster: 12 nodes / 3 zones; workload: " << w.job_count()
+            << " jobs, " << w.total_tasks() << " tasks, "
+            << Table::num(w.total_cpu_ecu_s(), 0) << " ECU-seconds\n\n";
+
+  Table t("epoch x patience decision matrix");
+  t.set_header({"epoch (s)", "F pricing", "cost $", "makespan (min)",
+                "LP solves"});
+  for (const double epoch : {300.0, 600.0, 1200.0}) {
+    for (const bool patient : {false, true}) {
+      core::LipsPolicyOptions lo;
+      lo.epoch_s = epoch;
+      lo.model.fake_node_pricing =
+          patient ? core::ModelOptions::FakeNodePricing::PatienceMin
+                  : core::ModelOptions::FakeNodePricing::ProhibitiveMax;
+      lo.model.fake_node_price_factor = patient ? 1.25 : 1000.0;
+      core::LipsPolicy lips(lo);
+      const sim::SimResult r = sim::simulate(c, w, lips);
+      t.add_row({Table::num(epoch, 0),
+                 patient ? "patience x1.25" : "prohibitive",
+                 Table::num(millicents_to_dollars(r.total_cost_mc), 3),
+                 Table::num(r.makespan_s / 60.0, 1),
+                 std::to_string(lips.lp_solves())});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nRules of thumb:\n"
+               "  * deadline-bound batch  -> short epoch, prohibitive F\n"
+               "  * overnight / flexible  -> long epoch, patient F (the"
+               " paper's \"deploy when constraints on overall makespan are"
+               " flexible\")\n";
+  return 0;
+}

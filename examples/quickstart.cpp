@@ -1,0 +1,77 @@
+// Quickstart: the LiPS public API in ~60 effective lines.
+//
+//  1. Describe the infrastructure (machines, stores, zones)  — lips::cluster
+//  2. Describe the workload (data objects, jobs)             — lips::workload
+//  3. Ask LiPS for the cost-optimal joint schedule           — lips::core
+//  4. (Optionally) replay it on the cluster simulator        — lips::sim
+//
+// Build & run:  ./examples/quickstart
+#include <iostream>
+
+#include "core/lips_policy.hpp"
+#include "core/lp_models.hpp"
+#include "core/rounding.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace lips;
+
+  // --- 1. Infrastructure: 6 EC2 nodes, half c1.medium, over 2 zones. ------
+  const cluster::Cluster ec2 = cluster::make_ec2_cluster(
+      /*n_nodes=*/6, /*c1_fraction=*/0.5, /*n_zones=*/2);
+
+  // --- 2. Workload: a 10 GB WordCount and an input-free Pi estimator. -----
+  workload::Workload jobs;
+  const DataId corpus =
+      jobs.add_data({"web-corpus", 10.0 * kMBPerGB, StoreId{0}});
+  {
+    workload::Job wc;
+    wc.name = "wordcount";
+    wc.tcp_cpu_s_per_mb = workload::wordcount_profile().tcp_cpu_s_per_mb();
+    wc.data = {corpus};
+    wc.num_tasks = 160;  // one per 64 MB block
+    jobs.add_job(std::move(wc));
+  }
+  {
+    workload::Job pi;
+    pi.name = "pi-estimator";
+    pi.cpu_fixed_ecu_s = 4 * workload::kPiTaskCpuEcuS;
+    pi.num_tasks = 4;
+    jobs.add_job(std::move(pi));
+  }
+
+  // --- 3. Solve the offline co-scheduling LP (paper Fig. 3). --------------
+  const core::LpSchedule plan = core::solve_co_scheduling(ec2, jobs);
+  if (!plan.optimal()) {
+    std::cerr << "no feasible schedule: " << lp::to_string(plan.status) << "\n";
+    return 1;
+  }
+  std::cout << "LP optimum: " << millicents_to_dollars(plan.objective_mc)
+            << " USD  (placement " << plan.placement_transfer_mc
+            << " m¢, execution " << plan.execution_mc << " m¢, reads "
+            << plan.runtime_transfer_mc << " m¢)\n";
+
+  const core::RoundedSchedule rounded = core::round_schedule(ec2, jobs, plan);
+  std::cout << "rounded to " << rounded.bundles.size()
+            << " task bundles; integral cost "
+            << millicents_to_dollars(rounded.cost_mc)
+            << " USD (certified gap "
+            << millicents_to_dollars(rounded.rounding_gap_mc()) << " USD)\n";
+  for (const core::TaskBundle& b : rounded.bundles) {
+    std::cout << "  " << jobs.job(b.job).name << ": " << b.tasks
+              << " tasks on " << ec2.machine(b.machine).name;
+    if (b.store) std::cout << " reading store " << *b.store;
+    std::cout << "\n";
+  }
+
+  // --- 4. Replay online with the epoch-based LiPS policy. -----------------
+  core::LipsPolicyOptions opts;
+  opts.epoch_s = 600.0;
+  core::LipsPolicy policy(opts);
+  const sim::SimResult run = sim::simulate(ec2, jobs, policy);
+  std::cout << "simulated online run: cost "
+            << millicents_to_dollars(run.total_cost_mc) << " USD, makespan "
+            << run.makespan_s << " s, " << run.epochs << " epochs, "
+            << policy.lp_solves() << " LP solves\n";
+  return run.completed ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Scenario: a day of Facebook-like traffic on a heterogeneous cluster.
+//
+// Synthesizes a SWIM-style day (heavy-tailed mix of interactive, medium and
+// large jobs — the workload class of the paper's 100-node experiment) and
+// runs it through LiPS online, reporting the bill and responsiveness per
+// job class. Demonstrates that cost optimization does not have to destroy
+// interactive latency: small jobs ride along on whatever cheap capacity the
+// current epoch has.
+//
+// Build & run:  ./examples/swim_day [jobs=120] [nodes=30]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/lips_policy.hpp"
+#include "sched/delay_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "workload/swim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lips;
+
+  const std::size_t n_jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+  const std::size_t n_nodes = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 30;
+
+  const cluster::Cluster c = cluster::make_ec2_cluster(n_nodes, 0.34, 3, 0.33);
+  Rng rng(123);
+  workload::SwimParams sp;
+  sp.n_jobs = n_jobs;
+  const workload::SwimWorkload sw = workload::make_swim_workload(sp, c, rng);
+  std::cout << "day-long workload: " << sw.workload.job_count() << " jobs, "
+            << sw.workload.total_tasks() << " map tasks, "
+            << Table::num(sw.workload.total_input_mb() / kMBPerGB, 1)
+            << " GB input on " << n_nodes << " nodes\n\n";
+
+  core::LipsPolicyOptions lo;
+  lo.epoch_s = 400.0;
+  lo.model.max_candidate_machines = 12;
+  lo.model.max_candidate_stores = 8;
+  core::LipsPolicy lips(lo);
+  sim::SimConfig cfg;
+  cfg.task_timeout_s = 1200.0;
+  const sim::SimResult r = sim::simulate(c, sw.workload, lips, cfg);
+
+  // Per-class response times.
+  const char* names[] = {"interactive", "medium", "large"};
+  std::vector<std::vector<double>> durations(3);
+  for (std::size_t k = 0; k < sw.workload.job_count(); ++k) {
+    const double fin = r.job_finish_s[k];
+    if (std::isnan(fin)) continue;
+    const auto cls = static_cast<std::size_t>(sw.classes[k]);
+    durations[cls].push_back(fin - sw.workload.job(JobId{k}).arrival_s);
+  }
+  Table t("LiPS online, epoch 400 s");
+  t.set_header({"class", "jobs", "median response (s)", "p95 (s)"});
+  for (std::size_t cls = 0; cls < 3; ++cls) {
+    if (durations[cls].empty()) continue;
+    t.add_row({names[cls], std::to_string(durations[cls].size()),
+               Table::num(percentile(durations[cls], 0.5), 0),
+               Table::num(percentile(durations[cls], 0.95), 0)});
+  }
+  t.print(std::cout);
+  std::cout << "bill: $" << Table::num(millicents_to_dollars(r.total_cost_mc), 2)
+            << ", makespan " << Table::num(r.makespan_s / 3600.0, 1)
+            << " h, " << lips.lp_solves() << " epoch LP solves, completed="
+            << (r.completed ? "yes" : "no") << "\n";
+  return r.completed ? 0 : 1;
+}

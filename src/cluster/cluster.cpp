@@ -1,0 +1,251 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+namespace lips::cluster {
+
+ZoneId Cluster::add_zone(std::string name) {
+  LIPS_REQUIRE(!finalized_, "cannot add entities after finalize()");
+  zones_.push_back(Zone{std::move(name)});
+  return ZoneId{zones_.size() - 1};
+}
+
+MachineId Cluster::add_machine(Machine machine) {
+  LIPS_REQUIRE(!finalized_, "cannot add entities after finalize()");
+  LIPS_REQUIRE(machine.zone.value() < zones_.size(), "machine zone unknown");
+  LIPS_REQUIRE(machine.throughput_ecu > 0, "machine throughput must be positive");
+  LIPS_REQUIRE(machine.cpu_price_mc >= 0, "machine cpu price must be >= 0");
+  LIPS_REQUIRE(machine.map_slots > 0, "machine needs at least one map slot");
+  machines_.push_back(std::move(machine));
+  return MachineId{machines_.size() - 1};
+}
+
+StoreId Cluster::add_store(DataStore store) {
+  LIPS_REQUIRE(!finalized_, "cannot add entities after finalize()");
+  LIPS_REQUIRE(store.zone.value() < zones_.size(), "store zone unknown");
+  LIPS_REQUIRE(store.capacity_mb > 0, "store capacity must be positive");
+  if (store.is_colocated()) {
+    LIPS_REQUIRE(store.colocated_machine < machines_.size(),
+                 "co-located machine unknown");
+  }
+  stores_.push_back(std::move(store));
+  return StoreId{stores_.size() - 1};
+}
+
+MachineId Cluster::add_ec2_node(const InstanceType& type, ZoneId zone,
+                                double price_mc) {
+  Machine m;
+  m.name = std::string(type.name) + "-" + std::to_string(machines_.size());
+  m.zone = zone;
+  m.throughput_ecu = type.ecu;
+  m.cpu_price_mc = price_mc >= 0 ? price_mc : type.cpu_price_mid_mc();
+  m.map_slots = std::max(1, static_cast<int>(type.vcores));
+  for (std::size_t t = 0; t < instance_catalog().size(); ++t) {
+    if (instance_catalog()[t].name == type.name)
+      m.instance_type = static_cast<int>(t);
+  }
+  const MachineId id = add_machine(std::move(m));
+
+  DataStore s;
+  s.name = "store-" + std::to_string(stores_.size());
+  s.zone = zone;
+  s.capacity_mb = type.storage_gb * kMBPerGB;
+  s.colocated_machine = id.value();
+  add_store(std::move(s));
+  return id;
+}
+
+void Cluster::finalize() {
+  LIPS_REQUIRE(!finalized_, "finalize() called twice");
+  const std::size_t nm = machines_.size();
+  const std::size_t ns = stores_.size();
+  ms_cost_.assign(nm * ns, 0.0);
+  ms_bw_.assign(nm * ns, 0.0);
+  ss_cost_.assign(ns * ns, 0.0);
+  ss_bw_.assign(ns * ns, 0.0);
+
+  for (std::size_t l = 0; l < nm; ++l) {
+    for (std::size_t m = 0; m < ns; ++m) {
+      const std::size_t idx = l * ns + m;
+      const bool local = stores_[m].colocated_machine == l;
+      const bool same_zone = machines_[l].zone == stores_[m].zone;
+      if (local) {
+        ms_cost_[idx] = 0.0;
+        ms_bw_[idx] = kLocalBandwidthMBs;
+      } else if (same_zone) {
+        ms_cost_[idx] = 0.0;  // EC2 does not bill intra-zone transfers
+        ms_bw_[idx] = kIntraZoneBandwidthMBs;
+      } else {
+        ms_cost_[idx] = kInterZoneCostMcPerMB;
+        ms_bw_[idx] = kInterZoneBandwidthMBs;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      const std::size_t idx = i * ns + j;
+      if (i == j) {
+        ss_cost_[idx] = 0.0;
+        ss_bw_[idx] = kLocalBandwidthMBs;
+      } else if (stores_[i].zone == stores_[j].zone) {
+        ss_cost_[idx] = 0.0;
+        ss_bw_[idx] = kIntraZoneBandwidthMBs;
+      } else {
+        ss_cost_[idx] = kInterZoneCostMcPerMB;
+        ss_bw_[idx] = kInterZoneBandwidthMBs;
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+void Cluster::set_price_schedule(MachineId m, std::vector<PricePoint> schedule) {
+  LIPS_REQUIRE(m.value() < machines_.size(), "machine id out of range");
+  LIPS_REQUIRE(!schedule.empty(), "price schedule must be non-empty");
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    LIPS_REQUIRE(schedule[i].price_mc >= 0, "prices must be >= 0");
+    if (i > 0)
+      LIPS_REQUIRE(schedule[i].time_s > schedule[i - 1].time_s,
+                   "price points must be strictly increasing in time");
+  }
+  price_schedules_[m.value()] = std::move(schedule);
+}
+
+double Cluster::cpu_price_mc_at(MachineId m, double t) const {
+  LIPS_REQUIRE(m.value() < machines_.size(), "machine id out of range");
+  const auto it = price_schedules_.find(m.value());
+  if (it == price_schedules_.end()) return machines_[m.value()].cpu_price_mc;
+  double price = machines_[m.value()].cpu_price_mc;  // before the first step
+  for (const PricePoint& p : it->second) {
+    if (p.time_s > t) break;
+    price = p.price_mc;
+  }
+  return price;
+}
+
+std::optional<StoreId> Cluster::store_of_machine(MachineId m) const {
+  for (std::size_t s = 0; s < stores_.size(); ++s) {
+    if (stores_[s].colocated_machine == m.value()) return StoreId{s};
+  }
+  return std::nullopt;
+}
+
+double Cluster::ms_cost_mc_per_mb(MachineId l, StoreId m) const {
+  require_finalized();
+  return ms_cost_[ms_index(l, m)];
+}
+
+void Cluster::set_ms_cost_mc_per_mb(MachineId l, StoreId m, double v) {
+  require_finalized();
+  LIPS_REQUIRE(v >= 0, "transfer cost must be >= 0");
+  ms_cost_[ms_index(l, m)] = v;
+}
+
+double Cluster::ss_cost_mc_per_mb(StoreId i, StoreId j) const {
+  require_finalized();
+  return ss_cost_[ss_index(i, j)];
+}
+
+void Cluster::set_ss_cost_mc_per_mb(StoreId i, StoreId j, double v) {
+  require_finalized();
+  LIPS_REQUIRE(v >= 0, "transfer cost must be >= 0");
+  ss_cost_[ss_index(i, j)] = v;
+}
+
+double Cluster::bandwidth_mb_s(MachineId l, StoreId m) const {
+  require_finalized();
+  return ms_bw_[ms_index(l, m)];
+}
+
+void Cluster::set_bandwidth_mb_s(MachineId l, StoreId m, double v) {
+  require_finalized();
+  LIPS_REQUIRE(v > 0, "bandwidth must be positive");
+  ms_bw_[ms_index(l, m)] = v;
+}
+
+double Cluster::store_bandwidth_mb_s(StoreId i, StoreId j) const {
+  require_finalized();
+  return ss_bw_[ss_index(i, j)];
+}
+
+Cluster make_ec2_cluster(std::size_t n_nodes, double c1_fraction,
+                         std::size_t n_zones, double small_fraction) {
+  LIPS_REQUIRE(n_nodes > 0, "cluster needs at least one node");
+  LIPS_REQUIRE(n_zones > 0, "cluster needs at least one zone");
+  LIPS_REQUIRE(c1_fraction >= 0 && c1_fraction <= 1, "c1_fraction in [0,1]");
+  LIPS_REQUIRE(small_fraction >= 0 && c1_fraction + small_fraction <= 1,
+               "instance fractions must sum to <= 1");
+  Cluster c;
+  for (std::size_t z = 0; z < n_zones; ++z)
+    c.add_zone("us-east-1" + std::string(1, static_cast<char>('a' + z)));
+  const auto n_c1 = static_cast<std::size_t>(c1_fraction * n_nodes + 0.5);
+  const auto n_small = static_cast<std::size_t>(small_fraction * n_nodes + 0.5);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const ZoneId zone{i % n_zones};
+    // Interleave types across zones so every zone sees the same mix.
+    const InstanceType& type = (i < n_c1)            ? c1_medium()
+                               : (i < n_c1 + n_small) ? m1_small()
+                                                      : m1_medium();
+    // Zones act as distinct price markets (paper §III: "CPU cycle costs
+    // differ with computation nodes and markets"): grade each node's price
+    // across its type's Table-III band by zone index.
+    const double t = n_zones == 1 ? 0.5
+                                  : static_cast<double>(zone.value()) /
+                                        static_cast<double>(n_zones - 1);
+    const double price = type.cpu_price_low_mc +
+                         t * (type.cpu_price_high_mc - type.cpu_price_low_mc);
+    c.add_ec2_node(type, zone, price);
+  }
+  c.finalize();
+  return c;
+}
+
+Cluster make_random_cluster(const RandomClusterParams& params, Rng& rng) {
+  LIPS_REQUIRE(params.n_machines > 0 && params.n_stores > 0,
+               "random cluster needs machines and stores");
+  Cluster c;
+  const ZoneId zone = c.add_zone("random");
+  for (std::size_t i = 0; i < params.n_machines; ++i) {
+    Machine m;
+    m.name = "rnd-machine-" + std::to_string(i);
+    m.zone = zone;
+    m.throughput_ecu =
+        rng.uniform(params.throughput_lo_ecu, params.throughput_hi_ecu);
+    m.cpu_price_mc = rng.uniform(params.cpu_price_lo_mc, params.cpu_price_hi_mc);
+    c.add_machine(std::move(m));
+  }
+  for (std::size_t i = 0; i < params.n_stores; ++i) {
+    DataStore s;
+    s.name = "rnd-store-" + std::to_string(i);
+    s.zone = zone;
+    s.capacity_mb = params.store_capacity_mb;
+    // Co-locate the first min(n_stores, n_machines) stores with machines so
+    // "data-local" has meaning in the baseline comparison.
+    if (i < params.n_machines) s.colocated_machine = i;
+    c.add_store(std::move(s));
+  }
+  c.finalize();
+  // Randomize the cost matrices per the Fig-5 caption ranges. Bandwidths
+  // keep their zone defaults (cost, not time, drives the Fig-5 metric).
+  auto block_cost = [&]() {
+    return rng.uniform(params.transfer_cost_lo_mc_per_block,
+                       params.transfer_cost_hi_mc_per_block) /
+           kBlockSizeMB;
+  };
+  for (std::size_t l = 0; l < c.machine_count(); ++l) {
+    for (std::size_t s = 0; s < c.store_count(); ++s) {
+      const bool local = c.store(StoreId{s}).colocated_machine == l;
+      c.set_ms_cost_mc_per_mb(MachineId{l}, StoreId{s},
+                              local ? 0.0 : block_cost());
+    }
+  }
+  for (std::size_t i = 0; i < c.store_count(); ++i) {
+    for (std::size_t j = 0; j < c.store_count(); ++j) {
+      c.set_ss_cost_mc_per_mb(StoreId{i}, StoreId{j},
+                              i == j ? 0.0 : block_cost());
+    }
+  }
+  return c;
+}
+
+}  // namespace lips::cluster

@@ -1,0 +1,228 @@
+// The cloud/cluster model: machines M, data stores S, availability zones,
+// and the infrastructure matrices of the paper's Table II —
+//   MS  (machine ↔ store unit transfer cost),
+//   SS  (store ↔ store unit transfer cost),
+//   B   (pairwise network bandwidth),
+//   TP  (machine computation throughput), CPU_Cost (per-ECU-second price).
+//
+// Determining these matrices "is a purely infrastructure issue and is
+// populated once when the scheduler is set up" (paper Table II note) — the
+// builders at the bottom of this header construct the paper's experimental
+// topologies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "cluster/instance_types.hpp"
+
+namespace lips::cluster {
+
+/// An availability zone (the paper spreads its testbeds over three).
+struct Zone {
+  std::string name;
+};
+
+/// One step of a machine's price schedule (spot-market dynamics).
+struct PricePoint {
+  double time_s = 0.0;   ///< from this simulated time onward...
+  double price_mc = 0.0; ///< ...the machine costs this per ECU-second
+};
+
+/// A computation node (a Hadoop TaskTracker host).
+struct Machine {
+  std::string name;
+  ZoneId zone;
+  /// Computation throughput TP(M): ECU-seconds of work executed per
+  /// wall-clock second (equals the instance's ECU count).
+  double throughput_ecu = 1.0;
+  /// CPU price in millicents per ECU-second (paper footnote 1).
+  double cpu_price_mc = 1.0;
+  /// Concurrently runnable map tasks (Hadoop map slots).
+  int map_slots = 2;
+  /// Uptime in seconds available for the offline scheduling model.
+  double uptime_s = 3600.0;
+  /// Index of the instance type in instance_catalog(), or -1 if synthetic.
+  int instance_type = -1;
+};
+
+/// A data store (a Hadoop DataNode, or a remote store such as S3).
+struct DataStore {
+  std::string name;
+  ZoneId zone;
+  double capacity_mb = 0.0;
+  /// Machine this store is co-located with, or machine_count() if remote.
+  /// Co-located stores get local (fast, free) access from their machine.
+  std::size_t colocated_machine = SIZE_MAX;
+
+  [[nodiscard]] bool is_colocated() const { return colocated_machine != SIZE_MAX; }
+};
+
+/// The full infrastructure: entity lists plus dense cost/bandwidth matrices.
+///
+/// Matrices are populated by `finalize()` from the zone layout unless the
+/// caller overrides individual entries afterwards (the random Fig-5 clusters
+/// do exactly that).
+class Cluster {
+ public:
+  ZoneId add_zone(std::string name);
+  MachineId add_machine(Machine machine);
+  StoreId add_store(DataStore store);
+
+  /// Convenience: add a machine of a given EC2 instance type plus its
+  /// co-located data store (capacity = the type's storage). The machine's
+  /// per-ECU-second price is the catalog mid price unless `price_mc` >= 0.
+  MachineId add_ec2_node(const InstanceType& type, ZoneId zone,
+                         double price_mc = -1.0);
+
+  /// Build the MS/SS/B matrices from the zone layout:
+  ///   co-located store↔machine: kLocalBandwidthMBs, zero cost;
+  ///   same zone:                kIntraZoneBandwidthMBs, zero cost;
+  ///   different zones:          kInterZoneBandwidthMBs, inter-zone price.
+  /// Must be called after all entities are added and before matrix access.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+  [[nodiscard]] std::size_t store_count() const { return stores_.size(); }
+  [[nodiscard]] std::size_t zone_count() const { return zones_.size(); }
+
+  [[nodiscard]] const Machine& machine(MachineId m) const {
+    LIPS_REQUIRE(m.value() < machines_.size(), "machine id out of range");
+    return machines_[m.value()];
+  }
+  [[nodiscard]] Machine& machine(MachineId m) {
+    LIPS_REQUIRE(m.value() < machines_.size(), "machine id out of range");
+    return machines_[m.value()];
+  }
+  [[nodiscard]] const DataStore& store(StoreId s) const {
+    LIPS_REQUIRE(s.value() < stores_.size(), "store id out of range");
+    return stores_[s.value()];
+  }
+  [[nodiscard]] DataStore& store(StoreId s) {
+    LIPS_REQUIRE(s.value() < stores_.size(), "store id out of range");
+    return stores_[s.value()];
+  }
+  [[nodiscard]] const Zone& zone(ZoneId z) const {
+    LIPS_REQUIRE(z.value() < zones_.size(), "zone id out of range");
+    return zones_[z.value()];
+  }
+
+  /// Store co-located with machine `m`, if any (first match).
+  [[nodiscard]] std::optional<StoreId> store_of_machine(MachineId m) const;
+
+  // --- Time-varying prices (spot-market dynamics) -------------------------
+  // The paper's §III: "CPU cycle costs differ with computation nodes and
+  // markets" — and over time. A machine may carry a step-function price
+  // schedule; cpu_price_mc_at() resolves the price in force at a given
+  // simulated time (the static Machine::cpu_price_mc applies before the
+  // first step and for machines without a schedule).
+
+  /// Attach a schedule (points must be strictly increasing in time, prices
+  /// nonnegative). Replaces any previous schedule for the machine.
+  void set_price_schedule(MachineId m, std::vector<PricePoint> schedule);
+
+  /// Price per ECU-second in force on machine `m` at time `t`.
+  [[nodiscard]] double cpu_price_mc_at(MachineId m, double t) const;
+
+  /// Whether any machine has a time-varying price.
+  [[nodiscard]] bool has_dynamic_prices() const {
+    return !price_schedules_.empty();
+  }
+
+  // --- Matrix access (requires finalize()) --------------------------------
+
+  /// MS_{lm}: unit data transfer cost, millicents per MB, between machine l
+  /// and store m (paper assumes symmetric up/down costs; so do we).
+  [[nodiscard]] double ms_cost_mc_per_mb(MachineId l, StoreId m) const;
+  void set_ms_cost_mc_per_mb(MachineId l, StoreId m, double v);
+
+  /// SS_{ij}: unit data transfer cost, millicents per MB, between stores.
+  [[nodiscard]] double ss_cost_mc_per_mb(StoreId i, StoreId j) const;
+  void set_ss_cost_mc_per_mb(StoreId i, StoreId j, double v);
+
+  /// B: network bandwidth in MB/s between store m and machine l.
+  [[nodiscard]] double bandwidth_mb_s(MachineId l, StoreId m) const;
+  void set_bandwidth_mb_s(MachineId l, StoreId m, double v);
+
+  /// B: network bandwidth in MB/s between two stores.
+  [[nodiscard]] double store_bandwidth_mb_s(StoreId i, StoreId j) const;
+
+  /// Cost of executing `ecu_seconds` of work on machine l (millicents).
+  [[nodiscard]] double execution_cost_mc(MachineId l, double ecu_seconds) const {
+    return machine(l).cpu_price_mc * ecu_seconds;
+  }
+
+  /// Wall-clock seconds machine l needs for `ecu_seconds` of work.
+  [[nodiscard]] double execution_time_s(MachineId l, double ecu_seconds) const {
+    return ecu_seconds / machine(l).throughput_ecu;
+  }
+
+  // Default link parameters (paper §VI-A network setup).
+  static constexpr double kLocalBandwidthMBs = 80.0;        ///< on-node disk path
+  static constexpr double kIntraZoneBandwidthMBs = 62.5;    ///< 500 Mb/s
+  static constexpr double kInterZoneBandwidthMBs = 31.25;   ///< 250 Mb/s
+  /// $0.01/GB = 62.5 millicents per 64 MB block (paper §VI-A).
+  static constexpr double kInterZoneCostMcPerMB = 62.5 / kBlockSizeMB;
+
+ private:
+  [[nodiscard]] std::size_t ms_index(MachineId l, StoreId m) const {
+    return l.value() * stores_.size() + m.value();
+  }
+  [[nodiscard]] std::size_t ss_index(StoreId i, StoreId j) const {
+    return i.value() * stores_.size() + j.value();
+  }
+  void require_finalized() const {
+    LIPS_REQUIRE(finalized_, "Cluster::finalize() must be called first");
+  }
+
+  std::vector<Zone> zones_;
+  std::vector<Machine> machines_;
+  std::vector<DataStore> stores_;
+  std::vector<double> ms_cost_;   // machines x stores
+  std::vector<double> ss_cost_;   // stores x stores
+  std::vector<double> ms_bw_;     // machines x stores
+  std::vector<double> ss_bw_;     // stores x stores
+  std::unordered_map<std::size_t, std::vector<PricePoint>> price_schedules_;
+  bool finalized_ = false;
+};
+
+// --- Builders for the paper's experimental topologies ----------------------
+
+/// The 20/100-node EC2 testbed of paper §VI: `n_nodes` machines spread
+/// round-robin over `n_zones` zones; a fraction `c1_fraction` of the nodes
+/// are c1.medium, a fraction `small_fraction` m1.small, the rest m1.medium.
+/// Every node carries a co-located data store.
+[[nodiscard]] Cluster make_ec2_cluster(std::size_t n_nodes, double c1_fraction,
+                                       std::size_t n_zones = 3,
+                                       double small_fraction = 0.0);
+
+/// Parameters of the random clusters used for the Fig-5 simulation sweep
+/// ("the jobs were completely random as well as the size of the cluster and
+/// its topology", paper §VI-B): cpu price ~ U[0, 5] m¢/ECU-s, pairwise
+/// transfer cost ~ U[0, 60] millicents per 64 MB block.
+struct RandomClusterParams {
+  std::size_t n_machines = 10;
+  std::size_t n_stores = 20;
+  double cpu_price_lo_mc = 0.0;
+  double cpu_price_hi_mc = 5.0;
+  double transfer_cost_lo_mc_per_block = 0.0;
+  double transfer_cost_hi_mc_per_block = 60.0;
+  double throughput_lo_ecu = 1.0;
+  double throughput_hi_ecu = 5.0;
+  double store_capacity_mb = 1.0e7;  // effectively uncapacitated by default
+};
+
+/// Build a random cluster per the Fig-5 sweep parameters.
+[[nodiscard]] Cluster make_random_cluster(const RandomClusterParams& params,
+                                          Rng& rng);
+
+}  // namespace lips::cluster

@@ -1,0 +1,26 @@
+#include "cluster/instance_types.hpp"
+
+#include <array>
+
+namespace lips::cluster {
+
+namespace {
+
+// Catalog values from paper Table III; per-ECU-second prices from footnote 1
+// (m1.small derived with the same breakdown the paper applies to the
+// others: hourly price over deliverable ECU capacity).
+constexpr std::array<InstanceType, 3> kCatalog{{
+    {"m1.small", 1.0, 1.0, 1.7, 160.0, 0.08, 0.12, 2.22, 3.33},
+    {"m1.medium", 1.0, 2.0, 3.75, 410.0, 0.13, 0.23, 4.44, 6.39},
+    {"c1.medium", 2.0, 5.0, 1.7, 350.0, 0.17, 0.23, 0.92, 1.28},
+}};
+
+}  // namespace
+
+const InstanceType& m1_small() { return kCatalog[0]; }
+const InstanceType& m1_medium() { return kCatalog[1]; }
+const InstanceType& c1_medium() { return kCatalog[2]; }
+
+std::span<const InstanceType> instance_catalog() { return kCatalog; }
+
+}  // namespace lips::cluster

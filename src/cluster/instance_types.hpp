@@ -1,0 +1,47 @@
+// Amazon EC2 instance-type catalog (paper Table III).
+//
+// The paper prices computation per "EC2 compute unit (ECU) CPU second"
+// (its footnote 1 breaks hourly instance prices down to per-ECU-second
+// millicents). We carry both the raw hourly price band and the derived
+// per-ECU-second band, plus the representative mid price used when a single
+// number is needed.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace lips::cluster {
+
+/// Static description of one EC2 instance type (paper Table III).
+struct InstanceType {
+  std::string_view name;
+  double vcores;             ///< virtual CPUs exposed to the guest
+  double ecu;                ///< total EC2 compute units
+  double memory_gb;
+  double storage_gb;
+  double price_low_usd_hr;   ///< low end of the paper's hourly price band
+  double price_high_usd_hr;  ///< high end of the paper's hourly price band
+  /// Millicents per ECU-second, low/high — the paper's footnote-1 numbers.
+  double cpu_price_low_mc;
+  double cpu_price_high_mc;
+
+  /// Representative per-ECU-second price (midpoint of the band).
+  [[nodiscard]] constexpr double cpu_price_mid_mc() const {
+    return 0.5 * (cpu_price_low_mc + cpu_price_high_mc);
+  }
+};
+
+/// m1.small: 1 vcore / 1 ECU, 1.7 GB, 160 GB, $0.08–0.12/hr.
+[[nodiscard]] const InstanceType& m1_small();
+/// m1.medium: 1 vcore / 2 ECU, 3.75 GB, 410 GB, $0.13–0.23/hr.
+/// Per the paper, 4.44–6.39 millicents per ECU-second.
+[[nodiscard]] const InstanceType& m1_medium();
+/// c1.medium: 2 vcores / 5 ECU, 1.7 GB, 350 GB, $0.17–0.23/hr.
+/// Per the paper, 0.92–1.28 millicents per ECU-second — 4–5× cheaper
+/// per ECU-second than m1.medium.
+[[nodiscard]] const InstanceType& c1_medium();
+
+/// All catalog entries, in Table III order.
+[[nodiscard]] std::span<const InstanceType> instance_catalog();
+
+}  // namespace lips::cluster

@@ -1,0 +1,57 @@
+// Error-handling helpers shared across the LiPS library.
+//
+// The library favours exceptions for programmer errors (violated
+// preconditions, malformed models) and status enums for expected outcomes
+// (e.g. an infeasible LP is a *result*, not an error).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lips {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant fails; indicates a library bug.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_internal(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace lips
+
+/// Validate a public-API precondition; throws lips::PreconditionError.
+#define LIPS_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) ::lips::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Validate an internal invariant; throws lips::InternalError.
+#define LIPS_ASSERT(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) ::lips::detail::throw_internal(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

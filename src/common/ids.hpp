@@ -1,0 +1,64 @@
+// Strongly-typed integer identifiers for the entities of the LiPS model.
+//
+// Using distinct types for job/machine/store/data indices prevents the
+// classic bug class of passing a machine index where a store index is
+// expected — matrices in the scheduling model (JD, JM, MS, SS) are indexed
+// by different entity kinds that are all "just size_t" underneath.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace lips {
+
+/// A zero-based dense index with a phantom Tag type.
+///
+/// Ids are ordered and hashable so they can key associative containers, and
+/// explicitly convertible to size_t for vector indexing.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::size_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::size_t value() const { return value_; }
+  constexpr explicit operator std::size_t() const { return value_; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  std::size_t value_ = 0;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  return os << id.value();
+}
+
+struct JobTag {};
+struct TaskTag {};
+struct MachineTag {};
+struct StoreTag {};
+struct DataTag {};
+struct ZoneTag {};
+
+using JobId = Id<JobTag>;          ///< index into the job set J
+using TaskId = Id<TaskTag>;        ///< index of a concrete (rounded) task
+using MachineId = Id<MachineTag>;  ///< index into the machine set M
+using StoreId = Id<StoreTag>;      ///< index into the data-store set S
+using DataId = Id<DataTag>;        ///< index into the data-object set D
+using ZoneId = Id<ZoneTag>;        ///< availability-zone index
+
+}  // namespace lips
+
+namespace std {
+template <typename Tag>
+struct hash<lips::Id<Tag>> {
+  size_t operator()(lips::Id<Tag> id) const noexcept {
+    return std::hash<size_t>{}(id.value());
+  }
+};
+}  // namespace std

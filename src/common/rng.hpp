@@ -1,0 +1,144 @@
+// Deterministic pseudo-random number generation for workload synthesis and
+// simulation.
+//
+// All stochastic components of the library (random clusters for the Fig-5
+// sweep, SWIM-style trace synthesis, block shuffling in the baseline
+// scheduler) draw from this generator so that every experiment is exactly
+// reproducible from its seed. We implement xoshiro256++ (public domain,
+// Blackman & Vigna) seeded through splitmix64, rather than std::mt19937,
+// because its output sequence is stable across standard-library
+// implementations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lips {
+
+/// splitmix64 step — used to expand a single 64-bit seed into a full state.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic xoshiro256++ generator with distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5D1F5 /* "LiPS" leet-ish default */) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  /// UniformRandomBitGenerator interface (usable with <random> if desired).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    // 53 high bits → exactly representable dyadic rational in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    LIPS_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    LIPS_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next();  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = next();
+    while (draw >= limit) draw = next();
+    return lo + draw % span;
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    LIPS_REQUIRE(n > 0, "index: n must be positive");
+    return static_cast<std::size_t>(uniform_int(0, n - 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean) {
+    LIPS_REQUIRE(mean > 0, "exponential: mean must be positive");
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal variate (Box–Muller; one value per call for
+  /// reproducibility simplicity).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform01();
+    while (u1 <= 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * z;
+  }
+
+  /// Lognormal variate parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Pick a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    LIPS_REQUIRE(!v.empty(), "pick: container must be non-empty");
+    return v[index(v.size())];
+  }
+
+  /// Derive an independent child generator (stable stream splitting).
+  Rng split() { return Rng(next() ^ 0xA3EC4D1F00C0FFEEULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace lips

@@ -1,0 +1,29 @@
+// Small descriptive-statistics helpers used by the benchmark harness
+// (averaging cost reductions across random trials, percentiles of task
+// runtimes, etc.).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lips {
+
+/// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute summary statistics; an empty span yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile (q in [0,1]); precondition: non-empty.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Arithmetic mean; empty span yields 0.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+}  // namespace lips

@@ -1,0 +1,46 @@
+// Plain-text table and CSV rendering for benchmark harness output.
+//
+// Every bench binary reproduces one of the paper's tables/figures and prints
+// its rows through this printer so the output format is uniform and easy to
+// diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lips {
+
+/// Column-aligned text table with an optional title and CSV export.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before the first add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row; its arity must match the header (if one was set) and all
+  /// previous rows.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Convenience: format a percentage ("42.3%") with the given precision.
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header first if set).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lips

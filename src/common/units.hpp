@@ -1,0 +1,73 @@
+// Units used throughout the LiPS model.
+//
+// The paper accounts in three currencies that are easy to confuse:
+//   * data size           — megabytes (64 MB HDFS blocks),
+//   * computation         — "EC2 compute unit (ECU) CPU seconds",
+//   * money               — millicents (the paper quotes CPU prices in
+//                           millicents per ECU-second and transfer prices in
+//                           millicents per 64 MB block).
+// We keep quantities as doubles but centralize the conversion constants and
+// give the dimension names types-by-convention (suffix `_mb`, `_cpu_s`,
+// `_mc`) plus a few checked helpers.
+#pragma once
+
+#include <cmath>
+
+namespace lips {
+
+/// Size of one HDFS block in megabytes (Hadoop default used by the paper).
+inline constexpr double kBlockSizeMB = 64.0;
+
+/// Megabytes per gigabyte.
+inline constexpr double kMBPerGB = 1024.0;
+
+/// Millicents per dollar (1 dollar = 100 cents = 100'000 millicents).
+inline constexpr double kMillicentsPerDollar = 100'000.0;
+
+/// Seconds per hour (EC2 bills hourly; the paper breaks prices down to
+/// per-ECU-second, see its footnote 1).
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// Convert a number of 64 MB blocks to megabytes.
+[[nodiscard]] constexpr double blocks_to_mb(double blocks) {
+  return blocks * kBlockSizeMB;
+}
+
+/// Convert megabytes to a (fractional) number of 64 MB blocks.
+[[nodiscard]] constexpr double mb_to_blocks(double mb) {
+  return mb / kBlockSizeMB;
+}
+
+/// Convert an hourly dollar price for `ecu` compute units into millicents
+/// per ECU-second — exactly the paper's footnote-1 breakdown.
+///
+/// Example: c1.medium at $0.17/hr with 5 ECU →
+///   0.17 * 100000 / 3600 / 5 ≈ 0.944 millicents per ECU-second,
+/// matching the paper's quoted 0.92–1.28 m¢ range across its price band.
+[[nodiscard]] constexpr double hourly_dollars_to_millicents_per_ecu_second(
+    double dollars_per_hour, double ecu) {
+  return dollars_per_hour * kMillicentsPerDollar / kSecondsPerHour / ecu;
+}
+
+/// Convert a $ / GB transfer price into millicents per megabyte.
+///
+/// The paper: "$0.01 per GB (62.5 millicent per 64 MB block)".
+[[nodiscard]] constexpr double dollars_per_gb_to_millicents_per_mb(
+    double dollars_per_gb) {
+  return dollars_per_gb * kMillicentsPerDollar / kMBPerGB;
+}
+
+/// Convert millicents to dollars (for human-readable report output).
+[[nodiscard]] constexpr double millicents_to_dollars(double millicents) {
+  return millicents / kMillicentsPerDollar;
+}
+
+/// Approximate floating-point equality with absolute + relative tolerance.
+[[nodiscard]] inline bool almost_equal(double a, double b, double abs_tol = 1e-9,
+                                       double rel_tol = 1e-9) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+}  // namespace lips

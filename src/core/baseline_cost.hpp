@@ -1,0 +1,34 @@
+// Analytic baseline cost used by the paper's Fig-5 simulation methodology:
+//
+//   "With the same setting, it then shuffles the data blocks randomly within
+//    the cluster and then schedules ALL tasks local to the data blocks. This
+//    is the best possible task scheduling with 100% data locality. The
+//    result of such a default scheduling is the same as the ideal delay
+//    scheduler."
+//
+// This module prices that idealized 100%-data-local schedule so the Fig-5
+// bench (and tests) can compare LiPS' LP optimum against it without running
+// the full discrete-event simulator.
+#pragma once
+
+#include "common/rng.hpp"
+#include "cluster/cluster.hpp"
+#include "workload/workload.hpp"
+
+namespace lips::core {
+
+/// Dollar cost (millicents) of the ideal-delay baseline: every data object's
+/// blocks are scattered uniformly over machine-co-located stores, every task
+/// runs on the machine hosting its block (zero transfer cost, full price of
+/// that machine's CPU). Input-free jobs are spread uniformly over machines.
+/// Deterministic given `rng`'s state.
+[[nodiscard]] double ideal_locality_cost_mc(const cluster::Cluster& cluster,
+                                            const workload::Workload& workload,
+                                            Rng& rng);
+
+/// Cost of running everything at the *average* machine price with zero
+/// transfers — a scheduler-agnostic reference point for sanity checks.
+[[nodiscard]] double average_price_cost_mc(const cluster::Cluster& cluster,
+                                           const workload::Workload& workload);
+
+}  // namespace lips::core

@@ -1,0 +1,37 @@
+// The data-movement break-even analysis of the paper's introduction (Fig. 1).
+//
+// "Consider a Job j with its data on Node A, requiring c CPU seconds per MB
+// data. Assume the dollar costs for a CPU second on nodes A and B are a and
+// b respectively, and data transfers between A and B cost d per MB. Then
+// moving the data from A to B makes sense only when c·a > c·b + d."
+#pragma once
+
+namespace lips::core {
+
+/// Inputs of the break-even test for moving one job's data from a source
+/// node to a destination node with cheaper (or dearer) CPU.
+struct BreakEvenInput {
+  /// c: CPU seconds the job spends per MB of input.
+  double cpu_s_per_mb = 0.0;
+  /// a: CPU price on the source node (millicents per ECU-second).
+  double src_price_mc = 0.0;
+  /// b: CPU price on the destination node.
+  double dst_price_mc = 0.0;
+  /// d: data transfer price between the nodes (millicents per MB).
+  double transfer_cost_mc_per_mb = 0.0;
+};
+
+/// Net savings per MB from moving: c·a − (c·b + d). Positive ⇒ move.
+[[nodiscard]] double move_savings_mc_per_mb(const BreakEvenInput& in);
+
+/// The paper's rule: move the data iff c·a > c·b + d.
+[[nodiscard]] bool should_move_data(const BreakEvenInput& in);
+
+/// Fig-1 x-axis: the ratio of transfer cost to CPU savings,
+/// d / (c·(a−b)). Values below 1 mean moving pays off; +inf when the
+/// destination is not cheaper (no CPU savings to amortize the transfer —
+/// CPU-intensive jobs like Pi have this ratio near 0, I/O-bound jobs like
+/// Grep blow past 1 quickly).
+[[nodiscard]] double transfer_to_savings_ratio(const BreakEvenInput& in);
+
+}  // namespace lips::core

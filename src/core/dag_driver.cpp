@@ -1,0 +1,58 @@
+#include "core/dag_driver.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace lips::core {
+
+DagSchedule schedule_dag(const cluster::Cluster& cluster,
+                         const workload::Workload& workload,
+                         const workload::JobDag& dag,
+                         const ModelOptions& options) {
+  LIPS_REQUIRE(options.epoch_s == 0.0, "DAG driver is an offline scheduler");
+  LIPS_REQUIRE(dag.job_count() == workload.job_count(),
+               "DAG must cover the workload's jobs");
+
+  // Mutable copy: origins are updated as levels move data, so later levels
+  // price their transfers from where the data actually ended up.
+  workload::Workload current = workload;
+
+  DagSchedule out;
+  for (const std::vector<JobId>& level : dag.levels()) {
+    LevelSchedule ls;
+    ls.jobs = level;
+    ls.schedule = solve_co_scheduling(cluster, current, options, level);
+    if (!ls.schedule.optimal()) {
+      out.feasible = false;
+      out.levels.push_back(std::move(ls));
+      return out;
+    }
+    out.total_cost_mc += ls.schedule.objective_mc;
+
+    // Persist placements: each moved object's origin becomes the store
+    // holding its largest placed fraction.
+    std::map<std::size_t, std::pair<std::size_t, double>> best;  // data→(store,frac)
+    for (const DataPlacement& p : ls.schedule.placements) {
+      auto& slot = best[p.data.value()];
+      if (p.fraction > slot.second) slot = {p.store.value(), p.fraction};
+    }
+    if (!best.empty()) {
+      workload::Workload updated;
+      for (std::size_t i = 0; i < current.data_count(); ++i) {
+        workload::DataObject obj = current.data(DataId{i});
+        const auto it = best.find(i);
+        if (it != best.end()) obj.origin = StoreId{it->second.first};
+        updated.add_data(std::move(obj));
+      }
+      for (std::size_t k = 0; k < current.job_count(); ++k)
+        updated.add_job(current.job(JobId{k}));
+      current = std::move(updated);
+    }
+    out.levels.push_back(std::move(ls));
+  }
+  return out;
+}
+
+}  // namespace lips::core

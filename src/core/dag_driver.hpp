@@ -1,0 +1,39 @@
+// Per-level LiPS scheduling of dependent workloads (paper §III + [6]).
+//
+// Each DAG level is a set of mutually independent jobs; LiPS co-schedules
+// data and tasks within the level with the full Fig-3 LP. Data placements
+// chosen for one level persist: later levels see the moved data as already
+// present (their objects' origins are updated to the majority placement),
+// which realizes the paper's observation that scheduling tasks near their
+// predecessors pays because "the successors' target data is more likely to
+// have been stored nearby".
+#pragma once
+
+#include "core/lp_models.hpp"
+#include "workload/dag.hpp"
+
+namespace lips::core {
+
+/// Result of scheduling one DAG level.
+struct LevelSchedule {
+  std::vector<JobId> jobs;
+  LpSchedule schedule;
+};
+
+/// Full multi-level result.
+struct DagSchedule {
+  std::vector<LevelSchedule> levels;
+  double total_cost_mc = 0.0;
+  bool feasible = true;  ///< false if any level's LP failed
+
+  [[nodiscard]] std::size_t level_count() const { return levels.size(); }
+};
+
+/// Schedule `workload` level by level under `dag` using the offline
+/// co-scheduling model. `options.epoch_s` must be 0 (offline).
+[[nodiscard]] DagSchedule schedule_dag(const cluster::Cluster& cluster,
+                                       const workload::Workload& workload,
+                                       const workload::JobDag& dag,
+                                       const ModelOptions& options = {});
+
+}  // namespace lips::core

@@ -1,0 +1,172 @@
+#include "core/lips_policy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lips::core {
+
+LipsPolicy::LipsPolicy(LipsPolicyOptions options) : options_(options) {
+  LIPS_REQUIRE(options_.epoch_s > 0, "LiPS policy needs a positive epoch");
+  options_.model.epoch_s = options_.epoch_s;
+  options_.model.fake_node = true;  // overflow work waits for the next epoch
+}
+
+void LipsPolicy::on_epoch(const sched::ClusterState& state) {
+  const cluster::Cluster& c = state.cluster();
+  const workload::Workload& w = state.workload();
+
+  plan_.assign(c.machine_count(), {});
+  gates_.clear();
+  moves_.clear();
+
+  // 1. Queue snapshot: pending task ids per job, FIFO order preserved.
+  std::map<std::size_t, std::vector<std::size_t>> pending_of_job;
+  for (const std::size_t id : state.pending())
+    pending_of_job[state.task(id).job.value()].push_back(id);
+  if (pending_of_job.empty()) return;
+
+  JobSubset subset;
+  std::vector<double> remaining;
+  for (const auto& [job, ids] : pending_of_job) {
+    subset.push_back(JobId{job});
+    remaining.push_back(static_cast<double>(ids.size()) /
+                        static_cast<double>(w.job(JobId{job}).num_tasks));
+  }
+
+  // 2. Solve the online LP over the queue, pricing placement from where
+  // each object actually is now (earlier epochs' moves are sunk cost and
+  // must not be charged again): the effective origin of an object is the
+  // store currently holding its largest fraction, ties to the original.
+  std::vector<StoreId> origins(w.data_count());
+  for (std::size_t i = 0; i < w.data_count(); ++i) {
+    StoreId best = w.data(DataId{i}).origin;
+    double best_fraction = state.stored_fraction(DataId{i}, best);
+    for (std::size_t sid = 0; sid < c.store_count(); ++sid) {
+      const double f = state.stored_fraction(DataId{i}, StoreId{sid});
+      if (f > best_fraction + 1e-12) {
+        best_fraction = f;
+        best = StoreId{sid};
+      }
+    }
+    origins[i] = best;
+  }
+
+  lp_solves_ += 1;
+  ModelOptions model = options_.model;
+  model.price_time = state.now();  // honor spot-price schedules
+  const LpSchedule lp =
+      solve_co_scheduling(c, w, model, subset, remaining, origins);
+  lp_iterations_ += lp.lp_iterations;
+  if (!lp.optimal()) {
+    // Should not happen with the fake node enabled; leave the epoch
+    // unplanned (tasks stay queued) and record the failure.
+    lp_failures_ += 1;
+    return;
+  }
+
+  // 3. Round to whole tasks.
+  const RoundedSchedule rounded = round_schedule(c, w, lp);
+  planned_cost_mc_ += rounded.cost_mc;
+
+  // 4/5. Pin tasks and derive the data moves the plan depends on.
+  // Required presence per (data, store) = total fraction read there this
+  // epoch (clamped to 1; moves are modeled as replication).
+  std::map<std::pair<std::size_t, std::size_t>, double> required;
+  for (const TaskBundle& b : rounded.bundles) {
+    if (!b.store) continue;
+    for (const DataId d : w.job(b.job).data)
+      required[{d.value(), b.store->value()}] += b.fraction;
+  }
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> gate_of;
+  for (auto& [key, frac] : required) {
+    frac = std::min(frac, 1.0);
+    const DataId d{key.first};
+    const StoreId s{key.second};
+    const double present = state.stored_fraction(d, s);
+    if (present + 1e-9 >= frac) continue;  // already satisfied: no gate
+    // Cover the shortfall from wherever the data is. Ordinary objects have
+    // a full copy at their (effective) origin; intermediate shuffle data is
+    // spread over the producer's machines, so several sources may be
+    // needed. The gate is clamped to what is actually reachable.
+    double shortfall = frac - present;
+    std::vector<std::pair<double, std::size_t>> sources;
+    for (std::size_t sid = 0; sid < c.store_count(); ++sid) {
+      if (sid == s.value()) continue;
+      const double f = state.stored_fraction(d, StoreId{sid});
+      if (f > 1e-12) sources.emplace_back(f, sid);
+    }
+    std::sort(sources.begin(), sources.end(),
+              [&](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    // Prefer the effective origin first (ties in the LP's favor).
+    std::stable_partition(sources.begin(), sources.end(), [&](const auto& p) {
+      return p.second == origins[d.value()].value();
+    });
+    double covered = present;
+    for (const auto& [avail, sid] : sources) {
+      if (shortfall <= 1e-9) break;
+      const double amount = std::min(shortfall, avail);
+      moves_.push_back(sched::DataMove{d, StoreId{sid}, s, amount});
+      shortfall -= amount;
+      covered += amount;
+    }
+    gate_of[key] = gates_.size();
+    gates_.push_back(Gate{d, s, std::min(frac, covered)});
+  }
+
+  for (const TaskBundle& b : rounded.bundles) {
+    auto& ids = pending_of_job[b.job.value()];
+    std::vector<std::size_t> gates;
+    if (b.store) {
+      for (const DataId d : w.job(b.job).data) {
+        const auto it = gate_of.find({d.value(), b.store->value()});
+        if (it != gate_of.end()) gates.push_back(it->second);
+      }
+    }
+    for (std::size_t t = 0; t < b.tasks && !ids.empty(); ++t) {
+      const std::size_t id = ids.back();
+      ids.pop_back();
+      plan_[b.machine.value()].push_back(PinnedTask{id, b.store, gates});
+    }
+  }
+}
+
+std::vector<sched::DataMove> LipsPolicy::take_data_moves() {
+  return std::exchange(moves_, {});
+}
+
+std::optional<sched::LaunchDecision> LipsPolicy::on_slot_available(
+    MachineId machine, const sched::ClusterState& state) {
+  if (plan_.empty()) return std::nullopt;  // no epoch has run yet
+  auto& queue = plan_[machine.value()];
+  for (auto it = queue.begin(); it != queue.end();) {
+    // Drop stale entries (task already launched/killed elsewhere — cannot
+    // normally happen since LiPS is the only launcher, but stay defensive).
+    if (!state.is_pending(it->task)) {
+      it = queue.erase(it);
+      continue;
+    }
+    bool ready = true;
+    for (const std::size_t gi : it->gates) {
+      const Gate& g = gates_[gi];
+      if (state.stored_fraction(g.data, g.store) + 1e-9 < g.required_fraction) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) {
+      ++it;  // data still in flight; try the next pinned task
+      continue;
+    }
+    const sched::LaunchDecision d{it->task, it->store};
+    queue.erase(it);
+    return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lips::core

@@ -1,0 +1,485 @@
+#include "core/lp_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace lips::core {
+
+namespace {
+
+using cluster::Cluster;
+using workload::Workload;
+
+/// Sentinel machine index for the fake node F.
+constexpr std::size_t kFakeNode = SIZE_MAX;
+
+/// One x^t variable's identity.
+struct TaskVar {
+  std::size_t lp_var;
+  JobId job;
+  std::size_t machine;  // kFakeNode for F
+  std::optional<StoreId> store;
+};
+
+/// One x^d variable's identity.
+struct DataVar {
+  std::size_t lp_var;
+  DataId data;
+  StoreId store;
+};
+
+/// Shared builder for the three paper models.
+class ModelBuilder {
+ public:
+  ModelBuilder(const Cluster& cluster, const Workload& workload,
+               const ModelOptions& options, const JobSubset& subset,
+               const std::vector<double>& remaining,
+               const std::vector<StoreId>& effective_origins = {})
+      : c_(cluster), w_(workload), opt_(options), origins_(effective_origins) {
+    LIPS_REQUIRE(c_.finalized(), "cluster must be finalized");
+    if (!origins_.empty()) {
+      LIPS_REQUIRE(origins_.size() == w_.data_count(),
+                   "effective_origins must cover every data object");
+      for (StoreId s : origins_)
+        LIPS_REQUIRE(s.value() < c_.store_count(), "unknown origin store");
+    }
+    if (subset.empty()) {
+      for (std::size_t k = 0; k < w_.job_count(); ++k) jobs_.push_back(JobId{k});
+    } else {
+      jobs_ = subset;
+    }
+    remaining_.assign(jobs_.size(), 1.0);
+    if (!remaining.empty()) {
+      LIPS_REQUIRE(remaining.size() == jobs_.size(),
+                   "remaining_fraction size must match job subset");
+      remaining_ = remaining;
+      for (double r : remaining_)
+        LIPS_REQUIRE(r >= 0.0 && r <= 1.0, "remaining fraction in [0,1]");
+    }
+    if (opt_.fake_node) {
+      double max_price = 0.0;
+      for (std::size_t l = 0; l < c_.machine_count(); ++l)
+        max_price = std::max(max_price, price_mc(l));
+      fake_price_mc_ = std::max(1.0, max_price) * opt_.fake_node_price_factor;
+    }
+  }
+
+  /// Machine CPU price in force for this solve (spot schedules honored
+  /// when options.price_time >= 0).
+  [[nodiscard]] double price_mc(std::size_t l) const {
+    if (opt_.price_time >= 0)
+      return c_.cpu_price_mc_at(MachineId{l}, opt_.price_time);
+    return c_.machine(MachineId{l}).cpu_price_mc;
+  }
+
+  /// O(i), possibly overridden by the caller (current location of data).
+  [[nodiscard]] StoreId origin_of(DataId i) const {
+    return origins_.empty() ? w_.data(i).origin : origins_[i.value()];
+  }
+
+  /// Machine CPU capacity (ECU-seconds) available to this model.
+  [[nodiscard]] double machine_capacity_ecu_s(MachineId l) const {
+    const cluster::Machine& m = c_.machine(l);
+    const double horizon = opt_.epoch_s > 0 ? opt_.epoch_s : m.uptime_s;
+    return m.throughput_ecu * horizon;
+  }
+
+  /// Candidate stores for data object i (pruned to the K cheapest initial
+  /// moves; the origin is always included).
+  [[nodiscard]] std::vector<StoreId> candidate_stores(DataId i) const {
+    const std::size_t ns = c_.store_count();
+    std::vector<StoreId> all;
+    all.reserve(ns);
+    for (std::size_t s = 0; s < ns; ++s) all.push_back(StoreId{s});
+    const std::size_t k = opt_.max_candidate_stores;
+    if (k == 0 || k >= ns) return all;
+    const StoreId origin = origin_of(i);
+    std::stable_sort(all.begin(), all.end(), [&](StoreId a, StoreId b) {
+      return c_.ss_cost_mc_per_mb(origin, a) < c_.ss_cost_mc_per_mb(origin, b);
+    });
+    all.resize(k);
+    if (std::find(all.begin(), all.end(), origin) == all.end())
+      all.push_back(origin);
+    return all;
+  }
+
+  /// Candidate machines for job k given its candidate store set: the K with
+  /// the lowest execution-plus-best-transfer cost per unit of the job.
+  [[nodiscard]] std::vector<std::size_t> candidate_machines(
+      JobId k, const std::vector<StoreId>& stores) const {
+    const std::size_t nm = c_.machine_count();
+    std::vector<std::size_t> all(nm);
+    for (std::size_t l = 0; l < nm; ++l) all[l] = l;
+    const std::size_t kk = opt_.max_candidate_machines;
+    if (kk == 0 || kk >= nm) return all;
+    const double cpu = w_.job_cpu_ecu_s(k);
+    const double input = w_.job_input_mb(k);
+    auto unit_cost = [&](std::size_t l) {
+      double best_ms = 0.0;
+      if (input > 0 && !stores.empty()) {
+        best_ms = std::numeric_limits<double>::infinity();
+        for (StoreId s : stores)
+          best_ms = std::min(best_ms, c_.ms_cost_mc_per_mb(MachineId{l}, s));
+      }
+      return cpu * price_mc(l) + input * best_ms;
+    };
+    std::stable_sort(all.begin(), all.end(), [&](std::size_t a, std::size_t b) {
+      return unit_cost(a) < unit_cost(b);
+    });
+    all.resize(kk);
+    return all;
+  }
+
+  /// Build and solve the co-scheduling model (Fig. 3 offline / Fig. 4
+  /// online). When `fixed` is non-null, builds the Fig. 2 model instead:
+  /// x^d are constants taken from *fixed.
+  [[nodiscard]] LpSchedule run(const FixedPlacement* fixed) {
+    lp::LpModel model;
+
+    const bool co_schedule = (fixed == nullptr);
+
+    // ---- x^d variables (co-scheduling only). ----------------------------
+    // dvar_index[(i, j)] -> lp var
+    std::unordered_map<std::size_t, std::size_t> dvar_index;
+    auto dkey = [this](DataId i, StoreId j) {
+      return i.value() * c_.store_count() + j.value();
+    };
+    std::vector<DataVar> dvars;
+    // Only data objects accessed by the scheduled jobs participate: an
+    // epoch/level solve must not place (or constrain capacity with) data
+    // belonging to jobs outside the subset.
+    std::vector<bool> active(w_.data_count(), false);
+    for (JobId k : jobs_)
+      for (DataId d : w_.job(k).data) active[d.value()] = true;
+    // Per-data candidate store sets (extended below by job unions).
+    std::vector<std::vector<StoreId>> data_stores(w_.data_count());
+    if (co_schedule) {
+      for (std::size_t i = 0; i < w_.data_count(); ++i)
+        if (active[i]) data_stores[i] = candidate_stores(DataId{i});
+      // A job reading multiple objects needs every object present on the
+      // store it reads from; union the candidate sets over each job's data.
+      for (JobId k : jobs_) {
+        const workload::Job& job = w_.job(k);
+        if (job.data.size() < 2) continue;
+        std::unordered_set<std::size_t> uni;
+        for (DataId d : job.data)
+          for (StoreId s : data_stores[d.value()]) uni.insert(s.value());
+        for (DataId d : job.data) {
+          auto& ds = data_stores[d.value()];
+          for (std::size_t s : uni)
+            if (std::find(ds.begin(), ds.end(), StoreId{s}) == ds.end())
+              ds.push_back(StoreId{s});
+        }
+      }
+      for (std::size_t i = 0; i < w_.data_count(); ++i) {
+        if (!active[i]) continue;
+        const workload::DataObject& obj = w_.data(DataId{i});
+        for (StoreId j : data_stores[i]) {
+          // Objective term (6): moving the portion from O(i) costs
+          // SS_{O(i) j} per MB of the portion. (The paper's (6) omits the
+          // Size factor; we include it for dimensional consistency with
+          // terms (7)–(8) — a pure-fraction cost would make placement of a
+          // 6 GB object as cheap as a 6 MB one.)
+          const double coeff =
+              c_.ss_cost_mc_per_mb(origin_of(DataId{i}), j) * obj.size_mb;
+          const std::size_t v = model.add_variable(0.0, 1.0, coeff);
+          dvar_index.emplace(dkey(DataId{i}, j), v);
+          dvars.push_back(DataVar{v, DataId{i}, j});
+        }
+      }
+    } else {
+      // Fig. 2: placement is a constant; remember fractions per (i, j).
+      LIPS_REQUIRE(fixed->size() == w_.data_count(),
+                   "fixed placement must cover every data object");
+      for (std::size_t i = 0; i < w_.data_count(); ++i) {
+        for (const DataPlacement& p : (*fixed)[i]) {
+          LIPS_REQUIRE(p.data.value() == i, "placement row mislabeled");
+          data_stores[i].push_back(p.store);
+        }
+      }
+    }
+    auto fixed_fraction = [&](DataId i, StoreId j) -> double {
+      for (const DataPlacement& p : (*fixed)[i.value()])
+        if (p.store == j) return p.fraction;
+      return 0.0;
+    };
+
+    // ---- x^t variables. ---------------------------------------------------
+    std::vector<TaskVar> tvars;
+    // Per job: the candidate (machine, store) grid.
+    std::vector<std::vector<StoreId>> job_stores(jobs_.size());
+    std::vector<std::vector<std::size_t>> job_machines(jobs_.size());
+    for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
+      const JobId k = jobs_[kq];
+      const workload::Job& job = w_.job(k);
+      const double cpu = w_.job_cpu_ecu_s(k);
+
+      // Store set the job may read from: intersection across accessed data
+      // (equal to each object's extended candidate set after the union pass
+      // in co-scheduling; for Fig. 2, stores hosting a positive fraction of
+      // every accessed object).
+      std::vector<StoreId> stores;
+      if (!job.data.empty()) {
+        stores = data_stores[job.data.front().value()];
+        for (std::size_t di = 1; di < job.data.size(); ++di) {
+          const auto& other = data_stores[job.data[di].value()];
+          std::erase_if(stores, [&](StoreId s) {
+            return std::find(other.begin(), other.end(), s) == other.end();
+          });
+        }
+      }
+      job_stores[kq] = stores;
+      job_machines[kq] = candidate_machines(k, stores);
+
+      double min_real_coeff = std::numeric_limits<double>::infinity();
+      for (std::size_t l : job_machines[kq]) {
+        const double exec_mc = cpu * price_mc(l);
+        if (job.data.empty()) {
+          // Input-free job: one variable per machine, objective (7) only.
+          const std::size_t v = model.add_variable(0.0, 1.0, exec_mc);
+          tvars.push_back(TaskVar{v, k, l, std::nullopt});
+          min_real_coeff = std::min(min_real_coeff, exec_mc);
+        } else {
+          for (StoreId s : stores) {
+            // Objective (7) + (8): execution plus runtime reads, with
+            // traffic scaled by the JD access fraction (partial accesses,
+            // paper §III).
+            double coeff = exec_mc;
+            for (std::size_t di = 0; di < job.data.size(); ++di)
+              coeff += c_.ms_cost_mc_per_mb(MachineId{l}, s) *
+                       w_.job_access_fraction(k, di) *
+                       w_.data(job.data[di]).size_mb;
+            const std::size_t v = model.add_variable(0.0, 1.0, coeff);
+            tvars.push_back(TaskVar{v, k, l, s});
+            // Patience floor: the true cost of this option includes the
+            // x^d placement the linking row (13) forces. Charge the full
+            // O(i)->s move as an upper bound (it may be shared with other
+            // readers in the actual LP); overestimating only makes F
+            // dearer, which is the livelock-safe direction.
+            double total = coeff;
+            if (co_schedule) {
+              for (DataId d : job.data)
+                total += c_.ss_cost_mc_per_mb(origin_of(d), s) *
+                         w_.data(d).size_mb;
+            }
+            min_real_coeff = std::min(min_real_coeff, total);
+          }
+        }
+      }
+      // Fake node: F absorbs work this epoch cannot (or should not) buy.
+      // ProhibitiveMax prices it off the charts (paper-literal feasibility
+      // device); PatienceMin prices it just above the job's cheapest real
+      // option (§V-B non-greedy patience — see ModelOptions).
+      if (opt_.fake_node) {
+        double fake_coeff = cpu * fake_price_mc_;
+        if (opt_.fake_node_pricing ==
+                ModelOptions::FakeNodePricing::PatienceMin &&
+            std::isfinite(min_real_coeff)) {
+          fake_coeff =
+              std::max(opt_.fake_node_price_factor, 1.01) * min_real_coeff;
+          // A zero-cost best option (free machine, free link) must still be
+          // preferred over deferral.
+          if (fake_coeff <= 0.0) fake_coeff = 1e-6;
+        }
+        const std::size_t v = model.add_variable(0.0, 1.0, fake_coeff);
+        tvars.push_back(TaskVar{v, k, kFakeNode, std::nullopt});
+      }
+    }
+
+    // Index tvars per job for constraint assembly.
+    std::vector<std::vector<std::size_t>> tvars_of_job(jobs_.size());
+    std::unordered_map<std::size_t, std::size_t> job_pos;
+    for (std::size_t kq = 0; kq < jobs_.size(); ++kq)
+      job_pos[jobs_[kq].value()] = kq;
+    for (std::size_t t = 0; t < tvars.size(); ++t)
+      tvars_of_job[job_pos.at(tvars[t].job.value())].push_back(t);
+
+    // ---- Constraint (9)/(19): every data object fully placed. ------------
+    if (co_schedule) {
+      for (std::size_t i = 0; i < w_.data_count(); ++i) {
+        if (!active[i]) continue;
+        std::vector<lp::Entry> row;
+        for (StoreId j : data_stores[i])
+          row.push_back({dvar_index.at(dkey(DataId{i}, j)), 1.0});
+        model.add_constraint(row, lp::Sense::GreaterEqual, 1.0);
+      }
+    }
+
+    // ---- Constraint (10)/(2)/(20): every job fully scheduled. -------------
+    for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
+      std::vector<lp::Entry> row;
+      for (std::size_t t : tvars_of_job[kq]) row.push_back({tvars[t].lp_var, 1.0});
+      model.add_constraint(row, lp::Sense::GreaterEqual, remaining_[kq]);
+    }
+
+    // ---- Constraint (11)/(22): store capacity. ----------------------------
+    if (co_schedule) {
+      std::vector<std::vector<lp::Entry>> cap_rows(c_.store_count());
+      for (const DataVar& dv : dvars) {
+        cap_rows[dv.store.value()].push_back(
+            {dv.lp_var, w_.data(dv.data).size_mb});
+      }
+      for (std::size_t j = 0; j < c_.store_count(); ++j) {
+        if (cap_rows[j].empty()) continue;
+        model.add_constraint(cap_rows[j], lp::Sense::LessEqual,
+                             c_.store(StoreId{j}).capacity_mb);
+      }
+    }
+
+    // ---- Constraint (4)/(12)/(23): machine CPU capacity. ------------------
+    {
+      std::vector<std::vector<lp::Entry>> cpu_rows(c_.machine_count());
+      for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
+        const double demand = job_capacity_demand_ecu_s(w_, jobs_[kq]);
+        for (std::size_t t : tvars_of_job[kq]) {
+          if (tvars[t].machine == kFakeNode) continue;  // F: unlimited CPU
+          cpu_rows[tvars[t].machine].push_back({tvars[t].lp_var, demand});
+        }
+      }
+      for (std::size_t l = 0; l < c_.machine_count(); ++l) {
+        if (cpu_rows[l].empty()) continue;
+        model.add_constraint(cpu_rows[l], lp::Sense::LessEqual,
+                             machine_capacity_ecu_s(MachineId{l}));
+      }
+    }
+
+    // ---- Constraint (21): per-(job, machine) epoch transfer time. ----------
+    if (opt_.epoch_s > 0 && opt_.bandwidth_rows) {
+      for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
+        const workload::Job& job = w_.job(jobs_[kq]);
+        if (job.data.empty()) continue;
+        const double input = w_.job_input_mb(jobs_[kq]);
+        std::unordered_map<std::size_t, std::vector<lp::Entry>> rows;
+        for (std::size_t t : tvars_of_job[kq]) {
+          const TaskVar& tv = tvars[t];
+          if (tv.machine == kFakeNode || !tv.store) continue;
+          const double bw =
+              c_.bandwidth_mb_s(MachineId{tv.machine}, *tv.store);
+          rows[tv.machine].push_back({tv.lp_var, input / bw});
+        }
+        for (auto& [l, row] : rows)
+          model.add_constraint(row, lp::Sense::LessEqual, opt_.epoch_s);
+      }
+    }
+
+    // ---- Constraint (13)/(3)/(24): reads require presence. ----------------
+    for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
+      const workload::Job& job = w_.job(jobs_[kq]);
+      if (job.data.empty()) continue;
+      for (StoreId s : job_stores[kq]) {
+        // Gather Σ_l x^t_{k l s} once.
+        std::vector<lp::Entry> lhs;
+        for (std::size_t t : tvars_of_job[kq]) {
+          if (tvars[t].store && *tvars[t].store == s)
+            lhs.push_back({tvars[t].lp_var, 1.0});
+        }
+        if (lhs.empty()) continue;
+        for (DataId i : job.data) {
+          if (co_schedule) {
+            auto it = dvar_index.find(dkey(i, s));
+            LIPS_ASSERT(it != dvar_index.end(),
+                        "job candidate store missing data variable");
+            std::vector<lp::Entry> row = lhs;
+            row.push_back({it->second, -1.0});
+            model.add_constraint(row, lp::Sense::LessEqual, 0.0);
+          } else {
+            model.add_constraint(lhs, lp::Sense::LessEqual,
+                                 fixed_fraction(i, s));
+          }
+        }
+      }
+    }
+
+    // ---- Solve. -------------------------------------------------------------
+    LpSchedule sched;
+    sched.lp_variables = model.num_variables();
+    sched.lp_constraints = model.num_constraints();
+    const auto solver = lp::make_solver(opt_.solver, opt_.solver_options);
+    const lp::LpSolution sol = solver->solve(model);
+    sched.status = sol.status;
+    sched.lp_iterations = sol.iterations;
+    if (!sol.optimal()) return sched;
+    sched.objective_mc = sol.objective;
+
+    // ---- Decode. ------------------------------------------------------------
+    constexpr double kEps = 1e-9;
+    sched.deferred_fraction.assign(jobs_.size(), 0.0);
+    for (const DataVar& dv : dvars) {
+      const double f = sol.values[dv.lp_var];
+      if (f > kEps) {
+        sched.placements.push_back(DataPlacement{dv.data, dv.store, f});
+        sched.placement_transfer_mc +=
+            f * c_.ss_cost_mc_per_mb(origin_of(dv.data), dv.store) *
+            w_.data(dv.data).size_mb;
+      }
+    }
+    for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
+      const JobId k = jobs_[kq];
+      const double cpu = w_.job_cpu_ecu_s(k);
+      for (std::size_t t : tvars_of_job[kq]) {
+        const TaskVar& tv = tvars[t];
+        const double f = sol.values[tv.lp_var];
+        if (f <= kEps) continue;
+        if (tv.machine == kFakeNode) {
+          sched.deferred_fraction[kq] += f;
+          continue;
+        }
+        sched.portions.push_back(
+            TaskPortion{k, MachineId{tv.machine}, tv.store, f});
+        sched.execution_mc += f * cpu * price_mc(tv.machine);
+        if (tv.store) {
+          const workload::Job& job = w_.job(k);
+          for (std::size_t di = 0; di < job.data.size(); ++di)
+            sched.runtime_transfer_mc +=
+                f * c_.ms_cost_mc_per_mb(MachineId{tv.machine}, *tv.store) *
+                w_.job_access_fraction(k, di) * w_.data(job.data[di]).size_mb;
+        }
+      }
+    }
+    return sched;
+  }
+
+ private:
+  const Cluster& c_;
+  const Workload& w_;
+  ModelOptions opt_;
+  std::vector<JobId> jobs_;
+  std::vector<double> remaining_;
+  double fake_price_mc_ = 0.0;
+  std::vector<StoreId> origins_;
+};
+
+}  // namespace
+
+double job_capacity_demand_ecu_s(const Workload& w, JobId k) {
+  // Constraint (4)/(12)/(23) LHS per unit fraction. The paper writes
+  // Σ x^t · TCP(k) · Size(D_i); input-free jobs contribute their fixed CPU.
+  return w.job_cpu_ecu_s(k);
+}
+
+LpSchedule solve_offline_simple(const Cluster& cluster, const Workload& workload,
+                                const FixedPlacement& placement,
+                                const ModelOptions& options) {
+  ModelOptions opts = options;
+  LIPS_REQUIRE(opts.epoch_s == 0.0,
+               "offline simple model has no epoch; use solve_co_scheduling");
+  LIPS_REQUIRE(!opts.fake_node, "offline simple model has no fake node");
+  ModelBuilder builder(cluster, workload, opts, {}, {});
+  return builder.run(&placement);
+}
+
+LpSchedule solve_co_scheduling(const Cluster& cluster, const Workload& workload,
+                               const ModelOptions& options, const JobSubset& jobs,
+                               const std::vector<double>& remaining_fraction,
+                               const std::vector<StoreId>& effective_origins) {
+  ModelBuilder builder(cluster, workload, options, jobs, remaining_fraction,
+                       effective_origins);
+  return builder.run(nullptr);
+}
+
+}  // namespace lips::core

@@ -1,0 +1,89 @@
+#include "core/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace lips::core {
+
+RoundedSchedule round_schedule(const cluster::Cluster& cluster,
+                               const workload::Workload& workload,
+                               const LpSchedule& schedule) {
+  LIPS_REQUIRE(schedule.optimal(), "cannot round a non-optimal schedule");
+  RoundedSchedule out;
+  out.placements = schedule.placements;
+  out.lp_lower_bound_mc = schedule.objective_mc;
+
+  // Group portions by job, preserving encounter order.
+  std::map<std::size_t, std::vector<const TaskPortion*>> by_job;
+  for (const TaskPortion& p : schedule.portions)
+    by_job[p.job.value()].push_back(&p);
+
+  for (const auto& [job_value, portions] : by_job) {
+    const JobId k{job_value};
+    const workload::Job& job = workload.job(k);
+    const double input = workload.job_input_mb(k);
+    const double cpu = workload.job_cpu_ecu_s(k);
+
+    double scheduled = 0.0;
+    for (const TaskPortion* p : portions) scheduled += p->fraction;
+    // The LP can slightly over-cover (constraint is >=); normalize to 1.
+    const double cover = std::min(scheduled, 1.0);
+    // Tasks to materialize now (rest is deferred by the online driver).
+    const auto total = static_cast<long long>(
+        std::llround(cover * static_cast<double>(job.num_tasks)));
+    if (total <= 0) continue;
+
+    // Largest-remainder apportionment of `total` tasks over the portions.
+    struct Share {
+      const TaskPortion* p;
+      long long tasks;
+      double remainder;
+    };
+    std::vector<Share> shares;
+    long long assigned = 0;
+    for (const TaskPortion* p : portions) {
+      const double exact =
+          p->fraction / scheduled * static_cast<double>(total);
+      const auto base = static_cast<long long>(std::floor(exact + 1e-12));
+      shares.push_back({p, base, exact - static_cast<double>(base)});
+      assigned += base;
+    }
+    std::stable_sort(shares.begin(), shares.end(),
+                     [](const Share& a, const Share& b) {
+                       return a.remainder > b.remainder;
+                     });
+    for (std::size_t i = 0; assigned < total; ++i) {
+      shares[i % shares.size()].tasks += 1;
+      ++assigned;
+    }
+
+    for (const Share& s : shares) {
+      if (s.tasks <= 0) continue;  // below minimum viable size → merged away
+      TaskBundle b;
+      b.job = k;
+      b.machine = s.p->machine;
+      b.store = s.p->store;
+      b.tasks = static_cast<std::size_t>(s.tasks);
+      b.fraction =
+          static_cast<double>(s.tasks) / static_cast<double>(job.num_tasks);
+      b.input_mb = b.fraction * input;
+      b.cpu_ecu_s = b.fraction * cpu;
+      out.bundles.push_back(b);
+    }
+  }
+
+  // Analytic cost of the integral schedule: placement moves (unchanged by
+  // rounding) + execution + runtime reads at integral fractions.
+  out.cost_mc = schedule.placement_transfer_mc;
+  for (const TaskBundle& b : out.bundles) {
+    out.cost_mc += b.cpu_ecu_s * cluster.machine(b.machine).cpu_price_mc;
+    if (b.store)
+      out.cost_mc += b.input_mb * cluster.ms_cost_mc_per_mb(b.machine, *b.store);
+  }
+  return out;
+}
+
+}  // namespace lips::core

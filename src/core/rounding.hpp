@@ -1,0 +1,56 @@
+// Fractional-schedule rounding (paper §IV "Integrality of the solution").
+//
+// The LP yields job *portions* x^t_{klm} ∈ (0,1]. MapReduce jobs are
+// divisible, but not infinitely: "since starting a thread requires a small
+// fixed amount of CPU time ... a minimum viable task size exists"; LiPS
+// rounds smaller allotments up to that size. We implement this as
+// largest-remainder apportionment of each job's `num_tasks` tasks across its
+// portions: every portion receives an integral number of whole tasks, the
+// job's task total is preserved exactly, and allotments that round to zero
+// tasks are merged into the largest portions — which is precisely "no task
+// smaller than the minimum viable size" with the minimum equal to one task.
+//
+// The LP objective is a lower bound on any integral schedule's cost (the
+// integral solution space is a subset of the fractional one — paper §IV),
+// so `rounding_gap_mc` reports a certified upper bound on suboptimality.
+#pragma once
+
+#include <vector>
+
+#include "core/lp_models.hpp"
+
+namespace lips::core {
+
+/// An integral bundle of identical tasks of one job pinned to one
+/// (machine, store) pair.
+struct TaskBundle {
+  JobId job;
+  MachineId machine;
+  std::optional<StoreId> store;  ///< nullopt for input-free jobs
+  std::size_t tasks = 0;         ///< whole tasks in this bundle
+  double fraction = 0.0;         ///< tasks / job.num_tasks
+  double input_mb = 0.0;         ///< input read by the bundle
+  double cpu_ecu_s = 0.0;        ///< CPU demand of the bundle
+};
+
+/// A rounded, executable schedule.
+struct RoundedSchedule {
+  std::vector<TaskBundle> bundles;
+  std::vector<DataPlacement> placements;  ///< carried over from the LP
+
+  double cost_mc = 0.0;          ///< analytic cost of the integral schedule
+  double lp_lower_bound_mc = 0.0;  ///< the LP optimum (certified lower bound)
+  /// cost_mc - lp_lower_bound_mc: certified distance-to-optimal bound.
+  [[nodiscard]] double rounding_gap_mc() const {
+    return cost_mc - lp_lower_bound_mc;
+  }
+};
+
+/// Round `schedule` (which must be optimal) to whole tasks. Jobs with a
+/// deferred fraction (online fake node) get proportionally fewer tasks;
+/// the remainder is left unscheduled for the next epoch.
+[[nodiscard]] RoundedSchedule round_schedule(
+    const cluster::Cluster& cluster, const workload::Workload& workload,
+    const LpSchedule& schedule);
+
+}  // namespace lips::core

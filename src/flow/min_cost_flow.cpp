@@ -1,0 +1,105 @@
+#include "flow/min_cost_flow.hpp"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace lips::flow {
+
+std::size_t MinCostFlow::add_node() {
+  graph_.emplace_back();
+  return graph_.size() - 1;
+}
+
+std::size_t MinCostFlow::add_nodes(std::size_t n) {
+  const std::size_t first = graph_.size();
+  graph_.resize(graph_.size() + n);
+  return first;
+}
+
+std::size_t MinCostFlow::add_arc(std::size_t from, std::size_t to,
+                                 long long capacity, double cost) {
+  LIPS_REQUIRE(from < graph_.size() && to < graph_.size(),
+               "arc endpoints must be existing nodes");
+  LIPS_REQUIRE(capacity >= 0, "arc capacity must be >= 0");
+  LIPS_REQUIRE(std::isfinite(cost), "arc cost must be finite");
+  const std::size_t fwd = arcs_.size();
+  arcs_.push_back(Arc{to, capacity, cost, fwd + 1});
+  arcs_.push_back(Arc{from, 0, -cost, fwd});
+  graph_[from].push_back(fwd);
+  graph_[to].push_back(fwd + 1);
+  original_capacity_.push_back(capacity);
+  return fwd / 2;
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::size_t source, std::size_t sink,
+                                       long long limit) {
+  LIPS_REQUIRE(source < graph_.size() && sink < graph_.size(),
+               "source/sink must be existing nodes");
+  LIPS_REQUIRE(source != sink, "source and sink must differ");
+
+  Result result;
+  const double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = graph_.size();
+
+  while (limit < 0 || result.max_flow < limit) {
+    // SPFA shortest path by cost on the residual network.
+    std::vector<double> dist(n, kInf);
+    std::vector<std::size_t> parent_arc(n, SIZE_MAX);
+    std::vector<bool> in_queue(n, false);
+    std::vector<std::size_t> relax_count(n, 0);
+    std::deque<std::size_t> queue;
+    dist[source] = 0.0;
+    queue.push_back(source);
+    in_queue[source] = true;
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      in_queue[u] = false;
+      for (const std::size_t aid : graph_[u]) {
+        const Arc& a = arcs_[aid];
+        if (a.capacity <= 0) continue;
+        const double nd = dist[u] + a.cost;
+        if (nd < dist[a.to] - 1e-12) {
+          dist[a.to] = nd;
+          parent_arc[a.to] = aid;
+          if (!in_queue[a.to]) {
+            relax_count[a.to] += 1;
+            LIPS_REQUIRE(relax_count[a.to] <= n + 1,
+                         "negative-cost cycle in flow network");
+            queue.push_back(a.to);
+            in_queue[a.to] = true;
+          }
+        }
+      }
+    }
+    if (!std::isfinite(dist[sink])) break;  // no augmenting path
+
+    // Bottleneck along the path.
+    long long push = limit < 0 ? std::numeric_limits<long long>::max()
+                               : limit - result.max_flow;
+    for (std::size_t v = sink; v != source;) {
+      const Arc& a = arcs_[parent_arc[v]];
+      push = std::min(push, a.capacity);
+      v = arcs_[a.reverse].to;
+    }
+    LIPS_ASSERT(push > 0, "augmenting path with zero bottleneck");
+
+    for (std::size_t v = sink; v != source;) {
+      Arc& a = arcs_[parent_arc[v]];
+      a.capacity -= push;
+      arcs_[a.reverse].capacity += push;
+      v = arcs_[a.reverse].to;
+    }
+    result.max_flow += push;
+    result.total_cost += static_cast<double>(push) * dist[sink];
+  }
+  return result;
+}
+
+long long MinCostFlow::flow_on(std::size_t arc) const {
+  LIPS_REQUIRE(arc < original_capacity_.size(), "unknown arc id");
+  return original_capacity_[arc] - arcs_[arc * 2].capacity;
+}
+
+}  // namespace lips::flow

@@ -1,0 +1,68 @@
+// Minimum-cost maximum-flow on small dense scheduling graphs.
+//
+// Substrate for the Quincy-style baseline scheduler (paper §II, "Quincy
+// ... maps the scheduling problem onto a min-cost network flow model; the
+// competing demands of data locality, fairness and delay penalty are
+// encoded in the edge weights and capacities, and its solution is a
+// schedule that minimizes global cost").
+//
+// Successive-shortest-paths with SPFA (Bellman-Ford queue) path search:
+// integral capacities, real-valued costs, O(F · V · E) worst case — ample
+// for scheduling graphs of a few hundred nodes where F is the number of
+// tasks placed per round.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lips::flow {
+
+/// A directed flow network under construction. Nodes are dense indices
+/// created by add_node(); arcs carry integral capacity and real unit cost.
+class MinCostFlow {
+ public:
+  /// Create a node; returns its index.
+  std::size_t add_node();
+
+  /// Create `n` nodes; returns the first index.
+  std::size_t add_nodes(std::size_t n);
+
+  /// Add a directed arc. Capacity must be >= 0; cost may be any finite
+  /// value, but negative-cost *cycles* are rejected at solve time (the
+  /// scheduling graphs here are DAGs, so this never triggers).
+  /// Returns an arc id usable with flow_on().
+  std::size_t add_arc(std::size_t from, std::size_t to, long long capacity,
+                      double cost);
+
+  struct Result {
+    long long max_flow = 0;
+    double total_cost = 0.0;
+  };
+
+  /// Push up to `limit` units (negative = unlimited) of flow from `source`
+  /// to `sink` along successively cheapest paths.
+  [[nodiscard]] Result solve(std::size_t source, std::size_t sink,
+                             long long limit = -1);
+
+  /// Flow routed over arc `arc` by the last solve().
+  [[nodiscard]] long long flow_on(std::size_t arc) const;
+
+  [[nodiscard]] std::size_t node_count() const { return graph_.size(); }
+  [[nodiscard]] std::size_t arc_count() const { return arcs_.size() / 2; }
+
+ private:
+  struct Arc {
+    std::size_t to = 0;
+    long long capacity = 0;  // residual
+    double cost = 0.0;
+    std::size_t reverse = 0;  // index of the reverse arc in arcs_
+  };
+
+  std::vector<Arc> arcs_;                       // forward/backward interleaved
+  std::vector<std::vector<std::size_t>> graph_; // adjacency: node → arc ids
+  std::vector<long long> original_capacity_;    // per forward arc id
+};
+
+}  // namespace lips::flow

@@ -1,0 +1,26 @@
+// Two-phase primal simplex on a dense tableau.
+//
+// This is the reference solver: simple, transparent, and independent of the
+// revised implementation so the two can cross-check each other in tests.
+// General variable bounds are handled by shifting/reflecting variables to a
+// zero lower bound and materializing finite upper bounds as explicit rows,
+// which keeps the tableau mechanics textbook-plain at the price of a larger
+// tableau — appropriate for the small-to-medium models it is used on.
+#pragma once
+
+#include "lp/solver.hpp"
+
+namespace lips::lp {
+
+class DenseSimplexSolver final : public LpSolver {
+ public:
+  explicit DenseSimplexSolver(const SolverOptions& options = {})
+      : options_(options) {}
+
+  [[nodiscard]] LpSolution solve(const LpModel& model) const override;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace lips::lp

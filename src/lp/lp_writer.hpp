@@ -1,0 +1,20 @@
+// CPLEX-LP-format export of LpModel instances.
+//
+// Lets users dump any scheduling LP this library builds and cross-validate
+// it with an external solver (GLPK's `glpsol --lp`, CPLEX, Gurobi, HiGHS all
+// read this format) — useful both for debugging models and for auditing the
+// built-in simplex implementations against an independent oracle.
+#pragma once
+
+#include <iosfwd>
+
+#include "lp/model.hpp"
+
+namespace lips::lp {
+
+/// Write `model` (a minimization) in CPLEX LP format. Variables are named
+/// x0..xN (model names, when present, are emitted as comments — LP-format
+/// name rules are stricter than ours). Constraints are named c0..cM.
+void write_lp_format(const LpModel& model, std::ostream& os);
+
+}  // namespace lips::lp

@@ -1,0 +1,88 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lips::lp {
+
+std::size_t LpModel::add_variable(double lower, double upper, double objective,
+                                  std::string name) {
+  LIPS_REQUIRE(!std::isnan(lower) && !std::isnan(upper),
+               "variable bounds must not be NaN");
+  LIPS_REQUIRE(lower <= upper, "variable lower bound must be <= upper bound");
+  LIPS_REQUIRE(std::isfinite(objective),
+               "objective coefficient must be finite");
+  LIPS_REQUIRE(lower < kInf && upper > -kInf,
+               "variable bounds must leave a nonempty feasible interval");
+  variables_.push_back(Variable{lower, upper, objective, std::move(name)});
+  return variables_.size() - 1;
+}
+
+std::size_t LpModel::add_constraint(std::span<const Entry> entries, Sense sense,
+                                    double rhs, std::string name) {
+  LIPS_REQUIRE(std::isfinite(rhs), "constraint rhs must be finite");
+  Constraint row;
+  row.sense = sense;
+  row.rhs = rhs;
+  row.name = std::move(name);
+  row.entries.assign(entries.begin(), entries.end());
+  for (const Entry& e : row.entries) {
+    LIPS_REQUIRE(e.var < variables_.size(),
+                 "constraint references unknown variable");
+    LIPS_REQUIRE(std::isfinite(e.coeff), "constraint coefficient must be finite");
+  }
+  std::sort(row.entries.begin(), row.entries.end(),
+            [](const Entry& a, const Entry& b) { return a.var < b.var; });
+  // Merge duplicates and drop exact zeros.
+  std::vector<Entry> merged;
+  merged.reserve(row.entries.size());
+  for (const Entry& e : row.entries) {
+    if (!merged.empty() && merged.back().var == e.var) {
+      merged.back().coeff += e.coeff;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  std::erase_if(merged, [](const Entry& e) { return e.coeff == 0.0; });
+  row.entries = std::move(merged);
+  nonzeros_ += row.entries.size();
+  constraints_.push_back(std::move(row));
+  return constraints_.size() - 1;
+}
+
+double LpModel::objective_value(std::span<const double> x) const {
+  LIPS_REQUIRE(x.size() == variables_.size(),
+               "point dimension must match variable count");
+  double v = 0.0;
+  for (std::size_t j = 0; j < variables_.size(); ++j)
+    v += variables_[j].objective * x[j];
+  return v;
+}
+
+double LpModel::max_violation(std::span<const double> x) const {
+  LIPS_REQUIRE(x.size() == variables_.size(),
+               "point dimension must match variable count");
+  double worst = 0.0;
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    worst = std::max(worst, variables_[j].lower - x[j]);
+    worst = std::max(worst, x[j] - variables_[j].upper);
+  }
+  for (const Constraint& row : constraints_) {
+    double lhs = 0.0;
+    for (const Entry& e : row.entries) lhs += e.coeff * x[e.var];
+    switch (row.sense) {
+      case Sense::LessEqual:
+        worst = std::max(worst, lhs - row.rhs);
+        break;
+      case Sense::GreaterEqual:
+        worst = std::max(worst, row.rhs - lhs);
+        break;
+      case Sense::Equal:
+        worst = std::max(worst, std::fabs(lhs - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace lips::lp

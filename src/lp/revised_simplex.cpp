@@ -1,0 +1,490 @@
+#include "lp/revised_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lips::lp {
+
+namespace {
+
+enum class Status : unsigned char { Basic, AtLower, AtUpper, FreeAtZero };
+
+struct Column {
+  std::vector<Entry> rows;  // (row index, coefficient), sorted by row
+  double cost = 0.0;        // phase-2 cost
+  double lower = 0.0;
+  double upper = kInf;
+};
+
+// Dense m x m matrix stored row-major.
+class DenseMatrix {
+ public:
+  explicit DenseMatrix(std::size_t m) : m_(m), a_(m * m, 0.0) {}
+
+  void set_identity() {
+    std::fill(a_.begin(), a_.end(), 0.0);
+    for (std::size_t i = 0; i < m_; ++i) at(i, i) = 1.0;
+  }
+
+  double& at(std::size_t r, std::size_t c) { return a_[r * m_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return a_[r * m_ + c];
+  }
+  [[nodiscard]] std::size_t dim() const { return m_; }
+
+  // Row pointer for tight inner loops.
+  double* row(std::size_t r) { return a_.data() + r * m_; }
+  [[nodiscard]] const double* row(std::size_t r) const {
+    return a_.data() + r * m_;
+  }
+
+ private:
+  std::size_t m_;
+  std::vector<double> a_;
+};
+
+}  // namespace
+
+LpSolution RevisedSimplexSolver::solve(const LpModel& model) const {
+  const double tol = options_.tolerance;
+  const std::size_t n_user = model.num_variables();
+  const std::size_t m = model.num_constraints();
+
+  LpSolution out;
+  out.values.assign(n_user, 0.0);
+
+  // Bounds-only model: optimum is at a bound per variable.
+  if (m == 0) {
+    for (std::size_t j = 0; j < n_user; ++j) {
+      const Variable& v = model.variable(j);
+      double x;
+      if (v.objective > 0) {
+        x = v.lower;
+      } else if (v.objective < 0) {
+        x = v.upper;
+      } else {
+        x = std::clamp(0.0, v.lower, v.upper);
+      }
+      if (!std::isfinite(x)) {
+        out.status = SolveStatus::Unbounded;
+        return out;
+      }
+      out.values[j] = x;
+    }
+    out.status = SolveStatus::Optimal;
+    out.objective = model.objective_value(out.values);
+    return out;
+  }
+
+  // ---- Build computational form: A x = b with slack per row. -------------
+  // Column layout: [0, n_user) structurals, [n_user, n_user+m) slacks,
+  // artificials appended afterwards as needed.
+  std::vector<Column> cols;
+  cols.reserve(n_user + 2 * m);
+  for (std::size_t j = 0; j < n_user; ++j) {
+    const Variable& v = model.variable(j);
+    Column c;
+    c.cost = v.objective;
+    c.lower = v.lower;
+    c.upper = v.upper;
+    cols.push_back(std::move(c));
+  }
+  std::vector<double> b(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Constraint& row = model.constraint(i);
+    b[i] = row.rhs;
+    for (const Entry& e : row.entries) cols[e.var].rows.push_back({i, e.coeff});
+    Column s;  // slack: a'x + s = b
+    s.cost = 0.0;
+    switch (row.sense) {
+      case Sense::LessEqual:
+        s.lower = 0.0;
+        s.upper = kInf;
+        break;
+      case Sense::GreaterEqual:
+        s.lower = -kInf;
+        s.upper = 0.0;
+        break;
+      case Sense::Equal:
+        s.lower = 0.0;
+        s.upper = 0.0;
+        break;
+    }
+    s.rows.push_back({i, 1.0});
+    cols.push_back(std::move(s));
+  }
+
+  // ---- Initial point: every column nonbasic at a finite bound. -----------
+  std::vector<Status> status(cols.size(), Status::AtLower);
+  std::vector<double> value(cols.size(), 0.0);  // current value of each column
+  auto rest_value = [&](const Column& c, Status st) -> double {
+    switch (st) {
+      case Status::AtLower:
+        return c.lower;
+      case Status::AtUpper:
+        return c.upper;
+      default:
+        return 0.0;
+    }
+  };
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    const Column& c = cols[j];
+    if (c.lower > -kInf) {
+      status[j] = Status::AtLower;
+    } else if (c.upper < kInf) {
+      status[j] = Status::AtUpper;
+    } else {
+      status[j] = Status::FreeAtZero;
+    }
+    value[j] = rest_value(c, status[j]);
+  }
+
+  // Row residuals with everything at bounds → artificial variables.
+  std::vector<double> residual = b;
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (value[j] == 0.0) continue;
+    for (const Entry& e : cols[j].rows) residual[e.var] -= e.coeff * value[j];
+  }
+
+  std::vector<std::size_t> basis(m);
+  const std::size_t art_begin = cols.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    Column a;
+    a.cost = 0.0;  // phase-2 cost; phase-1 cost handled separately
+    a.lower = 0.0;
+    a.upper = kInf;
+    a.rows.push_back({i, residual[i] >= 0.0 ? 1.0 : -1.0});
+    cols.push_back(std::move(a));
+    const std::size_t aj = cols.size() - 1;
+    basis[i] = aj;
+    status.push_back(Status::Basic);
+    value.push_back(std::fabs(residual[i]));
+  }
+  const std::size_t n_total = cols.size();
+
+  // Basis inverse (identity-sign-adjusted: artificial columns are ±e_i, so
+  // Binv starts as the diagonal of their signs).
+  DenseMatrix binv(m);
+  binv.set_identity();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (cols[basis[i]].rows.front().coeff < 0.0) binv.at(i, i) = -1.0;
+  }
+
+  // Phase-1 costs: 1 on artificials, 0 elsewhere.
+  std::vector<double> cost1(n_total, 0.0);
+  for (std::size_t j = art_begin; j < n_total; ++j) cost1[j] = 1.0;
+  std::vector<double> cost2(n_total, 0.0);
+  for (std::size_t j = 0; j < n_total; ++j) cost2[j] = cols[j].cost;
+
+  std::size_t max_iter = options_.max_iterations;
+  if (max_iter == 0) max_iter = 500 + 60 * (m + n_total);
+  std::size_t iterations = 0;
+
+  std::vector<double> y(m, 0.0);  // simplex multipliers
+  std::vector<double> w(m, 0.0);  // Binv * entering column
+  std::vector<bool> banned(n_total, false);
+
+  auto sparse_dot_y = [&](const Column& c) {
+    double d = 0.0;
+    for (const Entry& e : c.rows) d += y[e.var] * e.coeff;
+    return d;
+  };
+
+  // Recompute Binv and basic values from scratch (numerical refresh).
+  auto refactorize = [&]() -> bool {
+    // Gauss-Jordan on [B | I].
+    DenseMatrix bm(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const Entry& e : cols[basis[i]].rows) bm.at(e.var, i) = e.coeff;
+    }
+    binv.set_identity();
+    for (std::size_t col = 0; col < m; ++col) {
+      // Partial pivoting.
+      std::size_t piv = col;
+      double best = std::fabs(bm.at(col, col));
+      for (std::size_t r = col + 1; r < m; ++r) {
+        const double v = std::fabs(bm.at(r, col));
+        if (v > best) {
+          best = v;
+          piv = r;
+        }
+      }
+      if (best < 1e-12) return false;  // singular basis
+      if (piv != col) {
+        for (std::size_t c = 0; c < m; ++c) {
+          std::swap(bm.at(piv, c), bm.at(col, c));
+          std::swap(binv.at(piv, c), binv.at(col, c));
+        }
+      }
+      const double inv = 1.0 / bm.at(col, col);
+      for (std::size_t c = 0; c < m; ++c) {
+        bm.at(col, c) *= inv;
+        binv.at(col, c) *= inv;
+      }
+      for (std::size_t r = 0; r < m; ++r) {
+        if (r == col) continue;
+        const double f = bm.at(r, col);
+        if (f == 0.0) continue;
+        for (std::size_t c = 0; c < m; ++c) {
+          bm.at(r, c) -= f * bm.at(col, c);
+          binv.at(r, c) -= f * binv.at(col, c);
+        }
+      }
+    }
+    return true;
+  };
+
+  // Recompute basic variable values: xB = Binv (b - N xN).
+  auto recompute_basics = [&]() {
+    std::vector<double> rhs = b;
+    for (std::size_t j = 0; j < n_total; ++j) {
+      if (status[j] == Status::Basic || value[j] == 0.0) continue;
+      for (const Entry& e : cols[j].rows) rhs[e.var] -= e.coeff * value[j];
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      double v = 0.0;
+      const double* row = binv.row(i);
+      for (std::size_t k = 0; k < m; ++k) v += row[k] * rhs[k];
+      value[basis[i]] = v;
+    }
+  };
+
+  // One simplex phase on the given cost vector. `allow` filters entering
+  // columns.
+  auto run_phase =
+      [&](const std::vector<double>& cost,
+          const std::vector<bool>& allow) -> SolveStatus {
+    std::size_t stall = 0;
+    std::size_t since_refactor = 0;
+    double last_obj = std::numeric_limits<double>::infinity();
+
+    while (true) {
+      if (iterations >= max_iter) return SolveStatus::IterationLimit;
+
+      // y = cB' Binv
+      for (std::size_t i = 0; i < m; ++i) y[i] = 0.0;
+      for (std::size_t k = 0; k < m; ++k) {
+        const double cb = cost[basis[k]];
+        if (cb == 0.0) continue;
+        const double* row = binv.row(k);
+        for (std::size_t i = 0; i < m; ++i) y[i] += cb * row[i];
+      }
+
+      // Price nonbasic columns.
+      const bool bland = stall > 2 * m + 32;
+      std::size_t enter = n_total;
+      int enter_dir = 0;  // +1: increase from bound, -1: decrease
+      double best_score = tol;
+      for (std::size_t j = 0; j < n_total; ++j) {
+        if (status[j] == Status::Basic || banned[j] || !allow[j]) continue;
+        const Column& c = cols[j];
+        if (c.lower == c.upper) continue;  // fixed column can never improve
+        const double d = cost[j] - sparse_dot_y(c);
+        int dir = 0;
+        double score = 0.0;
+        if (status[j] == Status::AtLower || status[j] == Status::FreeAtZero) {
+          if (d < -tol) {
+            dir = +1;
+            score = -d;
+          }
+        }
+        if (dir == 0 &&
+            (status[j] == Status::AtUpper || status[j] == Status::FreeAtZero)) {
+          if (d > tol) {
+            dir = -1;
+            score = d;
+          }
+        }
+        if (dir == 0) continue;
+        if (bland) {
+          enter = j;
+          enter_dir = dir;
+          break;
+        }
+        if (score > best_score) {
+          best_score = score;
+          enter = j;
+          enter_dir = dir;
+        }
+      }
+      if (enter == n_total) return SolveStatus::Optimal;
+
+      // w = Binv * A_enter
+      for (std::size_t i = 0; i < m; ++i) w[i] = 0.0;
+      for (const Entry& e : cols[enter].rows) {
+        const double coeff = e.coeff;
+        for (std::size_t i = 0; i < m; ++i) {
+          w[i] += binv.at(i, e.var) * coeff;
+        }
+      }
+
+      // Bounded ratio test. Entering moves by sigma * t, t >= 0.
+      const double sigma = enter_dir;
+      double t_max = std::numeric_limits<double>::infinity();
+      std::size_t leave_row = m;  // m = bound flip / unbounded sentinel
+      bool leave_at_upper = false;
+
+      // Entering variable's own range limit (bound flip).
+      const Column& ec = cols[enter];
+      if (ec.lower > -kInf && ec.upper < kInf) t_max = ec.upper - ec.lower;
+
+      for (std::size_t i = 0; i < m; ++i) {
+        const double wi = w[i];
+        const double delta = sigma * wi;  // basic i changes by -delta * t
+        const Column& bc = cols[basis[i]];
+        double limit = std::numeric_limits<double>::infinity();
+        bool hits_upper = false;
+        if (delta > tol) {
+          if (bc.lower > -kInf)
+            limit = (value[basis[i]] - bc.lower) / delta;
+        } else if (delta < -tol) {
+          if (bc.upper < kInf) {
+            limit = (value[basis[i]] - bc.upper) / delta;
+            hits_upper = true;
+          }
+        }
+        if (limit < -1e-12) limit = 0.0;  // numerical guard
+        if (limit < t_max - 1e-12 ||
+            (limit < t_max + 1e-12 && leave_row != m &&
+             basis[i] < basis[leave_row])) {
+          t_max = std::max(limit, 0.0);
+          leave_row = i;
+          leave_at_upper = hits_upper;
+        }
+      }
+
+      if (!std::isfinite(t_max)) return SolveStatus::Unbounded;
+
+      ++iterations;
+      ++since_refactor;
+
+      if (leave_row == m) {
+        // Bound flip: entering travels its whole range, basis unchanged.
+        for (std::size_t i = 0; i < m; ++i)
+          value[basis[i]] -= sigma * w[i] * t_max;
+        value[enter] += sigma * t_max;
+        status[enter] =
+            (enter_dir > 0) ? Status::AtUpper : Status::AtLower;
+        // Snap exactly to the bound to avoid drift.
+        value[enter] = rest_value(cols[enter], status[enter]);
+      } else {
+        // Pivot: update values, basis, inverse.
+        for (std::size_t i = 0; i < m; ++i)
+          value[basis[i]] -= sigma * w[i] * t_max;
+        const std::size_t leaving = basis[leave_row];
+        status[leaving] = leave_at_upper ? Status::AtUpper : Status::AtLower;
+        value[leaving] = rest_value(cols[leaving], status[leaving]);
+
+        value[enter] = rest_value(cols[enter], status[enter]) + sigma * t_max;
+        status[enter] = Status::Basic;
+        basis[leave_row] = enter;
+
+        // Eta update of Binv: pivot on w[leave_row].
+        const double piv = w[leave_row];
+        LIPS_ASSERT(std::fabs(piv) > 1e-12, "pivot element vanished");
+        const double inv = 1.0 / piv;
+        double* prow = binv.row(leave_row);
+        for (std::size_t c = 0; c < m; ++c) prow[c] *= inv;
+        for (std::size_t r = 0; r < m; ++r) {
+          if (r == leave_row) continue;
+          const double f = w[r];
+          if (f == 0.0) continue;
+          double* rrow = binv.row(r);
+          for (std::size_t c = 0; c < m; ++c) rrow[c] -= f * prow[c];
+        }
+      }
+
+      if (since_refactor >= 1024) {
+        since_refactor = 0;
+        if (!refactorize()) return SolveStatus::IterationLimit;
+        recompute_basics();
+      }
+
+      // Stall detection for Bland switch.
+      double obj = 0.0;
+      for (std::size_t j = 0; j < n_total; ++j)
+        if (value[j] != 0.0) obj += cost[j] * value[j];
+      if (obj >= last_obj - 1e-13) {
+        ++stall;
+      } else {
+        stall = 0;
+      }
+      last_obj = obj;
+    }
+  };
+
+  std::vector<bool> allow_all(n_total, true);
+
+  // ---- Phase 1: drive artificials to zero. --------------------------------
+  {
+    const SolveStatus s = run_phase(cost1, allow_all);
+    if (s == SolveStatus::IterationLimit) {
+      out.status = s;
+      out.iterations = iterations;
+      return out;
+    }
+    LIPS_ASSERT(s != SolveStatus::Unbounded, "phase-1 bounded below by 0");
+    double art_sum = 0.0;
+    for (std::size_t j = art_begin; j < n_total; ++j) art_sum += value[j];
+    if (art_sum > 1e-6) {
+      out.status = SolveStatus::Infeasible;
+      out.iterations = iterations;
+      return out;
+    }
+    // Freeze artificials at zero for phase 2.
+    for (std::size_t j = art_begin; j < n_total; ++j) {
+      cols[j].lower = 0.0;
+      cols[j].upper = 0.0;
+      banned[j] = true;
+      if (status[j] != Status::Basic) {
+        status[j] = Status::AtLower;
+        value[j] = 0.0;
+      }
+    }
+  }
+
+  // ---- Phase 2: original objective. ---------------------------------------
+  {
+    const SolveStatus s = run_phase(cost2, allow_all);
+    if (s != SolveStatus::Optimal) {
+      out.status = s;
+      out.iterations = iterations;
+      return out;
+    }
+  }
+
+  // Final numerical refresh for clean output values.
+  if (refactorize()) recompute_basics();
+
+  for (std::size_t j = 0; j < n_user; ++j) {
+    const Variable& v = model.variable(j);
+    out.values[j] = std::clamp(value[j], v.lower, v.upper);
+  }
+  out.status = SolveStatus::Optimal;
+  out.objective = model.objective_value(out.values);
+  out.iterations = iterations;
+
+  // Dual extraction: y = cB' Binv at the optimal basis. Because every row
+  // carries a +1 slack, the dual of row i equals -(reduced cost of slack i)
+  // = -(0 - y_i) = y_i directly.
+  for (std::size_t i = 0; i < m; ++i) y[i] = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double cb = cost2[basis[k]];
+    if (cb == 0.0) continue;
+    const double* row = binv.row(k);
+    for (std::size_t i = 0; i < m; ++i) y[i] += cb * row[i];
+  }
+  out.duals.assign(y.begin(), y.end());
+  out.reduced_costs.resize(n_user);
+  for (std::size_t j = 0; j < n_user; ++j) {
+    out.reduced_costs[j] =
+        status[j] == Status::Basic ? 0.0 : cost2[j] - sparse_dot_y(cols[j]);
+  }
+  return out;
+}
+
+}  // namespace lips::lp

@@ -1,0 +1,33 @@
+#include "lp/solver.hpp"
+
+#include "lp/dense_simplex.hpp"
+#include "lp/revised_simplex.hpp"
+
+namespace lips::lp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Optimal:
+      return "optimal";
+    case SolveStatus::Infeasible:
+      return "infeasible";
+    case SolveStatus::Unbounded:
+      return "unbounded";
+    case SolveStatus::IterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<LpSolver> make_solver(SolverKind kind,
+                                      const SolverOptions& options) {
+  switch (kind) {
+    case SolverKind::DenseSimplex:
+      return std::make_unique<DenseSimplexSolver>(options);
+    case SolverKind::RevisedSimplex:
+      return std::make_unique<RevisedSimplexSolver>(options);
+  }
+  LIPS_ASSERT(false, "unknown solver kind");
+}
+
+}  // namespace lips::lp

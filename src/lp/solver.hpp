@@ -1,0 +1,69 @@
+// Solver interface shared by the two simplex implementations.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace lips::lp {
+
+/// Outcome of a solve. `Optimal` is the only status with meaningful values.
+enum class SolveStatus {
+  Optimal,         ///< an optimal basic feasible solution was found
+  Infeasible,      ///< the constraint set is empty
+  Unbounded,       ///< the objective is unbounded below
+  IterationLimit,  ///< the iteration budget was exhausted
+};
+
+[[nodiscard]] std::string to_string(SolveStatus status);
+
+/// Solution returned by LpSolver::solve.
+struct LpSolution {
+  SolveStatus status = SolveStatus::IterationLimit;
+  double objective = 0.0;            ///< objective at `values` (if Optimal)
+  std::vector<double> values;        ///< one value per model variable
+  std::size_t iterations = 0;        ///< simplex pivots performed (all phases)
+
+  /// Dual value (simplex multiplier) per constraint, and reduced cost per
+  /// variable, at the optimum. Only populated by solvers that support dual
+  /// extraction (the revised simplex does; the dense tableau solver leaves
+  /// them empty). Sign convention for a minimization:
+  ///   <= rows have duals <= 0, >= rows have duals >= 0, = rows are free;
+  ///   reduced costs are >= 0 for variables at their lower bound and <= 0
+  ///   at their upper bound (complementary slackness).
+  std::vector<double> duals;
+  std::vector<double> reduced_costs;
+
+  [[nodiscard]] bool optimal() const { return status == SolveStatus::Optimal; }
+};
+
+/// Numeric / budget options common to both solvers.
+struct SolverOptions {
+  double tolerance = 1e-7;          ///< feasibility & reduced-cost tolerance
+  std::size_t max_iterations = 0;   ///< 0 = automatic (scales with model size)
+};
+
+/// Abstract LP solver.
+class LpSolver {
+ public:
+  virtual ~LpSolver() = default;
+
+  /// Solve `model` (a minimization). Never throws for infeasible/unbounded
+  /// inputs — those are reported via the status.
+  [[nodiscard]] virtual LpSolution solve(const LpModel& model) const = 0;
+};
+
+/// Which implementation to instantiate.
+enum class SolverKind {
+  DenseSimplex,    ///< two-phase tableau simplex; best for small models
+  RevisedSimplex,  ///< bounded-variable revised simplex; scales further
+};
+
+/// Factory for the built-in solvers.
+[[nodiscard]] std::unique_ptr<LpSolver> make_solver(
+    SolverKind kind, const SolverOptions& options = {});
+
+}  // namespace lips::lp

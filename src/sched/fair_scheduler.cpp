@@ -1,0 +1,92 @@
+#include "sched/fair_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+namespace lips::sched {
+
+void FairScheduler::assign_pool(JobId job, std::string pool, double weight) {
+  LIPS_REQUIRE(weight > 0, "pool weight must be positive");
+  pool_weight_[pool] = weight;
+  pool_assignment_[job.value()] = std::move(pool);
+}
+
+std::string FairScheduler::pool_of(JobId job) const {
+  const auto it = pool_assignment_.find(job.value());
+  if (it != pool_assignment_.end()) return it->second;
+  return "job-" + std::to_string(job.value());  // default: per-job pool
+}
+
+std::optional<LaunchDecision> FairScheduler::on_slot_available(
+    MachineId machine, const ClusterState& state) {
+  // Gather pools with pending work, in deficit order (running / weight).
+  struct PoolView {
+    double deficit;
+    std::vector<std::size_t> tasks;  // pending task ids, FIFO
+  };
+  std::map<std::string, PoolView> pools;
+  for (const std::size_t id : state.pending()) {
+    const std::string pool = pool_of(state.task(id).job);
+    auto [it, inserted] = pools.try_emplace(pool);
+    if (inserted) {
+      const auto rit = running_.find(pool);
+      const double running =
+          rit == running_.end() ? 0.0 : static_cast<double>(rit->second);
+      const auto wit = pool_weight_.find(pool);
+      const double weight = wit == pool_weight_.end() ? 1.0 : wit->second;
+      it->second.deficit = running / weight;
+    }
+    it->second.tasks.push_back(id);
+  }
+  if (pools.empty()) return std::nullopt;
+
+  // Most-starved pool first (ties: lexicographic pool name, deterministic).
+  const PoolView* best_pool = nullptr;
+  const std::string* best_name = nullptr;
+  for (const auto& [name, view] : pools) {
+    if (!best_pool || view.deficit < best_pool->deficit) {
+      best_pool = &view;
+      best_name = &name;
+    }
+  }
+
+  // Within the pool: FIFO job order, greedy locality (same as default).
+  std::optional<LaunchDecision> best;
+  int best_level = 4;
+  std::unordered_set<std::size_t> seen_data;
+  for (const std::size_t id : best_pool->tasks) {
+    const SimTask& t = state.task(id);
+    if (!t.data) {
+      best = LaunchDecision{id, std::nullopt};
+      break;
+    }
+    if (!seen_data.insert(t.data->value()).second) continue;
+    const Locality loc = best_locality(machine, *t.data, state);
+    if (loc.level < best_level && loc.store) {
+      best_level = loc.level;
+      best = LaunchDecision{id, loc.store};
+      if (best_level == 0) break;
+    }
+  }
+  if (best) {
+    running_[*best_name] += 1;
+    task_pool_[best->task] = *best_name;
+  }
+  return best;
+}
+
+void FairScheduler::on_task_complete(std::size_t task, MachineId machine,
+                                     const ClusterState& state) {
+  (void)machine;
+  (void)state;
+  const auto it = task_pool_.find(task);
+  if (it == task_pool_.end()) return;
+  auto rit = running_.find(it->second);
+  if (rit != running_.end() && rit->second > 0) rit->second -= 1;
+  task_pool_.erase(it);
+}
+
+}  // namespace lips::sched

@@ -1,0 +1,65 @@
+#include "sched/fifo_scheduler.hpp"
+
+#include <unordered_set>
+
+namespace lips::sched {
+
+FifoLocalityScheduler::Locality FifoLocalityScheduler::best_locality(
+    MachineId machine, DataId d, const ClusterState& state) {
+  const cluster::Cluster& c = state.cluster();
+  Locality best;
+  for (std::size_t s = 0; s < c.store_count(); ++s) {
+    const StoreId store{s};
+    if (state.stored_fraction(d, store) <= 0.0) continue;
+    const cluster::DataStore& ds = c.store(store);
+    int level = 2;
+    if (ds.colocated_machine == machine.value()) {
+      level = 0;
+    } else if (ds.zone == c.machine(machine).zone) {
+      level = 1;
+    }
+    if (level < best.level) {
+      best.level = level;
+      best.store = store;
+      if (level == 0) break;  // cannot do better than node-local
+    }
+  }
+  return best;
+}
+
+std::optional<LaunchDecision> FifoLocalityScheduler::on_slot_available(
+    MachineId machine, const ClusterState& state) {
+  // Group pending tasks by job, preserving FIFO (pending() is FIFO-ordered,
+  // jobs arrive in order, so the first task of each job appears in job
+  // arrival order).
+  // Within the first job that has any runnable task, pick the task with the
+  // best locality level for this machine.
+  std::optional<std::size_t> current_job;
+  std::optional<LaunchDecision> best;
+  int best_level = 4;
+  std::unordered_set<std::size_t> seen_data;  // tasks on the same object are
+                                              // interchangeable: check once
+  for (std::size_t id : state.pending()) {
+    const SimTask& t = state.task(id);
+    if (current_job && t.job.value() != *current_job) {
+      // Finished scanning the FIFO-head job; Hadoop default does not skip
+      // ahead to younger jobs as long as the head job has pending tasks.
+      break;
+    }
+    current_job = t.job.value();
+    if (!t.data) {
+      // Input-free task: runnable anywhere, "locality" is trivially local.
+      return LaunchDecision{id, std::nullopt};
+    }
+    if (!seen_data.insert(t.data->value()).second) continue;
+    const Locality loc = best_locality(machine, *t.data, state);
+    if (loc.level < best_level && loc.store) {
+      best_level = loc.level;
+      best = LaunchDecision{id, loc.store};
+      if (best_level == 0) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace lips::sched

@@ -1,0 +1,31 @@
+// The Hadoop default scheduler (paper §II "Locality-aware MapReduce task
+// scheduling"): FIFO job order; for an idle TaskTracker the JobTracker
+// greedily picks the task with data closest to it — on the same node if
+// possible, otherwise the same rack/zone, and finally remote. Dollar cost
+// plays no role in its decisions.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace lips::sched {
+
+class FifoLocalityScheduler : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "hadoop-default"; }
+
+  [[nodiscard]] std::optional<LaunchDecision> on_slot_available(
+      MachineId machine, const ClusterState& state) override;
+
+ protected:
+  /// Locality level of reading `d` on `machine` from the best store holding
+  /// it: 0 = node-local, 1 = same zone, 2 = remote, 3 = nowhere (no copy).
+  /// Returns the chosen store alongside.
+  struct Locality {
+    int level = 3;
+    std::optional<StoreId> store;
+  };
+  [[nodiscard]] static Locality best_locality(MachineId machine, DataId d,
+                                              const ClusterState& state);
+};
+
+}  // namespace lips::sched

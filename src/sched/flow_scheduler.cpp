@@ -1,0 +1,153 @@
+#include "sched/flow_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "flow/min_cost_flow.hpp"
+
+namespace lips::sched {
+
+QuincyFlowScheduler::QuincyFlowScheduler(Options options) : options_(options) {
+  LIPS_REQUIRE(options_.round_s > 0, "flow scheduler needs a positive round");
+  LIPS_REQUIRE(options_.defer_penalty_factor > 1.0,
+               "defer penalty must exceed the best real assignment");
+}
+
+void QuincyFlowScheduler::on_epoch(const ClusterState& state) {
+  const cluster::Cluster& c = state.cluster();
+  const workload::Workload& w = state.workload();
+  rounds_ += 1;
+  plan_.assign(c.machine_count(), {});
+
+  // Pending tasks per job (FIFO order preserved within each job).
+  std::map<std::size_t, std::vector<std::size_t>> pending_of_job;
+  for (const std::size_t id : state.pending())
+    pending_of_job[state.task(id).job.value()].push_back(id);
+  if (pending_of_job.empty()) return;
+
+  // Per (job, machine): cheapest feasible read store and the per-task cost.
+  struct Option {
+    double cost_mc = std::numeric_limits<double>::infinity();
+    std::optional<StoreId> store;
+    bool feasible = false;
+  };
+  const double now = state.now();
+  std::vector<std::size_t> job_ids;
+  for (const auto& [job, ids] : pending_of_job) job_ids.push_back(job);
+  const std::size_t nj = job_ids.size();
+  const std::size_t nm = c.machine_count();
+  std::vector<Option> options(nj * nm);
+  std::vector<double> best_real(nj, std::numeric_limits<double>::infinity());
+
+  for (std::size_t jq = 0; jq < nj; ++jq) {
+    const JobId k{job_ids[jq]};
+    const workload::Job& job = w.job(k);
+    const double cpu_per_task =
+        w.job_cpu_ecu_s(k) / static_cast<double>(job.num_tasks);
+    const double input_per_task =
+        w.job_input_mb(k) / static_cast<double>(job.num_tasks);
+    for (std::size_t l = 0; l < nm; ++l) {
+      Option& opt = options[jq * nm + l];
+      opt.cost_mc = cpu_per_task * c.cpu_price_mc_at(MachineId{l}, now);
+      if (job.data.empty()) {
+        opt.feasible = true;
+      } else {
+        // Cheapest store that physically holds the job's data.
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t sid = 0; sid < c.store_count(); ++sid) {
+          bool holds_all = true;
+          for (const DataId d : job.data) {
+            if (state.stored_fraction(d, StoreId{sid}) <= 0.0) {
+              holds_all = false;
+              break;
+            }
+          }
+          if (!holds_all) continue;
+          const double read =
+              input_per_task * c.ms_cost_mc_per_mb(MachineId{l}, StoreId{sid});
+          if (read < best) {
+            best = read;
+            opt.store = StoreId{sid};
+          }
+        }
+        if (opt.store) {
+          opt.cost_mc += best;
+          opt.feasible = true;
+        }
+      }
+      if (opt.feasible) best_real[jq] = std::min(best_real[jq], opt.cost_mc);
+    }
+  }
+
+  // Build the flow network over free slots.
+  flow::MinCostFlow net;
+  const std::size_t source = net.add_node();
+  const std::size_t sink = net.add_node();
+  const std::size_t queue_node = net.add_node();
+  const std::size_t job_base = net.add_nodes(nj);
+  const std::size_t machine_base = net.add_nodes(nm);
+
+  long long total_pending = 0;
+  for (std::size_t jq = 0; jq < nj; ++jq) {
+    const auto pending =
+        static_cast<long long>(pending_of_job[job_ids[jq]].size());
+    total_pending += pending;
+    net.add_arc(source, job_base + jq, pending, 0.0);
+    if (std::isfinite(best_real[jq])) {
+      net.add_arc(job_base + jq, queue_node, pending,
+                  best_real[jq] * options_.defer_penalty_factor);
+    } else {
+      // Data not physically available anywhere yet: must wait for free.
+      net.add_arc(job_base + jq, queue_node, pending, 0.0);
+    }
+  }
+  net.add_arc(queue_node, sink, total_pending, 0.0);
+
+  std::map<std::size_t, std::pair<std::size_t, std::size_t>> arc_to_jl;
+  for (std::size_t l = 0; l < nm; ++l) {
+    const int slots = state.free_slots(MachineId{l});
+    if (slots <= 0) continue;
+    net.add_arc(machine_base + l, sink, slots, 0.0);
+    for (std::size_t jq = 0; jq < nj; ++jq) {
+      const Option& opt = options[jq * nm + l];
+      if (!opt.feasible) continue;
+      const std::size_t arc = net.add_arc(
+          job_base + jq, machine_base + l,
+          static_cast<long long>(pending_of_job[job_ids[jq]].size()),
+          opt.cost_mc);
+      arc_to_jl[arc] = {jq, l};
+    }
+  }
+
+  (void)net.solve(source, sink);
+
+  // Decode: pin `flow` tasks of job jq to machine l.
+  for (const auto& [arc, jl] : arc_to_jl) {
+    const long long assigned = net.flow_on(arc);
+    if (assigned <= 0) continue;
+    const auto [jq, l] = jl;
+    auto& ids = pending_of_job[job_ids[jq]];
+    const Option& opt = options[jq * nm + l];
+    for (long long t = 0; t < assigned && !ids.empty(); ++t) {
+      plan_[l].push_back(Pinned{ids.back(), opt.store});
+      ids.pop_back();
+      planned_cost_mc_ += opt.cost_mc;
+    }
+  }
+}
+
+std::optional<LaunchDecision> QuincyFlowScheduler::on_slot_available(
+    MachineId machine, const ClusterState& state) {
+  if (plan_.empty()) return std::nullopt;
+  auto& queue = plan_[machine.value()];
+  while (!queue.empty()) {
+    const Pinned p = queue.front();
+    queue.pop_front();
+    if (!state.is_pending(p.task)) continue;
+    return LaunchDecision{p.task, p.store};
+  }
+  return std::nullopt;
+}
+
+}  // namespace lips::sched

@@ -1,0 +1,110 @@
+// Scheduler plugin interface for the MapReduce cluster simulator.
+//
+// The simulator (src/sim) owns all state — pending tasks, slot occupancy,
+// block placement — and consults a Scheduler at decision points, mirroring
+// how Hadoop's JobTracker consults a pluggable TaskScheduler on TaskTracker
+// heartbeats (the paper implements LiPS as exactly such a plugin, plus a
+// ReplicationTargetChooser for data placement; our DataMove directives play
+// that second role).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "workload/workload.hpp"
+
+namespace lips::sched {
+
+/// A concrete map task instance managed by the simulator.
+struct SimTask {
+  JobId job;
+  std::size_t index_in_job = 0;
+  double input_mb = 0.0;              ///< input this task reads
+  double cpu_ecu_s = 0.0;             ///< CPU work (ECU-seconds)
+  std::optional<DataId> data;         ///< data object read (nullopt: Pi-like)
+};
+
+/// Scheduler's verdict for a free slot: launch `task` (a simulator task id)
+/// reading its input from `read_from`.
+struct LaunchDecision {
+  std::size_t task = 0;
+  std::optional<StoreId> read_from;
+};
+
+/// Directive to move a fraction of a data object between stores before the
+/// tasks pinned to the destination may start (LiPS data placement).
+struct DataMove {
+  DataId data;
+  StoreId from;
+  StoreId to;
+  double fraction = 0.0;
+};
+
+/// Read-only view of simulator state offered to schedulers.
+class ClusterState {
+ public:
+  virtual ~ClusterState() = default;
+
+  [[nodiscard]] virtual double now() const = 0;
+  [[nodiscard]] virtual const cluster::Cluster& cluster() const = 0;
+  [[nodiscard]] virtual const workload::Workload& workload() const = 0;
+
+  /// Simulator task ids that are pending (arrived, not launched), in FIFO
+  /// order of their jobs' arrival.
+  [[nodiscard]] virtual std::span<const std::size_t> pending() const = 0;
+
+  /// Task descriptor by simulator task id.
+  [[nodiscard]] virtual const SimTask& task(std::size_t id) const = 0;
+
+  /// Whether a task id is currently pending (O(1); pending() is a scan).
+  [[nodiscard]] virtual bool is_pending(std::size_t id) const = 0;
+
+  /// Fraction of data object `d` currently present on store `s`.
+  [[nodiscard]] virtual double stored_fraction(DataId d, StoreId s) const = 0;
+
+  /// Free map slots on `m` right now.
+  [[nodiscard]] virtual int free_slots(MachineId m) const = 0;
+};
+
+/// Scheduling policy. Implementations must be deterministic given the
+/// sequence of callbacks (the simulator is deterministic end to end).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called whenever `machine` has a free slot (after arrivals, completions,
+  /// epoch ticks, and finished data moves). Return the task to launch, or
+  /// nullopt to leave the slot idle.
+  [[nodiscard]] virtual std::optional<LaunchDecision> on_slot_available(
+      MachineId machine, const ClusterState& state) = 0;
+
+  /// Epoch period; 0 disables epoch ticks (pure event-driven schedulers).
+  [[nodiscard]] virtual double epoch_s() const { return 0.0; }
+
+  /// Called at each epoch boundary (only when epoch_s() > 0).
+  virtual void on_epoch(const ClusterState& state) { (void)state; }
+
+  /// Data-movement directives produced by the last on_epoch; the simulator
+  /// drains and executes them (paying store-to-store transfer costs).
+  [[nodiscard]] virtual std::vector<DataMove> take_data_moves() { return {}; }
+
+  /// Notification hooks.
+  virtual void on_job_arrival(JobId job, const ClusterState& state) {
+    (void)job;
+    (void)state;
+  }
+  virtual void on_task_complete(std::size_t task, MachineId machine,
+                                const ClusterState& state) {
+    (void)task;
+    (void)machine;
+    (void)state;
+  }
+};
+
+}  // namespace lips::sched

@@ -1,0 +1,679 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lips::sim {
+
+std::string to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::JobArrival:
+      return "job-arrival";
+    case TraceEvent::Kind::TaskLaunch:
+      return "task-launch";
+    case TraceEvent::Kind::TaskComplete:
+      return "task-complete";
+    case TraceEvent::Kind::TaskCancelled:
+      return "task-cancelled";
+    case TraceEvent::Kind::TimeoutKill:
+      return "timeout-kill";
+    case TraceEvent::Kind::DataMoveStart:
+      return "data-move-start";
+    case TraceEvent::Kind::DataMoveFinish:
+      return "data-move-finish";
+    case TraceEvent::Kind::EpochTick:
+      return "epoch-tick";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using sched::ClusterState;
+using sched::LaunchDecision;
+using sched::SimTask;
+
+enum class EventKind : unsigned char {
+  JobArrival,
+  InstanceFinish,
+  EpochTick,
+  MoveFinish,
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::EpochTick;
+  std::size_t payload = 0;
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+enum class TaskStatus : unsigned char { NotArrived, Pending, Running, Done };
+
+struct Instance {
+  std::size_t task = 0;
+  std::size_t machine = 0;
+  std::optional<StoreId> store;
+  double start = 0.0;
+  double finish = 0.0;  ///< planned completion (or timeout kill time)
+  double full_duration = 0.0;
+  double exec_cost_mc = 0.0;  ///< cost of a complete run
+  double read_cost_mc = 0.0;
+  bool speculative = false;
+  bool cancelled = false;
+  bool timeout_kill = false;  ///< finish event requeues instead of completing
+  bool settled = false;
+};
+
+struct PendingMove {
+  DataId data;
+  StoreId to;
+  double fraction = 0.0;
+};
+
+class Engine final : public ClusterState {
+ public:
+  Engine(const cluster::Cluster& cluster, const workload::Workload& workload,
+         sched::Scheduler& policy, const SimConfig& config,
+         const workload::JobDag* dependencies)
+      : c_(cluster), w_(workload), policy_(policy), cfg_(config) {
+    LIPS_REQUIRE(c_.finalized(), "cluster must be finalized");
+    if (dependencies) {
+      // The DAG may be sized generously (extra ids are simply jobless);
+      // it must at least cover every real job.
+      LIPS_REQUIRE(dependencies->job_count() >= w_.job_count(),
+                   "dependency DAG must cover the workload's jobs");
+      LIPS_REQUIRE(!dependencies->has_cycle(), "dependency DAG has a cycle");
+    }
+
+    // Materialize tasks, jobs sorted by arrival (stable on id).
+    job_order_.resize(w_.job_count());
+    for (std::size_t k = 0; k < w_.job_count(); ++k) job_order_[k] = k;
+    std::stable_sort(job_order_.begin(), job_order_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return w_.job(JobId{a}).arrival_s <
+                              w_.job(JobId{b}).arrival_s;
+                     });
+    job_rank_.resize(w_.job_count());
+    for (std::size_t r = 0; r < job_order_.size(); ++r)
+      job_rank_[job_order_[r]] = r;
+
+    first_task_of_job_.resize(w_.job_count());
+    for (std::size_t r = 0; r < job_order_.size(); ++r) {
+      const JobId k{job_order_[r]};
+      const workload::Job& job = w_.job(k);
+      first_task_of_job_[k.value()] = tasks_.size();
+      const double input = w_.job_input_mb(k);
+      const double cpu = w_.job_cpu_ecu_s(k);
+      const auto n = static_cast<double>(job.num_tasks);
+      for (std::size_t t = 0; t < job.num_tasks; ++t) {
+        SimTask st;
+        st.job = k;
+        st.index_in_job = t;
+        st.input_mb = input / n;
+        st.cpu_ecu_s = cpu / n;
+        // Multi-object jobs read proportionally from each object; the
+        // simulator attributes each task to the job's largest object for
+        // placement purposes (reads are priced on total input regardless).
+        if (!job.data.empty()) {
+          DataId biggest = job.data.front();
+          for (DataId d : job.data)
+            if (w_.data(d).size_mb > w_.data(biggest).size_mb) biggest = d;
+          st.data = biggest;
+        }
+        tasks_.push_back(st);
+      }
+    }
+    status_.assign(tasks_.size(), TaskStatus::NotArrived);
+    retries_.assign(tasks_.size(), 0);
+    running_of_task_.assign(tasks_.size(), {});
+
+    presence_.resize(w_.data_count());
+    for (std::size_t d = 0; d < w_.data_count(); ++d) {
+      // Intermediate (shuffle) objects do not exist until produced.
+      if (!w_.data(DataId{d}).is_intermediate())
+        presence_[d][w_.data(DataId{d}).origin.value()] = 1.0;
+    }
+    if (cfg_.hdfs_replication > 1) place_ingest_replicas();
+
+    preds_remaining_.assign(w_.job_count(), 0);
+    successors_.assign(w_.job_count(), {});
+    arrival_passed_.assign(w_.job_count(), false);
+    activated_.assign(w_.job_count(), false);
+    if (dependencies) {
+      for (std::size_t j = 0; j < w_.job_count(); ++j) {
+        const auto& preds = dependencies->predecessors(JobId{j});
+        preds_remaining_[j] = preds.size();
+        for (const std::size_t p : preds) successors_[p].push_back(j);
+      }
+    }
+    job_machine_work_.assign(w_.job_count(),
+                             std::vector<double>(c_.machine_count(), 0.0));
+
+    slots_free_.resize(c_.machine_count());
+    for (std::size_t m = 0; m < c_.machine_count(); ++m)
+      slots_free_[m] = c_.machine(MachineId{m}).map_slots;
+
+    job_remaining_.resize(w_.job_count());
+    for (std::size_t k = 0; k < w_.job_count(); ++k)
+      job_remaining_[k] = w_.job(JobId{k}).num_tasks;
+
+    result_.machines.resize(c_.machine_count());
+    result_.job_finish_s.assign(w_.job_count(),
+                                std::numeric_limits<double>::quiet_NaN());
+  }
+
+  SimResult run() {
+    for (std::size_t k = 0; k < w_.job_count(); ++k)
+      push_event(w_.job(JobId{k}).arrival_s, EventKind::JobArrival, k);
+    const double epoch = policy_.epoch_s();
+    if (epoch > 0) {
+      // First tick fires with the t=0 arrivals already queued (arrival
+      // events were enqueued first and therefore sort earlier).
+      push_event(0.0, EventKind::EpochTick, 0);
+    }
+
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      if (ev.time > cfg_.horizon_s) break;
+      now_ = ev.time;
+      dispatch(ev);
+    }
+
+    finalize_result();
+    return result_;
+  }
+
+  // ---- ClusterState ------------------------------------------------------
+  [[nodiscard]] double now() const override { return now_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const override { return c_; }
+  [[nodiscard]] const workload::Workload& workload() const override {
+    return w_;
+  }
+  [[nodiscard]] std::span<const std::size_t> pending() const override {
+    return pending_;
+  }
+  [[nodiscard]] const SimTask& task(std::size_t id) const override {
+    LIPS_REQUIRE(id < tasks_.size(), "task id out of range");
+    return tasks_[id];
+  }
+  [[nodiscard]] bool is_pending(std::size_t id) const override {
+    LIPS_REQUIRE(id < tasks_.size(), "task id out of range");
+    return status_[id] == TaskStatus::Pending;
+  }
+  [[nodiscard]] double stored_fraction(DataId d, StoreId s) const override {
+    const auto& row = presence_.at(d.value());
+    const auto it = row.find(s.value());
+    return it == row.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] int free_slots(MachineId m) const override {
+    return slots_free_.at(m.value());
+  }
+
+ private:
+  /// HDFS default replica placement: replica 2 in a different zone than the
+  /// origin (off-rack), replica 3 in replica 2's zone, the rest uniform.
+  /// Each copy is billed as a store-to-store transfer from the origin at
+  /// ingest time (before the simulated clock starts).
+  void place_ingest_replicas() {
+    Rng rng(cfg_.replication_seed);
+    for (std::size_t d = 0; d < w_.data_count(); ++d) {
+      const workload::DataObject& obj = w_.data(DataId{d});
+      const StoreId origin = obj.origin;
+      std::vector<StoreId> other_zone, same_zone_as_second, all_other;
+      for (std::size_t s = 0; s < c_.store_count(); ++s) {
+        if (s == origin.value()) continue;
+        all_other.push_back(StoreId{s});
+        if (c_.store(StoreId{s}).zone != c_.store(origin).zone)
+          other_zone.push_back(StoreId{s});
+      }
+      if (all_other.empty()) continue;
+      std::vector<StoreId> replicas;
+      for (std::size_t r = 1; r < cfg_.hdfs_replication; ++r) {
+        StoreId pick{0};
+        if (r == 1 && !other_zone.empty()) {
+          pick = other_zone[rng.index(other_zone.size())];
+        } else if (r == 2 && !replicas.empty()) {
+          // Third replica: same zone as the second, different store.
+          std::vector<StoreId> near;
+          for (StoreId s : all_other)
+            if (c_.store(s).zone == c_.store(replicas.front()).zone &&
+                s != replicas.front())
+              near.push_back(s);
+          pick = near.empty() ? all_other[rng.index(all_other.size())]
+                              : near[rng.index(near.size())];
+        } else {
+          pick = all_other[rng.index(all_other.size())];
+        }
+        if (stored_fraction(DataId{d}, pick) >= 1.0) continue;  // duplicate
+        presence_[d][pick.value()] = 1.0;
+        result_.ingest_replication_cost_mc +=
+            obj.size_mb * c_.ss_cost_mc_per_mb(origin, pick);
+        replicas.push_back(pick);
+      }
+    }
+  }
+
+  void trace(TraceEvent::Kind kind, std::size_t job = SIZE_MAX,
+             std::size_t task = SIZE_MAX, std::size_t machine = SIZE_MAX,
+             std::size_t store = SIZE_MAX, double amount = 0.0) {
+    if (!cfg_.record_trace) return;
+    result_.trace.push_back(
+        TraceEvent{kind, now_, job, task, machine, store, amount});
+  }
+
+  // ---- event plumbing ----------------------------------------------------
+  void push_event(double time, EventKind kind, std::size_t payload) {
+    events_.push(Event{time, seq_++, kind, payload});
+  }
+
+  void dispatch(const Event& ev) {
+    switch (ev.kind) {
+      case EventKind::JobArrival:
+        on_job_arrival(ev.payload);
+        break;
+      case EventKind::InstanceFinish:
+        on_instance_finish(ev.payload);
+        break;
+      case EventKind::EpochTick:
+        on_epoch_tick();
+        break;
+      case EventKind::MoveFinish:
+        on_move_finish(ev.payload);
+        break;
+    }
+  }
+
+  [[nodiscard]] bool work_remains() const {
+    return done_tasks_ < tasks_.size();
+  }
+
+  // FIFO ordering key for the pending list.
+  [[nodiscard]] std::tuple<double, std::size_t, std::size_t> pending_key(
+      std::size_t id) const {
+    const SimTask& t = tasks_[id];
+    return {w_.job(t.job).arrival_s, job_rank_[t.job.value()], t.index_in_job};
+  }
+
+  void pending_insert(std::size_t id) {
+    const auto key = pending_key(id);
+    const auto it = std::lower_bound(
+        pending_.begin(), pending_.end(), key,
+        [&](std::size_t lhs, const auto& k) { return pending_key(lhs) < k; });
+    pending_.insert(it, id);
+  }
+
+  void pending_erase(std::size_t id) {
+    const auto it = std::find(pending_.begin(), pending_.end(), id);
+    LIPS_ASSERT(it != pending_.end(), "task not pending");
+    pending_.erase(it);
+  }
+
+  // ---- handlers ----------------------------------------------------------
+  void on_job_arrival(std::size_t job) {
+    arrival_passed_[job] = true;
+    if (preds_remaining_[job] == 0) activate_job(job);
+  }
+
+  /// A job's tasks enter the pending queue once it has both arrived and
+  /// seen all its DAG predecessors complete.
+  void activate_job(std::size_t job) {
+    LIPS_ASSERT(!activated_[job], "job activated twice");
+    activated_[job] = true;
+    const workload::Job& j = w_.job(JobId{job});
+    const std::size_t base = first_task_of_job_[job];
+    for (std::size_t t = 0; t < j.num_tasks; ++t) {
+      status_[base + t] = TaskStatus::Pending;
+      pending_insert(base + t);
+    }
+    trace(TraceEvent::Kind::JobArrival, job);
+    policy_.on_job_arrival(JobId{job}, *this);
+    try_assign();
+  }
+
+  void on_epoch_tick() {
+    result_.epochs += 1;
+    trace(TraceEvent::Kind::EpochTick);
+    policy_.on_epoch(*this);
+    for (const sched::DataMove& mv : policy_.take_data_moves()) start_move(mv);
+    try_assign();
+    if (work_remains())
+      push_event(now_ + policy_.epoch_s(), EventKind::EpochTick, 0);
+  }
+
+  void start_move(const sched::DataMove& mv) {
+    LIPS_REQUIRE(mv.data.value() < w_.data_count(), "move: unknown data");
+    LIPS_REQUIRE(mv.to.value() < c_.store_count(), "move: unknown store");
+    double fraction = std::clamp(mv.fraction, 0.0, 1.0);
+    const double available = stored_fraction(mv.data, mv.from);
+    fraction = std::min(fraction, available);
+    if (fraction <= 0.0) return;
+    const double mb = fraction * w_.data(mv.data).size_mb;
+    const double bw = c_.store_bandwidth_mb_s(mv.from, mv.to);
+    const double cost = mb * c_.ss_cost_mc_per_mb(mv.from, mv.to);
+    moves_.push_back(PendingMove{mv.data, mv.to, fraction});
+    move_costs_.push_back(cost);
+    trace(TraceEvent::Kind::DataMoveStart, SIZE_MAX, SIZE_MAX, SIZE_MAX,
+          mv.to.value(), mb);
+    push_event(now_ + mb / bw, EventKind::MoveFinish, moves_.size() - 1);
+  }
+
+  void on_move_finish(std::size_t idx) {
+    const PendingMove& mv = moves_.at(idx);
+    presence_[mv.data.value()][mv.to.value()] = std::min(
+        1.0, presence_[mv.data.value()][mv.to.value()] + mv.fraction);
+    result_.placement_transfer_cost_mc += move_costs_.at(idx);
+    trace(TraceEvent::Kind::DataMoveFinish, SIZE_MAX, SIZE_MAX, SIZE_MAX,
+          mv.to.value(), mv.fraction * w_.data(mv.data).size_mb);
+    try_assign();
+  }
+
+  void on_instance_finish(std::size_t iid) {
+    Instance& inst = instances_.at(iid);
+    if (inst.cancelled) return;  // settled at cancellation time
+
+    if (inst.timeout_kill) {
+      settle(iid, inst.finish);
+      result_.timeout_kills += 1;
+      trace(TraceEvent::Kind::TimeoutKill, tasks_[inst.task].job.value(),
+            inst.task, inst.machine);
+      slots_free_[inst.machine] += 1;
+      detach_instance(iid);
+      if (status_[inst.task] == TaskStatus::Running &&
+          running_of_task_[inst.task].empty()) {
+        status_[inst.task] = TaskStatus::Pending;
+        pending_insert(inst.task);
+      }
+      try_assign();
+      return;
+    }
+
+    settle(iid, inst.finish);
+    slots_free_[inst.machine] += 1;
+    detach_instance(iid);
+
+    // Copy what we need: on_job_complete() below can activate successor
+    // jobs, whose launches may grow instances_ and invalidate `inst`.
+    const std::size_t tid = inst.task;
+    const std::size_t inst_machine = inst.machine;
+    if (status_[tid] != TaskStatus::Done) {
+      status_[tid] = TaskStatus::Done;
+      done_tasks_ += 1;
+      result_.tasks_completed += 1;
+      result_.makespan_s = std::max(result_.makespan_s, now_);
+      trace(TraceEvent::Kind::TaskComplete, tasks_[tid].job.value(), tid,
+            inst.machine, SIZE_MAX, inst.exec_cost_mc + inst.read_cost_mc);
+      if (tasks_[tid].data) {
+        const auto store = inst.store;
+        if (store && c_.store(*store).colocated_machine == inst.machine)
+          local_reads_ += 1;
+        data_reads_ += 1;
+      }
+      // Cancel any sibling (speculative) copies still running.
+      for (const std::size_t sibling : running_of_task_[tid]) {
+        instances_[sibling].cancelled = true;
+        settle(sibling, now_);
+        slots_free_[instances_[sibling].machine] += 1;
+        result_.speculative_wasted += 1;
+        trace(TraceEvent::Kind::TaskCancelled, tasks_[tid].job.value(), tid,
+              instances_[sibling].machine);
+      }
+      running_of_task_[tid].clear();
+
+      const std::size_t jv = tasks_[tid].job.value();
+      LIPS_ASSERT(job_remaining_[jv] > 0, "job task accounting underflow");
+      if (--job_remaining_[jv] == 0) {
+        result_.job_finish_s[jv] = now_;
+        result_.sum_job_duration_s += now_ - w_.job(JobId{jv}).arrival_s;
+        on_job_complete(jv);
+      }
+      policy_.on_task_complete(tid, MachineId{inst_machine}, *this);
+    }
+    try_assign();
+  }
+
+  /// Producer finished: materialize its intermediate (shuffle) outputs
+  /// across the stores of the machines that did the work — map output is
+  /// written to local disk, so this costs nothing — and unlock successors.
+  void on_job_complete(std::size_t job) {
+    for (std::size_t d = 0; d < w_.data_count(); ++d) {
+      const workload::DataObject& obj = w_.data(DataId{d});
+      if (!obj.is_intermediate() || *obj.produced_by != job) continue;
+      const auto& work = job_machine_work_[job];
+      double total = 0.0;
+      for (const double v : work) total += v;
+      if (total <= 0.0) {
+        presence_[d][obj.origin.value()] = 1.0;  // degenerate producer
+        continue;
+      }
+      for (std::size_t m = 0; m < work.size(); ++m) {
+        if (work[m] <= 0.0) continue;
+        const auto store = c_.store_of_machine(MachineId{m});
+        const std::size_t target =
+            store ? store->value() : obj.origin.value();
+        presence_[d][target] =
+            std::min(1.0, presence_[d][target] + work[m] / total);
+      }
+    }
+    for (const std::size_t succ : successors_[job]) {
+      LIPS_ASSERT(preds_remaining_[succ] > 0, "predecessor underflow");
+      if (--preds_remaining_[succ] == 0 && arrival_passed_[succ])
+        activate_job(succ);
+    }
+  }
+
+  void detach_instance(std::size_t iid) {
+    auto& running = running_of_task_[instances_[iid].task];
+    const auto it = std::find(running.begin(), running.end(), iid);
+    if (it != running.end()) running.erase(it);
+  }
+
+  /// Charge instance `iid`'s cost and busy time for running until `end`.
+  void settle(std::size_t iid, double end) {
+    Instance& inst = instances_[iid];
+    if (inst.settled) return;
+    inst.settled = true;
+    const auto ait =
+        std::find(active_instances_.begin(), active_instances_.end(), iid);
+    if (ait != active_instances_.end()) active_instances_.erase(ait);
+    const double ran = std::max(0.0, end - inst.start);
+    const double frac =
+        inst.full_duration > 0 ? std::min(1.0, ran / inst.full_duration) : 1.0;
+    const double exec = frac * inst.exec_cost_mc;
+    const double read = frac * inst.read_cost_mc;
+    result_.execution_cost_mc += exec;
+    result_.read_transfer_cost_mc += read;
+    MachineMetrics& mm = result_.machines[inst.machine];
+    mm.busy_s += ran;
+    mm.cpu_cost_mc += exec;
+    mm.read_cost_mc += read;
+    mm.cpu_work_ecu_s +=
+        frac * tasks_[inst.task].cpu_ecu_s;  // pro-rata useful work
+    mm.tasks_run += 1;
+    job_machine_work_[tasks_[inst.task].job.value()][inst.machine] +=
+        frac * tasks_[inst.task].cpu_ecu_s;
+  }
+
+  // ---- assignment --------------------------------------------------------
+  void try_assign() {
+    // One launch per machine per pass, starting from a rotating offset —
+    // approximates the unsynchronized TaskTracker heartbeats of a real
+    // cluster instead of always letting machine 0 drain the queue first.
+    const std::size_t nm = c_.machine_count();
+    const std::size_t start = poll_offset_++ % nm;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < nm; ++i) {
+        const std::size_t m = (start + i) % nm;
+        if (slots_free_[m] <= 0) continue;
+        const auto decision = policy_.on_slot_available(MachineId{m}, *this);
+        if (!decision) {
+          if (cfg_.speculative_execution && try_speculative(m)) progress = true;
+          continue;
+        }
+        launch(*decision, m, /*speculative=*/false);
+        progress = true;
+      }
+    }
+  }
+
+  void launch(const LaunchDecision& d, std::size_t machine, bool speculative) {
+    LIPS_REQUIRE(d.task < tasks_.size(), "launch: unknown task");
+    const SimTask& t = tasks_[d.task];
+    if (!speculative) {
+      LIPS_REQUIRE(status_[d.task] == TaskStatus::Pending,
+                   "scheduler launched a non-pending task");
+      pending_erase(d.task);
+      status_[d.task] = TaskStatus::Running;
+    }
+    double transfer_s = 0.0;
+    double read_cost = 0.0;
+    if (t.data) {
+      LIPS_REQUIRE(d.read_from.has_value(),
+                   "task with input needs a store to read from");
+      LIPS_REQUIRE(stored_fraction(*t.data, *d.read_from) > 0.0,
+                   "scheduler read from a store without the data");
+      transfer_s =
+          t.input_mb / c_.bandwidth_mb_s(MachineId{machine}, *d.read_from);
+      read_cost =
+          t.input_mb * c_.ms_cost_mc_per_mb(MachineId{machine}, *d.read_from);
+    }
+    const double cpu_s =
+        t.cpu_ecu_s / c_.machine(MachineId{machine}).throughput_ecu;
+    const double duration = transfer_s + cpu_s;
+
+    Instance inst;
+    inst.task = d.task;
+    inst.machine = machine;
+    inst.store = d.read_from;
+    inst.start = now_;
+    inst.full_duration = duration;
+    // Spot pricing: the instance is billed at the price in force when it
+    // launches (EC2 spot semantics at task granularity).
+    inst.exec_cost_mc =
+        t.cpu_ecu_s * c_.cpu_price_mc_at(MachineId{machine}, now_);
+    inst.read_cost_mc = read_cost;
+    inst.speculative = speculative;
+
+    if (cfg_.task_timeout_s > 0 && duration > cfg_.task_timeout_s &&
+        retries_[d.task] < cfg_.timeout_retries) {
+      retries_[d.task] += 1;
+      inst.timeout_kill = true;
+      inst.finish = now_ + cfg_.task_timeout_s;
+    } else {
+      inst.finish = now_ + duration;
+    }
+
+    trace(TraceEvent::Kind::TaskLaunch, t.job.value(), d.task, machine,
+          d.read_from ? d.read_from->value() : SIZE_MAX);
+    slots_free_[machine] -= 1;
+    LIPS_ASSERT(slots_free_[machine] >= 0, "slot accounting underflow");
+    instances_.push_back(inst);
+    active_instances_.push_back(instances_.size() - 1);
+    running_of_task_[d.task].push_back(instances_.size() - 1);
+    if (speculative) result_.speculative_launched += 1;
+    push_event(inst.finish, EventKind::InstanceFinish, instances_.size() - 1);
+  }
+
+  /// Hadoop-style speculation: duplicate the running task with the latest
+  /// projected finish, if this machine would beat it. Only fires when no
+  /// pending work exists (a slot would otherwise idle). The scan is over
+  /// currently-active instances, bounded by the cluster's slot count.
+  bool try_speculative(std::size_t machine) {
+    if (!pending_.empty()) return false;
+    std::size_t best_iid = instances_.size();
+    double latest_finish = now_;
+    for (const std::size_t iid : active_instances_) {
+      const Instance& inst = instances_[iid];
+      if (inst.cancelled || inst.settled || inst.timeout_kill) continue;
+      if (status_[inst.task] != TaskStatus::Running) continue;
+      if (running_of_task_[inst.task].size() != 1) continue;  // already dup'd
+      if (inst.finish > latest_finish) {
+        latest_finish = inst.finish;
+        best_iid = iid;
+      }
+    }
+    if (best_iid == instances_.size()) return false;
+    const Instance& orig = instances_[best_iid];
+    const SimTask& t = tasks_[orig.task];
+    double est = t.cpu_ecu_s / c_.machine(MachineId{machine}).throughput_ecu;
+    if (t.data && orig.store)
+      est += t.input_mb / c_.bandwidth_mb_s(MachineId{machine}, *orig.store);
+    if (now_ + est >= orig.finish - 1e-9) return false;  // no speed-up
+    launch(LaunchDecision{orig.task, orig.store}, machine,
+           /*speculative=*/true);
+    return true;
+  }
+
+  void finalize_result() {
+    result_.completed = (done_tasks_ == tasks_.size());
+    result_.total_cost_mc =
+        result_.execution_cost_mc + result_.read_transfer_cost_mc +
+        result_.placement_transfer_cost_mc + result_.ingest_replication_cost_mc;
+    result_.data_local_fraction =
+        data_reads_ == 0 ? 1.0
+                         : static_cast<double>(local_reads_) /
+                               static_cast<double>(data_reads_);
+  }
+
+  // ---- state -------------------------------------------------------------
+  const cluster::Cluster& c_;
+  const workload::Workload& w_;
+  sched::Scheduler& policy_;
+  SimConfig cfg_;
+
+  std::vector<SimTask> tasks_;
+  std::vector<TaskStatus> status_;
+  std::vector<std::size_t> retries_;
+  std::vector<std::vector<std::size_t>> running_of_task_;
+  std::vector<std::size_t> first_task_of_job_;
+  std::vector<std::size_t> job_order_;  // job ids sorted by arrival
+  std::vector<std::size_t> job_rank_;
+  std::vector<std::size_t> pending_;
+  std::vector<std::unordered_map<std::size_t, double>> presence_;
+  std::vector<int> slots_free_;
+  std::vector<std::size_t> job_remaining_;
+  std::vector<std::size_t> preds_remaining_;
+  std::vector<std::vector<std::size_t>> successors_;
+  std::vector<bool> arrival_passed_;
+  std::vector<bool> activated_;
+  std::vector<std::vector<double>> job_machine_work_;
+  std::vector<Instance> instances_;
+  std::vector<std::size_t> active_instances_;
+  std::vector<PendingMove> moves_;
+  std::vector<double> move_costs_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  std::size_t poll_offset_ = 0;
+  double now_ = 0.0;
+  std::size_t done_tasks_ = 0;
+  std::size_t local_reads_ = 0;
+  std::size_t data_reads_ = 0;
+
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult simulate(const cluster::Cluster& cluster,
+                   const workload::Workload& workload,
+                   sched::Scheduler& policy, const SimConfig& config,
+                   const workload::JobDag* dependencies) {
+  Engine engine(cluster, workload, policy, config, dependencies);
+  return engine.run();
+}
+
+}  // namespace lips::sim

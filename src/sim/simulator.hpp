@@ -1,0 +1,132 @@
+// Discrete-event MapReduce cluster simulator.
+//
+// Substitutes for the paper's Hadoop-on-EC2 testbed (DESIGN.md §2): machines
+// expose map slots; a task's wall time is input transfer (bounded by the
+// store→machine link bandwidth) plus CPU work over the machine's throughput;
+// every ECU-second and every transferred megabyte is billed through the
+// cluster's price matrices exactly as the paper accounts dollars. The
+// simulator is deterministic: events are processed in (time, sequence)
+// order and machines are polled in id order.
+//
+// Hadoop mechanisms modeled because the paper discusses them explicitly:
+//  * speculative execution (§VI-A: enabled by default in Hadoop, disabled
+//    for LiPS; duplicates may cut makespan but always add dollar cost);
+//  * task timeouts (§VI-A: Hadoop kills tasks silent for 10 minutes; LiPS
+//    raises this to 20 to allow long remote reads);
+//  * epoch ticks and data-movement directives for epoch-based schedulers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "workload/dag.hpp"
+
+namespace lips::sim {
+
+/// Simulation knobs.
+struct SimConfig {
+  /// HDFS-style ingest replication factor. Hadoop's default pipeline writes
+  /// every block 3×, placing the 2nd replica in a different zone ("off
+  /// rack") and the 3rd next to the 2nd — paying cross-zone transfer for
+  /// them. Baseline schedulers inherit this placement (it is what makes
+  /// data-local scheduling possible); LiPS replaces it with its own
+  /// ReplicationTargetChooser, so LiPS runs use 1 (no extra copies).
+  std::size_t hdfs_replication = 1;
+  /// Seed for the replica-placement randomness (deterministic).
+  std::uint64_t replication_seed = 1;
+  /// Launch speculative duplicates of straggler tasks on otherwise-idle
+  /// slots (Hadoop default behavior; off for LiPS runs, per the paper).
+  bool speculative_execution = false;
+  /// Kill a task whose projected duration exceeds this and requeue it
+  /// (0 disables; Hadoop default is 600 s, the paper's LiPS setting 1200 s).
+  double task_timeout_s = 0.0;
+  /// After this many timeout kills a task is allowed to run to completion
+  /// (prevents livelock on genuinely slow links).
+  std::size_t timeout_retries = 3;
+  /// Hard stop for the simulated clock (safety net for stuck policies).
+  double horizon_s = 60.0 * 24.0 * 3600.0;
+  /// Record a full event trace into SimResult::trace (off by default:
+  /// large runs generate hundreds of thousands of events).
+  bool record_trace = false;
+};
+
+/// One recorded scheduling event (SimConfig::record_trace).
+struct TraceEvent {
+  enum class Kind : unsigned char {
+    JobArrival,
+    TaskLaunch,
+    TaskComplete,
+    TaskCancelled,   ///< lost a speculative race
+    TimeoutKill,
+    DataMoveStart,
+    DataMoveFinish,
+    EpochTick,
+  };
+  Kind kind;
+  double time_s = 0.0;
+  /// Entity ids; unused fields are SIZE_MAX.
+  std::size_t job = SIZE_MAX;
+  std::size_t task = SIZE_MAX;
+  std::size_t machine = SIZE_MAX;
+  std::size_t store = SIZE_MAX;
+  double amount = 0.0;  ///< cost (m¢) for tasks, MB for moves
+};
+
+[[nodiscard]] std::string to_string(TraceEvent::Kind kind);
+
+/// Per-machine accounting (Fig-11 material).
+struct MachineMetrics {
+  double busy_s = 0.0;            ///< wall-clock seconds slots were occupied
+  double cpu_work_ecu_s = 0.0;    ///< ECU-seconds of useful work executed
+  double cpu_cost_mc = 0.0;
+  double read_cost_mc = 0.0;
+  std::size_t tasks_run = 0;
+};
+
+/// Result of one simulation run.
+struct SimResult {
+  bool completed = false;       ///< all tasks finished within the horizon
+  double makespan_s = 0.0;      ///< last task completion time
+  double sum_job_duration_s = 0.0;  ///< Σ_jobs (finish − arrival)
+
+  double total_cost_mc = 0.0;
+  double execution_cost_mc = 0.0;
+  double read_transfer_cost_mc = 0.0;       ///< store → machine input reads
+  double placement_transfer_cost_mc = 0.0;  ///< store → store data moves
+  double ingest_replication_cost_mc = 0.0;  ///< HDFS replica pipeline writes
+
+  double data_local_fraction = 0.0;  ///< tasks served from a co-located store
+
+  std::size_t tasks_completed = 0;
+  std::size_t speculative_launched = 0;
+  std::size_t speculative_wasted = 0;  ///< duplicates cancelled after a win
+  std::size_t timeout_kills = 0;
+  std::size_t epochs = 0;
+
+  std::vector<MachineMetrics> machines;
+  std::vector<double> job_finish_s;  ///< per job; NaN when unfinished
+  std::vector<TraceEvent> trace;     ///< populated when record_trace is set
+
+  [[nodiscard]] double avg_job_duration_s(std::size_t jobs) const {
+    return jobs == 0 ? 0.0 : sum_job_duration_s / static_cast<double>(jobs);
+  }
+};
+
+/// Run `policy` over `workload` on `cluster`. The cluster must be finalized.
+/// Initial data placement: every non-intermediate object fully at its
+/// origin store; intermediate objects (DataObject::produced_by) come into
+/// existence when their producer job completes, distributed across the
+/// stores co-located with the machines that executed the producer's work.
+///
+/// `dependencies`, when given, gates each job on the completion of its DAG
+/// predecessors (in addition to its arrival time) — this is how reduce
+/// stages wait for their map stage (workload/mapreduce.hpp).
+[[nodiscard]] SimResult simulate(const cluster::Cluster& cluster,
+                                 const workload::Workload& workload,
+                                 sched::Scheduler& policy,
+                                 const SimConfig& config = {},
+                                 const workload::JobDag* dependencies = nullptr);
+
+}  // namespace lips::sim

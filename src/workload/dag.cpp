@@ -1,0 +1,74 @@
+#include "workload/dag.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace lips::workload {
+
+JobDag::JobDag(std::size_t n_jobs) : edges_(n_jobs), out_(n_jobs) {}
+
+void JobDag::add_dependency(JobId predecessor, JobId successor) {
+  LIPS_REQUIRE(predecessor.value() < edges_.size(), "unknown predecessor");
+  LIPS_REQUIRE(successor.value() < edges_.size(), "unknown successor");
+  LIPS_REQUIRE(predecessor != successor, "a job cannot depend on itself");
+  auto& preds = edges_[successor.value()];
+  if (std::find(preds.begin(), preds.end(), predecessor.value()) != preds.end())
+    return;  // duplicate edge
+  preds.push_back(predecessor.value());
+  out_[predecessor.value()].push_back(successor.value());
+}
+
+const std::vector<std::size_t>& JobDag::predecessors(JobId job) const {
+  LIPS_REQUIRE(job.value() < edges_.size(), "unknown job");
+  return edges_[job.value()];
+}
+
+bool JobDag::has_cycle() const {
+  // Kahn: if the peeling does not consume every node, a cycle remains.
+  std::vector<std::size_t> indegree(edges_.size(), 0);
+  for (std::size_t j = 0; j < edges_.size(); ++j)
+    indegree[j] = edges_[j].size();
+  std::deque<std::size_t> ready;
+  for (std::size_t j = 0; j < edges_.size(); ++j)
+    if (indegree[j] == 0) ready.push_back(j);
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const std::size_t j = ready.front();
+    ready.pop_front();
+    ++seen;
+    for (const std::size_t succ : out_[j])
+      if (--indegree[succ] == 0) ready.push_back(succ);
+  }
+  return seen != edges_.size();
+}
+
+std::vector<std::vector<JobId>> JobDag::levels() const {
+  LIPS_REQUIRE(!has_cycle(), "cannot level a cyclic dependency graph");
+  std::vector<std::size_t> indegree(edges_.size(), 0);
+  for (std::size_t j = 0; j < edges_.size(); ++j)
+    indegree[j] = edges_[j].size();
+
+  std::vector<std::vector<JobId>> levels;
+  std::vector<std::size_t> frontier;
+  for (std::size_t j = 0; j < edges_.size(); ++j)
+    if (indegree[j] == 0) frontier.push_back(j);
+
+  while (!frontier.empty()) {
+    std::vector<JobId> level;
+    level.reserve(frontier.size());
+    std::vector<std::size_t> next;
+    for (const std::size_t j : frontier) {
+      level.push_back(JobId{j});
+      for (const std::size_t succ : out_[j])
+        if (--indegree[succ] == 0) next.push_back(succ);
+    }
+    std::sort(level.begin(), level.end());
+    levels.push_back(std::move(level));
+    frontier = std::move(next);
+  }
+  return levels;
+}
+
+}  // namespace lips::workload

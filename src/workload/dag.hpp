@@ -1,0 +1,48 @@
+// Job-dependency DAGs and leveling (paper §III):
+//
+//   "Workloads with inter-task dependencies (often expressed as a DAG) can
+//    be reduced to the independent task setting through leveling
+//    techniques, in which sets of mutually independent tasks of the DAG are
+//    organized into 'levels' within which independent task set scheduling
+//    is then applied [Alhusaini et al.]."
+//
+// JobDag captures precedence edges between jobs of a Workload; levels()
+// performs the Kahn-style layering: level 0 holds jobs with no
+// prerequisites, level i+1 holds jobs whose prerequisites all sit in levels
+// <= i. The LiPS per-level scheduling driver lives in core/dag_driver.hpp.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace lips::workload {
+
+class JobDag {
+ public:
+  /// A DAG over jobs 0..n_jobs-1 (indices of the companion Workload).
+  explicit JobDag(std::size_t n_jobs);
+
+  [[nodiscard]] std::size_t job_count() const { return edges_.size(); }
+
+  /// Declare that `successor` may only start after `predecessor` completes.
+  /// Self-edges are rejected; duplicate edges are ignored.
+  void add_dependency(JobId predecessor, JobId successor);
+
+  /// Direct predecessors of a job.
+  [[nodiscard]] const std::vector<std::size_t>& predecessors(JobId job) const;
+
+  /// True if the edge set contains a cycle (no valid leveling exists).
+  [[nodiscard]] bool has_cycle() const;
+
+  /// Kahn layering: level 0 = jobs with no prerequisites; each later level
+  /// = jobs whose prerequisites are all in earlier levels. Throws
+  /// PreconditionError if the graph has a cycle.
+  [[nodiscard]] std::vector<std::vector<JobId>> levels() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> edges_;  // successor -> predecessors
+  std::vector<std::vector<std::size_t>> out_;    // predecessor -> successors
+};
+
+}  // namespace lips::workload

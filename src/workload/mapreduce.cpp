@@ -1,0 +1,50 @@
+#include "workload/mapreduce.hpp"
+
+#include "common/error.hpp"
+
+namespace lips::workload {
+
+MapReduceJob add_mapreduce_job(Workload& workload, JobDag& dag,
+                               const MapReduceSpec& spec) {
+  LIPS_REQUIRE(spec.input.value() < workload.data_count(),
+               "MapReduce spec references unknown input data");
+  LIPS_REQUIRE(spec.map_tasks > 0, "map stage needs tasks");
+  LIPS_REQUIRE(spec.shuffle_fraction >= 0.0 && spec.shuffle_fraction <= 1.0,
+               "shuffle fraction must be in [0,1]");
+
+  MapReduceJob out{JobId{0}, std::nullopt, std::nullopt};
+
+  Job map;
+  map.name = spec.name + "-map";
+  map.tcp_cpu_s_per_mb = spec.map_cpu_s_per_mb;
+  map.data = {spec.input};
+  map.num_tasks = spec.map_tasks;
+  out.map = workload.add_job(std::move(map));
+  LIPS_REQUIRE(out.map.value() < dag.job_count(),
+               "JobDag too small for the jobs being added");
+
+  if (spec.reduce_tasks == 0) return out;
+  LIPS_REQUIRE(spec.shuffle_fraction > 0.0,
+               "a reduce stage needs a positive shuffle volume");
+
+  DataObject inter;
+  inter.name = spec.name + "-shuffle";
+  inter.size_mb = spec.shuffle_fraction * workload.data(spec.input).size_mb;
+  inter.origin = workload.data(spec.input).origin;  // placeholder until produced
+  inter.produced_by = out.map.value();
+  out.intermediate = workload.add_data(std::move(inter));
+
+  Job reduce;
+  reduce.name = spec.name + "-reduce";
+  reduce.tcp_cpu_s_per_mb = spec.reduce_cpu_s_per_mb;
+  reduce.data = {*out.intermediate};
+  reduce.num_tasks = spec.reduce_tasks;
+  out.reduce = workload.add_job(std::move(reduce));
+  LIPS_REQUIRE(out.reduce->value() < dag.job_count(),
+               "JobDag too small for the jobs being added");
+
+  dag.add_dependency(out.map, *out.reduce);
+  return out;
+}
+
+}  // namespace lips::workload

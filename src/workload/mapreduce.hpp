@@ -1,0 +1,53 @@
+// Two-stage MapReduce jobs: map + shuffle + reduce.
+//
+// The paper's evaluation is map-centric (its Table-IV jobs are counted in
+// map tasks), but the MapReduce model it builds on has a reduce stage whose
+// input is the shuffled map output — and the paper notes that "reduce
+// operations are scheduled preferably close to their target data" (§II).
+// This module expresses a MapReduce job as *two* LiPS jobs joined by a
+// dependency edge:
+//
+//   * the map job reads the input data object;
+//   * an intermediate data object (size = shuffle_fraction × input) stands
+//     for the map output; the simulator materializes it across the stores
+//     co-located with the machines that executed the map work (local map
+//     output writes are free, exactly like Hadoop);
+//   * the reduce job reads the intermediate object — its shuffle traffic,
+//     locality, and dollar cost all fall out of the existing machinery,
+//     and cost-aware scheduling of reducers comes for free through the LP.
+#pragma once
+
+#include "workload/dag.hpp"
+#include "workload/workload.hpp"
+
+namespace lips::workload {
+
+/// Specification of a full map+reduce job.
+struct MapReduceSpec {
+  std::string name;
+  DataId input;                    ///< must already exist in the workload
+  double map_cpu_s_per_mb = 1.0;   ///< TCP of the map stage
+  std::size_t map_tasks = 1;
+  std::size_t reduce_tasks = 0;    ///< 0 = map-only job
+  /// Intermediate (shuffle) volume as a fraction of the map input. Grep
+  /// emits almost nothing (~0), sort/shuffle-heavy jobs approach 1.
+  double shuffle_fraction = 0.3;
+  double reduce_cpu_s_per_mb = 1.0;  ///< CPU per MB of shuffle data consumed
+};
+
+/// Handles of the jobs created for one MapReduce spec.
+struct MapReduceJob {
+  JobId map;
+  std::optional<JobId> reduce;        ///< absent for map-only specs
+  std::optional<DataId> intermediate; ///< absent for map-only specs
+};
+
+/// Expand `spec` into workload jobs plus the DAG edge gating the reduce
+/// stage on map completion. `dag` must have been sized for the final job
+/// count (use JobDag sized >= workload job count after all additions) —
+/// both the map and reduce job ids are returned for wiring further
+/// pipeline stages.
+[[nodiscard]] MapReduceJob add_mapreduce_job(Workload& workload, JobDag& dag,
+                                             const MapReduceSpec& spec);
+
+}  // namespace lips::workload

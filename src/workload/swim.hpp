@@ -1,0 +1,54 @@
+// SWIM-style Facebook workload synthesis.
+//
+// The paper's 100-node experiment (its Fig. 9/10) replays a 400-job workload
+// built with SWIM from the FB-2010 Facebook trace (24 one-hour samples, one
+// day total), "composed of interactive (short), medium-size and long jobs".
+// We do not ship the proprietary trace; instead this generator synthesizes a
+// workload with the same published shape: a heavy-tailed job-size mix
+// dominated by small interactive jobs, a band of medium jobs, and a few very
+// large jobs, with arrivals spread over the day. See DESIGN.md §2 for the
+// substitution rationale.
+#pragma once
+
+#include "common/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace lips::workload {
+
+/// Knobs of the synthetic Facebook-like day. The defaults reproduce the
+/// paper's setup (400 jobs / 24 hours) with SWIM's published class mix.
+struct SwimParams {
+  std::size_t n_jobs = 400;
+  double duration_s = 24.0 * 3600.0;
+
+  // Job-class mix (fractions must sum to <= 1; remainder goes to `large`).
+  double interactive_fraction = 0.62;  ///< 1–10 map tasks, <= ~1 GB input
+  double medium_fraction = 0.28;       ///< 10–150 tasks, ~1–20 GB
+
+  // Lognormal input-size parameters per class (MB).
+  double interactive_mu = 4.0, interactive_sigma = 1.2;  ///< median ~55 MB
+  double medium_mu = 8.0, medium_sigma = 0.8;            ///< median ~3 GB
+  double large_mu = 10.3, large_sigma = 0.6;             ///< median ~29 GB
+
+  /// Cap on any single job's input (keeps the tail within cluster capacity).
+  double max_input_mb = 100.0 * 1024.0;
+};
+
+/// Per-job class annotation, parallel to the generated workload's job list
+/// (useful for reporting short/medium/long statistics).
+enum class SwimClass { Interactive, Medium, Large };
+
+struct SwimWorkload {
+  Workload workload;
+  std::vector<SwimClass> classes;  ///< one entry per job
+};
+
+/// Synthesize the workload. Input data objects are scattered uniformly over
+/// `cluster`'s stores; CPU intensiveness per job is drawn from the paper's
+/// Table-I profile spectrum; arrivals are uniform over [0, duration_s).
+/// Jobs are returned sorted by arrival time.
+[[nodiscard]] SwimWorkload make_swim_workload(const SwimParams& params,
+                                              const cluster::Cluster& cluster,
+                                              Rng& rng);
+
+}  // namespace lips::workload

@@ -1,0 +1,163 @@
+#include "workload/workload.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace lips::workload {
+
+DataId Workload::add_data(DataObject d) {
+  LIPS_REQUIRE(d.size_mb > 0, "data object must have positive size");
+  data_.push_back(std::move(d));
+  return DataId{data_.size() - 1};
+}
+
+JobId Workload::add_job(Job j) {
+  LIPS_REQUIRE(j.num_tasks > 0, "job must have at least one task");
+  LIPS_REQUIRE(j.tcp_cpu_s_per_mb >= 0, "TCP must be >= 0");
+  LIPS_REQUIRE(j.cpu_fixed_ecu_s >= 0, "fixed CPU must be >= 0");
+  LIPS_REQUIRE(j.tcp_cpu_s_per_mb > 0 || j.cpu_fixed_ecu_s > 0 ||
+                   !j.data.empty(),
+               "job must demand some resource");
+  for (DataId d : j.data)
+    LIPS_REQUIRE(d.value() < data_.size(), "job references unknown data");
+  if (!j.data_fractions.empty()) {
+    LIPS_REQUIRE(j.data_fractions.size() == j.data.size(),
+                 "data_fractions must parallel data");
+    for (double f : j.data_fractions)
+      LIPS_REQUIRE(f > 0.0 && f <= 1.0, "access fraction must be in (0,1]");
+  }
+  jobs_.push_back(std::move(j));
+  return JobId{jobs_.size() - 1};
+}
+
+double Workload::job_access_fraction(JobId j, std::size_t idx) const {
+  const Job& job_ref = job(j);
+  LIPS_REQUIRE(idx < job_ref.data.size(), "access index out of range");
+  if (job_ref.data_fractions.empty()) return 1.0;
+  return job_ref.data_fractions[idx];
+}
+
+double Workload::job_input_mb(JobId j) const {
+  const Job& job_ref = job(j);
+  double mb = 0.0;
+  for (std::size_t i = 0; i < job_ref.data.size(); ++i)
+    mb += job_access_fraction(j, i) * data(job_ref.data[i]).size_mb;
+  return mb;
+}
+
+double Workload::job_cpu_ecu_s(JobId j) const {
+  const Job& job_ref = job(j);
+  return job_ref.tcp_cpu_s_per_mb * job_input_mb(j) + job_ref.cpu_fixed_ecu_s;
+}
+
+double Workload::total_input_mb() const {
+  double mb = 0.0;
+  for (const DataObject& d : data_) mb += d.size_mb;
+  return mb;
+}
+
+double Workload::total_cpu_ecu_s() const {
+  double s = 0.0;
+  for (std::size_t j = 0; j < jobs_.size(); ++j) s += job_cpu_ecu_s(JobId{j});
+  return s;
+}
+
+std::size_t Workload::total_tasks() const {
+  std::size_t n = 0;
+  for (const Job& j : jobs_) n += j.num_tasks;
+  return n;
+}
+
+namespace {
+// Table I of the paper: CPU seconds per 64 MB block.
+constexpr std::array<JobProfile, 5> kProfiles{{
+    {"Grep", 20.0, "I/O"},
+    {"Stress1", 37.0, "I/O"},
+    {"Stress2", 75.0, "Mixed"},
+    {"WordCount", 90.0, "CPU"},
+    {"Pi", -1.0, "CPU"},  // ∞ CPU-per-byte: no input at all
+}};
+}  // namespace
+
+const JobProfile& grep_profile() { return kProfiles[0]; }
+const JobProfile& stress1_profile() { return kProfiles[1]; }
+const JobProfile& stress2_profile() { return kProfiles[2]; }
+const JobProfile& wordcount_profile() { return kProfiles[3]; }
+const JobProfile& pi_profile() { return kProfiles[4]; }
+std::span<const JobProfile> job_profiles() { return kProfiles; }
+
+Workload make_table4_workload(const cluster::Cluster& cluster, Rng& rng) {
+  LIPS_REQUIRE(cluster.store_count() > 0, "cluster has no data stores");
+  Workload w;
+
+  auto random_store = [&] { return StoreId{rng.index(cluster.store_count())}; };
+
+  auto add_input_job = [&](const std::string& name, const JobProfile& profile,
+                           double input_gb, std::size_t tasks) {
+    DataObject d;
+    d.name = name + "-input";
+    d.size_mb = input_gb * kMBPerGB;
+    d.origin = random_store();
+    const DataId did = w.add_data(std::move(d));
+    Job j;
+    j.name = name;
+    j.tcp_cpu_s_per_mb = profile.tcp_cpu_s_per_mb();
+    j.data = {did};
+    j.num_tasks = tasks;
+    w.add_job(std::move(j));
+  };
+
+  // Table IV: J1-2 Pi (4 tasks each, no input), J3-4 WordCount (160 tasks,
+  // 10 GB each), J5-7 Grep (320 tasks, 20 GB each), J8-9 Stress2 (160
+  // tasks, 10 GB each) → 1608 map tasks, 100 GB total input.
+  for (int i = 1; i <= 2; ++i) {
+    Job j;
+    j.name = "J" + std::to_string(i) + "-Pi";
+    j.cpu_fixed_ecu_s = 4.0 * kPiTaskCpuEcuS;
+    j.num_tasks = 4;
+    w.add_job(std::move(j));
+  }
+  for (int i = 3; i <= 4; ++i)
+    add_input_job("J" + std::to_string(i) + "-WordCount", wordcount_profile(),
+                  10.0, 160);
+  for (int i = 5; i <= 7; ++i)
+    add_input_job("J" + std::to_string(i) + "-Grep", grep_profile(), 20.0, 320);
+  for (int i = 8; i <= 9; ++i)
+    add_input_job("J" + std::to_string(i) + "-Stress2", stress2_profile(), 10.0,
+                  160);
+  LIPS_ASSERT(w.total_tasks() == 1608, "Table IV task count mismatch");
+  return w;
+}
+
+Workload make_random_workload(const RandomWorkloadParams& params,
+                              const cluster::Cluster& cluster, Rng& rng) {
+  LIPS_REQUIRE(params.n_tasks > 0, "workload needs tasks");
+  LIPS_REQUIRE(params.tasks_per_job > 0, "tasks_per_job must be positive");
+  LIPS_REQUIRE(cluster.store_count() > 0, "cluster has no data stores");
+  Workload w;
+  std::size_t remaining = params.n_tasks;
+  std::size_t seq = 0;
+  while (remaining > 0) {
+    const std::size_t tasks = std::min(params.tasks_per_job, remaining);
+    remaining -= tasks;
+
+    const double input_mb =
+        std::max(1.0, rng.uniform(params.input_lo_mb, params.input_hi_mb));
+    DataObject d;
+    d.name = "rnd-data-" + std::to_string(seq);
+    d.size_mb = input_mb;
+    d.origin = StoreId{rng.index(cluster.store_count())};
+    const DataId did = w.add_data(std::move(d));
+
+    Job j;
+    j.name = "rnd-job-" + std::to_string(seq++);
+    const double cpu = rng.uniform(params.cpu_lo_ecu_s, params.cpu_hi_ecu_s);
+    j.tcp_cpu_s_per_mb = cpu / input_mb;
+    j.data = {did};
+    j.num_tasks = tasks;
+    w.add_job(std::move(j));
+  }
+  return w;
+}
+
+}  // namespace lips::workload

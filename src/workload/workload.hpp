@@ -1,0 +1,159 @@
+// Jobs J and data objects D of the LiPS model (paper §III).
+//
+// A job is divisible into virtually identical tasks; its compute profile is
+// captured by TCP(k), CPU seconds per MB ingested (paper Table I measures
+// this in "EC2 compute unit seconds per 64 MB block"). A data object has a
+// size and an original store O_i; the JD access matrix is stored as an
+// adjacency list on each job.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "cluster/cluster.hpp"
+
+namespace lips::workload {
+
+/// A data object stored in the distributed file system.
+struct DataObject {
+  DataObject() = default;
+  DataObject(std::string name_, double size_mb_, StoreId origin_)
+      : name(std::move(name_)), size_mb(size_mb_), origin(origin_) {}
+
+  std::string name;
+  double size_mb = 0.0;
+  StoreId origin;  ///< O_i: the store where the object initially resides
+
+  /// For intermediate (shuffle) data: the job whose map output this object
+  /// is. Such objects do not exist at simulation start — the simulator
+  /// materializes them across the producer's machines when it completes,
+  /// and `origin` is only a placeholder until then. See workload/mapreduce.hpp.
+  std::optional<std::size_t> produced_by;
+
+  [[nodiscard]] bool is_intermediate() const { return produced_by.has_value(); }
+  [[nodiscard]] double blocks() const { return mb_to_blocks(size_mb); }
+};
+
+/// A MapReduce job.
+struct Job {
+  std::string name;
+  /// TCP(k): ECU-seconds of CPU per MB of input consumed.
+  double tcp_cpu_s_per_mb = 0.0;
+  /// Fixed CPU demand independent of input (the Pi estimator's profile —
+  /// "CPU second / data size = ∞" is modeled as input-free fixed work).
+  double cpu_fixed_ecu_s = 0.0;
+  /// Data objects this job accesses (the nonzero JD_{k,*} columns).
+  std::vector<DataId> data;
+  /// Partial-access ratios (paper §III: "fractional values in JD_{ij}
+  /// representing the ratio of the expected data traffic between J_i and
+  /// D_j to the total size of D_j"). Parallel to `data`; empty means every
+  /// access is full (JD = 1). Affects traffic (reads, CPU-per-input,
+  /// bandwidth) but not the placement-linking constraint — a reader still
+  /// needs the object present where it reads.
+  std::vector<double> data_fractions;
+  /// Number of map tasks the job splits into.
+  std::size_t num_tasks = 1;
+  /// Arrival time for the online setting (seconds from experiment start).
+  double arrival_s = 0.0;
+};
+
+/// A workload: the job set J plus the data-object set D they reference.
+class Workload {
+ public:
+  DataId add_data(DataObject d);
+  JobId add_job(Job j);
+
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t data_count() const { return data_.size(); }
+
+  [[nodiscard]] const Job& job(JobId j) const {
+    LIPS_REQUIRE(j.value() < jobs_.size(), "job id out of range");
+    return jobs_[j.value()];
+  }
+  [[nodiscard]] const DataObject& data(DataId d) const {
+    LIPS_REQUIRE(d.value() < data_.size(), "data id out of range");
+    return data_[d.value()];
+  }
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] const std::vector<DataObject>& data_objects() const {
+    return data_;
+  }
+
+  /// JD_{k,i} for the job's idx-th access (1.0 unless partial).
+  [[nodiscard]] double job_access_fraction(JobId j, std::size_t idx) const;
+
+  /// Total input MB a job reads: Σ JD_{k,i} · Size(D_i) over its accesses.
+  [[nodiscard]] double job_input_mb(JobId j) const;
+
+  /// Total CPU demand of a job in ECU-seconds:
+  /// CPU(J) = TCP(k) * Σ Size(D_i accessed) + fixed.
+  [[nodiscard]] double job_cpu_ecu_s(JobId j) const;
+
+  /// Totals across the workload (for reporting).
+  [[nodiscard]] double total_input_mb() const;
+  [[nodiscard]] double total_cpu_ecu_s() const;
+  [[nodiscard]] std::size_t total_tasks() const;
+
+ private:
+  std::vector<DataObject> data_;
+  std::vector<Job> jobs_;
+};
+
+// --- Paper Table I job profiles (CPU seconds per 64 MB input block) --------
+
+/// CPU-intensiveness profile of a benchmark job type.
+struct JobProfile {
+  std::string_view name;
+  /// ECU-seconds of CPU per 64 MB block; <0 encodes "∞" (no input; Pi).
+  double cpu_s_per_block;
+  std::string_view character;  ///< "I/O", "Mixed", or "CPU" per Table I
+
+  [[nodiscard]] bool input_free() const { return cpu_s_per_block < 0; }
+  [[nodiscard]] double tcp_cpu_s_per_mb() const {
+    LIPS_REQUIRE(!input_free(), "Pi has no per-MB profile");
+    return cpu_s_per_block / kBlockSizeMB;
+  }
+};
+
+[[nodiscard]] const JobProfile& grep_profile();       ///< 20 s/block, I/O
+[[nodiscard]] const JobProfile& stress1_profile();    ///< 37 s/block, I/O
+[[nodiscard]] const JobProfile& stress2_profile();    ///< 75 s/block, Mixed
+[[nodiscard]] const JobProfile& wordcount_profile();  ///< 90 s/block, CPU
+[[nodiscard]] const JobProfile& pi_profile();         ///< ∞ (input-free), CPU
+[[nodiscard]] std::span<const JobProfile> job_profiles();
+
+/// ECU-seconds one Pi-estimator task costs (1 billion samples; calibrated to
+/// the Table IV experiments where a Pi job has 4 such tasks).
+inline constexpr double kPiTaskCpuEcuS = 400.0;
+
+// --- Paper Table IV workload (J1–J9, 1608 map tasks, 100 GB input) ---------
+
+/// Build the 9-job workload of paper Table IV. Each job's input data object
+/// is placed on a random store of `cluster` (uniformly, mirroring HDFS
+/// random block placement at ingest).
+[[nodiscard]] Workload make_table4_workload(const cluster::Cluster& cluster,
+                                            Rng& rng);
+
+// --- Random workload for the Fig-5 simulation sweep ------------------------
+
+/// Fig-5 caption ranges: job CPU requirement U[0, 1000] ECU-seconds, input
+/// size U[0, 6 GB]; every job reads one data object from a random origin.
+struct RandomWorkloadParams {
+  std::size_t n_tasks = 200;         ///< total tasks across all jobs (J axis)
+  std::size_t tasks_per_job = 10;    ///< granularity used to form jobs
+  double cpu_lo_ecu_s = 0.0;
+  double cpu_hi_ecu_s = 1000.0;
+  double input_lo_mb = 0.0;
+  double input_hi_mb = 6.0 * kMBPerGB;
+};
+
+[[nodiscard]] Workload make_random_workload(const RandomWorkloadParams& params,
+                                            const cluster::Cluster& cluster,
+                                            Rng& rng);
+
+}  // namespace lips::workload

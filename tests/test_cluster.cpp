@@ -1,0 +1,219 @@
+// Unit tests for src/cluster: instance catalog, cluster assembly, matrices,
+// and the paper's experimental topology builders.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+
+namespace lips::cluster {
+namespace {
+
+// ----------------------------------------------------------- catalog ------
+
+TEST(InstanceCatalog, TableIIIValues) {
+  EXPECT_EQ(m1_small().name, "m1.small");
+  EXPECT_DOUBLE_EQ(m1_small().ecu, 1.0);
+  EXPECT_DOUBLE_EQ(m1_small().memory_gb, 1.7);
+
+  EXPECT_EQ(m1_medium().name, "m1.medium");
+  EXPECT_DOUBLE_EQ(m1_medium().ecu, 2.0);
+  EXPECT_DOUBLE_EQ(m1_medium().storage_gb, 410.0);
+
+  EXPECT_EQ(c1_medium().name, "c1.medium");
+  EXPECT_DOUBLE_EQ(c1_medium().ecu, 5.0);
+  EXPECT_DOUBLE_EQ(c1_medium().vcores, 2.0);
+
+  EXPECT_EQ(instance_catalog().size(), 3u);
+}
+
+TEST(InstanceCatalog, C1Medium4To5TimesCheaperPerEcuSecond) {
+  // Paper Table III: "in terms of cost per EC2 compute unit CPU second,
+  // c1.medium is 4-5 times cheaper than m1.medium".
+  const double ratio =
+      m1_medium().cpu_price_mid_mc() / c1_medium().cpu_price_mid_mc();
+  EXPECT_GE(ratio, 4.0);
+  EXPECT_LE(ratio, 5.5);
+}
+
+TEST(InstanceCatalog, FootnotePriceBands) {
+  EXPECT_NEAR(c1_medium().cpu_price_low_mc, 0.92, 1e-9);
+  EXPECT_NEAR(c1_medium().cpu_price_high_mc, 1.28, 1e-9);
+  EXPECT_NEAR(m1_medium().cpu_price_low_mc, 4.44, 1e-9);
+  EXPECT_NEAR(m1_medium().cpu_price_high_mc, 6.39, 1e-9);
+}
+
+// ------------------------------------------------------------ assembly ----
+
+TEST(ClusterBuild, EntityValidation) {
+  Cluster c;
+  const ZoneId z = c.add_zone("z0");
+  Machine bad;
+  bad.zone = ZoneId{7};
+  EXPECT_THROW(c.add_machine(bad), PreconditionError);
+  Machine m;
+  m.zone = z;
+  m.throughput_ecu = 0.0;
+  EXPECT_THROW(c.add_machine(m), PreconditionError);
+  m.throughput_ecu = 2.0;
+  const MachineId id = c.add_machine(m);
+  EXPECT_EQ(id.value(), 0u);
+
+  DataStore s;
+  s.zone = z;
+  s.capacity_mb = 0.0;
+  EXPECT_THROW(c.add_store(s), PreconditionError);
+  s.capacity_mb = 100.0;
+  s.colocated_machine = 42;
+  EXPECT_THROW(c.add_store(s), PreconditionError);
+  s.colocated_machine = 0;
+  EXPECT_EQ(c.add_store(s).value(), 0u);
+}
+
+TEST(ClusterBuild, MatrixAccessRequiresFinalize) {
+  Cluster c;
+  const ZoneId z = c.add_zone("z0");
+  c.add_ec2_node(m1_medium(), z);
+  EXPECT_THROW((void)c.ms_cost_mc_per_mb(MachineId{0}, StoreId{0}),
+               PreconditionError);
+  c.finalize();
+  EXPECT_NO_THROW((void)c.ms_cost_mc_per_mb(MachineId{0}, StoreId{0}));
+  EXPECT_THROW(c.finalize(), PreconditionError);          // double finalize
+  Machine m;
+  m.zone = z;
+  EXPECT_THROW(c.add_machine(m), PreconditionError);      // add after finalize
+}
+
+TEST(ClusterBuild, ZoneDerivedCostsAndBandwidths) {
+  Cluster c;
+  const ZoneId za = c.add_zone("a");
+  const ZoneId zb = c.add_zone("b");
+  const MachineId ma = c.add_ec2_node(m1_medium(), za);
+  const MachineId mb = c.add_ec2_node(m1_medium(), zb);
+  c.finalize();
+  const StoreId sa = *c.store_of_machine(ma);
+  const StoreId sb = *c.store_of_machine(mb);
+
+  // Local path: free and fastest.
+  EXPECT_DOUBLE_EQ(c.ms_cost_mc_per_mb(ma, sa), 0.0);
+  EXPECT_DOUBLE_EQ(c.bandwidth_mb_s(ma, sa), Cluster::kLocalBandwidthMBs);
+  // Cross-zone: billed at $0.01/GB = 62.5 m¢ per 64 MB block; 250 Mb/s.
+  EXPECT_NEAR(c.ms_cost_mc_per_mb(ma, sb) * kBlockSizeMB, 62.5, 1e-9);
+  EXPECT_DOUBLE_EQ(c.bandwidth_mb_s(ma, sb), Cluster::kInterZoneBandwidthMBs);
+  // Store-store cross-zone symmetric.
+  EXPECT_DOUBLE_EQ(c.ss_cost_mc_per_mb(sa, sb), c.ss_cost_mc_per_mb(sb, sa));
+  EXPECT_DOUBLE_EQ(c.ss_cost_mc_per_mb(sa, sa), 0.0);
+}
+
+TEST(ClusterBuild, ExecutionHelpers) {
+  Cluster c;
+  const ZoneId z = c.add_zone("z");
+  const MachineId m = c.add_ec2_node(c1_medium(), z);
+  c.finalize();
+  // c1.medium: 5 ECU → 100 ECU-seconds of work takes 20 wall seconds.
+  EXPECT_DOUBLE_EQ(c.execution_time_s(m, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(c.execution_cost_mc(m, 100.0),
+                   100.0 * c1_medium().cpu_price_mid_mc());
+}
+
+TEST(ClusterBuild, OverridesAfterFinalize) {
+  Cluster c;
+  const ZoneId z = c.add_zone("z");
+  c.add_ec2_node(m1_small(), z);
+  c.finalize();
+  c.set_ms_cost_mc_per_mb(MachineId{0}, StoreId{0}, 3.5);
+  EXPECT_DOUBLE_EQ(c.ms_cost_mc_per_mb(MachineId{0}, StoreId{0}), 3.5);
+  c.set_bandwidth_mb_s(MachineId{0}, StoreId{0}, 10.0);
+  EXPECT_DOUBLE_EQ(c.bandwidth_mb_s(MachineId{0}, StoreId{0}), 10.0);
+  EXPECT_THROW(c.set_bandwidth_mb_s(MachineId{0}, StoreId{0}, 0.0),
+               PreconditionError);
+}
+
+// ------------------------------------------------------------ builders ----
+
+TEST(Ec2ClusterBuilder, TwentyNodeMixedCluster) {
+  const Cluster c = make_ec2_cluster(20, 0.5, 3);
+  EXPECT_EQ(c.machine_count(), 20u);
+  EXPECT_EQ(c.store_count(), 20u);  // one co-located store per node
+  EXPECT_EQ(c.zone_count(), 3u);
+  std::size_t c1 = 0;
+  for (std::size_t l = 0; l < 20; ++l) {
+    if (c.machine(MachineId{l}).name.starts_with("c1.medium")) ++c1;
+  }
+  EXPECT_EQ(c1, 10u);
+}
+
+TEST(Ec2ClusterBuilder, ZonesRoundRobin) {
+  const Cluster c = make_ec2_cluster(9, 0.0, 3);
+  std::array<int, 3> per_zone{0, 0, 0};
+  for (std::size_t l = 0; l < 9; ++l)
+    per_zone[c.machine(MachineId{l}).zone.value()] += 1;
+  EXPECT_EQ(per_zone[0], 3);
+  EXPECT_EQ(per_zone[1], 3);
+  EXPECT_EQ(per_zone[2], 3);
+}
+
+TEST(Ec2ClusterBuilder, ThreeTypeHundredNodeCluster) {
+  // The Fig-9 testbed: three instance types across three zones.
+  const Cluster c = make_ec2_cluster(100, 0.34, 3, 0.33);
+  std::size_t small = 0, medium = 0, c1 = 0;
+  for (std::size_t l = 0; l < 100; ++l) {
+    const auto& name = c.machine(MachineId{l}).name;
+    if (name.starts_with("m1.small")) ++small;
+    else if (name.starts_with("m1.medium")) ++medium;
+    else ++c1;
+  }
+  EXPECT_EQ(c1, 34u);
+  EXPECT_EQ(small, 33u);
+  EXPECT_EQ(medium, 33u);
+}
+
+TEST(Ec2ClusterBuilder, InvalidFractionsThrow) {
+  EXPECT_THROW(make_ec2_cluster(0, 0.0), PreconditionError);
+  EXPECT_THROW(make_ec2_cluster(10, 1.5), PreconditionError);
+  EXPECT_THROW(make_ec2_cluster(10, 0.7, 3, 0.7), PreconditionError);
+}
+
+TEST(RandomClusterBuilder, RespectsParameterRanges) {
+  Rng rng(42);
+  RandomClusterParams p;
+  p.n_machines = 15;
+  p.n_stores = 25;
+  const Cluster c = make_random_cluster(p, rng);
+  EXPECT_EQ(c.machine_count(), 15u);
+  EXPECT_EQ(c.store_count(), 25u);
+  for (std::size_t l = 0; l < 15; ++l) {
+    const Machine& m = c.machine(MachineId{l});
+    EXPECT_GE(m.cpu_price_mc, p.cpu_price_lo_mc);
+    EXPECT_LE(m.cpu_price_mc, p.cpu_price_hi_mc);
+    EXPECT_GE(m.throughput_ecu, p.throughput_lo_ecu);
+    EXPECT_LE(m.throughput_ecu, p.throughput_hi_ecu);
+  }
+  // Transfer costs within the Fig-5 range (0–60 m¢ per block).
+  for (std::size_t l = 0; l < 15; ++l) {
+    for (std::size_t s = 0; s < 25; ++s) {
+      const double per_block =
+          c.ms_cost_mc_per_mb(MachineId{l}, StoreId{s}) * kBlockSizeMB;
+      EXPECT_GE(per_block, 0.0);
+      EXPECT_LE(per_block, 60.0);
+    }
+  }
+  // Co-located links are free.
+  for (std::size_t l = 0; l < 15; ++l)
+    EXPECT_DOUBLE_EQ(c.ms_cost_mc_per_mb(MachineId{l}, StoreId{l}), 0.0);
+}
+
+TEST(RandomClusterBuilder, DeterministicForSeed) {
+  RandomClusterParams p;
+  Rng r1(7), r2(7);
+  const Cluster a = make_random_cluster(p, r1);
+  const Cluster b = make_random_cluster(p, r2);
+  for (std::size_t l = 0; l < a.machine_count(); ++l) {
+    EXPECT_DOUBLE_EQ(a.machine(MachineId{l}).cpu_price_mc,
+                     b.machine(MachineId{l}).cpu_price_mc);
+  }
+  EXPECT_DOUBLE_EQ(a.ms_cost_mc_per_mb(MachineId{2}, StoreId{9}),
+                   b.ms_cost_mc_per_mb(MachineId{2}, StoreId{9}));
+}
+
+}  // namespace
+}  // namespace lips::cluster

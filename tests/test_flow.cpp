@@ -1,0 +1,223 @@
+// Tests for the min-cost-flow substrate (src/flow) and the Quincy-style
+// flow scheduler (src/sched/flow_scheduler).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/lips_policy.hpp"
+#include "flow/min_cost_flow.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sched/flow_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace lips {
+namespace {
+
+// --------------------------------------------------------------- solver ---
+
+TEST(MinCostFlowTest, SimplePath) {
+  flow::MinCostFlow net;
+  const auto s = net.add_node();
+  const auto m = net.add_node();
+  const auto t = net.add_node();
+  const auto a1 = net.add_arc(s, m, 5, 1.0);
+  const auto a2 = net.add_arc(m, t, 3, 2.0);
+  const auto r = net.solve(s, t);
+  EXPECT_EQ(r.max_flow, 3);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3 * 3.0);
+  EXPECT_EQ(net.flow_on(a1), 3);
+  EXPECT_EQ(net.flow_on(a2), 3);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperParallelArc) {
+  flow::MinCostFlow net;
+  const auto s = net.add_node();
+  const auto t = net.add_node();
+  const auto cheap = net.add_arc(s, t, 2, 1.0);
+  const auto dear = net.add_arc(s, t, 5, 10.0);
+  const auto r = net.solve(s, t, 4);
+  EXPECT_EQ(r.max_flow, 4);
+  EXPECT_EQ(net.flow_on(cheap), 2);
+  EXPECT_EQ(net.flow_on(dear), 2);
+  EXPECT_DOUBLE_EQ(r.total_cost, 2 * 1.0 + 2 * 10.0);
+}
+
+TEST(MinCostFlowTest, ReroutesThroughResidualArcs) {
+  // Classic case where the cheap first path must be partially undone.
+  flow::MinCostFlow net;
+  const auto s = net.add_node();
+  const auto a = net.add_node();
+  const auto b = net.add_node();
+  const auto t = net.add_node();
+  net.add_arc(s, a, 1, 1.0);
+  net.add_arc(s, b, 1, 4.0);
+  net.add_arc(a, b, 1, 1.0);
+  net.add_arc(a, t, 1, 6.0);
+  net.add_arc(b, t, 2, 1.0);
+  const auto r = net.solve(s, t);
+  EXPECT_EQ(r.max_flow, 2);
+  // Optimal: s→a→b→t (3) + s→b→t (5) = 8.
+  EXPECT_DOUBLE_EQ(r.total_cost, 8.0);
+}
+
+TEST(MinCostFlowTest, AssignmentProblemMatchesBruteForce) {
+  // 4 workers x 4 jobs, random costs; flow result equals exhaustive search.
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    double cost[4][4];
+    for (auto& row : cost)
+      for (double& v : row) v = rng.uniform(0.0, 10.0);
+
+    flow::MinCostFlow net;
+    const auto s = net.add_node();
+    const auto t = net.add_node();
+    const auto workers = net.add_nodes(4);
+    const auto jobs = net.add_nodes(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      net.add_arc(s, workers + i, 1, 0.0);
+      net.add_arc(jobs + i, t, 1, 0.0);
+      for (std::size_t j = 0; j < 4; ++j)
+        net.add_arc(workers + i, jobs + j, 1, cost[i][j]);
+    }
+    const auto r = net.solve(s, t);
+    ASSERT_EQ(r.max_flow, 4);
+
+    std::array<int, 4> perm{0, 1, 2, 3};
+    double best = 1e18;
+    do {
+      double sum = 0.0;
+      for (int i = 0; i < 4; ++i) sum += cost[i][perm[i]];
+      best = std::min(best, sum);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(r.total_cost, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(MinCostFlowTest, FlowLimitRespected) {
+  flow::MinCostFlow net;
+  const auto s = net.add_node();
+  const auto t = net.add_node();
+  net.add_arc(s, t, 100, 1.0);
+  const auto r = net.solve(s, t, 7);
+  EXPECT_EQ(r.max_flow, 7);
+}
+
+TEST(MinCostFlowTest, DisconnectedGraphYieldsZeroFlow) {
+  flow::MinCostFlow net;
+  const auto s = net.add_node();
+  const auto t = net.add_node();
+  const auto r = net.solve(s, t);
+  EXPECT_EQ(r.max_flow, 0);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+}
+
+TEST(MinCostFlowTest, Validation) {
+  flow::MinCostFlow net;
+  const auto s = net.add_node();
+  EXPECT_THROW(net.add_arc(s, 5, 1, 0.0), PreconditionError);
+  EXPECT_THROW(net.add_arc(s, s, -1, 0.0), PreconditionError);
+  EXPECT_THROW((void)net.solve(s, s), PreconditionError);
+}
+
+// ----------------------------------------------------- Quincy scheduler ---
+
+cluster::Cluster mixed_cluster() { return cluster::make_ec2_cluster(8, 0.5, 3); }
+
+workload::Workload mixed_workload(const cluster::Cluster& c, Rng& rng) {
+  workload::RandomWorkloadParams wp;
+  wp.n_tasks = 80;
+  wp.tasks_per_job = 8;
+  wp.cpu_lo_ecu_s = 100.0;
+  wp.input_hi_mb = 1024.0;
+  return workload::make_random_workload(wp, c, rng);
+}
+
+TEST(QuincyFlowSchedulerTest, CompletesWorkload) {
+  const cluster::Cluster c = mixed_cluster();
+  Rng rng(3);
+  const workload::Workload w = mixed_workload(c, rng);
+  sched::QuincyFlowScheduler quincy;
+  sim::SimConfig cfg;
+  cfg.hdfs_replication = 3;
+  const sim::SimResult r = sim::simulate(c, w, quincy, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks_completed, w.total_tasks());
+  EXPECT_GT(quincy.rounds(), 0u);
+}
+
+TEST(QuincyFlowSchedulerTest, CheaperThanPriceBlindDefault) {
+  // Flow scheduling minimizes dollar cost per round — on a price-diverse
+  // cluster it must beat the price-blind Hadoop default.
+  const cluster::Cluster c = mixed_cluster();
+  Rng rng(4);
+  const workload::Workload w = mixed_workload(c, rng);
+  sim::SimConfig cfg;
+  cfg.hdfs_replication = 3;
+  sched::QuincyFlowScheduler quincy;
+  const sim::SimResult rq = sim::simulate(c, w, quincy, cfg);
+  sched::FifoLocalityScheduler fifo;
+  const sim::SimResult rf = sim::simulate(c, w, fifo, cfg);
+  ASSERT_TRUE(rq.completed);
+  ASSERT_TRUE(rf.completed);
+  EXPECT_LT(rq.total_cost_mc, rf.total_cost_mc);
+}
+
+TEST(QuincyFlowSchedulerTest, LipsBeatsFlowWhenPlacementMatters) {
+  // All data originates in the expensive zone. The flow scheduler can only
+  // choose where tasks run (paying cross-zone reads per task); LiPS can
+  // move the data once and run everything locally on cheap nodes — the
+  // paper's core argument for co-scheduling.
+  cluster::Cluster c;
+  const ZoneId za = c.add_zone("dear");
+  const ZoneId zb = c.add_zone("cheap");
+  for (int i = 0; i < 4; ++i) {
+    cluster::Machine m;
+    m.name = "m" + std::to_string(i);
+    m.zone = i < 2 ? za : zb;
+    m.cpu_price_mc = i < 2 ? 6.0 : 1.0;
+    m.map_slots = 2;
+    m.uptime_s = 1e9;
+    const MachineId id = c.add_machine(std::move(m));
+    cluster::DataStore s;
+    s.name = "s" + std::to_string(i);
+    s.zone = m.zone;
+    s.capacity_mb = 1e9;
+    s.colocated_machine = id.value();
+    c.add_store(std::move(s));
+  }
+  c.finalize();
+
+  workload::Workload w;
+  // Several jobs re-reading the same hot object: placement amortizes.
+  const DataId hot = w.add_data({"hot", 1024.0, StoreId{0}});
+  for (int i = 0; i < 3; ++i) {
+    workload::Job j;
+    j.name = "reader" + std::to_string(i);
+    j.tcp_cpu_s_per_mb = 2.0;
+    j.data = {hot};
+    j.num_tasks = 8;
+    w.add_job(std::move(j));
+  }
+
+  sched::QuincyFlowScheduler quincy;
+  const sim::SimResult rq = sim::simulate(c, w, quincy);
+  core::LipsPolicyOptions lo;
+  lo.epoch_s = 2000.0;
+  core::LipsPolicy lips(lo);
+  const sim::SimResult rl = sim::simulate(c, w, lips);
+  ASSERT_TRUE(rq.completed);
+  ASSERT_TRUE(rl.completed);
+  EXPECT_LT(rl.total_cost_mc, rq.total_cost_mc);
+}
+
+TEST(QuincyFlowSchedulerTest, OptionValidation) {
+  sched::QuincyFlowScheduler::Options bad;
+  bad.round_s = 0.0;
+  EXPECT_THROW(sched::QuincyFlowScheduler{bad}, PreconditionError);
+  bad.round_s = 10.0;
+  bad.defer_penalty_factor = 1.0;
+  EXPECT_THROW(sched::QuincyFlowScheduler{bad}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace lips

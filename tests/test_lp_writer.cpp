@@ -1,0 +1,88 @@
+// Tests for the CPLEX-LP-format writer (src/lp/lp_writer).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/lp_models.hpp"
+#include "lp/lp_writer.hpp"
+#include "lp/model.hpp"
+
+namespace lips::lp {
+namespace {
+
+TEST(LpWriter, BasicStructure) {
+  LpModel m;
+  m.add_variable(0.0, 1.0, 2.5, "portion");
+  m.add_variable(0.0, kInf, -1.0);
+  m.add_constraint(std::vector<Entry>{{0, 1.0}, {1, 2.0}}, Sense::LessEqual,
+                   4.0);
+  m.add_constraint(std::vector<Entry>{{0, 1.0}}, Sense::GreaterEqual, 0.5);
+  m.add_constraint(std::vector<Entry>{{1, 3.0}}, Sense::Equal, 6.0);
+  std::ostringstream os;
+  write_lp_format(m, os);
+  const std::string s = os.str();
+
+  EXPECT_NE(s.find("Minimize"), std::string::npos);
+  EXPECT_NE(s.find("Subject To"), std::string::npos);
+  EXPECT_NE(s.find("Bounds"), std::string::npos);
+  EXPECT_NE(s.find("End"), std::string::npos);
+  // Objective: 2.5 x0 - 1 x1.
+  EXPECT_NE(s.find("2.5 x0"), std::string::npos);
+  EXPECT_NE(s.find("- 1 x1"), std::string::npos);
+  // Senses.
+  EXPECT_NE(s.find("<= 4"), std::string::npos);
+  EXPECT_NE(s.find(">= 0.5"), std::string::npos);
+  EXPECT_NE(s.find("= 6"), std::string::npos);
+  // Bounds: x0 boxed, x1 only lower-bounded.
+  EXPECT_NE(s.find("0 <= x0 <= 1"), std::string::npos);
+  EXPECT_NE(s.find("x1 >= 0"), std::string::npos);
+  // Name comment survives.
+  EXPECT_NE(s.find("x0 = portion"), std::string::npos);
+}
+
+TEST(LpWriter, FreeVariableAndNegativeBounds) {
+  LpModel m;
+  m.add_variable(-kInf, kInf, 1.0);
+  m.add_variable(-kInf, 3.0, 0.0);
+  m.add_constraint(std::vector<Entry>{{0, 1.0}, {1, 1.0}}, Sense::Equal, 0.0);
+  std::ostringstream os;
+  write_lp_format(m, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("x0 free"), std::string::npos);
+  EXPECT_NE(s.find("-inf <= x1 <= 3"), std::string::npos);
+}
+
+TEST(LpWriter, EmptyObjectiveEmitsPlaceholder) {
+  LpModel m;
+  m.add_variable(0.0, 1.0, 0.0);
+  m.add_constraint(std::vector<Entry>{{0, 1.0}}, Sense::LessEqual, 1.0);
+  std::ostringstream os;
+  write_lp_format(m, os);
+  EXPECT_NE(os.str().find("obj: 0 x0"), std::string::npos);
+}
+
+TEST(LpWriter, SchedulingModelExportsCompletely) {
+  // Build a real co-scheduling model through the scheduler path and dump a
+  // comparable hand-built LP: the export must mention every variable index
+  // and every constraint id (smoke-level completeness on a nontrivial LP).
+  LpModel m;
+  for (int j = 0; j < 12; ++j) m.add_variable(0.0, 1.0, 0.5 + j);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<Entry> es;
+    for (int j = 0; j < 12; ++j)
+      if ((i + j) % 3 == 0) es.push_back({static_cast<std::size_t>(j), 1.0});
+    m.add_constraint(es, Sense::LessEqual, 2.0);
+  }
+  std::ostringstream os;
+  write_lp_format(m, os);
+  const std::string s = os.str();
+  for (int j = 0; j < 12; ++j) {
+    EXPECT_NE(s.find("x" + std::to_string(j)), std::string::npos) << j;
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(s.find("c" + std::to_string(i) + ":"), std::string::npos) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lips::lp

@@ -1,0 +1,226 @@
+// Scheduler-policy tests: locality classification, FIFO head-of-line
+// semantics, delay-scheduler patience, and fair-scheduler sharing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/delay_scheduler.hpp"
+#include "sched/fair_scheduler.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace lips::sched {
+namespace {
+
+using cluster::Cluster;
+using workload::Workload;
+
+Cluster grid_cluster(std::size_t nodes, std::size_t zones, double price = 1.0,
+                     int slots = 1) {
+  Cluster c;
+  for (std::size_t z = 0; z < zones; ++z) c.add_zone("z" + std::to_string(z));
+  for (std::size_t i = 0; i < nodes; ++i) {
+    cluster::Machine m;
+    m.name = "m" + std::to_string(i);
+    m.zone = ZoneId{i % zones};
+    m.cpu_price_mc = price;
+    m.throughput_ecu = 1.0;
+    m.map_slots = slots;
+    m.uptime_s = 1e9;
+    const MachineId id = c.add_machine(std::move(m));
+    cluster::DataStore s;
+    s.name = "s" + std::to_string(i);
+    s.zone = ZoneId{i % zones};
+    s.capacity_mb = 1e9;
+    s.colocated_machine = id.value();
+    c.add_store(std::move(s));
+  }
+  c.finalize();
+  return c;
+}
+
+// Two jobs with data on different nodes.
+Workload two_jobs(std::size_t tasks_each, StoreId origin_a, StoreId origin_b,
+                  double arrival_b = 0.0) {
+  Workload w;
+  const DataId da = w.add_data({"a", tasks_each * 64.0, origin_a});
+  const DataId db = w.add_data({"b", tasks_each * 64.0, origin_b});
+  workload::Job ja;
+  ja.name = "A";
+  ja.tcp_cpu_s_per_mb = 1.0;
+  ja.data = {da};
+  ja.num_tasks = tasks_each;
+  w.add_job(std::move(ja));
+  workload::Job jb;
+  jb.name = "B";
+  jb.tcp_cpu_s_per_mb = 1.0;
+  jb.data = {db};
+  jb.num_tasks = tasks_each;
+  jb.arrival_s = arrival_b;
+  w.add_job(std::move(jb));
+  return w;
+}
+
+// ----------------------------------------------------------------- FIFO ---
+
+TEST(FifoPolicy, HeadOfLineJobMonopolizesSlots) {
+  // Job A (arrived first) must be fully scheduled before B starts, even
+  // though B's data is local to the second machine.
+  const Cluster c = grid_cluster(2, 2);
+  const Workload w = two_jobs(6, StoreId{0}, StoreId{1}, /*arrival_b=*/0.0);
+  FifoLocalityScheduler fifo;
+  const sim::SimResult r = sim::simulate(c, w, fifo);
+  ASSERT_TRUE(r.completed);
+  // A finishes no later than B (B only gets leftovers while A has pending
+  // tasks).
+  EXPECT_LE(r.job_finish_s[0], r.job_finish_s[1]);
+}
+
+TEST(FifoPolicy, ReadsFromNearestReplica) {
+  // Data replicated on stores 0 (co-located) and 2 (remote zone): the
+  // single task on machine 0 must read locally → zero read cost.
+  Cluster c = grid_cluster(3, 3);
+  Workload w;
+  const DataId d = w.add_data({"d", 64.0, StoreId{0}});
+  workload::Job j;
+  j.name = "j";
+  j.tcp_cpu_s_per_mb = 1.0;
+  j.data = {d};
+  j.num_tasks = 1;
+  w.add_job(std::move(j));
+  FifoLocalityScheduler fifo;
+  sim::SimConfig cfg;
+  cfg.hdfs_replication = 3;
+  const sim::SimResult r = sim::simulate(c, w, fifo, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.read_transfer_cost_mc, 0.0);
+  EXPECT_DOUBLE_EQ(r.data_local_fraction, 1.0);
+}
+
+TEST(FifoPolicy, ReplicationCostChargedAtIngest) {
+  const Cluster c = grid_cluster(6, 3);
+  Workload w;
+  w.add_data({"d", 640.0, StoreId{0}});
+  workload::Job j;
+  j.name = "j";
+  j.tcp_cpu_s_per_mb = 0.1;
+  j.data = {DataId{0}};
+  j.num_tasks = 10;
+  w.add_job(std::move(j));
+  FifoLocalityScheduler fifo;
+  sim::SimConfig with_repl;
+  with_repl.hdfs_replication = 3;
+  const sim::SimResult r3 = sim::simulate(c, w, fifo, with_repl);
+  FifoLocalityScheduler fifo1;
+  const sim::SimResult r1 = sim::simulate(c, w, fifo1);
+  // The default replica pipeline puts the 2nd copy off-zone → paid.
+  EXPECT_GT(r3.ingest_replication_cost_mc, 0.0);
+  EXPECT_DOUBLE_EQ(r1.ingest_replication_cost_mc, 0.0);
+}
+
+// ---------------------------------------------------------------- delay ---
+
+TEST(DelayPolicy, YieldsToYoungerJobWithLocalTask) {
+  // A's data is on node 0 only; B's on node 1 only. Delay scheduling lets B
+  // run on node 1 while A waits for node 0 — the defining behavior.
+  const Cluster c = grid_cluster(2, 2);
+  const Workload w = two_jobs(4, StoreId{0}, StoreId{1});
+  DelayScheduler delay(1e9, 1e9);  // infinite patience
+  const sim::SimResult r = sim::simulate(c, w, delay);
+  ASSERT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.data_local_fraction, 1.0);
+  // Both machines worked (B did not starve behind A).
+  EXPECT_GT(r.machines[0].tasks_run, 0u);
+  EXPECT_GT(r.machines[1].tasks_run, 0u);
+}
+
+TEST(DelayPolicy, InvalidDelaysRejected) {
+  EXPECT_THROW(DelayScheduler(-1.0, 5.0), PreconditionError);
+  EXPECT_THROW(DelayScheduler(10.0, 5.0), PreconditionError);
+}
+
+// ----------------------------------------------------------------- fair ---
+
+TEST(FairPolicy, SharesSlotsAcrossJobs) {
+  // Under FIFO, job A monopolizes the cluster and finishes early while B
+  // waits; under fair (per-job pools) the two progress in lock-step: A
+  // finishes later than under FIFO and the two finish times are close.
+  const Cluster c = grid_cluster(4, 1, 1.0, 1);
+  const Workload w = two_jobs(8, StoreId{0}, StoreId{1});
+  FifoLocalityScheduler fifo;
+  const sim::SimResult rf = sim::simulate(c, w, fifo);
+  FairScheduler fair;
+  const sim::SimResult rr = sim::simulate(c, w, fair);
+  ASSERT_TRUE(rf.completed);
+  ASSERT_TRUE(rr.completed);
+  EXPECT_GT(rr.job_finish_s[0], rf.job_finish_s[0]);  // A shares, slows down
+  const double gap_fair = std::fabs(rr.job_finish_s[0] - rr.job_finish_s[1]);
+  const double gap_fifo = std::fabs(rf.job_finish_s[0] - rf.job_finish_s[1]);
+  EXPECT_LT(gap_fair, gap_fifo);  // lock-step progress under fairness
+}
+
+TEST(FairPolicy, WeightedPoolsGetProportionalService) {
+  // Pool "heavy" (weight 3) should run ~3 tasks for each "light" task when
+  // both have abundant pending work.
+  const Cluster c = grid_cluster(4, 1, 1.0, 1);
+  Workload w;
+  const DataId da = w.add_data({"a", 40 * 64.0, StoreId{0}});
+  const DataId db = w.add_data({"b", 40 * 64.0, StoreId{1}});
+  workload::Job ja;
+  ja.name = "A";
+  ja.tcp_cpu_s_per_mb = 1.0;
+  ja.data = {da};
+  ja.num_tasks = 40;
+  const JobId a = w.add_job(std::move(ja));
+  workload::Job jb;
+  jb.name = "B";
+  jb.tcp_cpu_s_per_mb = 1.0;
+  jb.data = {db};
+  jb.num_tasks = 40;
+  const JobId b = w.add_job(std::move(jb));
+  FairScheduler fair;
+  fair.assign_pool(a, "heavy", 3.0);
+  fair.assign_pool(b, "light", 1.0);
+  const sim::SimResult r = sim::simulate(c, w, fair);
+  ASSERT_TRUE(r.completed);
+  // The heavy pool should drain first by a clear margin.
+  EXPECT_LT(r.job_finish_s[a.value()], r.job_finish_s[b.value()]);
+}
+
+TEST(FairPolicy, PoolValidation) {
+  FairScheduler fair;
+  EXPECT_THROW(fair.assign_pool(JobId{0}, "p", 0.0), PreconditionError);
+  EXPECT_THROW(fair.assign_pool(JobId{0}, "p", -1.0), PreconditionError);
+}
+
+TEST(FairPolicy, NoStarvationUnderContinuousShortJobs) {
+  // A long job plus a stream of short jobs: with fair sharing the long job
+  // still completes.
+  const Cluster c = grid_cluster(2, 1, 1.0, 1);
+  Workload w;
+  const DataId dl = w.add_data({"long", 20 * 64.0, StoreId{0}});
+  workload::Job lj;
+  lj.name = "long";
+  lj.tcp_cpu_s_per_mb = 1.0;
+  lj.data = {dl};
+  lj.num_tasks = 20;
+  w.add_job(std::move(lj));
+  for (int i = 0; i < 6; ++i) {
+    const DataId ds =
+        w.add_data({"s" + std::to_string(i), 64.0, StoreId{1}});
+    workload::Job sj;
+    sj.name = "short" + std::to_string(i);
+    sj.tcp_cpu_s_per_mb = 1.0;
+    sj.data = {ds};
+    sj.num_tasks = 1;
+    sj.arrival_s = i * 120.0;
+    w.add_job(std::move(sj));
+  }
+  FairScheduler fair;
+  const sim::SimResult r = sim::simulate(c, w, fair);
+  ASSERT_TRUE(r.completed);
+  EXPECT_FALSE(std::isnan(r.job_finish_s[0]));
+}
+
+}  // namespace
+}  // namespace lips::sched

@@ -1,0 +1,153 @@
+// Tests for time-varying (spot) prices: schedule resolution, simulator
+// billing at launch-time prices, and LiPS' epoch LP reacting to price
+// changes (paper §III: "CPU costs vary wildly between different nodes and
+// times").
+#include <gtest/gtest.h>
+
+#include "core/lips_policy.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace lips {
+namespace {
+
+cluster::Cluster two_nodes(double p0, double p1) {
+  cluster::Cluster c;
+  const ZoneId z = c.add_zone("z");
+  for (const double price : {p0, p1}) {
+    cluster::Machine m;
+    m.name = "m" + std::to_string(c.machine_count());
+    m.zone = z;
+    m.cpu_price_mc = price;
+    m.map_slots = 1;
+    m.uptime_s = 1e9;
+    const MachineId id = c.add_machine(std::move(m));
+    cluster::DataStore s;
+    s.name = "s" + std::to_string(c.store_count());
+    s.zone = z;
+    s.capacity_mb = 1e9;
+    s.colocated_machine = id.value();
+    c.add_store(std::move(s));
+  }
+  c.finalize();
+  return c;
+}
+
+// ------------------------------------------------------------- schedule ---
+
+TEST(PriceSchedule, StepFunctionResolution) {
+  cluster::Cluster c = two_nodes(2.0, 3.0);
+  c.set_price_schedule(MachineId{0}, {{100.0, 5.0}, {200.0, 0.5}});
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 0.0), 2.0);    // base
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 99.9), 2.0);
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 100.0), 5.0);  // step 1
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 150.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 1e9), 0.5);    // step 2
+  // Unscheduled machine keeps its static price at all times.
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{1}, 1e9), 3.0);
+  EXPECT_TRUE(c.has_dynamic_prices());
+}
+
+TEST(PriceSchedule, Validation) {
+  cluster::Cluster c = two_nodes(1.0, 1.0);
+  EXPECT_THROW(c.set_price_schedule(MachineId{5}, {{0.0, 1.0}}),
+               PreconditionError);
+  EXPECT_THROW(c.set_price_schedule(MachineId{0}, {}), PreconditionError);
+  EXPECT_THROW(c.set_price_schedule(MachineId{0}, {{0.0, -1.0}}),
+               PreconditionError);
+  EXPECT_THROW(
+      c.set_price_schedule(MachineId{0}, {{100.0, 1.0}, {100.0, 2.0}}),
+      PreconditionError);
+}
+
+// ----------------------------------------------------------- simulation ---
+
+TEST(SpotBilling, InstanceBilledAtLaunchTimePrice) {
+  // A job arriving after the price step pays the new price.
+  cluster::Cluster c = two_nodes(2.0, 100.0);
+  c.set_price_schedule(MachineId{0}, {{500.0, 10.0}});
+  workload::Workload w;
+  const DataId d = w.add_data({"d", 64.0, StoreId{0}});
+  workload::Job j;
+  j.name = "late";
+  j.tcp_cpu_s_per_mb = 1.0;  // 64 ECU-s
+  j.data = {d};
+  j.num_tasks = 1;
+  j.arrival_s = 1000.0;  // after the price rise
+  w.add_job(std::move(j));
+  sched::FifoLocalityScheduler fifo;
+  const sim::SimResult r = sim::simulate(c, w, fifo);
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.execution_cost_mc, 64.0 * 10.0, 1e-6);
+}
+
+TEST(SpotBilling, EarlyLaunchPaysOldPrice) {
+  cluster::Cluster c = two_nodes(2.0, 100.0);
+  c.set_price_schedule(MachineId{0}, {{500.0, 10.0}});
+  workload::Workload w;
+  const DataId d = w.add_data({"d", 64.0, StoreId{0}});
+  workload::Job j;
+  j.name = "early";
+  j.tcp_cpu_s_per_mb = 1.0;
+  j.data = {d};
+  j.num_tasks = 1;
+  w.add_job(std::move(j));  // arrives at 0, before the step
+  sched::FifoLocalityScheduler fifo;
+  const sim::SimResult r = sim::simulate(c, w, fifo);
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.execution_cost_mc, 64.0 * 2.0, 1e-6);
+}
+
+TEST(SpotLips, EpochLpFollowsThePrice) {
+  // Machine 0 is cheap before t=1000 and expensive after; machine 1 the
+  // mirror image. LiPS epochs must route early work to m0 and late work to
+  // m1. Two jobs arrive in the two price regimes.
+  cluster::Cluster c = two_nodes(1.0, 10.0);
+  c.set_price_schedule(MachineId{0}, {{1000.0, 10.0}});
+  c.set_price_schedule(MachineId{1}, {{1000.0, 1.0}});
+
+  workload::Workload w;
+  for (int i = 0; i < 2; ++i) {
+    const DataId d = w.add_data({"d" + std::to_string(i), 64.0, StoreId{0}});
+    workload::Job j;
+    j.name = "job" + std::to_string(i);
+    j.tcp_cpu_s_per_mb = 1.0;
+    j.data = {d};
+    j.num_tasks = 1;
+    j.arrival_s = i == 0 ? 0.0 : 2000.0;
+    w.add_job(std::move(j));
+  }
+  core::LipsPolicyOptions lo;
+  lo.epoch_s = 200.0;
+  core::LipsPolicy lips(lo);
+  const sim::SimResult r = sim::simulate(c, w, lips);
+  ASSERT_TRUE(r.completed);
+  // Early job on m0 (1 m¢), late job on m1 (1 m¢): both at the cheap rate.
+  EXPECT_NEAR(r.execution_cost_mc, 2 * 64.0 * 1.0, 1e-6);
+  EXPECT_EQ(r.machines[0].tasks_run, 1u);
+  EXPECT_EQ(r.machines[1].tasks_run, 1u);
+}
+
+TEST(SpotLips, StaticPricesUnchangedByPriceTimeOption) {
+  // price_time on a cluster without schedules is a no-op.
+  const cluster::Cluster c = two_nodes(2.0, 4.0);
+  workload::Workload w;
+  const DataId d = w.add_data({"d", 640.0, StoreId{0}});
+  workload::Job j;
+  j.name = "j";
+  j.tcp_cpu_s_per_mb = 1.0;
+  j.data = {d};
+  j.num_tasks = 4;
+  w.add_job(std::move(j));
+  core::ModelOptions a;
+  core::ModelOptions b;
+  b.price_time = 12345.0;
+  const core::LpSchedule sa = core::solve_co_scheduling(c, w, a);
+  const core::LpSchedule sb = core::solve_co_scheduling(c, w, b);
+  ASSERT_TRUE(sa.optimal());
+  ASSERT_TRUE(sb.optimal());
+  EXPECT_NEAR(sa.objective_mc, sb.objective_mc, 1e-9);
+}
+
+}  // namespace
+}  // namespace lips

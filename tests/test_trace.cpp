@@ -1,0 +1,143 @@
+// Tests for the simulator's event-trace recording (SimConfig::record_trace).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/lips_policy.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace lips::sim {
+namespace {
+
+cluster::Cluster two_nodes() {
+  cluster::Cluster c;
+  const ZoneId za = c.add_zone("a");
+  const ZoneId zb = c.add_zone("b");
+  int i = 0;
+  for (const ZoneId z : {za, zb}) {
+    cluster::Machine m;
+    m.name = "m" + std::to_string(i);
+    m.zone = z;
+    m.cpu_price_mc = i == 0 ? 5.0 : 1.0;
+    m.map_slots = 1;
+    m.uptime_s = 1e9;
+    const MachineId id = c.add_machine(std::move(m));
+    cluster::DataStore s;
+    s.name = "s" + std::to_string(i++);
+    s.zone = z;
+    s.capacity_mb = 1e9;
+    s.colocated_machine = id.value();
+    c.add_store(std::move(s));
+  }
+  c.finalize();
+  return c;
+}
+
+workload::Workload small_workload(std::size_t tasks = 4) {
+  workload::Workload w;
+  const DataId d = w.add_data({"d", tasks * 64.0, StoreId{0}});
+  workload::Job j;
+  j.name = "j";
+  j.tcp_cpu_s_per_mb = 1.0;
+  j.data = {d};
+  j.num_tasks = tasks;
+  w.add_job(std::move(j));
+  return w;
+}
+
+std::size_t count_kind(const SimResult& r, TraceEvent::Kind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(r.trace.begin(), r.trace.end(),
+                    [&](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+TEST(Trace, OffByDefault) {
+  const cluster::Cluster c = two_nodes();
+  const workload::Workload w = small_workload();
+  sched::FifoLocalityScheduler fifo;
+  const SimResult r = simulate(c, w, fifo);
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Trace, RecordsLifecycleEvents) {
+  const cluster::Cluster c = two_nodes();
+  const workload::Workload w = small_workload(4);
+  sched::FifoLocalityScheduler fifo;
+  SimConfig cfg;
+  cfg.record_trace = true;
+  const SimResult r = simulate(c, w, fifo, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(count_kind(r, TraceEvent::Kind::JobArrival), 1u);
+  EXPECT_EQ(count_kind(r, TraceEvent::Kind::TaskLaunch), 4u);
+  EXPECT_EQ(count_kind(r, TraceEvent::Kind::TaskComplete), 4u);
+  // Times are monotone nondecreasing.
+  for (std::size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_GE(r.trace[i].time_s, r.trace[i - 1].time_s);
+}
+
+TEST(Trace, LaunchCarriesMachineAndStore) {
+  const cluster::Cluster c = two_nodes();
+  const workload::Workload w = small_workload(2);
+  sched::FifoLocalityScheduler fifo;
+  SimConfig cfg;
+  cfg.record_trace = true;
+  const SimResult r = simulate(c, w, fifo, cfg);
+  for (const TraceEvent& e : r.trace) {
+    if (e.kind != TraceEvent::Kind::TaskLaunch) continue;
+    EXPECT_LT(e.machine, c.machine_count());
+    EXPECT_LT(e.store, c.store_count());  // all tasks here read data
+    EXPECT_EQ(e.job, 0u);
+  }
+}
+
+TEST(Trace, CompleteCarriesCost) {
+  const cluster::Cluster c = two_nodes();
+  const workload::Workload w = small_workload(3);
+  sched::FifoLocalityScheduler fifo;
+  SimConfig cfg;
+  cfg.record_trace = true;
+  const SimResult r = simulate(c, w, fifo, cfg);
+  double traced_cost = 0.0;
+  for (const TraceEvent& e : r.trace)
+    if (e.kind == TraceEvent::Kind::TaskComplete) traced_cost += e.amount;
+  EXPECT_NEAR(traced_cost, r.execution_cost_mc + r.read_transfer_cost_mc,
+              1e-6);
+}
+
+TEST(Trace, LipsRunRecordsEpochsAndMoves) {
+  const cluster::Cluster c = two_nodes();
+  // CPU-heavy: LiPS moves the data to the cheap node's store.
+  workload::Workload w;
+  const DataId d = w.add_data({"d", 256.0, StoreId{0}});
+  workload::Job j;
+  j.name = "heavy";
+  j.tcp_cpu_s_per_mb = 20.0;
+  j.data = {d};
+  j.num_tasks = 4;
+  w.add_job(std::move(j));
+  core::LipsPolicyOptions lo;
+  lo.epoch_s = 10000.0;
+  core::LipsPolicy lips(lo);
+  SimConfig cfg;
+  cfg.record_trace = true;
+  const SimResult r = simulate(c, w, lips, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(count_kind(r, TraceEvent::Kind::EpochTick), 1u);
+  EXPECT_EQ(count_kind(r, TraceEvent::Kind::DataMoveStart),
+            count_kind(r, TraceEvent::Kind::DataMoveFinish));
+}
+
+TEST(Trace, KindNames) {
+  EXPECT_EQ(to_string(TraceEvent::Kind::JobArrival), "job-arrival");
+  EXPECT_EQ(to_string(TraceEvent::Kind::TaskLaunch), "task-launch");
+  EXPECT_EQ(to_string(TraceEvent::Kind::TaskComplete), "task-complete");
+  EXPECT_EQ(to_string(TraceEvent::Kind::TaskCancelled), "task-cancelled");
+  EXPECT_EQ(to_string(TraceEvent::Kind::TimeoutKill), "timeout-kill");
+  EXPECT_EQ(to_string(TraceEvent::Kind::DataMoveStart), "data-move-start");
+  EXPECT_EQ(to_string(TraceEvent::Kind::DataMoveFinish), "data-move-finish");
+  EXPECT_EQ(to_string(TraceEvent::Kind::EpochTick), "epoch-tick");
+}
+
+}  // namespace
+}  // namespace lips::sim

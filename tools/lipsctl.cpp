@@ -1,0 +1,219 @@
+// lipsctl — run ad-hoc scheduler comparisons from the command line.
+//
+// Usage:
+//   lipsctl [--nodes N] [--c1 FRAC] [--small FRAC] [--zones Z]
+//           [--workload table4|swim|random] [--jobs N] [--tasks N]
+//           [--epoch SECONDS] [--seed S]
+//           [--schedulers default,delay,fair,quincy,lips]
+//           [--replication R] [--patience FACTOR|off] [--csv]
+//           [--trace FILE]   (write a per-scheduler event trace as CSV)
+//
+// Examples:
+//   lipsctl                                  # the paper's Fig-6 (iii) setup
+//   lipsctl --nodes 40 --workload swim --jobs 100 --epoch 300
+//   lipsctl --schedulers default,lips --csv  # machine-readable output
+//
+// Exit code 0 when every requested run completed within the horizon.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "core/lips_policy.hpp"
+#include "sched/delay_scheduler.hpp"
+#include "sched/fair_scheduler.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sched/flow_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "workload/swim.hpp"
+
+namespace {
+
+using namespace lips;
+
+struct Args {
+  std::size_t nodes = 20;
+  double c1 = 0.5;
+  double small = 0.0;
+  std::size_t zones = 3;
+  std::string workload = "table4";
+  std::size_t jobs = 100;    // swim
+  std::size_t tasks = 400;   // random
+  double epoch_s = 600.0;
+  std::uint64_t seed = 2013;
+  std::string schedulers = "default,delay,lips";
+  std::size_t replication = 3;
+  double patience = 1.25;  // <= 0 → prohibitive fake node
+  bool csv = false;
+  std::string trace_file;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--nodes N] [--c1 F] [--small F] [--zones Z]\n"
+         "       [--workload table4|swim|random] [--jobs N] [--tasks N]\n"
+         "       [--epoch S] [--seed S] [--schedulers LIST] "
+         "[--replication R]\n"
+         "       [--patience FACTOR|off] [--csv] [--trace FILE]\n";
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--nodes") {
+      a.nodes = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--c1") {
+      a.c1 = std::atof(value().c_str());
+    } else if (flag == "--small") {
+      a.small = std::atof(value().c_str());
+    } else if (flag == "--zones") {
+      a.zones = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--workload") {
+      a.workload = value();
+    } else if (flag == "--jobs") {
+      a.jobs = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--tasks") {
+      a.tasks = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--epoch") {
+      a.epoch_s = std::atof(value().c_str());
+    } else if (flag == "--seed") {
+      a.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--schedulers") {
+      a.schedulers = value();
+    } else if (flag == "--replication") {
+      a.replication = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--patience") {
+      const std::string v = value();
+      a.patience = v == "off" ? -1.0 : std::atof(v.c_str());
+    } else if (flag == "--csv") {
+      a.csv = true;
+    } else if (flag == "--trace") {
+      a.trace_file = value();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return a;
+}
+
+workload::Workload make_workload(const Args& a, const cluster::Cluster& c) {
+  Rng rng(a.seed);
+  if (a.workload == "table4") return workload::make_table4_workload(c, rng);
+  if (a.workload == "swim") {
+    workload::SwimParams sp;
+    sp.n_jobs = a.jobs;
+    return workload::make_swim_workload(sp, c, rng).workload;
+  }
+  if (a.workload == "random") {
+    workload::RandomWorkloadParams wp;
+    wp.n_tasks = a.tasks;
+    return workload::make_random_workload(wp, c, rng);
+  }
+  std::cerr << "unknown workload: " << a.workload << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  const cluster::Cluster c =
+      cluster::make_ec2_cluster(args.nodes, args.c1, args.zones, args.small);
+  const workload::Workload w = make_workload(args, c);
+
+  if (!args.csv) {
+    std::cout << "cluster: " << args.nodes << " nodes / " << args.zones
+              << " zones (" << args.c1 * 100 << "% c1.medium, "
+              << args.small * 100 << "% m1.small)\n"
+              << "workload: " << w.job_count() << " jobs, " << w.total_tasks()
+              << " tasks, " << Table::num(w.total_input_mb() / kMBPerGB, 1)
+              << " GB, " << Table::num(w.total_cpu_ecu_s(), 0)
+              << " ECU-seconds\n\n";
+  }
+
+  Table t;
+  t.set_header({"scheduler", "cost_usd", "makespan_s", "sum_job_duration_s",
+                "locality", "completed"});
+  bool all_completed = true;
+
+  std::stringstream names(args.schedulers);
+  std::string name;
+  while (std::getline(names, name, ',')) {
+    sim::SimConfig cfg;
+    cfg.hdfs_replication = args.replication;
+    cfg.task_timeout_s = 600.0;
+    cfg.record_trace = !args.trace_file.empty();
+    std::unique_ptr<sched::Scheduler> policy;
+    if (name == "default") {
+      cfg.speculative_execution = true;
+      policy = std::make_unique<sched::FifoLocalityScheduler>();
+    } else if (name == "delay") {
+      cfg.speculative_execution = true;
+      policy = std::make_unique<sched::DelayScheduler>();
+    } else if (name == "fair") {
+      policy = std::make_unique<sched::FairScheduler>();
+    } else if (name == "quincy") {
+      policy = std::make_unique<sched::QuincyFlowScheduler>();
+    } else if (name == "lips") {
+      core::LipsPolicyOptions lo;
+      lo.epoch_s = args.epoch_s;
+      if (args.patience > 0) {
+        lo.model.fake_node_pricing =
+            core::ModelOptions::FakeNodePricing::PatienceMin;
+        lo.model.fake_node_price_factor = args.patience;
+      } else {
+        lo.model.fake_node_pricing =
+            core::ModelOptions::FakeNodePricing::ProhibitiveMax;
+        lo.model.fake_node_price_factor = 1000.0;
+      }
+      if (args.nodes > 30) {
+        lo.model.max_candidate_machines = 12;
+        lo.model.max_candidate_stores = 8;
+      }
+      cfg.hdfs_replication = 1;  // LiPS manages placement itself
+      cfg.task_timeout_s = 1200.0;
+      policy = std::make_unique<core::LipsPolicy>(lo);
+    } else {
+      std::cerr << "unknown scheduler: " << name << "\n";
+      return 2;
+    }
+    const sim::SimResult r = sim::simulate(c, w, *policy, cfg);
+    all_completed = all_completed && r.completed;
+    if (!args.trace_file.empty()) {
+      const std::string path = args.trace_file + "." + name + ".csv";
+      std::ofstream out(path);
+      out << "time_s,event,job,task,machine,store,amount\n";
+      for (const sim::TraceEvent& e : r.trace) {
+        auto field = [](std::size_t v) {
+          return v == SIZE_MAX ? std::string() : std::to_string(v);
+        };
+        out << e.time_s << ',' << sim::to_string(e.kind) << ',' << field(e.job)
+            << ',' << field(e.task) << ',' << field(e.machine) << ','
+            << field(e.store) << ',' << e.amount << "\n";
+      }
+      if (!args.csv) std::cout << "trace written to " << path << "\n";
+    }
+    t.add_row({name, Table::num(millicents_to_dollars(r.total_cost_mc), 3),
+               Table::num(r.makespan_s, 0),
+               Table::num(r.sum_job_duration_s, 0),
+               Table::pct(r.data_local_fraction),
+               r.completed ? "yes" : "no"});
+  }
+
+  if (args.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  return all_completed ? 0 : 1;
+}
