@@ -46,6 +46,9 @@ struct ThreeWayOptions {
   /// to 20 min so long remote reads survive).
   double baseline_timeout_s = 600.0;
   double lips_timeout_s = 1200.0;
+  /// Fault plan injected identically into every scheduler's run (empty =
+  /// fault-free; see sim/faults.hpp and bench_ablation_faults).
+  sim::FaultPlan faults;
 };
 
 /// Run the three schedulers on the same cluster/workload.
@@ -59,6 +62,7 @@ inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
   base_cfg.replication_seed = opt.replication_seed;
   base_cfg.speculative_execution = true;  // Hadoop default (paper §VI-A)
   base_cfg.task_timeout_s = opt.baseline_timeout_s;
+  base_cfg.faults = opt.faults;
 
   {
     sched::FifoLocalityScheduler fifo;
@@ -78,6 +82,7 @@ inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
     lips_cfg.hdfs_replication = 1;  // LiPS manages placement itself
     lips_cfg.speculative_execution = false;  // disabled for LiPS (paper)
     lips_cfg.task_timeout_s = opt.lips_timeout_s;
+    lips_cfg.faults = opt.faults;
     out.lips = sim::simulate(cluster, workload, lips, lips_cfg);
     out.lips_planned_cost_mc = lips.planned_cost_mc();
     out.lips_lp_solves = lips.lp_solves();

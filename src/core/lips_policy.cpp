@@ -1,6 +1,7 @@
 #include "core/lips_policy.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/error.hpp"
@@ -13,7 +14,38 @@ LipsPolicy::LipsPolicy(LipsPolicyOptions options) : options_(options) {
   options_.model.fake_node = true;  // overflow work waits for the next epoch
 }
 
-void LipsPolicy::on_epoch(const sched::ClusterState& state) {
+void LipsPolicy::on_epoch(const sched::ClusterState& state) { replan(state); }
+
+void LipsPolicy::on_machine_lost(MachineId machine,
+                                 const sched::ClusterState& state) {
+  doomed_.erase(machine.value());  // the warning, if any, has played out
+  off_cycle_resolves_ += 1;
+  replan(state);
+}
+
+void LipsPolicy::on_machine_restored(MachineId machine,
+                                     const sched::ClusterState& state) {
+  (void)machine;
+  off_cycle_resolves_ += 1;
+  replan(state);
+}
+
+void LipsPolicy::on_store_lost(StoreId store,
+                               const sched::ClusterState& state) {
+  (void)store;
+  off_cycle_resolves_ += 1;
+  replan(state);
+}
+
+void LipsPolicy::on_spot_warning(MachineId machine, double revoke_time_s,
+                                 const sched::ClusterState& state) {
+  (void)revoke_time_s;
+  doomed_.insert(machine.value());
+  off_cycle_resolves_ += 1;
+  replan(state);
+}
+
+void LipsPolicy::replan(const sched::ClusterState& state) {
   const cluster::Cluster& c = state.cluster();
   const workload::Workload& w = state.workload();
 
@@ -56,13 +88,22 @@ void LipsPolicy::on_epoch(const sched::ClusterState& state) {
   lp_solves_ += 1;
   ModelOptions model = options_.model;
   model.price_time = state.now();  // honor spot-price schedules
+  // Down machines cannot run work and spot-warned ones are about to die;
+  // wiped stores must not be chosen as placement targets.
+  for (std::size_t m = 0; m < c.machine_count(); ++m)
+    if (!state.machine_up(MachineId{m}) || doomed_.count(m) > 0)
+      model.excluded_machines.push_back(m);
+  for (std::size_t s = 0; s < c.store_count(); ++s)
+    if (!state.store_up(StoreId{s})) model.excluded_stores.push_back(s);
   const LpSchedule lp =
       solve_co_scheduling(c, w, model, subset, remaining, origins);
   lp_iterations_ += lp.lp_iterations;
   if (!lp.optimal()) {
-    // Should not happen with the fake node enabled; leave the epoch
-    // unplanned (tasks stay queued) and record the failure.
+    // The fake node keeps the machine side feasible, but the data side can
+    // still fail (e.g. the surviving stores cannot hold the queue's data).
+    // Fall back to a greedy plan so work keeps draining.
     lp_failures_ += 1;
+    fallback_plan(state);
     return;
   }
 
@@ -132,6 +173,45 @@ void LipsPolicy::on_epoch(const sched::ClusterState& state) {
       ids.pop_back();
       plan_[b.machine.value()].push_back(PinnedTask{id, b.store, gates});
     }
+  }
+}
+
+void LipsPolicy::fallback_plan(const sched::ClusterState& state) {
+  lp_fallbacks_ += 1;
+  const cluster::Cluster& c = state.cluster();
+  // No data moves, no gates: each pending task reads from the live store
+  // holding the most of its input and runs on the machine minimizing
+  // execution-plus-read cost. Dearer than the LP optimum, but every task
+  // gets a runnable pin.
+  for (const std::size_t id : state.pending()) {
+    const sched::SimTask& t = state.task(id);
+    std::optional<StoreId> source;
+    if (t.data) {
+      double best_fraction = 0.0;
+      for (std::size_t sid = 0; sid < c.store_count(); ++sid) {
+        if (!state.store_up(StoreId{sid})) continue;
+        const double f = state.stored_fraction(*t.data, StoreId{sid});
+        if (f > best_fraction + 1e-12) {
+          best_fraction = f;
+          source = StoreId{sid};
+        }
+      }
+      if (!source) continue;  // data in flight back to a store; next replan
+    }
+    std::size_t best_machine = SIZE_MAX;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t m = 0; m < c.machine_count(); ++m) {
+      if (!state.machine_up(MachineId{m}) || doomed_.count(m) > 0) continue;
+      double cost = t.cpu_ecu_s * c.cpu_price_mc_at(MachineId{m}, state.now());
+      if (source)
+        cost += t.input_mb * c.ms_cost_mc_per_mb(MachineId{m}, *source);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_machine = m;
+      }
+    }
+    if (best_machine == SIZE_MAX) continue;  // nothing alive to run on
+    plan_[best_machine].push_back(PinnedTask{id, source, {}});
   }
 }
 

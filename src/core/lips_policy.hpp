@@ -21,6 +21,7 @@
 #include <deque>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/lp_models.hpp"
 #include "core/rounding.hpp"
@@ -57,9 +58,25 @@ class LipsPolicy : public sched::Scheduler {
   [[nodiscard]] std::optional<sched::LaunchDecision> on_slot_available(
       MachineId machine, const sched::ClusterState& state) override;
 
+  // Failure awareness: every fault invalidates the current plan (pinned
+  // queues may target a dead machine, gates may wait on a wiped store), so
+  // the policy re-solves immediately rather than waiting out the epoch.
+  // Spot-warned machines are excluded from plans ahead of their death.
+  void on_machine_lost(MachineId machine,
+                       const sched::ClusterState& state) override;
+  void on_machine_restored(MachineId machine,
+                           const sched::ClusterState& state) override;
+  void on_store_lost(StoreId store, const sched::ClusterState& state) override;
+  void on_spot_warning(MachineId machine, double revoke_time_s,
+                       const sched::ClusterState& state) override;
+
   // --- introspection (for tests and reports) ------------------------------
   [[nodiscard]] std::size_t lp_solves() const { return lp_solves_; }
   [[nodiscard]] std::size_t lp_failures() const { return lp_failures_; }
+  [[nodiscard]] std::size_t lp_fallbacks() const { return lp_fallbacks_; }
+  [[nodiscard]] std::size_t off_cycle_resolves() const {
+    return off_cycle_resolves_;
+  }
   [[nodiscard]] double planned_cost_mc() const { return planned_cost_mc_; }
   [[nodiscard]] std::size_t total_lp_iterations() const {
     return lp_iterations_;
@@ -78,14 +95,26 @@ class LipsPolicy : public sched::Scheduler {
     double required_fraction = 0.0;  ///< presence threshold to open
   };
 
+  /// Rebuild the plan from the current queue (epoch tick or fault).
+  void replan(const sched::ClusterState& state);
+  /// Corrective action when the LP fails (e.g. Infeasible because the
+  /// surviving stores cannot hold the queue's data): pin each pending task
+  /// greedily to its cheapest live option so work still drains.
+  void fallback_plan(const sched::ClusterState& state);
+
   LipsPolicyOptions options_;
   /// Per-machine queue of pinned tasks for the current epoch.
   std::vector<std::deque<PinnedTask>> plan_;
   std::vector<Gate> gates_;
   std::vector<sched::DataMove> moves_;
+  /// Machines with a pending spot-revocation notice: still up, but no new
+  /// work is planned onto them.
+  std::unordered_set<std::size_t> doomed_;
 
   std::size_t lp_solves_ = 0;
   std::size_t lp_failures_ = 0;
+  std::size_t lp_fallbacks_ = 0;
+  std::size_t off_cycle_resolves_ = 0;
   std::size_t lp_iterations_ = 0;
   double planned_cost_mc_ = 0.0;  ///< Σ epoch-LP objectives (modeled cost)
 };

@@ -61,10 +61,20 @@ class ModelBuilder {
       for (double r : remaining_)
         LIPS_REQUIRE(r >= 0.0 && r <= 1.0, "remaining fraction in [0,1]");
     }
+    machine_excluded_.assign(c_.machine_count(), false);
+    for (const std::size_t l : opt_.excluded_machines) {
+      LIPS_REQUIRE(l < c_.machine_count(), "excluded machine out of range");
+      machine_excluded_[l] = true;
+    }
+    store_excluded_.assign(c_.store_count(), false);
+    for (const std::size_t s : opt_.excluded_stores) {
+      LIPS_REQUIRE(s < c_.store_count(), "excluded store out of range");
+      store_excluded_[s] = true;
+    }
     if (opt_.fake_node) {
       double max_price = 0.0;
       for (std::size_t l = 0; l < c_.machine_count(); ++l)
-        max_price = std::max(max_price, price_mc(l));
+        if (!machine_excluded_[l]) max_price = std::max(max_price, price_mc(l));
       fake_price_mc_ = std::max(1.0, max_price) * opt_.fake_node_price_factor;
     }
   }
@@ -95,15 +105,17 @@ class ModelBuilder {
     const std::size_t ns = c_.store_count();
     std::vector<StoreId> all;
     all.reserve(ns);
-    for (std::size_t s = 0; s < ns; ++s) all.push_back(StoreId{s});
+    for (std::size_t s = 0; s < ns; ++s)
+      if (!store_excluded_[s]) all.push_back(StoreId{s});
     const std::size_t k = opt_.max_candidate_stores;
-    if (k == 0 || k >= ns) return all;
+    if (k == 0 || k >= all.size()) return all;
     const StoreId origin = origin_of(i);
     std::stable_sort(all.begin(), all.end(), [&](StoreId a, StoreId b) {
       return c_.ss_cost_mc_per_mb(origin, a) < c_.ss_cost_mc_per_mb(origin, b);
     });
     all.resize(k);
-    if (std::find(all.begin(), all.end(), origin) == all.end())
+    if (!store_excluded_[origin.value()] &&
+        std::find(all.begin(), all.end(), origin) == all.end())
       all.push_back(origin);
     return all;
   }
@@ -113,10 +125,12 @@ class ModelBuilder {
   [[nodiscard]] std::vector<std::size_t> candidate_machines(
       JobId k, const std::vector<StoreId>& stores) const {
     const std::size_t nm = c_.machine_count();
-    std::vector<std::size_t> all(nm);
-    for (std::size_t l = 0; l < nm; ++l) all[l] = l;
+    std::vector<std::size_t> all;
+    all.reserve(nm);
+    for (std::size_t l = 0; l < nm; ++l)
+      if (!machine_excluded_[l]) all.push_back(l);
     const std::size_t kk = opt_.max_candidate_machines;
-    if (kk == 0 || kk >= nm) return all;
+    if (kk == 0 || kk >= all.size()) return all;
     const double cpu = w_.job_cpu_ecu_s(k);
     const double input = w_.job_input_mb(k);
     auto unit_cost = [&](std::size_t l) {
@@ -452,6 +466,8 @@ class ModelBuilder {
   std::vector<double> remaining_;
   double fake_price_mc_ = 0.0;
   std::vector<StoreId> origins_;
+  std::vector<char> machine_excluded_;
+  std::vector<char> store_excluded_;
 };
 
 }  // namespace

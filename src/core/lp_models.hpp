@@ -111,6 +111,13 @@ struct ModelOptions {
   std::size_t max_candidate_machines = 0;
   std::size_t max_candidate_stores = 0;
 
+  /// Machines the model must not schedule on and stores it must not place
+  /// data on — down, revoked, or wiped under fault injection (sim/faults).
+  /// With the fake node enabled the model stays feasible even when every
+  /// machine is excluded (all work defers). Empty on the fault-free path.
+  std::vector<std::size_t> excluded_machines;
+  std::vector<std::size_t> excluded_stores;
+
   /// Evaluate machine prices at this simulated time (spot-market price
   /// schedules, Cluster::cpu_price_mc_at). Negative = use static prices.
   double price_time = -1.0;

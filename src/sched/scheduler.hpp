@@ -68,6 +68,17 @@ class ClusterState {
 
   /// Free map slots on `m` right now.
   [[nodiscard]] virtual int free_slots(MachineId m) const = 0;
+
+  /// Liveness under fault injection (sim/faults.hpp). Defaults are "always
+  /// up" so states without a fault model need not override.
+  [[nodiscard]] virtual bool machine_up(MachineId m) const {
+    (void)m;
+    return true;
+  }
+  [[nodiscard]] virtual bool store_up(StoreId s) const {
+    (void)s;
+    return true;
+  }
 };
 
 /// Scheduling policy. Implementations must be deterministic given the
@@ -103,6 +114,32 @@ class Scheduler {
                                 const ClusterState& state) {
     (void)task;
     (void)machine;
+    (void)state;
+  }
+
+  /// Fault notifications (sim/faults.hpp). In-flight work on a lost machine
+  /// has already been killed and requeued when on_machine_lost fires; a lost
+  /// store's presence fractions are already wiped when on_store_lost fires.
+  /// Defaults are no-ops so fault-oblivious policies keep working unchanged.
+  virtual void on_machine_lost(MachineId machine, const ClusterState& state) {
+    (void)machine;
+    (void)state;
+  }
+  virtual void on_machine_restored(MachineId machine,
+                                   const ClusterState& state) {
+    (void)machine;
+    (void)state;
+  }
+  virtual void on_store_lost(StoreId store, const ClusterState& state) {
+    (void)store;
+    (void)state;
+  }
+  /// A spot revocation notice: `machine` will be permanently lost at
+  /// simulated time `revoke_time_s` (the EC2 two-minute warning).
+  virtual void on_spot_warning(MachineId machine, double revoke_time_s,
+                               const ClusterState& state) {
+    (void)machine;
+    (void)revoke_time_s;
     (void)state;
   }
 };

@@ -1,0 +1,186 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lips::sim {
+
+FaultPlan& FaultPlan::crash(double time_s, std::size_t machine,
+                            double repair_s) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::MachineCrash;
+  e.time_s = time_s;
+  e.machine = machine;
+  e.duration_s = repair_s;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::revoke_spot(double time_s, std::size_t machine,
+                                  double warning_s) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::SpotRevocation;
+  e.time_s = time_s;
+  e.machine = machine;
+  e.warning_s = warning_s;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::lose_store(double time_s, std::size_t store) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::StoreLoss;
+  e.time_s = time_s;
+  e.store = store;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade_links(double time_s, std::size_t machine,
+                                    double factor, double window_s) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::LinkDegrade;
+  e.time_s = time_s;
+  e.machine = machine;
+  e.factor = factor;
+  e.duration_s = window_s;
+  events.push_back(e);
+  return *this;
+}
+
+void FaultPlan::validate(std::size_t machine_count,
+                         std::size_t store_count) const {
+  for (const FaultEvent& e : events) {
+    LIPS_REQUIRE(e.time_s >= 0.0, "fault event before the clock starts");
+    switch (e.kind) {
+      case FaultEvent::Kind::MachineCrash:
+        LIPS_REQUIRE(e.machine < machine_count, "crash: unknown machine");
+        break;
+      case FaultEvent::Kind::SpotRevocation:
+        LIPS_REQUIRE(e.machine < machine_count, "revocation: unknown machine");
+        LIPS_REQUIRE(e.warning_s >= 0.0, "revocation: negative warning");
+        break;
+      case FaultEvent::Kind::StoreLoss:
+        LIPS_REQUIRE(e.store < store_count, "store loss: unknown store");
+        break;
+      case FaultEvent::Kind::LinkDegrade:
+        LIPS_REQUIRE(e.machine < machine_count, "degrade: unknown machine");
+        LIPS_REQUIRE(e.factor > 0.0 && e.factor <= 1.0,
+                     "degrade: factor must be in (0, 1]");
+        LIPS_REQUIRE(e.duration_s > 0.0, "degrade: window must be positive");
+        break;
+    }
+  }
+}
+
+FaultPlan make_fault_storm(const FaultStormParams& p,
+                           std::size_t machine_count,
+                           std::size_t store_count) {
+  LIPS_REQUIRE(p.horizon_s > 0.0, "fault storm needs a positive horizon");
+  FaultPlan plan;
+  Rng rng(p.seed);
+
+  // Crashes: per-machine Poisson process (exponential inter-arrivals at the
+  // MTBF). A permanent crash ends the machine's process.
+  if (p.mtbf_s > 0.0) {
+    for (std::size_t m = 0; m < machine_count; ++m) {
+      Rng mr = rng.split();
+      double t = mr.exponential(p.mtbf_s);
+      while (t < p.horizon_s) {
+        const bool permanent = mr.bernoulli(p.permanent_fraction);
+        const double repair =
+            permanent || p.mttr_s <= 0.0 ? 0.0 : mr.exponential(p.mttr_s);
+        plan.crash(t, m, repair);
+        if (permanent || p.mttr_s <= 0.0) break;
+        // Next failure clock starts once the machine is back.
+        t += repair + mr.exponential(p.mtbf_s);
+      }
+    }
+  }
+
+  // Spot revocations: at most one per machine (the instance is gone after).
+  if (p.revoke_probability > 0.0) {
+    for (std::size_t m = 0; m < machine_count; ++m) {
+      Rng mr = rng.split();
+      if (!mr.bernoulli(p.revoke_probability)) continue;
+      plan.revoke_spot(mr.uniform(0.0, p.horizon_s), m, p.spot_warning_s);
+    }
+  }
+
+  // Store losses: expected `store_loss_rate` events per store.
+  if (p.store_loss_rate > 0.0) {
+    for (std::size_t s = 0; s < store_count; ++s) {
+      Rng sr = rng.split();
+      double t = sr.exponential(p.horizon_s / p.store_loss_rate);
+      // One loss per store is enough chaos: a wiped store stays wiped.
+      if (t < p.horizon_s) plan.lose_store(t, s);
+    }
+  }
+
+  // Link-degradation windows.
+  if (p.degrade_rate > 0.0) {
+    for (std::size_t m = 0; m < machine_count; ++m) {
+      Rng mr = rng.split();
+      double t = mr.exponential(p.horizon_s / p.degrade_rate);
+      while (t < p.horizon_s) {
+        plan.degrade_links(t, m, p.degrade_factor, p.degrade_window_s);
+        t += p.degrade_window_s + mr.exponential(p.horizon_s / p.degrade_rate);
+      }
+    }
+  }
+
+  std::stable_sort(
+      plan.events.begin(), plan.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time_s < b.time_s; });
+  return plan;
+}
+
+FaultStormParams parse_fault_spec(const std::string& spec) {
+  FaultStormParams p;
+  std::stringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ',')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    LIPS_REQUIRE(eq != std::string::npos,
+                 "fault spec entry must be key=value: " + entry);
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    LIPS_REQUIRE(end && *end == '\0' && !value.empty(),
+                 "fault spec value is not a number: " + entry);
+    if (key == "mtbf") {
+      p.mtbf_s = v;
+    } else if (key == "mttr") {
+      p.mttr_s = v;
+    } else if (key == "permanent") {
+      p.permanent_fraction = v;
+    } else if (key == "revoke") {
+      p.revoke_probability = v;
+    } else if (key == "warn") {
+      p.spot_warning_s = v;
+    } else if (key == "storeloss") {
+      p.store_loss_rate = v;
+    } else if (key == "degrade") {
+      p.degrade_rate = v;
+    } else if (key == "degrade_factor") {
+      p.degrade_factor = v;
+    } else if (key == "degrade_window") {
+      p.degrade_window_s = v;
+    } else if (key == "horizon") {
+      p.horizon_s = v;
+    } else if (key == "seed") {
+      p.seed = static_cast<std::uint64_t>(v);
+    } else {
+      LIPS_REQUIRE(false, "unknown fault spec key: " + key);
+    }
+  }
+  return p;
+}
+
+}  // namespace lips::sim

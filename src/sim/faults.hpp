@@ -1,0 +1,101 @@
+// Fault-injection plans for the discrete-event simulator.
+//
+// The paper evaluates LiPS on real EC2, where nodes time out, spot capacity
+// is revoked, and Hadoop's scheduling architecture exists precisely to
+// survive task and node failure — yet a fault-free simulation never
+// exercises any of that. A FaultPlan scripts the failures a run must absorb:
+// machine crashes (permanent or repaired after a delay), spot-instance
+// revocations (a warning, then the machine is gone for good), store losses
+// (all block replicas on one store vanish), and windows of degraded link
+// bandwidth. Plans are plain data: they can be written by hand for targeted
+// tests or generated stochastically — but deterministically — from a seed
+// (`make_fault_storm`), so every fault scenario is exactly reproducible.
+//
+// An empty plan is the default everywhere and costs nothing: the simulator
+// schedules no fault events and follows the exact pre-fault code path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lips::sim {
+
+/// One scripted infrastructure failure (or recovery window).
+struct FaultEvent {
+  enum class Kind : unsigned char {
+    MachineCrash,    ///< machine down at time_s; repaired after duration_s
+                     ///< (duration_s <= 0: permanent loss)
+    SpotRevocation,  ///< revocation notice at time_s; machine permanently
+                     ///< lost warning_s later (EC2 two-minute warning)
+    StoreLoss,       ///< every block fraction on the store vanishes
+    LinkDegrade,     ///< machine's store links run at `factor` bandwidth
+                     ///< for duration_s seconds
+  };
+  Kind kind = Kind::MachineCrash;
+  double time_s = 0.0;
+  std::size_t machine = SIZE_MAX;  ///< target machine (crash/revoke/degrade)
+  std::size_t store = SIZE_MAX;    ///< target store (StoreLoss)
+  double duration_s = 0.0;         ///< repair delay / degradation window
+  double warning_s = 120.0;        ///< SpotRevocation notice period
+  double factor = 1.0;             ///< LinkDegrade bandwidth multiplier
+};
+
+/// A schedule of fault events. Empty by default (fault-free run).
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  // Fluent builders for hand-written plans (targeted tests).
+  FaultPlan& crash(double time_s, std::size_t machine, double repair_s = 0.0);
+  FaultPlan& revoke_spot(double time_s, std::size_t machine,
+                         double warning_s = 120.0);
+  FaultPlan& lose_store(double time_s, std::size_t store);
+  FaultPlan& degrade_links(double time_s, std::size_t machine, double factor,
+                           double window_s);
+
+  /// Throws PreconditionError if any event targets an entity out of range
+  /// or carries a nonsensical parameter (negative time, factor <= 0, ...).
+  void validate(std::size_t machine_count, std::size_t store_count) const;
+};
+
+/// Stochastic fault-storm generation knobs. All randomness flows from
+/// `seed` through the library Rng, so identical parameters give identical
+/// plans on every platform.
+struct FaultStormParams {
+  /// Mean time between crashes per machine, seconds (0 disables crashes).
+  double mtbf_s = 0.0;
+  /// Mean repair time for non-permanent crashes (exponential).
+  double mttr_s = 900.0;
+  /// Fraction of crashes that are permanent (machine never returns).
+  double permanent_fraction = 0.0;
+  /// Probability that a machine suffers one spot revocation, uniformly
+  /// placed in [0, horizon).
+  double revoke_probability = 0.0;
+  double spot_warning_s = 120.0;
+  /// Expected store-loss events per store over the whole horizon.
+  double store_loss_rate = 0.0;
+  /// Expected link-degradation windows per machine over the horizon.
+  double degrade_rate = 0.0;
+  double degrade_factor = 0.25;
+  double degrade_window_s = 600.0;
+  /// Events are generated inside [0, horizon_s).
+  double horizon_s = 24.0 * 3600.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a storm over `machine_count` machines and `store_count` stores.
+/// Deterministic in (params, counts); events come out sorted by time.
+[[nodiscard]] FaultPlan make_fault_storm(const FaultStormParams& params,
+                                         std::size_t machine_count,
+                                         std::size_t store_count);
+
+/// Parse a compact command-line spec such as
+///   "mtbf=3600,mttr=600,revoke=0.1,storeloss=0.5,seed=7"
+/// into storm parameters. Keys: mtbf, mttr, permanent, revoke, warn,
+/// storeloss, degrade, degrade_factor, degrade_window, horizon, seed.
+/// Throws PreconditionError on an unknown key or malformed entry.
+[[nodiscard]] FaultStormParams parse_fault_spec(const std::string& spec);
+
+}  // namespace lips::sim

@@ -29,6 +29,16 @@ std::string to_string(TraceEvent::Kind kind) {
       return "data-move-finish";
     case TraceEvent::Kind::EpochTick:
       return "epoch-tick";
+    case TraceEvent::Kind::MachineLost:
+      return "machine-lost";
+    case TraceEvent::Kind::MachineRestored:
+      return "machine-restored";
+    case TraceEvent::Kind::SpotRevocationWarning:
+      return "spot-revocation-warning";
+    case TraceEvent::Kind::StoreLost:
+      return "store-lost";
+    case TraceEvent::Kind::TaskRequeued:
+      return "task-requeued";
   }
   return "unknown";
 }
@@ -44,6 +54,10 @@ enum class EventKind : unsigned char {
   InstanceFinish,
   EpochTick,
   MoveFinish,
+  Fault,           ///< payload: index into the engine's fault event list
+  MachineRestore,  ///< payload: machine id (transient crash repaired)
+  LinkRestore,     ///< payload: fault event index (degradation window ends)
+  TaskRetry,       ///< payload: task id (fault-kill backoff expired)
 };
 
 struct Event {
@@ -58,7 +72,14 @@ struct Event {
   }
 };
 
-enum class TaskStatus : unsigned char { NotArrived, Pending, Running, Done };
+enum class TaskStatus : unsigned char {
+  NotArrived,
+  Pending,
+  Running,
+  Done,
+  Backoff,  ///< fault-killed, waiting out the retry backoff
+  Lost,     ///< abandoned: retry budget exhausted or unrecoverable
+};
 
 struct Instance {
   std::size_t task = 0;
@@ -77,8 +98,14 @@ struct Instance {
 
 struct PendingMove {
   DataId data;
+  StoreId from{0};
   StoreId to;
   double fraction = 0.0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double cost_mc = 0.0;
+  bool finished = false;
+  bool aborted = false;  ///< endpoint store lost mid-transfer
 };
 
 class Engine final : public ClusterState {
@@ -171,6 +198,22 @@ class Engine final : public ClusterState {
     result_.machines.resize(c_.machine_count());
     result_.job_finish_s.assign(w_.job_count(),
                                 std::numeric_limits<double>::quiet_NaN());
+
+    machine_up_.assign(c_.machine_count(), true);
+    machine_gone_.assign(c_.machine_count(), false);
+    down_since_.assign(c_.machine_count(), 0.0);
+    link_factor_.assign(c_.machine_count(), 1.0);
+    store_gone_.assign(c_.store_count(), false);
+    fault_kills_.assign(tasks_.size(), 0);
+    job_aborted_.assign(w_.job_count(), false);
+    if (!cfg_.faults.empty()) {
+      cfg_.faults.validate(c_.machine_count(), c_.store_count());
+      fault_events_ = cfg_.faults.events;
+      std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                       [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.time_s < b.time_s;
+                       });
+    }
   }
 
   SimResult run() {
@@ -182,6 +225,8 @@ class Engine final : public ClusterState {
       // events were enqueued first and therefore sort earlier).
       push_event(0.0, EventKind::EpochTick, 0);
     }
+    for (std::size_t f = 0; f < fault_events_.size(); ++f)
+      push_event(fault_events_[f].time_s, EventKind::Fault, f);
 
     while (!events_.empty()) {
       const Event ev = events_.top();
@@ -191,6 +236,7 @@ class Engine final : public ClusterState {
       dispatch(ev);
     }
 
+    flush_at_horizon();
     finalize_result();
     return result_;
   }
@@ -219,6 +265,12 @@ class Engine final : public ClusterState {
   }
   [[nodiscard]] int free_slots(MachineId m) const override {
     return slots_free_.at(m.value());
+  }
+  [[nodiscard]] bool machine_up(MachineId m) const override {
+    return machine_up_.at(m.value());
+  }
+  [[nodiscard]] bool store_up(StoreId s) const override {
+    return !store_gone_.at(s.value());
   }
 
  private:
@@ -292,11 +344,23 @@ class Engine final : public ClusterState {
       case EventKind::MoveFinish:
         on_move_finish(ev.payload);
         break;
+      case EventKind::Fault:
+        on_fault(ev.payload);
+        break;
+      case EventKind::MachineRestore:
+        on_machine_restore(ev.payload);
+        break;
+      case EventKind::LinkRestore:
+        on_link_restore(ev.payload);
+        break;
+      case EventKind::TaskRetry:
+        on_task_retry(ev.payload);
+        break;
     }
   }
 
   [[nodiscard]] bool work_remains() const {
-    return done_tasks_ < tasks_.size();
+    return done_tasks_ + lost_tasks_ < tasks_.size();
   }
 
   // FIFO ordering key for the pending list.
@@ -323,12 +387,14 @@ class Engine final : public ClusterState {
   // ---- handlers ----------------------------------------------------------
   void on_job_arrival(std::size_t job) {
     arrival_passed_[job] = true;
+    if (job_aborted_[job]) return;
     if (preds_remaining_[job] == 0) activate_job(job);
   }
 
   /// A job's tasks enter the pending queue once it has both arrived and
   /// seen all its DAG predecessors complete.
   void activate_job(std::size_t job) {
+    if (job_aborted_[job]) return;
     LIPS_ASSERT(!activated_[job], "job activated twice");
     activated_[job] = true;
     const workload::Job& j = w_.job(JobId{job});
@@ -355,6 +421,7 @@ class Engine final : public ClusterState {
   void start_move(const sched::DataMove& mv) {
     LIPS_REQUIRE(mv.data.value() < w_.data_count(), "move: unknown data");
     LIPS_REQUIRE(mv.to.value() < c_.store_count(), "move: unknown store");
+    if (store_gone_[mv.to.value()]) return;  // stale directive, drop it
     double fraction = std::clamp(mv.fraction, 0.0, 1.0);
     const double available = stored_fraction(mv.data, mv.from);
     fraction = std::min(fraction, available);
@@ -362,18 +429,27 @@ class Engine final : public ClusterState {
     const double mb = fraction * w_.data(mv.data).size_mb;
     const double bw = c_.store_bandwidth_mb_s(mv.from, mv.to);
     const double cost = mb * c_.ss_cost_mc_per_mb(mv.from, mv.to);
-    moves_.push_back(PendingMove{mv.data, mv.to, fraction});
-    move_costs_.push_back(cost);
+    PendingMove pm;
+    pm.data = mv.data;
+    pm.from = mv.from;
+    pm.to = mv.to;
+    pm.fraction = fraction;
+    pm.start_s = now_;
+    pm.duration_s = mb / bw;
+    pm.cost_mc = cost;
+    moves_.push_back(pm);
     trace(TraceEvent::Kind::DataMoveStart, SIZE_MAX, SIZE_MAX, SIZE_MAX,
           mv.to.value(), mb);
-    push_event(now_ + mb / bw, EventKind::MoveFinish, moves_.size() - 1);
+    push_event(now_ + pm.duration_s, EventKind::MoveFinish, moves_.size() - 1);
   }
 
   void on_move_finish(std::size_t idx) {
-    const PendingMove& mv = moves_.at(idx);
+    PendingMove& mv = moves_.at(idx);
+    if (mv.aborted) return;  // endpoint store died mid-transfer
+    mv.finished = true;
     presence_[mv.data.value()][mv.to.value()] = std::min(
         1.0, presence_[mv.data.value()][mv.to.value()] + mv.fraction);
-    result_.placement_transfer_cost_mc += move_costs_.at(idx);
+    result_.placement_transfer_cost_mc += mv.cost_mc;
     trace(TraceEvent::Kind::DataMoveFinish, SIZE_MAX, SIZE_MAX, SIZE_MAX,
           mv.to.value(), mv.fraction * w_.data(mv.data).size_mb);
     try_assign();
@@ -454,17 +530,31 @@ class Engine final : public ClusterState {
       double total = 0.0;
       for (const double v : work) total += v;
       if (total <= 0.0) {
-        presence_[d][obj.origin.value()] = 1.0;  // degenerate producer
+        std::size_t target = obj.origin.value();
+        if (store_gone_[target]) {
+          const auto fb = fallback_store();
+          if (!fb) {
+            mark_readers_lost(d);
+            continue;
+          }
+          target = *fb;
+        }
+        presence_[d][target] = 1.0;  // degenerate producer
         continue;
       }
       for (std::size_t m = 0; m < work.size(); ++m) {
         if (work[m] <= 0.0) continue;
         const auto store = c_.store_of_machine(MachineId{m});
-        const std::size_t target =
-            store ? store->value() : obj.origin.value();
+        std::size_t target = store ? store->value() : obj.origin.value();
+        if (store_gone_[target]) {
+          const auto fb = fallback_store();
+          if (!fb) continue;
+          target = *fb;
+        }
         presence_[d][target] =
             std::min(1.0, presence_[d][target] + work[m] / total);
       }
+      if (presence_[d].empty()) mark_readers_lost(d);  // nowhere to write
     }
     for (const std::size_t succ : successors_[job]) {
       LIPS_ASSERT(preds_remaining_[succ] > 0, "predecessor underflow");
@@ -505,6 +595,267 @@ class Engine final : public ClusterState {
         frac * tasks_[inst.task].cpu_ecu_s;
   }
 
+  // ---- fault handling ----------------------------------------------------
+  /// Fault handlers change cluster state behind the policy's back, so after
+  /// notifying the policy we drain any directives it issued off-cycle (an
+  /// epoch policy may re-plan immediately) and retry assignment.
+  void drain_policy() {
+    for (const sched::DataMove& mv : policy_.take_data_moves()) start_move(mv);
+    try_assign();
+  }
+
+  [[nodiscard]] std::optional<std::size_t> fallback_store() const {
+    for (std::size_t s = 0; s < c_.store_count(); ++s)
+      if (!store_gone_[s]) return s;
+    return std::nullopt;
+  }
+
+  void on_fault(std::size_t idx) {
+    const FaultEvent e = fault_events_[idx];  // by value: the list may grow
+    switch (e.kind) {
+      case FaultEvent::Kind::MachineCrash: {
+        const bool permanent = e.duration_s <= 0.0;
+        if (apply_machine_loss(e.machine, permanent) && !permanent)
+          push_event(now_ + e.duration_s, EventKind::MachineRestore, e.machine);
+        break;
+      }
+      case FaultEvent::Kind::SpotRevocation: {
+        if (machine_gone_[e.machine]) break;
+        result_.spot_revocations += 1;
+        trace(TraceEvent::Kind::SpotRevocationWarning, SIZE_MAX, SIZE_MAX,
+              e.machine, SIZE_MAX, e.warning_s);
+        policy_.on_spot_warning(MachineId{e.machine}, now_ + e.warning_s,
+                                *this);
+        drain_policy();
+        // The revocation itself is a permanent crash once the notice lapses.
+        FaultEvent crash;
+        crash.kind = FaultEvent::Kind::MachineCrash;
+        crash.time_s = now_ + e.warning_s;
+        crash.machine = e.machine;
+        crash.duration_s = 0.0;
+        fault_events_.push_back(crash);
+        push_event(crash.time_s, EventKind::Fault, fault_events_.size() - 1);
+        break;
+      }
+      case FaultEvent::Kind::StoreLoss:
+        apply_store_loss(e.store);
+        break;
+      case FaultEvent::Kind::LinkDegrade:
+        if (machine_gone_[e.machine]) break;
+        link_factor_[e.machine] *= e.factor;
+        push_event(now_ + e.duration_s, EventKind::LinkRestore, idx);
+        break;
+    }
+  }
+
+  void on_link_restore(std::size_t idx) {
+    const FaultEvent& e = fault_events_[idx];
+    link_factor_[e.machine] /= e.factor;
+    try_assign();
+  }
+
+  /// Take `m` down, killing its in-flight instances. Returns whether the
+  /// loss was applied (false: machine already down/gone — a repeated crash
+  /// can still escalate a transient outage to a permanent one).
+  bool apply_machine_loss(std::size_t m, bool permanent) {
+    if (machine_gone_[m]) return false;
+    if (!machine_up_[m]) {
+      if (permanent) machine_gone_[m] = true;
+      return false;
+    }
+    machine_up_[m] = false;
+    machine_gone_[m] = permanent;
+    down_since_[m] = now_;
+    slots_free_[m] = 0;
+    result_.machines_lost += 1;
+    trace(TraceEvent::Kind::MachineLost, SIZE_MAX, SIZE_MAX, m);
+    // Iterate over a copy: kills mutate active_instances_.
+    const std::vector<std::size_t> active = active_instances_;
+    for (const std::size_t iid : active)
+      if (instances_[iid].machine == m)
+        kill_instance_for_fault(iid, /*free_slot=*/false);
+    policy_.on_machine_lost(MachineId{m}, *this);
+    drain_policy();
+    return true;
+  }
+
+  void on_machine_restore(std::size_t m) {
+    if (machine_gone_[m] || machine_up_[m]) return;
+    machine_up_[m] = true;
+    result_.machines[m].downtime_s += now_ - down_since_[m];
+    result_.machines_restored += 1;
+    slots_free_[m] = c_.machine(MachineId{m}).map_slots;
+    trace(TraceEvent::Kind::MachineRestored, SIZE_MAX, SIZE_MAX, m);
+    policy_.on_machine_restored(MachineId{m}, *this);
+    drain_policy();
+  }
+
+  void apply_store_loss(std::size_t s) {
+    if (store_gone_[s]) return;
+    store_gone_[s] = true;
+    result_.stores_lost += 1;
+    trace(TraceEvent::Kind::StoreLost, SIZE_MAX, SIZE_MAX, SIZE_MAX, s);
+    // Kill in-flight instances reading from the store.
+    const std::vector<std::size_t> active = active_instances_;
+    for (const std::size_t iid : active) {
+      const Instance& inst = instances_[iid];
+      if (inst.store && inst.store->value() == s)
+        kill_instance_for_fault(iid, /*free_slot=*/true);
+    }
+    // Abort transfers touching the store; bytes already on the wire were
+    // paid for and are now worthless.
+    for (PendingMove& mv : moves_) {
+      if (mv.finished || mv.aborted) continue;
+      if (mv.from.value() != s && mv.to.value() != s) continue;
+      mv.aborted = true;
+      const double frac_done =
+          mv.duration_s <= 0.0
+              ? 1.0
+              : std::clamp((now_ - mv.start_s) / mv.duration_s, 0.0, 1.0);
+      result_.placement_transfer_cost_mc += frac_done * mv.cost_mc;
+      result_.wasted_cost_mc += frac_done * mv.cost_mc;
+    }
+    // Wipe the store's block fractions; objects that lost their last usable
+    // replica are re-materialized from their durable source.
+    std::vector<std::size_t> touched;
+    for (std::size_t d = 0; d < w_.data_count(); ++d)
+      if (presence_[d].erase(s) > 0) touched.push_back(d);
+    for (const std::size_t d : touched) ensure_object_available(d);
+    policy_.on_store_lost(StoreId{s}, *this);
+    drain_policy();
+  }
+
+  /// Recreate a wiped object from its durable source (HDFS re-replication /
+  /// re-ingest): a full copy at the origin store, or at the first surviving
+  /// store when the origin itself is gone. An object with no surviving store
+  /// anywhere is unrecoverable — its reader tasks are abandoned.
+  void ensure_object_available(std::size_t d) {
+    double total = 0.0;
+    for (const auto& [s, f] : presence_[d]) total += f;
+    if (total >= 1.0 - 1e-9) return;
+    const workload::DataObject& obj = w_.data(DataId{d});
+    if (obj.is_intermediate() && job_remaining_[*obj.produced_by] > 0)
+      return;  // not produced yet; nothing was lost
+    std::size_t target = obj.origin.value();
+    if (store_gone_[target]) {
+      const auto fb = fallback_store();
+      if (!fb) {
+        mark_readers_lost(d);
+        return;
+      }
+      target = *fb;
+    }
+    presence_[d][target] = 1.0;
+    result_.data_refetches += 1;
+  }
+
+  void mark_readers_lost(std::size_t d) {
+    for (std::size_t tid = 0; tid < tasks_.size(); ++tid)
+      if (tasks_[tid].data && tasks_[tid].data->value() == d)
+        mark_task_lost(tid);
+  }
+
+  /// Abandon a task that can never complete, and with it the whole job
+  /// (a MapReduce job with a dead task has no output) plus any DAG branch
+  /// downstream of it.
+  void mark_task_lost(std::size_t tid) {
+    switch (status_[tid]) {
+      case TaskStatus::Done:
+      case TaskStatus::Lost:
+        return;
+      case TaskStatus::Running:
+        // Copies still in flight get to finish honestly; only a task whose
+        // last instance was just killed can be abandoned.
+        if (!running_of_task_[tid].empty()) return;
+        break;
+      case TaskStatus::Pending:
+        pending_erase(tid);
+        break;
+      case TaskStatus::NotArrived:
+      case TaskStatus::Backoff:
+        break;
+    }
+    status_[tid] = TaskStatus::Lost;
+    lost_tasks_ += 1;
+    result_.tasks_lost += 1;
+    abort_job(tasks_[tid].job.value());
+  }
+
+  void abort_job(std::size_t job) {
+    if (job_aborted_[job]) return;
+    job_aborted_[job] = true;
+    const workload::Job& j = w_.job(JobId{job});
+    const std::size_t base = first_task_of_job_[job];
+    for (std::size_t t = 0; t < j.num_tasks; ++t) mark_task_lost(base + t);
+    for (const std::size_t succ : successors_[job])
+      if (!activated_[succ]) abort_job(succ);
+  }
+
+  /// Kill one in-flight instance because its machine or input store died.
+  /// The work already done is billed (and counted as waste); the task is
+  /// requeued with exponential backoff until its retry budget runs out.
+  void kill_instance_for_fault(std::size_t iid, bool free_slot) {
+    Instance& inst = instances_[iid];
+    if (inst.settled || inst.cancelled) return;
+    const double exec_before = result_.execution_cost_mc;
+    const double read_before = result_.read_transfer_cost_mc;
+    settle(iid, now_);
+    result_.wasted_cost_mc += (result_.execution_cost_mc - exec_before) +
+                              (result_.read_transfer_cost_mc - read_before);
+    inst.cancelled = true;  // the queued finish event becomes a no-op
+    if (free_slot) slots_free_[inst.machine] += 1;
+    detach_instance(iid);
+    result_.tasks_killed_by_faults += 1;
+    const std::size_t tid = inst.task;
+    const std::size_t machine = inst.machine;
+    if (status_[tid] != TaskStatus::Running || !running_of_task_[tid].empty())
+      return;  // a duplicate survives, or the task was already abandoned
+    if (job_aborted_[tasks_[tid].job.value()] ||
+        fault_kills_[tid] >= cfg_.fault_retry_budget) {
+      mark_task_lost(tid);
+      return;
+    }
+    fault_kills_[tid] += 1;
+    result_.fault_retries += 1;
+    status_[tid] = TaskStatus::Backoff;
+    const double backoff =
+        std::min(cfg_.fault_backoff_base_s *
+                     std::pow(2.0, static_cast<double>(fault_kills_[tid] - 1)),
+                 cfg_.fault_backoff_max_s);
+    trace(TraceEvent::Kind::TaskRequeued, tasks_[tid].job.value(), tid, machine,
+          SIZE_MAX, backoff);
+    push_event(now_ + backoff, EventKind::TaskRetry, tid);
+  }
+
+  void on_task_retry(std::size_t tid) {
+    if (status_[tid] != TaskStatus::Backoff) return;  // abandoned meanwhile
+    status_[tid] = TaskStatus::Pending;
+    pending_insert(tid);
+    try_assign();
+  }
+
+  /// The horizon cut the run mid-flight: bill in-flight instances and
+  /// transfers for the time and bytes they actually consumed, so the cost
+  /// meters stay honest even on truncated (completed == false) runs.
+  void flush_at_horizon() {
+    const std::vector<std::size_t> active = active_instances_;
+    for (const std::size_t iid : active) {
+      if (instances_[iid].settled || instances_[iid].cancelled) continue;
+      result_.tasks_in_flight_at_horizon += 1;
+      settle(iid, cfg_.horizon_s);
+    }
+    for (PendingMove& mv : moves_) {
+      if (mv.finished || mv.aborted) continue;
+      mv.aborted = true;
+      const double frac_done =
+          mv.duration_s <= 0.0
+              ? 1.0
+              : std::clamp((cfg_.horizon_s - mv.start_s) / mv.duration_s, 0.0,
+                           1.0);
+      result_.placement_transfer_cost_mc += frac_done * mv.cost_mc;
+    }
+  }
+
   // ---- assignment --------------------------------------------------------
   void try_assign() {
     // One launch per machine per pass, starting from a rotating offset —
@@ -532,6 +883,7 @@ class Engine final : public ClusterState {
   void launch(const LaunchDecision& d, std::size_t machine, bool speculative) {
     LIPS_REQUIRE(d.task < tasks_.size(), "launch: unknown task");
     const SimTask& t = tasks_[d.task];
+    LIPS_REQUIRE(machine_up_[machine], "scheduler launched on a down machine");
     if (!speculative) {
       LIPS_REQUIRE(status_[d.task] == TaskStatus::Pending,
                    "scheduler launched a non-pending task");
@@ -545,8 +897,9 @@ class Engine final : public ClusterState {
                    "task with input needs a store to read from");
       LIPS_REQUIRE(stored_fraction(*t.data, *d.read_from) > 0.0,
                    "scheduler read from a store without the data");
-      transfer_s =
-          t.input_mb / c_.bandwidth_mb_s(MachineId{machine}, *d.read_from);
+      transfer_s = t.input_mb / (c_.bandwidth_mb_s(MachineId{machine},
+                                                   *d.read_from) *
+                                 link_factor_[machine]);
       read_cost =
           t.input_mb * c_.ms_cost_mc_per_mb(MachineId{machine}, *d.read_from);
     }
@@ -608,9 +961,15 @@ class Engine final : public ClusterState {
     if (best_iid == instances_.size()) return false;
     const Instance& orig = instances_[best_iid];
     const SimTask& t = tasks_[orig.task];
+    // The duplicate re-reads its input; a vanished source store kills the
+    // candidate (the original, which already has its bytes, runs on).
+    if (t.data && orig.store &&
+        stored_fraction(*t.data, *orig.store) <= 0.0)
+      return false;
     double est = t.cpu_ecu_s / c_.machine(MachineId{machine}).throughput_ecu;
     if (t.data && orig.store)
-      est += t.input_mb / c_.bandwidth_mb_s(MachineId{machine}, *orig.store);
+      est += t.input_mb / (c_.bandwidth_mb_s(MachineId{machine}, *orig.store) *
+                           link_factor_[machine]);
     if (now_ + est >= orig.finish - 1e-9) return false;  // no speed-up
     launch(LaunchDecision{orig.task, orig.store}, machine,
            /*speculative=*/true);
@@ -619,6 +978,9 @@ class Engine final : public ClusterState {
 
   void finalize_result() {
     result_.completed = (done_tasks_ == tasks_.size());
+    for (std::size_t m = 0; m < c_.machine_count(); ++m)
+      if (!machine_up_[m])
+        result_.machines[m].downtime_s += std::max(0.0, now_ - down_since_[m]);
     result_.total_cost_mc =
         result_.execution_cost_mc + result_.read_transfer_cost_mc +
         result_.placement_transfer_cost_mc + result_.ingest_replication_cost_mc;
@@ -653,7 +1015,17 @@ class Engine final : public ClusterState {
   std::vector<Instance> instances_;
   std::vector<std::size_t> active_instances_;
   std::vector<PendingMove> moves_;
-  std::vector<double> move_costs_;
+
+  // Fault state (all inert on fault-free runs).
+  std::vector<FaultEvent> fault_events_;  ///< sorted; grows on revocations
+  std::vector<char> machine_up_;
+  std::vector<char> machine_gone_;   ///< permanently lost
+  std::vector<double> down_since_;   ///< crash time of currently-down machines
+  std::vector<double> link_factor_;  ///< bandwidth multiplier per machine
+  std::vector<char> store_gone_;
+  std::vector<std::size_t> fault_kills_;  ///< per task
+  std::vector<char> job_aborted_;
+  std::size_t lost_tasks_ = 0;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::uint64_t seq_ = 0;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sched/scheduler.hpp"
+#include "sim/faults.hpp"
 #include "workload/dag.hpp"
 
 namespace lips::sim {
@@ -50,6 +51,16 @@ struct SimConfig {
   /// Record a full event trace into SimResult::trace (off by default:
   /// large runs generate hundreds of thousands of events).
   bool record_trace = false;
+
+  /// Fault injection (sim/faults.hpp). Empty = fault-free: the simulator
+  /// schedules no fault events and is bit-identical to the pre-fault path.
+  FaultPlan faults;
+  /// Requeue backoff after a fault kill: min(base · 2^(kills−1), max).
+  double fault_backoff_base_s = 5.0;
+  double fault_backoff_max_s = 320.0;
+  /// After this many fault kills a task is abandoned and accounted lost
+  /// (the analogue of Hadoop's mapred.map.max.attempts).
+  std::size_t fault_retry_budget = 8;
 };
 
 /// One recorded scheduling event (SimConfig::record_trace).
@@ -63,6 +74,11 @@ struct TraceEvent {
     DataMoveStart,
     DataMoveFinish,
     EpochTick,
+    MachineLost,            ///< crash or executed spot revocation
+    MachineRestored,        ///< transient crash repaired
+    SpotRevocationWarning,  ///< notice; machine dies `amount` seconds later
+    StoreLost,              ///< store contents wiped
+    TaskRequeued,           ///< fault-killed task re-enters the queue
   };
   Kind kind;
   double time_s = 0.0;
@@ -83,6 +99,7 @@ struct MachineMetrics {
   double cpu_cost_mc = 0.0;
   double read_cost_mc = 0.0;
   std::size_t tasks_run = 0;
+  double downtime_s = 0.0;        ///< seconds spent crashed/revoked
 };
 
 /// Result of one simulation run.
@@ -104,6 +121,21 @@ struct SimResult {
   std::size_t speculative_wasted = 0;  ///< duplicates cancelled after a win
   std::size_t timeout_kills = 0;
   std::size_t epochs = 0;
+
+  // --- Fault accounting (zero on fault-free runs) --------------------------
+  std::size_t tasks_killed_by_faults = 0;  ///< instances killed by a loss
+  std::size_t fault_retries = 0;           ///< kills that were requeued
+  std::size_t tasks_lost = 0;  ///< tasks abandoned (retry budget exhausted,
+                               ///< unrecoverable data, or a dead DAG branch)
+  std::size_t tasks_in_flight_at_horizon = 0;  ///< running when time ran out
+  std::size_t machines_lost = 0;      ///< loss events applied (incl. spot)
+  std::size_t machines_restored = 0;
+  std::size_t spot_revocations = 0;   ///< warnings delivered
+  std::size_t stores_lost = 0;
+  std::size_t data_refetches = 0;     ///< objects re-materialized at origin
+  /// Money billed to work that a fault destroyed: partial CPU/read cost of
+  /// killed instances plus partially-transferred bytes of aborted moves.
+  double wasted_cost_mc = 0.0;
 
   std::vector<MachineMetrics> machines;
   std::vector<double> job_finish_s;  ///< per job; NaN when unfinished

@@ -233,6 +233,47 @@ TEST(Timeouts, SlowTaskIsKilledAndRetried) {
   EXPECT_EQ(r.tasks_completed, 2u);
 }
 
+TEST(Timeouts, KillsExactlyRetryBudgetThenRunsToCompletion) {
+  Cluster c = two_nodes(1.0, 1.0);
+  // Every path to the data is far slower than the timeout: each launch is
+  // killed until the retry budget runs out, then the livelock guard lets
+  // the task run to completion.
+  const Workload w = one_job(0.01, 64.0, 1, StoreId{1});
+  c.set_bandwidth_mb_s(MachineId{0}, StoreId{1}, 0.01);
+  c.set_bandwidth_mb_s(MachineId{1}, StoreId{1}, 0.01);
+  sched::FifoLocalityScheduler fifo;
+  SimConfig cfg;
+  cfg.task_timeout_s = 600.0;
+  cfg.timeout_retries = 3;
+  cfg.record_trace = true;
+  const SimResult r = simulate(c, w, fifo, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.timeout_kills, 3u);
+  EXPECT_EQ(r.tasks_completed, 1u);
+  std::size_t kill_events = 0;
+  for (const TraceEvent& e : r.trace)
+    if (e.kind == TraceEvent::Kind::TimeoutKill) kill_events += 1;
+  EXPECT_EQ(kill_events, 3u);
+  // 3 killed runs of 600 s each, then one full run (6400 s read + 0.64 s
+  // CPU); each kill also re-polls the queue immediately.
+  EXPECT_GT(r.makespan_s, 3 * 600.0 + 6400.0 - 1e-6);
+}
+
+TEST(Timeouts, ZeroRetriesDisablesKilling) {
+  Cluster c = two_nodes(1.0, 1.0);
+  const Workload w = one_job(0.01, 64.0, 1, StoreId{1});
+  c.set_bandwidth_mb_s(MachineId{0}, StoreId{1}, 0.01);
+  c.set_bandwidth_mb_s(MachineId{1}, StoreId{1}, 0.01);
+  sched::FifoLocalityScheduler fifo;
+  SimConfig cfg;
+  cfg.task_timeout_s = 600.0;
+  cfg.timeout_retries = 0;  // the guard engages immediately: never kill
+  const SimResult r = simulate(c, w, fifo, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.timeout_kills, 0u);
+  EXPECT_EQ(r.tasks_completed, 1u);
+}
+
 // ------------------------------------------------------------ LiPS policy -
 
 TEST(LipsPolicySim, CompletesAndBeatsDefaultOnCost) {

@@ -6,12 +6,15 @@
 //           [--epoch SECONDS] [--seed S]
 //           [--schedulers default,delay,fair,quincy,lips]
 //           [--replication R] [--patience FACTOR|off] [--csv]
+//           [--faults SPEC]  (inject a fault storm, e.g.
+//                             "mtbf=3600,revoke=0.1,seed=7" — sim/faults.hpp)
 //           [--trace FILE]   (write a per-scheduler event trace as CSV)
 //
 // Examples:
 //   lipsctl                                  # the paper's Fig-6 (iii) setup
 //   lipsctl --nodes 40 --workload swim --jobs 100 --epoch 300
 //   lipsctl --schedulers default,lips --csv  # machine-readable output
+//   lipsctl --faults mtbf=3600,mttr=600,storeloss=0.5 --schedulers lips
 //
 // Exit code 0 when every requested run completed within the horizon.
 #include <cstdlib>
@@ -49,6 +52,7 @@ struct Args {
   double patience = 1.25;  // <= 0 → prohibitive fake node
   bool csv = false;
   std::string trace_file;
+  std::string faults;  // fault-storm spec; empty = fault-free
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -58,7 +62,8 @@ struct Args {
          "       [--workload table4|swim|random] [--jobs N] [--tasks N]\n"
          "       [--epoch S] [--seed S] [--schedulers LIST] "
          "[--replication R]\n"
-         "       [--patience FACTOR|off] [--csv] [--trace FILE]\n";
+         "       [--patience FACTOR|off] [--csv] [--trace FILE]\n"
+         "       [--faults SPEC]   e.g. mtbf=3600,revoke=0.1,seed=7\n";
   std::exit(2);
 }
 
@@ -99,6 +104,8 @@ Args parse(int argc, char** argv) {
       a.csv = true;
     } else if (flag == "--trace") {
       a.trace_file = value();
+    } else if (flag == "--faults") {
+      a.faults = value();
     } else {
       usage(argv[0]);
     }
@@ -141,9 +148,28 @@ int main(int argc, char** argv) {
               << " ECU-seconds\n\n";
   }
 
+  // One storm shared by every scheduler: the comparison is apples-to-apples
+  // because each run absorbs the identical fault sequence.
+  sim::FaultPlan fault_plan;
+  if (!args.faults.empty()) {
+    try {
+      fault_plan = sim::make_fault_storm(sim::parse_fault_spec(args.faults),
+                                         c.machine_count(), c.store_count());
+    } catch (const std::exception& e) {
+      std::cerr << "bad --faults spec: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+
   Table t;
-  t.set_header({"scheduler", "cost_usd", "makespan_s", "sum_job_duration_s",
-                "locality", "completed"});
+  std::vector<std::string> header{"scheduler", "cost_usd", "makespan_s",
+                                  "sum_job_duration_s", "locality",
+                                  "completed"};
+  if (!args.faults.empty()) {
+    header.insert(header.end(),
+                  {"killed", "retries", "lost", "wasted_usd"});
+  }
+  t.set_header(header);
   bool all_completed = true;
 
   std::stringstream names(args.schedulers);
@@ -153,6 +179,7 @@ int main(int argc, char** argv) {
     cfg.hdfs_replication = args.replication;
     cfg.task_timeout_s = 600.0;
     cfg.record_trace = !args.trace_file.empty();
+    cfg.faults = fault_plan;
     std::unique_ptr<sched::Scheduler> policy;
     if (name == "default") {
       cfg.speculative_execution = true;
@@ -203,11 +230,17 @@ int main(int argc, char** argv) {
       }
       if (!args.csv) std::cout << "trace written to " << path << "\n";
     }
-    t.add_row({name, Table::num(millicents_to_dollars(r.total_cost_mc), 3),
-               Table::num(r.makespan_s, 0),
-               Table::num(r.sum_job_duration_s, 0),
-               Table::pct(r.data_local_fraction),
-               r.completed ? "yes" : "no"});
+    std::vector<std::string> row{
+        name, Table::num(millicents_to_dollars(r.total_cost_mc), 3),
+        Table::num(r.makespan_s, 0), Table::num(r.sum_job_duration_s, 0),
+        Table::pct(r.data_local_fraction), r.completed ? "yes" : "no"};
+    if (!args.faults.empty()) {
+      row.push_back(std::to_string(r.tasks_killed_by_faults));
+      row.push_back(std::to_string(r.fault_retries));
+      row.push_back(std::to_string(r.tasks_lost));
+      row.push_back(Table::num(millicents_to_dollars(r.wasted_cost_mc), 3));
+    }
+    t.add_row(row);
   }
 
   if (args.csv) {
