@@ -1,0 +1,153 @@
+// Ablation (extension) — stragglers: slowdown storms, speculation policy,
+// and LP throughput feedback.
+//
+// The paper runs on real EC2 where "a slow node" is a fact of life (it is
+// why Hadoop ships speculative execution, §VI-A), but the evaluation never
+// varies straggler severity. This bench injects seeded CPU-slowdown storms
+// (sim/faults.hpp, MachineSlowdown) identically into every run and sweeps
+// the mitigation stack:
+//
+//   * speculation off / naive (Hadoop-classic, time-only) / cost-aware
+//     (LATE-style detector that duplicates only when the expected dollar
+//     saving is positive) on the FIFO baseline, and
+//   * LiPS with and without observed-throughput feedback (the epoch LP
+//     budgets slowed machines at their observed TP(M)·e and quarantines
+//     persistently slow ones), optionally adding cost-aware speculation on
+//     top — the full straggler defense.
+//
+// The headline comparison: under a 4× slowdown storm, cost-aware
+// speculation + throughput feedback must beat the no-mitigation
+// configuration on total dollars, not just on makespan.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "workload/swim.hpp"
+
+namespace {
+
+using namespace lips;
+
+sim::FaultPlan storm(double slowdown_multiple, const cluster::Cluster& c) {
+  if (slowdown_multiple <= 1.0) return {};
+  sim::FaultStormParams p;
+  p.slowdown_rate = 3.0;  // expected windows per machine over the horizon
+  p.slowdown_factor = slowdown_multiple;
+  p.slowdown_window_s = 1800.0;
+  p.horizon_s = 24.0 * 3600.0;
+  p.seed = 99;
+  return sim::make_fault_storm(p, c.machine_count(), c.store_count());
+}
+
+enum class Spec { Off, Naive, Cost };
+
+sim::SimResult run_fifo(const cluster::Cluster& c, const workload::Workload& w,
+                        const sim::FaultPlan& plan, Spec spec) {
+  sched::FifoLocalityScheduler fifo;
+  sim::SimConfig cfg;
+  cfg.hdfs_replication = 3;
+  cfg.task_timeout_s = 600.0;
+  cfg.faults = plan;
+  cfg.speculative_execution = spec != Spec::Off;
+  cfg.speculation.mode = spec == Spec::Naive
+                             ? sim::SpeculationConfig::Mode::Naive
+                             : sim::SpeculationConfig::Mode::CostAware;
+  return sim::simulate(c, w, fifo, cfg);
+}
+
+sim::SimResult run_lips(const cluster::Cluster& c, const workload::Workload& w,
+                        const sim::FaultPlan& plan, bool feedback, Spec spec) {
+  core::LipsPolicyOptions lo;
+  lo.epoch_s = 400.0;
+  lo.throughput_feedback = feedback;
+  if (!feedback) lo.quarantine_below = 0.0;
+  core::LipsPolicy lips(lo);
+  sim::SimConfig cfg;
+  cfg.hdfs_replication = 1;  // LiPS manages placement itself
+  cfg.task_timeout_s = 1200.0;
+  cfg.faults = plan;
+  cfg.speculative_execution = spec != Spec::Off;
+  cfg.speculation.mode = sim::SpeculationConfig::Mode::CostAware;
+  return sim::simulate(c, w, lips, cfg);
+}
+
+void print_table() {
+  bench::banner(
+      "Ablation — stragglers (20 nodes, SWIM), slowdown-severity sweep");
+  const cluster::Cluster c = cluster::make_ec2_cluster(20, 0.5, 3);
+  Rng rng(777);
+  workload::SwimParams sp;
+  sp.n_jobs = 60;
+  const workload::SwimWorkload sw = workload::make_swim_workload(sp, c, rng);
+  const workload::Workload& w = sw.workload;
+
+  Table t;
+  t.set_header({"slowdown", "configuration", "total cost", "makespan",
+                "wasted", "spec cost", "dups", "completed"});
+  const double severities[] = {0.0, 2.0, 4.0, 8.0};
+  double defense_cost_4x = -1.0, baseline_cost_4x = -1.0;
+  for (const double sev : severities) {
+    const sim::FaultPlan plan = storm(sev, c);
+    const std::string label = sev <= 1.0 ? "none" : Table::num(sev, 0) + "x";
+    auto row = [&](const std::string& name, const sim::SimResult& r) {
+      t.add_row({label, name, bench::dollars(r.total_cost_mc),
+                 Table::num(r.makespan_s, 0) + " s",
+                 bench::dollars(r.wasted_cost_mc),
+                 bench::dollars(r.speculation_cost_mc),
+                 std::to_string(r.speculative_launched),
+                 r.completed ? "yes" : "NO"});
+    };
+    row("fifo / no speculation", run_fifo(c, w, plan, Spec::Off));
+    row("fifo / naive speculation", run_fifo(c, w, plan, Spec::Naive));
+    row("fifo / cost-aware spec", run_fifo(c, w, plan, Spec::Cost));
+    const sim::SimResult lips_plain =
+        run_lips(c, w, plan, /*feedback=*/false, Spec::Off);
+    row("LiPS / no feedback", lips_plain);
+    row("LiPS / feedback", run_lips(c, w, plan, true, Spec::Off));
+    const sim::SimResult lips_full =
+        run_lips(c, w, plan, /*feedback=*/true, Spec::Cost);
+    row("LiPS / feedback + cost spec", lips_full);
+    if (sev == 4.0) {
+      baseline_cost_4x = lips_plain.total_cost_mc;
+      defense_cost_4x = lips_full.total_cost_mc;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Under the 4x storm the full defense (throughput feedback +"
+               " cost-aware speculation) bills "
+            << bench::dollars(defense_cost_4x) << " vs "
+            << bench::dollars(baseline_cost_4x)
+            << " with no mitigation — a saving of "
+            << Table::pct(
+                   bench::cost_reduction(defense_cost_4x, baseline_cost_4x))
+            << ". Naive speculation duplicates on time alone and can pay"
+               " more than it saves; the cost-aware rule only spends when"
+               " the dollars come back.\n";
+}
+
+void BM_SlowdownStormRunFifo(benchmark::State& state) {
+  // Simulator throughput under a retime-heavy storm (every slowdown window
+  // re-times the whole machine's in-flight work).
+  const cluster::Cluster c = cluster::make_ec2_cluster(10, 0.5, 3);
+  Rng rng(3);
+  workload::SwimParams sp;
+  sp.n_jobs = 20;
+  const workload::SwimWorkload sw = workload::make_swim_workload(sp, c, rng);
+  sim::SimConfig cfg;
+  cfg.faults = storm(4.0, c);
+  cfg.speculative_execution = true;  // cost-aware
+  for (auto _ : state) {
+    sched::FifoLocalityScheduler fifo;
+    const sim::SimResult r = sim::simulate(c, sw.workload, fifo, cfg);
+    benchmark::DoNotOptimize(r.total_cost_mc);
+  }
+}
+BENCHMARK(BM_SlowdownStormRunFifo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -61,6 +61,8 @@ inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
   base_cfg.hdfs_replication = opt.hdfs_replication;
   base_cfg.replication_seed = opt.replication_seed;
   base_cfg.speculative_execution = true;  // Hadoop default (paper §VI-A)
+  // The baselines model classic Hadoop, whose speculation is time-only.
+  base_cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
   base_cfg.task_timeout_s = opt.baseline_timeout_s;
   base_cfg.faults = opt.faults;
 

@@ -89,10 +89,18 @@ void LipsPolicy::replan(const sched::ClusterState& state) {
   ModelOptions model = options_.model;
   model.price_time = state.now();  // honor spot-price schedules
   // Down machines cannot run work and spot-warned ones are about to die;
-  // wiped stores must not be chosen as placement targets.
+  // wiped stores must not be chosen as placement targets. Straggler
+  // feedback can add further exclusions (quarantine) on top.
+  std::vector<char> excluded(c.machine_count(), false);
   for (std::size_t m = 0; m < c.machine_count(); ++m)
     if (!state.machine_up(MachineId{m}) || doomed_.count(m) > 0)
-      model.excluded_machines.push_back(m);
+      excluded[m] = true;
+  if (options_.throughput_feedback)
+    apply_throughput_feedback(state, model, excluded);
+  else
+    quarantined_.clear();
+  for (std::size_t m = 0; m < c.machine_count(); ++m)
+    if (excluded[m]) model.excluded_machines.push_back(m);
   for (std::size_t s = 0; s < c.store_count(); ++s)
     if (!state.store_up(StoreId{s})) model.excluded_stores.push_back(s);
   const LpSchedule lp =
@@ -176,6 +184,62 @@ void LipsPolicy::replan(const sched::ClusterState& state) {
   }
 }
 
+void LipsPolicy::apply_throughput_feedback(const sched::ClusterState& state,
+                                           ModelOptions& model,
+                                           std::vector<char>& excluded) {
+  const cluster::Cluster& c = state.cluster();
+  std::vector<double> factors(c.machine_count(), 1.0);
+  bool any_degraded = false;
+  for (std::size_t m = 0; m < c.machine_count(); ++m) {
+    double f = state.observed_throughput(MachineId{m});
+    if (!(f < 1.0)) f = 1.0;  // snap >= 1 (and NaN) to nominal
+    if (f < 0.05) f = 0.05;   // keep the capacity row positive
+    factors[m] = f;
+    if (f != 1.0) any_degraded = true;
+  }
+  // Only a nonempty vector changes the model, so a healthy cluster's plan
+  // stays bit-identical to the feedback-free one.
+  if (any_degraded) model.machine_throughput_factor = factors;
+
+  quarantined_.clear();
+  if (options_.quarantine_below <= 0.0) {
+    quarantine_age_.clear();
+    return;
+  }
+  std::vector<std::size_t> slow;
+  for (std::size_t m = 0; m < c.machine_count(); ++m) {
+    if (excluded[m]) continue;  // already out for another reason
+    if (factors[m] >= options_.quarantine_below) {
+      quarantine_age_.erase(m);
+      continue;
+    }
+    const std::size_t age = quarantine_age_[m]++;
+    if (options_.quarantine_probe_epochs > 0 && age > 0 &&
+        age % options_.quarantine_probe_epochs == 0) {
+      // Probe replan: let the machine take work so fresh samples can lift
+      // its EWMA back above the threshold once the slowdown clears.
+      quarantine_probes_ += 1;
+      continue;
+    }
+    slow.push_back(m);
+  }
+  // Never quarantine the whole live cluster: a slow machine beats none.
+  std::size_t live = 0;
+  for (std::size_t m = 0; m < c.machine_count(); ++m)
+    if (!excluded[m]) live += 1;
+  if (!slow.empty() && slow.size() >= live) {
+    std::size_t keep = slow.front();
+    for (const std::size_t m : slow)
+      if (factors[m] > factors[keep]) keep = m;
+    slow.erase(std::find(slow.begin(), slow.end(), keep));
+  }
+  for (const std::size_t m : slow) {
+    excluded[m] = true;
+    quarantined_.insert(m);
+    quarantine_exclusions_ += 1;
+  }
+}
+
 void LipsPolicy::fallback_plan(const sched::ClusterState& state) {
   lp_fallbacks_ += 1;
   const cluster::Cluster& c = state.cluster();
@@ -200,14 +264,20 @@ void LipsPolicy::fallback_plan(const sched::ClusterState& state) {
     }
     std::size_t best_machine = SIZE_MAX;
     double best_cost = std::numeric_limits<double>::infinity();
-    for (std::size_t m = 0; m < c.machine_count(); ++m) {
-      if (!state.machine_up(MachineId{m}) || doomed_.count(m) > 0) continue;
-      double cost = t.cpu_ecu_s * c.cpu_price_mc_at(MachineId{m}, state.now());
-      if (source)
-        cost += t.input_mb * c.ms_cost_mc_per_mb(MachineId{m}, *source);
-      if (cost < best_cost) {
-        best_cost = cost;
-        best_machine = m;
+    // Pass 0 skips quarantined (observed-slow) machines; pass 1 admits
+    // them, so a fully-quarantined cluster still drains work.
+    for (int pass = 0; pass < 2 && best_machine == SIZE_MAX; ++pass) {
+      for (std::size_t m = 0; m < c.machine_count(); ++m) {
+        if (!state.machine_up(MachineId{m}) || doomed_.count(m) > 0) continue;
+        if (pass == 0 && quarantined_.count(m) > 0) continue;
+        double cost =
+            t.cpu_ecu_s * c.cpu_price_mc_at(MachineId{m}, state.now());
+        if (source)
+          cost += t.input_mb * c.ms_cost_mc_per_mb(MachineId{m}, *source);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_machine = m;
+        }
       }
     }
     if (best_machine == SIZE_MAX) continue;  // nothing alive to run on

@@ -43,6 +43,21 @@ struct LipsPolicyOptions {
     m.fake_node_price_factor = 1.25;
     return m;
   }();
+
+  /// Straggler feedback: budget each machine's epoch-LP capacity row at its
+  /// *observed* throughput (ClusterState::observed_throughput) instead of
+  /// its nameplate TP(M). On a healthy cluster every factor is exactly 1.0
+  /// and the model is bit-identical to the feedback-free one.
+  bool throughput_feedback = true;
+  /// Quarantine: a live machine whose observed throughput sits below this
+  /// threshold is excluded from plans outright (its cheap nameplate price
+  /// is a trap at a fraction of the speed). 0 disables quarantining.
+  double quarantine_below = 0.4;
+  /// Every Nth consecutive quarantined replan the machine is let back into
+  /// the plan as a probe, so fresh task samples can lift its EWMA once the
+  /// slowdown clears. 0 = never probe (quarantine is then permanent unless
+  /// idle-machine recovery lifts the EWMA some other way).
+  std::size_t quarantine_probe_epochs = 4;
 };
 
 class LipsPolicy : public sched::Scheduler {
@@ -81,6 +96,14 @@ class LipsPolicy : public sched::Scheduler {
   [[nodiscard]] std::size_t total_lp_iterations() const {
     return lp_iterations_;
   }
+  /// Machine×replan exclusions due to low observed throughput.
+  [[nodiscard]] std::size_t quarantine_exclusions() const {
+    return quarantine_exclusions_;
+  }
+  /// Replans where a quarantined machine was readmitted as a probe.
+  [[nodiscard]] std::size_t quarantine_probes() const {
+    return quarantine_probes_;
+  }
 
  private:
   struct PinnedTask {
@@ -97,6 +120,11 @@ class LipsPolicy : public sched::Scheduler {
 
   /// Rebuild the plan from the current queue (epoch tick or fault).
   void replan(const sched::ClusterState& state);
+  /// Fill model.machine_throughput_factor from observed throughput and mark
+  /// persistently slow machines excluded (quarantine with periodic probes).
+  void apply_throughput_feedback(const sched::ClusterState& state,
+                                 ModelOptions& model,
+                                 std::vector<char>& excluded);
   /// Corrective action when the LP fails (e.g. Infeasible because the
   /// surviving stores cannot hold the queue's data): pin each pending task
   /// greedily to its cheapest live option so work still drains.
@@ -110,12 +138,19 @@ class LipsPolicy : public sched::Scheduler {
   /// Machines with a pending spot-revocation notice: still up, but no new
   /// work is planned onto them.
   std::unordered_set<std::size_t> doomed_;
+  /// Machines excluded by the *current* plan for low observed throughput.
+  std::unordered_set<std::size_t> quarantined_;
+  /// Consecutive replans each machine has spent under the quarantine
+  /// threshold (drives the probe cadence; erased on recovery).
+  std::unordered_map<std::size_t, std::size_t> quarantine_age_;
 
   std::size_t lp_solves_ = 0;
   std::size_t lp_failures_ = 0;
   std::size_t lp_fallbacks_ = 0;
   std::size_t off_cycle_resolves_ = 0;
   std::size_t lp_iterations_ = 0;
+  std::size_t quarantine_exclusions_ = 0;
+  std::size_t quarantine_probes_ = 0;
   double planned_cost_mc_ = 0.0;  ///< Σ epoch-LP objectives (modeled cost)
 };
 

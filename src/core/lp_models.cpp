@@ -71,6 +71,14 @@ class ModelBuilder {
       LIPS_REQUIRE(s < c_.store_count(), "excluded store out of range");
       store_excluded_[s] = true;
     }
+    if (!opt_.machine_throughput_factor.empty()) {
+      LIPS_REQUIRE(
+          opt_.machine_throughput_factor.size() == c_.machine_count(),
+          "machine_throughput_factor must have one entry per machine");
+      for (const double f : opt_.machine_throughput_factor)
+        LIPS_REQUIRE(f > 0.0 && f <= 1.0,
+                     "machine throughput factor must be in (0, 1]");
+    }
     if (opt_.fake_node) {
       double max_price = 0.0;
       for (std::size_t l = 0; l < c_.machine_count(); ++l)
@@ -92,11 +100,16 @@ class ModelBuilder {
     return origins_.empty() ? w_.data(i).origin : origins_[i.value()];
   }
 
-  /// Machine CPU capacity (ECU-seconds) available to this model.
+  /// Machine CPU capacity (ECU-seconds) available to this model: the
+  /// paper's TP(M)·e, scaled down to the machine's *observed* throughput
+  /// when the caller supplies straggler feedback.
   [[nodiscard]] double machine_capacity_ecu_s(MachineId l) const {
     const cluster::Machine& m = c_.machine(l);
     const double horizon = opt_.epoch_s > 0 ? opt_.epoch_s : m.uptime_s;
-    return m.throughput_ecu * horizon;
+    const double factor = opt_.machine_throughput_factor.empty()
+                              ? 1.0
+                              : opt_.machine_throughput_factor[l.value()];
+    return m.throughput_ecu * horizon * factor;
   }
 
   /// Candidate stores for data object i (pruned to the K cheapest initial

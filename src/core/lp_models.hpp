@@ -118,6 +118,14 @@ struct ModelOptions {
   std::vector<std::size_t> excluded_machines;
   std::vector<std::size_t> excluded_stores;
 
+  /// Observed effective-throughput multiplier per machine: the capacity
+  /// rows budget machine l at factor[l] × TP(M_l) × horizon, so a machine
+  /// the scheduler has *observed* running slow (a straggler) is planned at
+  /// its real, degraded rate instead of its nameplate one. Empty = all
+  /// nominal (bit-identical to the factor-free model); when nonempty it
+  /// must have one entry per machine, each in (0, 1].
+  std::vector<double> machine_throughput_factor;
+
   /// Evaluate machine prices at this simulated time (spot-market price
   /// schedules, Cluster::cpu_price_mc_at). Negative = use static prices.
   double price_time = -1.0;

@@ -79,6 +79,17 @@ class ClusterState {
     (void)s;
     return true;
   }
+
+  /// Observed effective-throughput multiplier of machine `m`: an EWMA of
+  /// per-instance progress rates relative to the machine's nominal TP(M).
+  /// Exactly 1.0 when the machine has only ever run at full speed, < 1 for
+  /// a degraded (straggling) machine. Throughput-aware policies use this to
+  /// budget the machine at its *observed* capacity instead of its nominal
+  /// one; the default keeps throughput-oblivious states working unchanged.
+  [[nodiscard]] virtual double observed_throughput(MachineId m) const {
+    (void)m;
+    return 1.0;
+  }
 };
 
 /// Scheduling policy. Implementations must be deterministic given the

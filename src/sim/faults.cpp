@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -52,6 +53,18 @@ FaultPlan& FaultPlan::degrade_links(double time_s, std::size_t machine,
   return *this;
 }
 
+FaultPlan& FaultPlan::slow_machine(double time_s, std::size_t machine,
+                                   double factor, double window_s) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::MachineSlowdown;
+  e.time_s = time_s;
+  e.machine = machine;
+  e.factor = factor;
+  e.duration_s = window_s;
+  events.push_back(e);
+  return *this;
+}
+
 void FaultPlan::validate(std::size_t machine_count,
                          std::size_t store_count) const {
   for (const FaultEvent& e : events) {
@@ -72,6 +85,12 @@ void FaultPlan::validate(std::size_t machine_count,
         LIPS_REQUIRE(e.factor > 0.0 && e.factor <= 1.0,
                      "degrade: factor must be in (0, 1]");
         LIPS_REQUIRE(e.duration_s > 0.0, "degrade: window must be positive");
+        break;
+      case FaultEvent::Kind::MachineSlowdown:
+        LIPS_REQUIRE(e.machine < machine_count, "slowdown: unknown machine");
+        LIPS_REQUIRE(e.factor > 0.0 && e.factor < 1.0,
+                     "slowdown: factor must be in (0, 1)");
+        LIPS_REQUIRE(e.duration_s > 0.0, "slowdown: window must be positive");
         break;
     }
   }
@@ -133,6 +152,24 @@ FaultPlan make_fault_storm(const FaultStormParams& p,
     }
   }
 
+  // CPU-slowdown windows (stragglers). Generated last so enabling them
+  // never perturbs the RNG stream — and thus the events — of a storm that
+  // an existing seed already produced.
+  if (p.slowdown_rate > 0.0) {
+    LIPS_REQUIRE(p.slowdown_factor > 1.0,
+                 "slowdown_factor is a slowdown multiple and must be > 1");
+    const double factor = 1.0 / p.slowdown_factor;
+    for (std::size_t m = 0; m < machine_count; ++m) {
+      Rng mr = rng.split();
+      double t = mr.exponential(p.horizon_s / p.slowdown_rate);
+      while (t < p.horizon_s) {
+        plan.slow_machine(t, m, factor, p.slowdown_window_s);
+        t += p.slowdown_window_s +
+             mr.exponential(p.horizon_s / p.slowdown_rate);
+      }
+    }
+  }
+
   std::stable_sort(
       plan.events.begin(), plan.events.end(),
       [](const FaultEvent& a, const FaultEvent& b) { return a.time_s < b.time_s; });
@@ -143,6 +180,7 @@ FaultStormParams parse_fault_spec(const std::string& spec) {
   FaultStormParams p;
   std::stringstream entries(spec);
   std::string entry;
+  std::set<std::string> seen;
   while (std::getline(entries, entry, ',')) {
     if (entry.empty()) continue;
     const auto eq = entry.find('=');
@@ -150,6 +188,8 @@ FaultStormParams parse_fault_spec(const std::string& spec) {
                  "fault spec entry must be key=value: " + entry);
     const std::string key = entry.substr(0, eq);
     const std::string value = entry.substr(eq + 1);
+    LIPS_REQUIRE(seen.insert(key).second,
+                 "fault spec key given twice: " + key);
     char* end = nullptr;
     const double v = std::strtod(value.c_str(), &end);
     LIPS_REQUIRE(end && *end == '\0' && !value.empty(),
@@ -172,6 +212,12 @@ FaultStormParams parse_fault_spec(const std::string& spec) {
       p.degrade_factor = v;
     } else if (key == "degrade_window") {
       p.degrade_window_s = v;
+    } else if (key == "slowdown") {
+      p.slowdown_rate = v;
+    } else if (key == "slowdown_factor") {
+      p.slowdown_factor = v;
+    } else if (key == "slowdown_window") {
+      p.slowdown_window_s = v;
     } else if (key == "horizon") {
       p.horizon_s = v;
     } else if (key == "seed") {

@@ -6,8 +6,10 @@
 // exercises any of that. A FaultPlan scripts the failures a run must absorb:
 // machine crashes (permanent or repaired after a delay), spot-instance
 // revocations (a warning, then the machine is gone for good), store losses
-// (all block replicas on one store vanish), and windows of degraded link
-// bandwidth. Plans are plain data: they can be written by hand for targeted
+// (all block replicas on one store vanish), windows of degraded link
+// bandwidth, and windows of degraded CPU rate (stragglers: the machine does
+// not die, it just runs slow). Plans are plain data: they can be written by
+// hand for targeted
 // tests or generated stochastically — but deterministically — from a seed
 // (`make_fault_storm`), so every fault scenario is exactly reproducible.
 //
@@ -28,9 +30,12 @@ struct FaultEvent {
                      ///< (duration_s <= 0: permanent loss)
     SpotRevocation,  ///< revocation notice at time_s; machine permanently
                      ///< lost warning_s later (EC2 two-minute warning)
-    StoreLoss,       ///< every block fraction on the store vanishes
-    LinkDegrade,     ///< machine's store links run at `factor` bandwidth
-                     ///< for duration_s seconds
+    StoreLoss,        ///< every block fraction on the store vanishes
+    LinkDegrade,      ///< machine's store links run at `factor` bandwidth
+                      ///< for duration_s seconds
+    MachineSlowdown,  ///< machine's CPU rate drops to `factor` of nominal
+                      ///< for duration_s seconds; in-flight instances are
+                      ///< re-timed, not killed (a straggler, not a crash)
   };
   Kind kind = Kind::MachineCrash;
   double time_s = 0.0;
@@ -38,7 +43,8 @@ struct FaultEvent {
   std::size_t store = SIZE_MAX;    ///< target store (StoreLoss)
   double duration_s = 0.0;         ///< repair delay / degradation window
   double warning_s = 120.0;        ///< SpotRevocation notice period
-  double factor = 1.0;             ///< LinkDegrade bandwidth multiplier
+  double factor = 1.0;             ///< LinkDegrade / MachineSlowdown rate
+                                   ///< multiplier in (0, 1]
 };
 
 /// A schedule of fault events. Empty by default (fault-free run).
@@ -54,6 +60,10 @@ struct FaultPlan {
   FaultPlan& lose_store(double time_s, std::size_t store);
   FaultPlan& degrade_links(double time_s, std::size_t machine, double factor,
                            double window_s);
+  /// Degrade a machine's CPU rate to `factor` (in (0, 1)) of nominal for
+  /// `window_s` seconds. Overlapping windows compound multiplicatively.
+  FaultPlan& slow_machine(double time_s, std::size_t machine, double factor,
+                          double window_s);
 
   /// Throws PreconditionError if any event targets an entity out of range
   /// or carries a nonsensical parameter (negative time, factor <= 0, ...).
@@ -80,6 +90,14 @@ struct FaultStormParams {
   double degrade_rate = 0.0;
   double degrade_factor = 0.25;
   double degrade_window_s = 600.0;
+  /// Expected CPU-slowdown windows per machine over the horizon
+  /// (0 disables; the straggler analogue of degrade_rate).
+  double slowdown_rate = 0.0;
+  /// Severity as a slowdown multiple >= 1: a slowed machine runs
+  /// `slowdown_factor`× slower (the FaultEvent carries 1/slowdown_factor
+  /// as its rate multiplier).
+  double slowdown_factor = 4.0;
+  double slowdown_window_s = 1800.0;
   /// Events are generated inside [0, horizon_s).
   double horizon_s = 24.0 * 3600.0;
   std::uint64_t seed = 1;
@@ -94,8 +112,10 @@ struct FaultStormParams {
 /// Parse a compact command-line spec such as
 ///   "mtbf=3600,mttr=600,revoke=0.1,storeloss=0.5,seed=7"
 /// into storm parameters. Keys: mtbf, mttr, permanent, revoke, warn,
-/// storeloss, degrade, degrade_factor, degrade_window, horizon, seed.
-/// Throws PreconditionError on an unknown key or malformed entry.
+/// storeloss, degrade, degrade_factor, degrade_window, slowdown,
+/// slowdown_factor, slowdown_window, horizon, seed.
+/// Throws PreconditionError on an unknown key, a malformed entry, or a
+/// key given more than once (duplicates would silently last-win).
 [[nodiscard]] FaultStormParams parse_fault_spec(const std::string& spec);
 
 }  // namespace lips::sim

@@ -39,6 +39,10 @@ std::string to_string(TraceEvent::Kind kind) {
       return "store-lost";
     case TraceEvent::Kind::TaskRequeued:
       return "task-requeued";
+    case TraceEvent::Kind::MachineSlowed:
+      return "machine-slowed";
+    case TraceEvent::Kind::MachineSpeedRestored:
+      return "machine-speed-restored";
   }
   return "unknown";
 }
@@ -54,10 +58,11 @@ enum class EventKind : unsigned char {
   InstanceFinish,
   EpochTick,
   MoveFinish,
-  Fault,           ///< payload: index into the engine's fault event list
-  MachineRestore,  ///< payload: machine id (transient crash repaired)
-  LinkRestore,     ///< payload: fault event index (degradation window ends)
-  TaskRetry,       ///< payload: task id (fault-kill backoff expired)
+  Fault,            ///< payload: index into the engine's fault event list
+  MachineRestore,   ///< payload: machine id (transient crash repaired)
+  LinkRestore,      ///< payload: fault event index (degradation window ends)
+  TaskRetry,        ///< payload: task id (fault-kill backoff expired)
+  SlowdownRestore,  ///< payload: fault event index (slowdown window ends)
 };
 
 struct Event {
@@ -90,6 +95,17 @@ struct Instance {
   double full_duration = 0.0;
   double exec_cost_mc = 0.0;  ///< cost of a complete run
   double read_cost_mc = 0.0;
+  // Progress accounting for CPU-slowdown re-timing. `progress` and
+  // `billed_frac` cover the legs up to `last_update`; the leg from
+  // `last_update` to "now" runs at `rate` (the machine's CPU factor when
+  // the leg began). They diverge on a slowed machine: work advances at
+  // `rate`, the bill at wall speed (the cloud charges for the reserved
+  // slot, not for useful progress).
+  double progress = 0.0;     ///< fraction of full_duration's work done
+  double billed_frac = 0.0;  ///< wall time elapsed / full_duration
+  double last_update = 0.0;  ///< sim time progress was last accrued
+  double rate = 1.0;         ///< CPU factor in force since last_update
+  bool ever_retimed = false;
   bool speculative = false;
   bool cancelled = false;
   bool timeout_kill = false;  ///< finish event requeues instead of completing
@@ -188,8 +204,11 @@ class Engine final : public ClusterState {
                              std::vector<double>(c_.machine_count(), 0.0));
 
     slots_free_.resize(c_.machine_count());
-    for (std::size_t m = 0; m < c_.machine_count(); ++m)
+    for (std::size_t m = 0; m < c_.machine_count(); ++m) {
       slots_free_[m] = c_.machine(MachineId{m}).map_slots;
+      total_slots_ += static_cast<std::size_t>(
+          std::max(0, c_.machine(MachineId{m}).map_slots));
+    }
 
     job_remaining_.resize(w_.job_count());
     for (std::size_t k = 0; k < w_.job_count(); ++k)
@@ -203,6 +222,10 @@ class Engine final : public ClusterState {
     machine_gone_.assign(c_.machine_count(), false);
     down_since_.assign(c_.machine_count(), 0.0);
     link_factor_.assign(c_.machine_count(), 1.0);
+    cpu_factor_.assign(c_.machine_count(), 1.0);
+    slow_depth_.assign(c_.machine_count(), 0);
+    slow_since_.assign(c_.machine_count(), 0.0);
+    tp_ewma_.assign(c_.machine_count(), 1.0);
     store_gone_.assign(c_.store_count(), false);
     fault_kills_.assign(tasks_.size(), 0);
     job_aborted_.assign(w_.job_count(), false);
@@ -271,6 +294,9 @@ class Engine final : public ClusterState {
   }
   [[nodiscard]] bool store_up(StoreId s) const override {
     return !store_gone_.at(s.value());
+  }
+  [[nodiscard]] double observed_throughput(MachineId m) const override {
+    return tp_ewma_.at(m.value());
   }
 
  private:
@@ -355,6 +381,9 @@ class Engine final : public ClusterState {
         break;
       case EventKind::TaskRetry:
         on_task_retry(ev.payload);
+        break;
+      case EventKind::SlowdownRestore:
+        on_slowdown_restore(ev.payload);
         break;
     }
   }
@@ -457,7 +486,10 @@ class Engine final : public ClusterState {
 
   void on_instance_finish(std::size_t iid) {
     Instance& inst = instances_.at(iid);
-    if (inst.cancelled) return;  // settled at cancellation time
+    if (inst.cancelled || inst.settled) return;  // settled/cancelled already
+    // A slowdown re-timing pushed a fresh finish event and moved inst.finish;
+    // any event arriving before that time is the stale original.
+    if (inst.finish > now_ + 1e-9) return;
 
     if (inst.timeout_kill) {
       settle(iid, inst.finish);
@@ -496,10 +528,16 @@ class Engine final : public ClusterState {
           local_reads_ += 1;
         data_reads_ += 1;
       }
-      // Cancel any sibling (speculative) copies still running.
+      // Cancel any sibling (speculative) copies still running. Whatever the
+      // loser burned — exec seconds and bytes on the wire — bought nothing,
+      // so its bill also lands in the waste meter.
       for (const std::size_t sibling : running_of_task_[tid]) {
         instances_[sibling].cancelled = true;
+        const double exec_before = result_.execution_cost_mc;
+        const double read_before = result_.read_transfer_cost_mc;
         settle(sibling, now_);
+        result_.wasted_cost_mc += (result_.execution_cost_mc - exec_before) +
+                                  (result_.read_transfer_cost_mc - read_before);
         slots_free_[instances_[sibling].machine] += 1;
         result_.speculative_wasted += 1;
         trace(TraceEvent::Kind::TaskCancelled, tasks_[tid].job.value(), tid,
@@ -570,6 +608,11 @@ class Engine final : public ClusterState {
   }
 
   /// Charge instance `iid`'s cost and busy time for running until `end`.
+  /// Work (read bytes, useful ECU-seconds) is billed by progress; execution
+  /// is billed by wall time, so a slowed machine keeps charging for its
+  /// reserved slot while delivering less — on a never-retimed instance the
+  /// two fractions are the same number and the arithmetic is bit-identical
+  /// to the pre-slowdown formula.
   void settle(std::size_t iid, double end) {
     Instance& inst = instances_[iid];
     if (inst.settled) return;
@@ -578,21 +621,50 @@ class Engine final : public ClusterState {
         std::find(active_instances_.begin(), active_instances_.end(), iid);
     if (ait != active_instances_.end()) active_instances_.erase(ait);
     const double ran = std::max(0.0, end - inst.start);
-    const double frac =
-        inst.full_duration > 0 ? std::min(1.0, ran / inst.full_duration) : 1.0;
-    const double exec = frac * inst.exec_cost_mc;
-    const double read = frac * inst.read_cost_mc;
+    const double leg = std::max(0.0, end - inst.last_update);
+    double frac_work = 1.0;
+    double frac_bill = 1.0;
+    if (inst.full_duration > 0) {
+      frac_work =
+          std::min(1.0, inst.progress + leg * inst.rate / inst.full_duration);
+      frac_bill = inst.billed_frac + leg / inst.full_duration;
+      // Never-retimed instances cannot overrun their duration; keep the
+      // historical clamp (re-timed ones legitimately bill past 1.0).
+      if (!inst.ever_retimed) frac_bill = std::min(1.0, frac_bill);
+    }
+    const double exec = frac_bill * inst.exec_cost_mc;
+    const double read = frac_work * inst.read_cost_mc;
     result_.execution_cost_mc += exec;
     result_.read_transfer_cost_mc += read;
+    if (inst.speculative) result_.speculation_cost_mc += exec + read;
     MachineMetrics& mm = result_.machines[inst.machine];
     mm.busy_s += ran;
     mm.cpu_cost_mc += exec;
     mm.read_cost_mc += read;
     mm.cpu_work_ecu_s +=
-        frac * tasks_[inst.task].cpu_ecu_s;  // pro-rata useful work
+        frac_work * tasks_[inst.task].cpu_ecu_s;  // pro-rata useful work
     mm.tasks_run += 1;
     job_machine_work_[tasks_[inst.task].job.value()][inst.machine] +=
-        frac * tasks_[inst.task].cpu_ecu_s;
+        frac_work * tasks_[inst.task].cpu_ecu_s;
+    observe_throughput_sample(inst, ran, frac_work);
+  }
+
+  /// Feed one finished/killed instance's realized progress rate into the
+  /// machine's observed-throughput EWMA. `frac_work × full_duration / ran`
+  /// is the instance's average speed relative to nominal: exactly 1.0 for
+  /// a full-speed run. Full-speed samples against an untouched EWMA are
+  /// skipped so a healthy machine reads exactly 1.0 forever (bit-identity
+  /// with throughput-oblivious behavior), while a recovered machine's EWMA
+  /// climbs back toward 1.0 sample by sample.
+  void observe_throughput_sample(const Instance& inst, double ran,
+                                 double frac_work) {
+    if (ran <= 0.0 || inst.full_duration <= 0.0) return;
+    double sample = frac_work * inst.full_duration / ran;
+    if (sample > 1.0 || std::abs(sample - 1.0) < 1e-9) sample = 1.0;
+    double& ewma = tp_ewma_[inst.machine];
+    if (sample == 1.0 && ewma == 1.0) return;
+    const double a = cfg_.throughput_ewma_alpha;
+    ewma = a * sample + (1.0 - a) * ewma;
   }
 
   // ---- fault handling ----------------------------------------------------
@@ -645,6 +717,19 @@ class Engine final : public ClusterState {
         link_factor_[e.machine] *= e.factor;
         push_event(now_ + e.duration_s, EventKind::LinkRestore, idx);
         break;
+      case FaultEvent::Kind::MachineSlowdown: {
+        if (machine_gone_[e.machine]) break;
+        const std::size_t m = e.machine;
+        if (slow_depth_[m] == 0) slow_since_[m] = now_;
+        slow_depth_[m] += 1;
+        cpu_factor_[m] *= e.factor;  // overlapping windows compound
+        result_.machine_slowdowns += 1;
+        trace(TraceEvent::Kind::MachineSlowed, SIZE_MAX, SIZE_MAX, m, SIZE_MAX,
+              cpu_factor_[m]);
+        retime_machine(m);
+        push_event(now_ + e.duration_s, EventKind::SlowdownRestore, idx);
+        break;
+      }
     }
   }
 
@@ -652,6 +737,55 @@ class Engine final : public ClusterState {
     const FaultEvent& e = fault_events_[idx];
     link_factor_[e.machine] /= e.factor;
     try_assign();
+  }
+
+  void on_slowdown_restore(std::size_t idx) {
+    const FaultEvent& e = fault_events_[idx];
+    const std::size_t m = e.machine;
+    LIPS_ASSERT(slow_depth_[m] > 0, "slowdown window accounting underflow");
+    slow_depth_[m] -= 1;
+    if (slow_depth_[m] == 0) {
+      // Snap to exactly 1.0: compounded multiplies and divides can leave
+      // one-ulp residue, and "factor == 1.0" means "nominal" elsewhere.
+      cpu_factor_[m] = 1.0;
+      result_.machines[m].slowed_s += now_ - slow_since_[m];
+    } else {
+      cpu_factor_[m] /= e.factor;
+    }
+    trace(TraceEvent::Kind::MachineSpeedRestored, SIZE_MAX, SIZE_MAX, m,
+          SIZE_MAX, cpu_factor_[m]);
+    retime_machine(m);
+  }
+
+  /// The CPU factor of `m` just changed: bank every in-flight instance's
+  /// progress at the old rate and project a new finish at the new rate.
+  /// The superseded finish event stays queued; on_instance_finish discards
+  /// it as stale because it arrives before the updated inst.finish.
+  void retime_machine(std::size_t m) {
+    for (const std::size_t iid : active_instances_) {
+      Instance& inst = instances_[iid];
+      if (inst.machine != m || inst.settled || inst.cancelled) continue;
+      advance_progress(inst);
+      inst.rate = cpu_factor_[m];
+      inst.ever_retimed = true;
+      if (inst.timeout_kill) continue;  // the kill still fires on schedule
+      if (inst.full_duration > 0.0) {
+        inst.finish =
+            now_ + (1.0 - inst.progress) * inst.full_duration / inst.rate;
+        push_event(inst.finish, EventKind::InstanceFinish, iid);
+      }
+    }
+  }
+
+  /// Accrue work and billed time for the leg since the last update.
+  void advance_progress(Instance& inst) {
+    const double leg = std::max(0.0, now_ - inst.last_update);
+    if (inst.full_duration > 0.0 && leg > 0.0) {
+      inst.progress =
+          std::min(1.0, inst.progress + leg * inst.rate / inst.full_duration);
+      inst.billed_frac += leg / inst.full_duration;
+    }
+    inst.last_update = now_;
   }
 
   /// Take `m` down, killing its in-flight instances. Returns whether the
@@ -906,6 +1040,10 @@ class Engine final : public ClusterState {
     const double cpu_s =
         t.cpu_ecu_s / c_.machine(MachineId{machine}).throughput_ecu;
     const double duration = transfer_s + cpu_s;
+    // Launching into an open slowdown window: the whole run is stretched by
+    // the CPU factor (1.0 — and bit-identical arithmetic — when healthy).
+    const double rate = cpu_factor_[machine];
+    const double effective = duration / rate;
 
     Instance inst;
     inst.task = d.task;
@@ -913,6 +1051,11 @@ class Engine final : public ClusterState {
     inst.store = d.read_from;
     inst.start = now_;
     inst.full_duration = duration;
+    inst.last_update = now_;
+    inst.rate = rate;
+    // An instance born slow bills past its nominal duration even if no
+    // further re-timing happens; disable the historical frac clamp for it.
+    inst.ever_retimed = rate != 1.0;
     // Spot pricing: the instance is billed at the price in force when it
     // launches (EC2 spot semantics at task granularity).
     inst.exec_cost_mc =
@@ -920,13 +1063,13 @@ class Engine final : public ClusterState {
     inst.read_cost_mc = read_cost;
     inst.speculative = speculative;
 
-    if (cfg_.task_timeout_s > 0 && duration > cfg_.task_timeout_s &&
+    if (cfg_.task_timeout_s > 0 && effective > cfg_.task_timeout_s &&
         retries_[d.task] < cfg_.timeout_retries) {
       retries_[d.task] += 1;
       inst.timeout_kill = true;
       inst.finish = now_ + cfg_.task_timeout_s;
     } else {
-      inst.finish = now_ + duration;
+      inst.finish = now_ + effective;
     }
 
     trace(TraceEvent::Kind::TaskLaunch, t.job.value(), d.task, machine,
@@ -940,12 +1083,30 @@ class Engine final : public ClusterState {
     push_event(inst.finish, EventKind::InstanceFinish, instances_.size() - 1);
   }
 
+  bool try_speculative(std::size_t machine) {
+    if (!pending_.empty()) return false;
+    return cfg_.speculation.mode == SpeculationConfig::Mode::Naive
+               ? try_speculative_naive(machine)
+               : try_speculative_cost_aware(machine);
+  }
+
+  /// Projected wall time for a duplicate of `orig`'s task on `machine`,
+  /// honoring the machine's current link and CPU factors.
+  [[nodiscard]] double duplicate_estimate_s(const Instance& orig,
+                                            std::size_t machine) const {
+    const SimTask& t = tasks_[orig.task];
+    double est = t.cpu_ecu_s / c_.machine(MachineId{machine}).throughput_ecu;
+    if (t.data && orig.store)
+      est += t.input_mb / (c_.bandwidth_mb_s(MachineId{machine}, *orig.store) *
+                           link_factor_[machine]);
+    return est / cpu_factor_[machine];
+  }
+
   /// Hadoop-style speculation: duplicate the running task with the latest
   /// projected finish, if this machine would beat it. Only fires when no
   /// pending work exists (a slot would otherwise idle). The scan is over
   /// currently-active instances, bounded by the cluster's slot count.
-  bool try_speculative(std::size_t machine) {
-    if (!pending_.empty()) return false;
+  bool try_speculative_naive(std::size_t machine) {
     std::size_t best_iid = instances_.size();
     double latest_finish = now_;
     for (const std::size_t iid : active_instances_) {
@@ -966,11 +1127,101 @@ class Engine final : public ClusterState {
     if (t.data && orig.store &&
         stored_fraction(*t.data, *orig.store) <= 0.0)
       return false;
-    double est = t.cpu_ecu_s / c_.machine(MachineId{machine}).throughput_ecu;
-    if (t.data && orig.store)
-      est += t.input_mb / (c_.bandwidth_mb_s(MachineId{machine}, *orig.store) *
-                           link_factor_[machine]);
+    const double est = duplicate_estimate_s(orig, machine);
     if (now_ + est >= orig.finish - 1e-9) return false;  // no speed-up
+    launch(LaunchDecision{orig.task, orig.store}, machine,
+           /*speculative=*/true);
+    return true;
+  }
+
+  /// LATE-style cost-aware speculation (SpeculationConfig::Mode::CostAware):
+  /// pick the running task with the latest estimated finish, require it to
+  /// be a straggler relative to its peers' median remaining time (a lone
+  /// survivor is always a candidate), respect the cluster-wide duplicate
+  /// cap and the per-task duplicate limit, and launch only when the
+  /// expected dollar saving is positive.
+  bool try_speculative_cost_aware(std::size_t machine) {
+    // Cluster-wide cap on concurrently running duplicates.
+    const std::size_t max_live = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.speculation.cap_fraction *
+                                    static_cast<double>(total_slots_)));
+    std::size_t live_dups = 0;
+    for (const std::size_t iid : active_instances_) {
+      const Instance& inst = instances_[iid];
+      if (inst.speculative && !inst.settled && !inst.cancelled) live_dups += 1;
+    }
+    if (live_dups >= max_live) return false;
+
+    // One representative per running task: its earliest-finishing live copy
+    // (the task completes when the first copy does). Tasks already at their
+    // duplicate limit stay in the median but are not candidates.
+    std::vector<std::size_t> candidates;
+    std::vector<double> remaining;
+    for (const std::size_t iid : active_instances_) {
+      const Instance& inst = instances_[iid];
+      if (inst.cancelled || inst.settled || inst.timeout_kill) continue;
+      if (status_[inst.task] != TaskStatus::Running) continue;
+      const auto& copies = running_of_task_[inst.task];
+      std::size_t rep = iid;
+      for (const std::size_t cid : copies) {
+        const Instance& c = instances_[cid];
+        if (c.cancelled || c.settled || c.timeout_kill) continue;
+        if (c.finish < instances_[rep].finish ||
+            (c.finish == instances_[rep].finish && cid < rep))
+          rep = cid;
+      }
+      if (iid != rep) continue;
+      remaining.push_back(inst.finish - now_);
+      if (copies.size() < 1 + cfg_.speculation.per_task_duplicates)
+        candidates.push_back(iid);
+    }
+    if (candidates.empty()) return false;
+
+    std::size_t best_iid = candidates.front();
+    for (const std::size_t iid : candidates)
+      if (instances_[iid].finish > instances_[best_iid].finish ||
+          (instances_[iid].finish == instances_[best_iid].finish &&
+           iid < best_iid))
+        best_iid = iid;
+    const Instance& orig = instances_[best_iid];
+
+    // LATE threshold: the pick must be a straggler among its peers. With a
+    // single running task there is no peer signal — always a candidate.
+    if (remaining.size() > 1) {
+      std::vector<double> rem = remaining;
+      const auto mid = rem.begin() + static_cast<std::ptrdiff_t>(rem.size() / 2);
+      std::nth_element(rem.begin(), mid, rem.end());
+      const double median = *mid;
+      if (orig.finish - now_ < cfg_.speculation.late_threshold * median)
+        return false;
+    }
+
+    const SimTask& t = tasks_[orig.task];
+    if (t.data && orig.store && stored_fraction(*t.data, *orig.store) <= 0.0)
+      return false;
+    const double est = duplicate_estimate_s(orig, machine);
+    if (now_ + est >= orig.finish - 1e-9) return false;  // must win the race
+
+    // Cost rule. Cancelling the straggler `time_saved` seconds early saves
+    // its wall-rate exec burn plus the read bytes it would still pull; the
+    // duplicate costs a full run on this machine (exec billed by wall time:
+    // 1/rate × nominal) plus its re-read.
+    if (orig.full_duration > 0.0) {
+      const double time_saved = orig.finish - (now_ + est);
+      const double saved =
+          time_saved * (orig.exec_cost_mc / orig.full_duration) +
+          orig.read_cost_mc *
+              std::min(1.0, time_saved * orig.rate / orig.full_duration);
+      double dup_read = 0.0;
+      if (t.data && orig.store)
+        dup_read =
+            t.input_mb * c_.ms_cost_mc_per_mb(MachineId{machine}, *orig.store);
+      const double dup_cost =
+          t.cpu_ecu_s * c_.cpu_price_mc_at(MachineId{machine}, now_) /
+              cpu_factor_[machine] +
+          dup_read;
+      if (saved - dup_cost <= cfg_.speculation.min_saving_mc) return false;
+    }
     launch(LaunchDecision{orig.task, orig.store}, machine,
            /*speculative=*/true);
     return true;
@@ -978,9 +1229,12 @@ class Engine final : public ClusterState {
 
   void finalize_result() {
     result_.completed = (done_tasks_ == tasks_.size());
-    for (std::size_t m = 0; m < c_.machine_count(); ++m)
+    for (std::size_t m = 0; m < c_.machine_count(); ++m) {
       if (!machine_up_[m])
         result_.machines[m].downtime_s += std::max(0.0, now_ - down_since_[m]);
+      if (slow_depth_[m] > 0)  // window still open when the run ended
+        result_.machines[m].slowed_s += std::max(0.0, now_ - slow_since_[m]);
+    }
     result_.total_cost_mc =
         result_.execution_cost_mc + result_.read_transfer_cost_mc +
         result_.placement_transfer_cost_mc + result_.ingest_replication_cost_mc;
@@ -1022,6 +1276,10 @@ class Engine final : public ClusterState {
   std::vector<char> machine_gone_;   ///< permanently lost
   std::vector<double> down_since_;   ///< crash time of currently-down machines
   std::vector<double> link_factor_;  ///< bandwidth multiplier per machine
+  std::vector<double> cpu_factor_;   ///< CPU-rate multiplier per machine
+  std::vector<std::size_t> slow_depth_;  ///< open slowdown windows per machine
+  std::vector<double> slow_since_;   ///< first-window open time while slowed
+  std::vector<double> tp_ewma_;      ///< observed-throughput EWMA per machine
   std::vector<char> store_gone_;
   std::vector<std::size_t> fault_kills_;  ///< per task
   std::vector<char> job_aborted_;
@@ -1030,6 +1288,7 @@ class Engine final : public ClusterState {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::uint64_t seq_ = 0;
   std::size_t poll_offset_ = 0;
+  std::size_t total_slots_ = 0;
   double now_ = 0.0;
   std::size_t done_tasks_ = 0;
   std::size_t local_reads_ = 0;

@@ -26,6 +26,35 @@
 
 namespace lips::sim {
 
+/// Straggler-mitigation (speculative execution) tuning. Active only when
+/// SimConfig::speculative_execution is set.
+struct SpeculationConfig {
+  enum class Mode : unsigned char {
+    /// Hadoop-classic: when a slot would otherwise idle, duplicate the
+    /// running task with the latest projected finish if this machine would
+    /// beat it. Time-only; ignores money, caps, and thresholds.
+    Naive,
+    /// LATE-style cost-aware detector: a task is a straggler only when its
+    /// estimated remaining time exceeds `late_threshold` × the median
+    /// remaining time of its running peers (a lone survivor is always a
+    /// candidate); duplicates are capped cluster-wide and per task, and a
+    /// duplicate launches only when its expected dollar saving — the
+    /// straggler's projected remaining bill minus the duplicate's full
+    /// bill — exceeds `min_saving_mc`.
+    CostAware,
+  };
+  Mode mode = Mode::CostAware;
+  /// Straggler threshold relative to the peer-median remaining time.
+  double late_threshold = 1.3;
+  /// Maximum concurrent duplicates per task (beyond the original).
+  std::size_t per_task_duplicates = 1;
+  /// Cap on concurrently running speculative instances as a fraction of
+  /// the cluster's total map slots (at least one is always allowed).
+  double cap_fraction = 0.2;
+  /// Required expected saving (millicents) before a duplicate launches.
+  double min_saving_mc = 0.0;
+};
+
 /// Simulation knobs.
 struct SimConfig {
   /// HDFS-style ingest replication factor. Hadoop's default pipeline writes
@@ -40,6 +69,12 @@ struct SimConfig {
   /// Launch speculative duplicates of straggler tasks on otherwise-idle
   /// slots (Hadoop default behavior; off for LiPS runs, per the paper).
   bool speculative_execution = false;
+  /// Straggler detector and cost rule used when speculation is on.
+  SpeculationConfig speculation;
+  /// Smoothing for the observed per-machine throughput EWMA exposed to
+  /// policies via ClusterState::observed_throughput (weight of the newest
+  /// per-instance progress-rate sample).
+  double throughput_ewma_alpha = 0.4;
   /// Kill a task whose projected duration exceeds this and requeue it
   /// (0 disables; Hadoop default is 600 s, the paper's LiPS setting 1200 s).
   double task_timeout_s = 0.0;
@@ -79,6 +114,8 @@ struct TraceEvent {
     SpotRevocationWarning,  ///< notice; machine dies `amount` seconds later
     StoreLost,              ///< store contents wiped
     TaskRequeued,           ///< fault-killed task re-enters the queue
+    MachineSlowed,          ///< CPU slowdown window opened (amount = factor)
+    MachineSpeedRestored,   ///< CPU slowdown window closed (amount = factor)
   };
   Kind kind;
   double time_s = 0.0;
@@ -100,6 +137,7 @@ struct MachineMetrics {
   double read_cost_mc = 0.0;
   std::size_t tasks_run = 0;
   double downtime_s = 0.0;        ///< seconds spent crashed/revoked
+  double slowed_s = 0.0;          ///< seconds spent inside slowdown windows
 };
 
 /// Result of one simulation run.
@@ -119,6 +157,9 @@ struct SimResult {
   std::size_t tasks_completed = 0;
   std::size_t speculative_launched = 0;
   std::size_t speculative_wasted = 0;  ///< duplicates cancelled after a win
+  /// Money billed to speculative duplicates (winners and losers alike);
+  /// loser-side spend additionally lands in wasted_cost_mc.
+  double speculation_cost_mc = 0.0;
   std::size_t timeout_kills = 0;
   std::size_t epochs = 0;
 
@@ -132,6 +173,7 @@ struct SimResult {
   std::size_t machines_restored = 0;
   std::size_t spot_revocations = 0;   ///< warnings delivered
   std::size_t stores_lost = 0;
+  std::size_t machine_slowdowns = 0;  ///< CPU slowdown windows applied
   std::size_t data_refetches = 0;     ///< objects re-materialized at origin
   /// Money billed to work that a fault destroyed: partial CPU/read cost of
   /// killed instances plus partially-transferred bytes of aborted moves.

@@ -115,6 +115,69 @@ TEST(FaultSpec, ParsesKeysAndRejectsUnknown) {
   EXPECT_THROW(parse_fault_spec("bogus=1"), PreconditionError);
 }
 
+TEST(FaultSpec, RoundTripsEveryKey) {
+  const FaultStormParams p = parse_fault_spec(
+      "mtbf=1,mttr=2,permanent=0.5,revoke=0.25,warn=30,storeloss=0.75,"
+      "degrade=1.5,degrade_factor=0.5,degrade_window=120,slowdown=2.5,"
+      "slowdown_factor=8,slowdown_window=240,horizon=5000,seed=99");
+  EXPECT_DOUBLE_EQ(p.mtbf_s, 1.0);
+  EXPECT_DOUBLE_EQ(p.mttr_s, 2.0);
+  EXPECT_DOUBLE_EQ(p.permanent_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(p.revoke_probability, 0.25);
+  EXPECT_DOUBLE_EQ(p.spot_warning_s, 30.0);
+  EXPECT_DOUBLE_EQ(p.store_loss_rate, 0.75);
+  EXPECT_DOUBLE_EQ(p.degrade_rate, 1.5);
+  EXPECT_DOUBLE_EQ(p.degrade_factor, 0.5);
+  EXPECT_DOUBLE_EQ(p.degrade_window_s, 120.0);
+  EXPECT_DOUBLE_EQ(p.slowdown_rate, 2.5);
+  EXPECT_DOUBLE_EQ(p.slowdown_factor, 8.0);
+  EXPECT_DOUBLE_EQ(p.slowdown_window_s, 240.0);
+  EXPECT_DOUBLE_EQ(p.horizon_s, 5000.0);
+  EXPECT_EQ(p.seed, 99u);
+}
+
+TEST(FaultSpec, RejectsDuplicateAndMalformedEntries) {
+  EXPECT_THROW(parse_fault_spec("mtbf=1,mtbf=2"), PreconditionError);
+  EXPECT_THROW(parse_fault_spec("slowdown=1,mttr=2,slowdown=1"),
+               PreconditionError);
+  EXPECT_THROW(parse_fault_spec("mtbf"), PreconditionError);
+  EXPECT_THROW(parse_fault_spec("mtbf="), PreconditionError);
+  EXPECT_THROW(parse_fault_spec("mtbf=12x"), PreconditionError);
+  EXPECT_THROW(parse_fault_spec("=5"), PreconditionError);
+}
+
+TEST(FaultPlan, StormGeneratesSlowdownWindows) {
+  FaultStormParams p;
+  p.slowdown_rate = 3.0;
+  p.slowdown_factor = 8.0;
+  p.slowdown_window_s = 300.0;
+  p.horizon_s = 10000.0;
+  p.seed = 5;
+  const FaultPlan plan = make_fault_storm(p, 4, 4);
+  std::size_t slowdowns = 0;
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.kind, FaultEvent::Kind::MachineSlowdown);
+    EXPECT_DOUBLE_EQ(e.factor, 1.0 / 8.0);  // severity → rate multiplier
+    EXPECT_DOUBLE_EQ(e.duration_s, 300.0);
+    EXPECT_LT(e.machine, 4u);
+    slowdowns += 1;
+  }
+  EXPECT_GE(slowdowns, 1u);
+  plan.validate(4, 4);  // everything generated must be valid
+  // Severity must be a slowdown multiple > 1 (1/factor is the rate).
+  p.slowdown_factor = 1.0;
+  EXPECT_THROW(make_fault_storm(p, 4, 4), PreconditionError);
+}
+
+TEST(FaultPlan, ValidateRejectsSlowdownRateAtOrAboveOne) {
+  FaultPlan plan;
+  plan.slow_machine(10.0, 0, /*factor=*/1.0, /*window_s=*/60.0);
+  EXPECT_THROW(plan.validate(2, 2), PreconditionError);
+  FaultPlan zero_window;
+  zero_window.slow_machine(10.0, 0, 0.5, 0.0);
+  EXPECT_THROW(zero_window.validate(2, 2), PreconditionError);
+}
+
 TEST(FaultPlan, EmptyPlanChangesNothing) {
   const Cluster c = two_nodes();
   const Workload w = one_job(1.0, 4 * 64.0, 4);
@@ -134,6 +197,10 @@ TEST(FaultPlan, EmptyPlanChangesNothing) {
   EXPECT_EQ(a.machines_lost, 0u);
   EXPECT_EQ(a.wasted_cost_mc, 0.0);
   EXPECT_EQ(a.machines[0].downtime_s, 0.0);
+  EXPECT_EQ(a.speculation_cost_mc, 0.0);
+  EXPECT_EQ(a.machine_slowdowns, 0u);
+  EXPECT_EQ(a.machines[0].slowed_s, 0.0);
+  EXPECT_EQ(b.machines[0].slowed_s, 0.0);
 }
 
 // ------------------------------------------------------- failure handling -

@@ -101,6 +101,27 @@ TEST_P(BothSolvers, TextbookTwoVariable) {
   EXPECT_NEAR(s.values[1], 6.0, 1e-6);
 }
 
+TEST_P(BothSolvers, IterationBudgetExhaustionReturnsIterationLimit) {
+  // The textbook model needs at least two pivots (both variables enter the
+  // basis at the optimum). A budget of one iteration must come back as
+  // IterationLimit cleanly — no hang, no assert — and the identical model
+  // must still solve to optimality under the automatic budget.
+  LpModel m;
+  m.add_variable(0, kInf, -3.0, "x");
+  m.add_variable(0, kInf, -5.0, "y");
+  m.add_constraint(row({{0, 1.0}}), Sense::LessEqual, 4.0);
+  m.add_constraint(row({{1, 2.0}}), Sense::LessEqual, 12.0);
+  m.add_constraint(row({{0, 3.0}, {1, 2.0}}), Sense::LessEqual, 18.0);
+  SolverOptions tight;
+  tight.max_iterations = 1;
+  const LpSolution limited = make_solver(GetParam(), tight)->solve(m);
+  EXPECT_EQ(limited.status, SolveStatus::IterationLimit);
+  EXPECT_FALSE(limited.optimal());
+  const LpSolution full = make_solver(GetParam())->solve(m);
+  ASSERT_TRUE(full.optimal());
+  EXPECT_NEAR(full.objective, -36.0, 1e-6);
+}
+
 TEST_P(BothSolvers, EqualityConstraints) {
   // min x+2y  s.t. x+y = 10, x-y = 2 → x=6, y=4, obj 14.
   LpModel m;

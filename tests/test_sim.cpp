@@ -202,12 +202,15 @@ TEST(DelayScheduler, FallsBackAfterWaiting) {
 
 TEST(Speculative, DuplicatesStragglerAndCutsMakespan) {
   // Machine 0 is 10× slower; the last wave on it is a straggler that the
-  // fast machine should duplicate.
+  // fast machine should duplicate. Naive (Hadoop-classic) mode duplicates
+  // on time alone — the cost-aware mode would decline here because both
+  // machines charge the same price, so the duplicate saves no money.
   const Cluster c = two_nodes(1.0, 1.0, 0.1, 1.0, 1);
   const Workload w = one_job(1.0, 4 * 64.0, 4);
   sched::FifoLocalityScheduler f1, f2;
   SimConfig on;
   on.speculative_execution = true;
+  on.speculation.mode = SpeculationConfig::Mode::Naive;
   const SimResult spec = simulate(c, w, f1, on);
   const SimResult base = simulate(c, w, f2);
   ASSERT_TRUE(spec.completed);
@@ -216,6 +219,32 @@ TEST(Speculative, DuplicatesStragglerAndCutsMakespan) {
   EXPECT_LT(spec.makespan_s, base.makespan_s);
   // Speculation is never free: duplicates burn money.
   EXPECT_GE(spec.total_cost_mc, base.total_cost_mc - 1e-9);
+  // The duplicate's bill is metered, and the losing copies' spend is waste.
+  EXPECT_GT(spec.speculation_cost_mc, 0.0);
+  EXPECT_GT(spec.wasted_cost_mc, 0.0);
+}
+
+TEST(Speculative, NaiveModeIsDeterministic) {
+  const Cluster c = two_nodes(1.0, 1.0, 0.1, 1.0, 1);
+  const Workload w = one_job(1.0, 4 * 64.0, 4);
+  sched::FifoLocalityScheduler f1, f2;
+  SimConfig on;
+  on.speculative_execution = true;
+  on.speculation.mode = SpeculationConfig::Mode::Naive;
+  const SimResult a = simulate(c, w, f1, on);
+  const SimResult b = simulate(c, w, f2, on);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);  // bit-identical, not just close
+  EXPECT_EQ(a.total_cost_mc, b.total_cost_mc);
+  EXPECT_EQ(a.speculation_cost_mc, b.speculation_cost_mc);
+  EXPECT_EQ(a.wasted_cost_mc, b.wasted_cost_mc);
+  EXPECT_EQ(a.speculative_launched, b.speculative_launched);
+  EXPECT_EQ(a.speculative_wasted, b.speculative_wasted);
+  // Every cancelled loser was once launched, and its spend is metered.
+  EXPECT_LE(a.speculative_wasted, a.speculative_launched);
+  EXPECT_GT(a.speculative_launched, 0u);
+  EXPECT_GT(a.wasted_cost_mc, 0.0);
+  EXPECT_GT(a.speculation_cost_mc, 0.0);
 }
 
 TEST(Timeouts, SlowTaskIsKilledAndRetried) {

@@ -7,7 +7,14 @@
 //           [--schedulers default,delay,fair,quincy,lips]
 //           [--replication R] [--patience FACTOR|off] [--csv]
 //           [--faults SPEC]  (inject a fault storm, e.g.
-//                             "mtbf=3600,revoke=0.1,seed=7" — sim/faults.hpp)
+//                             "mtbf=3600,revoke=0.1,seed=7" — sim/faults.hpp;
+//                             slowdown=2,slowdown_factor=4 adds stragglers)
+//           [--speculation auto|off|naive|cost]
+//                            (straggler duplication: auto keeps each
+//                             scheduler's paper default — naive for the
+//                             Hadoop baselines, off for LiPS)
+//           [--no-feedback]  (disable LiPS observed-throughput feedback and
+//                             quarantine)
 //           [--trace FILE]   (write a per-scheduler event trace as CSV)
 //
 // Examples:
@@ -15,6 +22,7 @@
 //   lipsctl --nodes 40 --workload swim --jobs 100 --epoch 300
 //   lipsctl --schedulers default,lips --csv  # machine-readable output
 //   lipsctl --faults mtbf=3600,mttr=600,storeloss=0.5 --schedulers lips
+//   lipsctl --faults slowdown=2,slowdown_factor=4 --speculation cost
 //
 // Exit code 0 when every requested run completed within the horizon.
 #include <cstdlib>
@@ -53,6 +61,8 @@ struct Args {
   bool csv = false;
   std::string trace_file;
   std::string faults;  // fault-storm spec; empty = fault-free
+  std::string speculation = "auto";  // auto|off|naive|cost
+  bool feedback = true;  // LiPS observed-throughput feedback / quarantine
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -63,7 +73,8 @@ struct Args {
          "       [--epoch S] [--seed S] [--schedulers LIST] "
          "[--replication R]\n"
          "       [--patience FACTOR|off] [--csv] [--trace FILE]\n"
-         "       [--faults SPEC]   e.g. mtbf=3600,revoke=0.1,seed=7\n";
+         "       [--faults SPEC]   e.g. mtbf=3600,revoke=0.1,seed=7\n"
+         "       [--speculation auto|off|naive|cost] [--no-feedback]\n";
   std::exit(2);
 }
 
@@ -106,6 +117,13 @@ Args parse(int argc, char** argv) {
       a.trace_file = value();
     } else if (flag == "--faults") {
       a.faults = value();
+    } else if (flag == "--speculation") {
+      a.speculation = value();
+      if (a.speculation != "auto" && a.speculation != "off" &&
+          a.speculation != "naive" && a.speculation != "cost")
+        usage(argv[0]);
+    } else if (flag == "--no-feedback") {
+      a.feedback = false;
     } else {
       usage(argv[0]);
     }
@@ -166,9 +184,11 @@ int main(int argc, char** argv) {
                                   "sum_job_duration_s", "locality",
                                   "completed"};
   if (!args.faults.empty()) {
-    header.insert(header.end(),
-                  {"killed", "retries", "lost", "wasted_usd"});
+    header.insert(header.end(), {"killed", "retries", "lost", "slowdowns",
+                                 "wasted_usd"});
   }
+  const bool spec_cols = args.speculation != "off";
+  if (spec_cols) header.insert(header.end(), {"spec", "spec_usd"});
   t.set_header(header);
   bool all_completed = true;
 
@@ -183,9 +203,11 @@ int main(int argc, char** argv) {
     std::unique_ptr<sched::Scheduler> policy;
     if (name == "default") {
       cfg.speculative_execution = true;
+      cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
       policy = std::make_unique<sched::FifoLocalityScheduler>();
     } else if (name == "delay") {
       cfg.speculative_execution = true;
+      cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
       policy = std::make_unique<sched::DelayScheduler>();
     } else if (name == "fair") {
       policy = std::make_unique<sched::FairScheduler>();
@@ -207,12 +229,24 @@ int main(int argc, char** argv) {
         lo.model.max_candidate_machines = 12;
         lo.model.max_candidate_stores = 8;
       }
+      lo.throughput_feedback = args.feedback;
+      if (!args.feedback) lo.quarantine_below = 0.0;
       cfg.hdfs_replication = 1;  // LiPS manages placement itself
       cfg.task_timeout_s = 1200.0;
       policy = std::make_unique<core::LipsPolicy>(lo);
     } else {
       std::cerr << "unknown scheduler: " << name << "\n";
       return 2;
+    }
+    // --speculation overrides each scheduler's paper default.
+    if (args.speculation == "off") {
+      cfg.speculative_execution = false;
+    } else if (args.speculation == "naive") {
+      cfg.speculative_execution = true;
+      cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
+    } else if (args.speculation == "cost") {
+      cfg.speculative_execution = true;
+      cfg.speculation.mode = sim::SpeculationConfig::Mode::CostAware;
     }
     const sim::SimResult r = sim::simulate(c, w, *policy, cfg);
     all_completed = all_completed && r.completed;
@@ -238,7 +272,13 @@ int main(int argc, char** argv) {
       row.push_back(std::to_string(r.tasks_killed_by_faults));
       row.push_back(std::to_string(r.fault_retries));
       row.push_back(std::to_string(r.tasks_lost));
+      row.push_back(std::to_string(r.machine_slowdowns));
       row.push_back(Table::num(millicents_to_dollars(r.wasted_cost_mc), 3));
+    }
+    if (spec_cols) {
+      row.push_back(std::to_string(r.speculative_launched));
+      row.push_back(
+          Table::num(millicents_to_dollars(r.speculation_cost_mc), 3));
     }
     t.add_row(row);
   }
