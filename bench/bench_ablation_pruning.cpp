@@ -51,7 +51,7 @@ void print_table() {
                 "optimality gap"});
   t.add_row({"exact (0)", std::to_string(exact.lp_variables),
              std::to_string(exact.lp_constraints), Table::num(exact_ms, 1),
-             Table::num(exact.objective_mc, 1), "0.0%"});
+             Table::num(exact.objective_mc.mc(), 1), "0.0%"});
   for (std::size_t k : {2, 4, 8, 12}) {
     core::ModelOptions opt;
     opt.max_candidate_machines = k;
@@ -65,8 +65,10 @@ void print_table() {
     LIPS_REQUIRE(s.optimal(), "pruned model must solve");
     t.add_row({std::to_string(k), std::to_string(s.lp_variables),
                std::to_string(s.lp_constraints), Table::num(ms, 1),
-               Table::num(s.objective_mc, 1),
-               Table::pct(std::max(0.0, s.objective_mc / exact.objective_mc - 1.0), 2)});
+               Table::num(s.objective_mc.mc(), 1),
+               Table::pct(
+                   std::max(0.0, s.objective_mc / exact.objective_mc - 1.0),
+                   2)});
   }
   t.print(std::cout);
   std::cout << "Pruned objectives are valid upper bounds; the gap shrinks"

@@ -23,14 +23,14 @@ void add_diurnal_prices(cluster::Cluster& c) {
   constexpr double kPhase = 4.0 * 3600.0;
   for (std::size_t l = 0; l < c.machine_count(); ++l) {
     const MachineId m{l};
-    const double base = c.machine(m).cpu_price_mc;
+    const UsdPerCpuSec base = c.machine(m).cpu_price_mc;
     const double offset = static_cast<double>(c.machine(m).zone.value()) *
                           kPhase / 3.0;
     std::vector<cluster::PricePoint> schedule;
     for (int step = 0; step < 12; ++step) {
       const double t = offset + step * kPhase;
       const bool peak = (step % 2) == 0;
-      schedule.push_back({t, base * (peak ? 2.5 : 0.4)});
+      schedule.push_back({t, base * (peak ? 2.5 : 0.4)});  // scalar scale
     }
     c.set_price_schedule(m, std::move(schedule));
   }

@@ -84,7 +84,8 @@ void print_table() {
   t.set_header({"slowdown", "configuration", "total cost", "makespan",
                 "wasted", "spec cost", "dups", "completed"});
   const double severities[] = {0.0, 2.0, 4.0, 8.0};
-  double defense_cost_4x = -1.0, baseline_cost_4x = -1.0;
+  Millicents defense_cost_4x = Millicents::mc(-1.0);
+  Millicents baseline_cost_4x = Millicents::mc(-1.0);
   for (const double sev : severities) {
     const sim::FaultPlan plan = storm(sev, c);
     const std::string label = sev <= 1.0 ? "none" : Table::num(sev, 0) + "x";

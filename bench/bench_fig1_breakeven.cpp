@@ -14,8 +14,9 @@ using namespace lips;
 
 // Source node: m1.medium mid price; destination: c1.medium mid price —
 // the paper's canonical "cheaper cycles elsewhere" pair (Table III).
-constexpr double kSrcPrice = 5.415;  // m¢ / ECU-second
-constexpr double kDstPrice = 1.100;
+constexpr UsdPerCpuSec kSrcPrice =
+    UsdPerCpuSec::mc_per_ecu_s(5.415);  // m¢ / ECU-second
+constexpr UsdPerCpuSec kDstPrice = UsdPerCpuSec::mc_per_ecu_s(1.100);
 
 void print_tables() {
   bench::banner("Fig. 1 — break-even for moving data to cheaper cycles");
@@ -26,14 +27,15 @@ void print_tables() {
                 "move data?"});
   for (const workload::JobProfile& p : workload::job_profiles()) {
     core::BreakEvenInput in;
-    in.cpu_s_per_mb = p.input_free() ? 1e9 : p.tcp_cpu_s_per_mb();
+    in.cpu_s_per_mb =
+        CpuSecPerMb::ecu_s_per_mb(p.input_free() ? 1e9 : p.tcp_cpu_s_per_mb());
     in.src_price_mc = kSrcPrice;
     in.dst_price_mc = kDstPrice;
     in.transfer_cost_mc_per_mb = cluster::Cluster::kInterZoneCostMcPerMB;
     const double ratio = core::transfer_to_savings_ratio(in);
     t.add_row({std::string(p.name),
                p.input_free() ? "inf" : Table::num(p.cpu_s_per_block, 0),
-               Table::num(core::move_savings_mc_per_mb(in), 3),
+               Table::num(core::move_savings_mc_per_mb(in).mc_per_mb(), 3),
                std::isinf(ratio) ? "inf" : Table::num(ratio, 4),
                core::should_move_data(in) ? "yes" : "no"});
   }
@@ -52,12 +54,12 @@ void print_tables() {
     for (const workload::JobProfile& p : workload::job_profiles()) {
       if (p.input_free()) continue;
       core::BreakEvenInput in;
-      in.cpu_s_per_mb = p.tcp_cpu_s_per_mb();
+      in.cpu_s_per_mb = CpuSecPerMb::ecu_s_per_mb(p.tcp_cpu_s_per_mb());
       in.src_price_mc = kSrcPrice;
       in.dst_price_mc = kDstPrice;
       // Set d so that d / (c (a-b)) equals the requested ratio.
       in.transfer_cost_mc_per_mb =
-          ratio * in.cpu_s_per_mb * (kSrcPrice - kDstPrice);
+          ratio * (in.cpu_s_per_mb * (kSrcPrice - kDstPrice));
       row.push_back(core::should_move_data(in) ? "move" : "stay");
     }
     // Pi has no input: moving "its data" is free, the savings are pure.
@@ -74,8 +76,9 @@ void BM_BreakEvenSweep(benchmark::State& state) {
   for (auto _ : state) {
     double acc = 0.0;
     for (double d = 0.0; d < 10.0; d += 0.01) {
-      core::BreakEvenInput in{1.0, kSrcPrice, kDstPrice, d};
-      acc += core::move_savings_mc_per_mb(in);
+      core::BreakEvenInput in{CpuSecPerMb::ecu_s_per_mb(1.0), kSrcPrice,
+                              kDstPrice, McPerMb::mc_per_mb(d)};
+      acc += core::move_savings_mc_per_mb(in).mc_per_mb();
     }
     benchmark::DoNotOptimize(acc);
   }

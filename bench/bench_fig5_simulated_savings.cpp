@@ -34,8 +34,8 @@ constexpr GridPoint kGrid[] = {
 
 struct PointResult {
   double avg_reduction = 0.0;
-  double avg_lips_mc = 0.0;
-  double avg_baseline_mc = 0.0;
+  Millicents avg_lips_mc = Millicents::zero();
+  Millicents avg_baseline_mc = Millicents::zero();
   std::size_t lp_vars = 0;
   std::size_t lp_rows = 0;
 };
@@ -65,7 +65,7 @@ PointResult run_point(const GridPoint& g, int trials, std::uint64_t seed) {
     LIPS_REQUIRE(s.optimal(), "Fig-5 LP must be feasible");
 
     Rng brng = rng.split();
-    const double baseline = core::ideal_locality_cost_mc(c, w, brng);
+    const Millicents baseline = core::ideal_locality_cost_mc(c, w, brng);
     out.avg_lips_mc += s.objective_mc;
     out.avg_baseline_mc += baseline;
     out.avg_reduction += bench::cost_reduction(s.objective_mc, baseline);
@@ -86,8 +86,8 @@ void print_table() {
   for (const GridPoint& g : kGrid) {
     const PointResult r = run_point(g, /*trials=*/5, /*seed=*/42);
     t.add_row({std::to_string(g.tasks), std::to_string(g.stores),
-               std::to_string(g.machines), Table::num(r.avg_baseline_mc, 0),
-               Table::num(r.avg_lips_mc, 0), Table::pct(r.avg_reduction),
+               std::to_string(g.machines), Table::num(r.avg_baseline_mc.mc(), 0),
+               Table::num(r.avg_lips_mc.mc(), 0), Table::pct(r.avg_reduction),
                std::to_string(r.lp_vars), std::to_string(r.lp_rows)});
   }
   t.print(std::cout);

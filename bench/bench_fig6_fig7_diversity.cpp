@@ -44,8 +44,8 @@ void print_tables() {
                  Table::num(it.ecu, 0),
                  Table::num(it.price_low_usd_hr, 2) + "-" +
                      Table::num(it.price_high_usd_hr, 2),
-                 Table::num(it.cpu_price_low_mc, 2) + "-" +
-                     Table::num(it.cpu_price_high_mc, 2)});
+                 Table::num(it.cpu_price_low_mc.mc_per_ecu_s(), 2) + "-" +
+                     Table::num(it.cpu_price_high_mc.mc_per_ecu_s(), 2)});
     }
     t.print(std::cout);
   }

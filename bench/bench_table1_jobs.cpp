@@ -19,7 +19,7 @@ cluster::Cluster reference_node() {
   m.name = "ref";
   m.zone = z;
   m.throughput_ecu = 1.0;
-  m.cpu_price_mc = 1.0;
+  m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(1.0);
   m.map_slots = 1;
   m.uptime_s = 1e9;
   c.add_machine(std::move(m));
@@ -52,7 +52,10 @@ double measured_cpu_seconds_per_block(const workload::JobProfile& p) {
   sched::FifoLocalityScheduler fifo;
   const sim::SimResult r = sim::simulate(c, w, fifo);
   const double read_s =
-      p.input_free() ? 0.0 : kBlockSizeMB / cluster::Cluster::kLocalBandwidthMBs;
+      p.input_free()
+          ? 0.0
+          : (Bytes::mb(kBlockSizeMB) / cluster::Cluster::kLocalBandwidthMBs)
+                .secs();
   return r.makespan_s - read_s;
 }
 

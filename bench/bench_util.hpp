@@ -28,7 +28,7 @@ struct ThreeWayResult {
   sim::SimResult hadoop_default;
   sim::SimResult delay;
   sim::SimResult lips;
-  double lips_planned_cost_mc = 0.0;
+  Millicents lips_planned_cost_mc = Millicents::zero();
   std::size_t lips_lp_solves = 0;
 };
 
@@ -93,14 +93,15 @@ inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
 }
 
 /// "saves X% compared with Y" — the paper's headline metric.
-[[nodiscard]] inline double cost_reduction(double lips_mc, double other_mc) {
-  return other_mc <= 0 ? 0.0 : 1.0 - lips_mc / other_mc;
+[[nodiscard]] inline double cost_reduction(Millicents lips, Millicents other) {
+  return other.mc() <= 0 ? 0.0 : 1.0 - lips.mc() / other.mc();
 }
 
 /// Format millicents as dollars for human-readable rows.
 [[nodiscard]] inline std::string dollars(double mc) {
   return "$" + Table::num(millicents_to_dollars(mc), 2);
 }
+[[nodiscard]] inline std::string dollars(Millicents m) { return dollars(m.mc()); }
 
 /// Standard banner for each bench binary.
 inline void banner(const std::string& what) {

@@ -77,11 +77,11 @@ int main(int argc, char** argv) {
                                     row.r.ingest_replication_cost_mc),
                                 2),
                Table::num(row.r.makespan_s / 60.0, 1),
-               Table::pct(row.r.data_local_fraction)});
+               Table::pct(row.r.data_local_fraction.value())});
   }
   t.print(std::cout);
 
-  const double lips = rows.back().r.total_cost_mc;
+  const Millicents lips = rows.back().r.total_cost_mc;
   std::cout << "\nLiPS saves "
             << Table::pct(1.0 - lips / rows[0].r.total_cost_mc)
             << " vs the default scheduler and "

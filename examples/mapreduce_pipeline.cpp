@@ -61,7 +61,7 @@ int main() {
     t.add_row({"hadoop-default",
                "$" + Table::num(millicents_to_dollars(r.total_cost_mc), 3),
                Table::num(r.makespan_s / 60.0, 1),
-               Table::pct(r.data_local_fraction)});
+               Table::pct(r.data_local_fraction.value())});
   }
   {
     core::LipsPolicyOptions lo;
@@ -71,7 +71,7 @@ int main() {
     t.add_row({"LiPS",
                "$" + Table::num(millicents_to_dollars(r.total_cost_mc), 3),
                Table::num(r.makespan_s / 60.0, 1),
-               Table::pct(r.data_local_fraction)});
+               Table::pct(r.data_local_fraction.value())});
     if (!r.completed) std::cout << "warning: LiPS run did not complete\n";
   }
   t.print(std::cout);

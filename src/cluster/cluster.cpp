@@ -14,7 +14,8 @@ MachineId Cluster::add_machine(Machine machine) {
   LIPS_REQUIRE(!finalized_, "cannot add entities after finalize()");
   LIPS_REQUIRE(machine.zone.value() < zones_.size(), "machine zone unknown");
   LIPS_REQUIRE(machine.throughput_ecu > 0, "machine throughput must be positive");
-  LIPS_REQUIRE(machine.cpu_price_mc >= 0, "machine cpu price must be >= 0");
+  LIPS_REQUIRE(machine.cpu_price_mc >= UsdPerCpuSec::zero(),
+               "machine cpu price must be >= 0");
   LIPS_REQUIRE(machine.map_slots > 0, "machine needs at least one map slot");
   machines_.push_back(std::move(machine));
   return MachineId{machines_.size() - 1};
@@ -33,12 +34,12 @@ StoreId Cluster::add_store(DataStore store) {
 }
 
 MachineId Cluster::add_ec2_node(const InstanceType& type, ZoneId zone,
-                                double price_mc) {
+                                std::optional<UsdPerCpuSec> price_mc) {
   Machine m;
   m.name = std::string(type.name) + "-" + std::to_string(machines_.size());
   m.zone = zone;
   m.throughput_ecu = type.ecu;
-  m.cpu_price_mc = price_mc >= 0 ? price_mc : type.cpu_price_mid_mc();
+  m.cpu_price_mc = price_mc.value_or(type.cpu_price_mid_mc());
   m.map_slots = std::max(1, static_cast<int>(type.vcores));
   for (std::size_t t = 0; t < instance_catalog().size(); ++t) {
     if (instance_catalog()[t].name == type.name)
@@ -59,10 +60,10 @@ void Cluster::finalize() {
   LIPS_REQUIRE(!finalized_, "finalize() called twice");
   const std::size_t nm = machines_.size();
   const std::size_t ns = stores_.size();
-  ms_cost_.assign(nm * ns, 0.0);
-  ms_bw_.assign(nm * ns, 0.0);
-  ss_cost_.assign(ns * ns, 0.0);
-  ss_bw_.assign(ns * ns, 0.0);
+  ms_cost_.assign(nm * ns, McPerMb::zero());
+  ms_bw_.assign(nm * ns, BytesPerSec::zero());
+  ss_cost_.assign(ns * ns, McPerMb::zero());
+  ss_bw_.assign(ns * ns, BytesPerSec::zero());
 
   for (std::size_t l = 0; l < nm; ++l) {
     for (std::size_t m = 0; m < ns; ++m) {
@@ -70,10 +71,10 @@ void Cluster::finalize() {
       const bool local = stores_[m].colocated_machine == l;
       const bool same_zone = machines_[l].zone == stores_[m].zone;
       if (local) {
-        ms_cost_[idx] = 0.0;
+        ms_cost_[idx] = McPerMb::zero();
         ms_bw_[idx] = kLocalBandwidthMBs;
       } else if (same_zone) {
-        ms_cost_[idx] = 0.0;  // EC2 does not bill intra-zone transfers
+        ms_cost_[idx] = McPerMb::zero();  // EC2 doesn't bill intra-zone
         ms_bw_[idx] = kIntraZoneBandwidthMBs;
       } else {
         ms_cost_[idx] = kInterZoneCostMcPerMB;
@@ -85,10 +86,10 @@ void Cluster::finalize() {
     for (std::size_t j = 0; j < ns; ++j) {
       const std::size_t idx = i * ns + j;
       if (i == j) {
-        ss_cost_[idx] = 0.0;
+        ss_cost_[idx] = McPerMb::zero();
         ss_bw_[idx] = kLocalBandwidthMBs;
       } else if (stores_[i].zone == stores_[j].zone) {
-        ss_cost_[idx] = 0.0;
+        ss_cost_[idx] = McPerMb::zero();
         ss_bw_[idx] = kIntraZoneBandwidthMBs;
       } else {
         ss_cost_[idx] = kInterZoneCostMcPerMB;
@@ -103,7 +104,8 @@ void Cluster::set_price_schedule(MachineId m, std::vector<PricePoint> schedule) 
   LIPS_REQUIRE(m.value() < machines_.size(), "machine id out of range");
   LIPS_REQUIRE(!schedule.empty(), "price schedule must be non-empty");
   for (std::size_t i = 0; i < schedule.size(); ++i) {
-    LIPS_REQUIRE(schedule[i].price_mc >= 0, "prices must be >= 0");
+    LIPS_REQUIRE(schedule[i].price_mc >= UsdPerCpuSec::zero(),
+                 "prices must be >= 0");
     if (i > 0)
       LIPS_REQUIRE(schedule[i].time_s > schedule[i - 1].time_s,
                    "price points must be strictly increasing in time");
@@ -111,11 +113,11 @@ void Cluster::set_price_schedule(MachineId m, std::vector<PricePoint> schedule) 
   price_schedules_[m.value()] = std::move(schedule);
 }
 
-double Cluster::cpu_price_mc_at(MachineId m, double t) const {
+UsdPerCpuSec Cluster::cpu_price_mc_at(MachineId m, double t) const {
   LIPS_REQUIRE(m.value() < machines_.size(), "machine id out of range");
   const auto it = price_schedules_.find(m.value());
   if (it == price_schedules_.end()) return machines_[m.value()].cpu_price_mc;
-  double price = machines_[m.value()].cpu_price_mc;  // before the first step
+  UsdPerCpuSec price = machines_[m.value()].cpu_price_mc;  // before 1st step
   for (const PricePoint& p : it->second) {
     if (p.time_s > t) break;
     price = p.price_mc;
@@ -130,40 +132,40 @@ std::optional<StoreId> Cluster::store_of_machine(MachineId m) const {
   return std::nullopt;
 }
 
-double Cluster::ms_cost_mc_per_mb(MachineId l, StoreId m) const {
+McPerMb Cluster::ms_cost_mc_per_mb(MachineId l, StoreId m) const {
   require_finalized();
   return ms_cost_[ms_index(l, m)];
 }
 
-void Cluster::set_ms_cost_mc_per_mb(MachineId l, StoreId m, double v) {
+void Cluster::set_ms_cost_mc_per_mb(MachineId l, StoreId m, McPerMb v) {
   require_finalized();
-  LIPS_REQUIRE(v >= 0, "transfer cost must be >= 0");
+  LIPS_REQUIRE(v >= McPerMb::zero(), "transfer cost must be >= 0");
   ms_cost_[ms_index(l, m)] = v;
 }
 
-double Cluster::ss_cost_mc_per_mb(StoreId i, StoreId j) const {
+McPerMb Cluster::ss_cost_mc_per_mb(StoreId i, StoreId j) const {
   require_finalized();
   return ss_cost_[ss_index(i, j)];
 }
 
-void Cluster::set_ss_cost_mc_per_mb(StoreId i, StoreId j, double v) {
+void Cluster::set_ss_cost_mc_per_mb(StoreId i, StoreId j, McPerMb v) {
   require_finalized();
-  LIPS_REQUIRE(v >= 0, "transfer cost must be >= 0");
+  LIPS_REQUIRE(v >= McPerMb::zero(), "transfer cost must be >= 0");
   ss_cost_[ss_index(i, j)] = v;
 }
 
-double Cluster::bandwidth_mb_s(MachineId l, StoreId m) const {
+BytesPerSec Cluster::bandwidth_mb_s(MachineId l, StoreId m) const {
   require_finalized();
   return ms_bw_[ms_index(l, m)];
 }
 
-void Cluster::set_bandwidth_mb_s(MachineId l, StoreId m, double v) {
+void Cluster::set_bandwidth_mb_s(MachineId l, StoreId m, BytesPerSec v) {
   require_finalized();
-  LIPS_REQUIRE(v > 0, "bandwidth must be positive");
+  LIPS_REQUIRE(v > BytesPerSec::zero(), "bandwidth must be positive");
   ms_bw_[ms_index(l, m)] = v;
 }
 
-double Cluster::store_bandwidth_mb_s(StoreId i, StoreId j) const {
+BytesPerSec Cluster::store_bandwidth_mb_s(StoreId i, StoreId j) const {
   require_finalized();
   return ss_bw_[ss_index(i, j)];
 }
@@ -192,8 +194,9 @@ Cluster make_ec2_cluster(std::size_t n_nodes, double c1_fraction,
     const double t = n_zones == 1 ? 0.5
                                   : static_cast<double>(zone.value()) /
                                         static_cast<double>(n_zones - 1);
-    const double price = type.cpu_price_low_mc +
-                         t * (type.cpu_price_high_mc - type.cpu_price_low_mc);
+    const UsdPerCpuSec price =
+        type.cpu_price_low_mc +
+        t * (type.cpu_price_high_mc - type.cpu_price_low_mc);
     c.add_ec2_node(type, zone, price);
   }
   c.finalize();
@@ -211,7 +214,9 @@ Cluster make_random_cluster(const RandomClusterParams& params, Rng& rng) {
     m.zone = zone;
     m.throughput_ecu =
         rng.uniform(params.throughput_lo_ecu, params.throughput_hi_ecu);
-    m.cpu_price_mc = rng.uniform(params.cpu_price_lo_mc, params.cpu_price_hi_mc);
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(
+        rng.uniform(params.cpu_price_lo_mc.mc_per_ecu_s(),
+                    params.cpu_price_hi_mc.mc_per_ecu_s()));
     c.add_machine(std::move(m));
   }
   for (std::size_t i = 0; i < params.n_stores; ++i) {
@@ -228,21 +233,21 @@ Cluster make_random_cluster(const RandomClusterParams& params, Rng& rng) {
   // Randomize the cost matrices per the Fig-5 caption ranges. Bandwidths
   // keep their zone defaults (cost, not time, drives the Fig-5 metric).
   auto block_cost = [&]() {
-    return rng.uniform(params.transfer_cost_lo_mc_per_block,
-                       params.transfer_cost_hi_mc_per_block) /
-           kBlockSizeMB;
+    return McPerMb::mc_per_block(
+        rng.uniform(params.transfer_cost_lo_mc_per_block.mc_per_block(),
+                    params.transfer_cost_hi_mc_per_block.mc_per_block()));
   };
   for (std::size_t l = 0; l < c.machine_count(); ++l) {
     for (std::size_t s = 0; s < c.store_count(); ++s) {
       const bool local = c.store(StoreId{s}).colocated_machine == l;
       c.set_ms_cost_mc_per_mb(MachineId{l}, StoreId{s},
-                              local ? 0.0 : block_cost());
+                              local ? McPerMb::zero() : block_cost());
     }
   }
   for (std::size_t i = 0; i < c.store_count(); ++i) {
     for (std::size_t j = 0; j < c.store_count(); ++j) {
       c.set_ss_cost_mc_per_mb(StoreId{i}, StoreId{j},
-                              i == j ? 0.0 : block_cost());
+                              i == j ? McPerMb::zero() : block_cost());
     }
   }
   return c;

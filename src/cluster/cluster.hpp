@@ -32,8 +32,9 @@ struct Zone {
 
 /// One step of a machine's price schedule (spot-market dynamics).
 struct PricePoint {
-  double time_s = 0.0;   ///< from this simulated time onward...
-  double price_mc = 0.0; ///< ...the machine costs this per ECU-second
+  double time_s = 0.0;  ///< from this simulated time onward...
+  /// ...the machine costs this per ECU-second.
+  UsdPerCpuSec price_mc = UsdPerCpuSec::zero();
 };
 
 /// A computation node (a Hadoop TaskTracker host).
@@ -43,8 +44,8 @@ struct Machine {
   /// Computation throughput TP(M): ECU-seconds of work executed per
   /// wall-clock second (equals the instance's ECU count).
   double throughput_ecu = 1.0;
-  /// CPU price in millicents per ECU-second (paper footnote 1).
-  double cpu_price_mc = 1.0;
+  /// CPU price per ECU-second (paper footnote 1).
+  UsdPerCpuSec cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(1.0);
   /// Concurrently runnable map tasks (Hadoop map slots).
   int map_slots = 2;
   /// Uptime in seconds available for the offline scheduling model.
@@ -78,9 +79,9 @@ class Cluster {
 
   /// Convenience: add a machine of a given EC2 instance type plus its
   /// co-located data store (capacity = the type's storage). The machine's
-  /// per-ECU-second price is the catalog mid price unless `price_mc` >= 0.
+  /// per-ECU-second price is the catalog mid price unless `price_mc` is set.
   MachineId add_ec2_node(const InstanceType& type, ZoneId zone,
-                         double price_mc = -1.0);
+                         std::optional<UsdPerCpuSec> price_mc = std::nullopt);
 
   /// Build the MS/SS/B matrices from the zone layout:
   ///   co-located store↔machine: kLocalBandwidthMBs, zero cost;
@@ -131,7 +132,7 @@ class Cluster {
   void set_price_schedule(MachineId m, std::vector<PricePoint> schedule);
 
   /// Price per ECU-second in force on machine `m` at time `t`.
-  [[nodiscard]] double cpu_price_mc_at(MachineId m, double t) const;
+  [[nodiscard]] UsdPerCpuSec cpu_price_mc_at(MachineId m, double t) const;
 
   /// Whether any machine has a time-varying price.
   [[nodiscard]] bool has_dynamic_prices() const {
@@ -140,38 +141,44 @@ class Cluster {
 
   // --- Matrix access (requires finalize()) --------------------------------
 
-  /// MS_{lm}: unit data transfer cost, millicents per MB, between machine l
-  /// and store m (paper assumes symmetric up/down costs; so do we).
-  [[nodiscard]] double ms_cost_mc_per_mb(MachineId l, StoreId m) const;
-  void set_ms_cost_mc_per_mb(MachineId l, StoreId m, double v);
+  /// MS_{lm}: unit data transfer cost between machine l and store m
+  /// (paper assumes symmetric up/down costs; so do we).
+  [[nodiscard]] McPerMb ms_cost_mc_per_mb(MachineId l, StoreId m) const;
+  void set_ms_cost_mc_per_mb(MachineId l, StoreId m, McPerMb v);
 
-  /// SS_{ij}: unit data transfer cost, millicents per MB, between stores.
-  [[nodiscard]] double ss_cost_mc_per_mb(StoreId i, StoreId j) const;
-  void set_ss_cost_mc_per_mb(StoreId i, StoreId j, double v);
+  /// SS_{ij}: unit data transfer cost between stores.
+  [[nodiscard]] McPerMb ss_cost_mc_per_mb(StoreId i, StoreId j) const;
+  void set_ss_cost_mc_per_mb(StoreId i, StoreId j, McPerMb v);
 
-  /// B: network bandwidth in MB/s between store m and machine l.
-  [[nodiscard]] double bandwidth_mb_s(MachineId l, StoreId m) const;
-  void set_bandwidth_mb_s(MachineId l, StoreId m, double v);
+  /// B: network bandwidth between store m and machine l.
+  [[nodiscard]] BytesPerSec bandwidth_mb_s(MachineId l, StoreId m) const;
+  void set_bandwidth_mb_s(MachineId l, StoreId m, BytesPerSec v);
 
-  /// B: network bandwidth in MB/s between two stores.
-  [[nodiscard]] double store_bandwidth_mb_s(StoreId i, StoreId j) const;
+  /// B: network bandwidth between two stores.
+  [[nodiscard]] BytesPerSec store_bandwidth_mb_s(StoreId i, StoreId j) const;
 
-  /// Cost of executing `ecu_seconds` of work on machine l (millicents).
-  [[nodiscard]] double execution_cost_mc(MachineId l, double ecu_seconds) const {
-    return machine(l).cpu_price_mc * ecu_seconds;
+  /// Cost of executing `work` on machine l.
+  [[nodiscard]] Millicents execution_cost_mc(MachineId l,
+                                             CpuSeconds work) const {
+    return machine(l).cpu_price_mc * work;
   }
 
-  /// Wall-clock seconds machine l needs for `ecu_seconds` of work.
-  [[nodiscard]] double execution_time_s(MachineId l, double ecu_seconds) const {
-    return ecu_seconds / machine(l).throughput_ecu;
+  /// Wall-clock time machine l needs for `work`.
+  [[nodiscard]] Seconds execution_time_s(MachineId l, CpuSeconds work) const {
+    return Seconds::secs(work.ecu_s() / machine(l).throughput_ecu);
   }
 
   // Default link parameters (paper §VI-A network setup).
-  static constexpr double kLocalBandwidthMBs = 80.0;        ///< on-node disk path
-  static constexpr double kIntraZoneBandwidthMBs = 62.5;    ///< 500 Mb/s
-  static constexpr double kInterZoneBandwidthMBs = 31.25;   ///< 250 Mb/s
+  /// On-node disk path.
+  static constexpr BytesPerSec kLocalBandwidthMBs = BytesPerSec::mb_per_s(80.0);
+  /// 500 Mb/s.
+  static constexpr BytesPerSec kIntraZoneBandwidthMBs =
+      BytesPerSec::mb_per_s(62.5);
+  /// 250 Mb/s.
+  static constexpr BytesPerSec kInterZoneBandwidthMBs =
+      BytesPerSec::mb_per_s(31.25);
   /// $0.01/GB = 62.5 millicents per 64 MB block (paper §VI-A).
-  static constexpr double kInterZoneCostMcPerMB = 62.5 / kBlockSizeMB;
+  static constexpr McPerMb kInterZoneCostMcPerMB = McPerMb::mc_per_block(62.5);
 
  private:
   [[nodiscard]] std::size_t ms_index(MachineId l, StoreId m) const {
@@ -187,10 +194,10 @@ class Cluster {
   std::vector<Zone> zones_;
   std::vector<Machine> machines_;
   std::vector<DataStore> stores_;
-  std::vector<double> ms_cost_;   // machines x stores
-  std::vector<double> ss_cost_;   // stores x stores
-  std::vector<double> ms_bw_;     // machines x stores
-  std::vector<double> ss_bw_;     // stores x stores
+  std::vector<McPerMb> ms_cost_;     // machines x stores
+  std::vector<McPerMb> ss_cost_;     // stores x stores
+  std::vector<BytesPerSec> ms_bw_;   // machines x stores
+  std::vector<BytesPerSec> ss_bw_;   // stores x stores
   std::unordered_map<std::size_t, std::vector<PricePoint>> price_schedules_;
   bool finalized_ = false;
 };
@@ -212,10 +219,10 @@ class Cluster {
 struct RandomClusterParams {
   std::size_t n_machines = 10;
   std::size_t n_stores = 20;
-  double cpu_price_lo_mc = 0.0;
-  double cpu_price_hi_mc = 5.0;
-  double transfer_cost_lo_mc_per_block = 0.0;
-  double transfer_cost_hi_mc_per_block = 60.0;
+  UsdPerCpuSec cpu_price_lo_mc = UsdPerCpuSec::zero();
+  UsdPerCpuSec cpu_price_hi_mc = UsdPerCpuSec::mc_per_ecu_s(5.0);
+  McPerMb transfer_cost_lo_mc_per_block = McPerMb::zero();
+  McPerMb transfer_cost_hi_mc_per_block = McPerMb::mc_per_block(60.0);
   double throughput_lo_ecu = 1.0;
   double throughput_hi_ecu = 5.0;
   double store_capacity_mb = 1.0e7;  // effectively uncapacitated by default

@@ -10,9 +10,12 @@ namespace {
 // (m1.small derived with the same breakdown the paper applies to the
 // others: hourly price over deliverable ECU capacity).
 constexpr std::array<InstanceType, 3> kCatalog{{
-    {"m1.small", 1.0, 1.0, 1.7, 160.0, 0.08, 0.12, 2.22, 3.33},
-    {"m1.medium", 1.0, 2.0, 3.75, 410.0, 0.13, 0.23, 4.44, 6.39},
-    {"c1.medium", 2.0, 5.0, 1.7, 350.0, 0.17, 0.23, 0.92, 1.28},
+    {"m1.small", 1.0, 1.0, 1.7, 160.0, 0.08, 0.12,
+     UsdPerCpuSec::mc_per_ecu_s(2.22), UsdPerCpuSec::mc_per_ecu_s(3.33)},
+    {"m1.medium", 1.0, 2.0, 3.75, 410.0, 0.13, 0.23,
+     UsdPerCpuSec::mc_per_ecu_s(4.44), UsdPerCpuSec::mc_per_ecu_s(6.39)},
+    {"c1.medium", 2.0, 5.0, 1.7, 350.0, 0.17, 0.23,
+     UsdPerCpuSec::mc_per_ecu_s(0.92), UsdPerCpuSec::mc_per_ecu_s(1.28)},
 }};
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include <span>
 #include <string_view>
 
+#include "common/units.hpp"
+
 namespace lips::cluster {
 
 /// Static description of one EC2 instance type (paper Table III).
@@ -22,11 +24,11 @@ struct InstanceType {
   double price_low_usd_hr;   ///< low end of the paper's hourly price band
   double price_high_usd_hr;  ///< high end of the paper's hourly price band
   /// Millicents per ECU-second, low/high — the paper's footnote-1 numbers.
-  double cpu_price_low_mc;
-  double cpu_price_high_mc;
+  UsdPerCpuSec cpu_price_low_mc;
+  UsdPerCpuSec cpu_price_high_mc;
 
   /// Representative per-ECU-second price (midpoint of the band).
-  [[nodiscard]] constexpr double cpu_price_mid_mc() const {
+  [[nodiscard]] constexpr UsdPerCpuSec cpu_price_mid_mc() const {
     return 0.5 * (cpu_price_low_mc + cpu_price_high_mc);
   }
 };

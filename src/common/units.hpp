@@ -1,4 +1,4 @@
-// Units used throughout the LiPS model.
+// Dimensional quantity system for the LiPS cost model.
 //
 // The paper accounts in three currencies that are easy to confuse:
 //   * data size           — megabytes (64 MB HDFS blocks),
@@ -6,12 +6,30 @@
 //   * money               — millicents (the paper quotes CPU prices in
 //                           millicents per ECU-second and transfer prices in
 //                           millicents per 64 MB block).
-// We keep quantities as doubles but centralize the conversion constants and
-// give the dimension names types-by-convention (suffix `_mb`, `_cpu_s`,
-// `_mc`) plus a few checked helpers.
+// A silent unit mixup (dollars vs millicents, bytes vs MB, wall-clock vs
+// CPU-seconds) corrupts the single number the paper optimizes — the exact
+// dollar cost of a schedule. This header therefore provides *strong*
+// dimensional types: `Quantity<Money, Data, Time, Cpu>` tracks the exponent
+// of each base dimension at compile time, arithmetic composes exponents
+// (`Bytes / BytesPerSec → Seconds`, `CpuSeconds * UsdPerCpuSec →
+// Millicents`), same-dimension ratios collapse to plain `double`, and any
+// mixed-dimension addition or implicit double conversion is a compile error.
+//
+// Construction and extraction go through named unit functions only
+// (`Millicents::mc(3.2)`, `cost.dollars()`, `Bytes::blocks(2)`), so the
+// internal canonical unit of each dimension (millicents, MB, seconds,
+// ECU-seconds) never leaks into call sites. `Quantity::from_raw`/`raw()` are
+// the canonical-unit escape hatch for this layer and for generic glue (LP
+// coefficient assembly); product code should prefer the named forms.
+//
+// `lips-lint` (tools/lips_lint.cpp) enforces the complement: any raw
+// `double` declaration whose name claims a unit (`*_mc`, `*_cost`,
+// `*_bytes`, `*_secs`) outside this header is a build failure.
 #pragma once
 
 #include <cmath>
+#include <limits>
+#include <ostream>
 
 namespace lips {
 
@@ -28,6 +46,337 @@ inline constexpr double kMillicentsPerDollar = 100'000.0;
 /// per-ECU-second, see its footnote 1).
 inline constexpr double kSecondsPerHour = 3600.0;
 
+/// A physical quantity with compile-time dimension tracking. The template
+/// parameters are the exponents of the four base dimensions:
+///   MoneyE — money (canonical unit: millicents),
+///   DataE  — data size (canonical unit: megabytes),
+///   TimeE  — wall-clock time (canonical unit: seconds),
+///   CpuE   — computation (canonical unit: ECU-seconds).
+/// Only dimension-preserving arithmetic compiles; multiplication and
+/// division compose exponents, and a fully-cancelled result is a `double`.
+template <int MoneyE, int DataE, int TimeE, int CpuE>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+
+  /// Canonical-unit escape hatch (units layer and generic glue code only;
+  /// prefer the named unit constructors below).
+  [[nodiscard]] static constexpr Quantity from_raw(double v) {
+    return Quantity(v);
+  }
+  /// Value in the dimension's canonical units (see class comment).
+  [[nodiscard]] constexpr double raw() const { return v_; }
+
+  [[nodiscard]] static constexpr Quantity zero() { return Quantity(0.0); }
+  [[nodiscard]] static constexpr Quantity infinity() {
+    return Quantity(std::numeric_limits<double>::infinity());
+  }
+  /// False once an accumulation has overflowed to ±inf (doubles saturate
+  /// rather than wrap) or gone NaN.
+  [[nodiscard]] bool finite() const { return std::isfinite(v_); }
+
+  // --- Named constructors / extractors, constrained per dimension ---------
+  // Money.
+  [[nodiscard]] static constexpr Quantity mc(double millicents)
+    requires(MoneyE == 1 && DataE == 0 && TimeE == 0 && CpuE == 0)
+  {
+    return Quantity(millicents);
+  }
+  [[nodiscard]] static constexpr Quantity dollars(double usd)
+    requires(MoneyE == 1 && DataE == 0 && TimeE == 0 && CpuE == 0)
+  {
+    return Quantity(usd * kMillicentsPerDollar);
+  }
+  [[nodiscard]] constexpr double mc() const
+    requires(MoneyE == 1 && DataE == 0 && TimeE == 0 && CpuE == 0)
+  {
+    return v_;
+  }
+  [[nodiscard]] constexpr double dollars() const
+    requires(MoneyE == 1 && DataE == 0 && TimeE == 0 && CpuE == 0)
+  {
+    return v_ / kMillicentsPerDollar;
+  }
+
+  // Data size.
+  [[nodiscard]] static constexpr Quantity mb(double megabytes)
+    requires(MoneyE == 0 && DataE == 1 && TimeE == 0 && CpuE == 0)
+  {
+    return Quantity(megabytes);
+  }
+  [[nodiscard]] static constexpr Quantity gb(double gigabytes)
+    requires(MoneyE == 0 && DataE == 1 && TimeE == 0 && CpuE == 0)
+  {
+    return Quantity(gigabytes * kMBPerGB);
+  }
+  [[nodiscard]] static constexpr Quantity blocks(double hdfs_blocks)
+    requires(MoneyE == 0 && DataE == 1 && TimeE == 0 && CpuE == 0)
+  {
+    return Quantity(hdfs_blocks * kBlockSizeMB);
+  }
+  [[nodiscard]] constexpr double mb() const
+    requires(MoneyE == 0 && DataE == 1 && TimeE == 0 && CpuE == 0)
+  {
+    return v_;
+  }
+  [[nodiscard]] constexpr double gb() const
+    requires(MoneyE == 0 && DataE == 1 && TimeE == 0 && CpuE == 0)
+  {
+    return v_ / kMBPerGB;
+  }
+  [[nodiscard]] constexpr double blocks() const
+    requires(MoneyE == 0 && DataE == 1 && TimeE == 0 && CpuE == 0)
+  {
+    return v_ / kBlockSizeMB;
+  }
+
+  // Wall-clock time.
+  [[nodiscard]] static constexpr Quantity secs(double seconds)
+    requires(MoneyE == 0 && DataE == 0 && TimeE == 1 && CpuE == 0)
+  {
+    return Quantity(seconds);
+  }
+  [[nodiscard]] static constexpr Quantity hours(double h)
+    requires(MoneyE == 0 && DataE == 0 && TimeE == 1 && CpuE == 0)
+  {
+    return Quantity(h * kSecondsPerHour);
+  }
+  [[nodiscard]] constexpr double secs() const
+    requires(MoneyE == 0 && DataE == 0 && TimeE == 1 && CpuE == 0)
+  {
+    return v_;
+  }
+  [[nodiscard]] constexpr double hours() const
+    requires(MoneyE == 0 && DataE == 0 && TimeE == 1 && CpuE == 0)
+  {
+    return v_ / kSecondsPerHour;
+  }
+
+  // Computation.
+  [[nodiscard]] static constexpr Quantity ecu_s(double ecu_seconds)
+    requires(MoneyE == 0 && DataE == 0 && TimeE == 0 && CpuE == 1)
+  {
+    return Quantity(ecu_seconds);
+  }
+  [[nodiscard]] constexpr double ecu_s() const
+    requires(MoneyE == 0 && DataE == 0 && TimeE == 0 && CpuE == 1)
+  {
+    return v_;
+  }
+
+  // Bandwidth (data / time).
+  [[nodiscard]] static constexpr Quantity mb_per_s(double v)
+    requires(MoneyE == 0 && DataE == 1 && TimeE == -1 && CpuE == 0)
+  {
+    return Quantity(v);
+  }
+  [[nodiscard]] constexpr double mb_per_s() const
+    requires(MoneyE == 0 && DataE == 1 && TimeE == -1 && CpuE == 0)
+  {
+    return v_;
+  }
+
+  // CPU price (money / computation) — the paper's footnote-1 unit.
+  [[nodiscard]] static constexpr Quantity mc_per_ecu_s(double v)
+    requires(MoneyE == 1 && DataE == 0 && TimeE == 0 && CpuE == -1)
+  {
+    return Quantity(v);
+  }
+  /// The paper's footnote-1 breakdown: an hourly dollar price for `ecu`
+  /// compute units → millicents per ECU-second. Example: c1.medium at
+  /// $0.17/hr with 5 ECU → 0.17 · 100000 / 3600 / 5 ≈ 0.944 m¢/ECU-s.
+  [[nodiscard]] static constexpr Quantity hourly_dollars(double usd_per_hour,
+                                                         double ecu)
+    requires(MoneyE == 1 && DataE == 0 && TimeE == 0 && CpuE == -1)
+  {
+    return Quantity(usd_per_hour * kMillicentsPerDollar / kSecondsPerHour /
+                    ecu);
+  }
+  [[nodiscard]] constexpr double mc_per_ecu_s() const
+    requires(MoneyE == 1 && DataE == 0 && TimeE == 0 && CpuE == -1)
+  {
+    return v_;
+  }
+
+  // Transfer price (money / data).
+  [[nodiscard]] static constexpr Quantity mc_per_mb(double v)
+    requires(MoneyE == 1 && DataE == -1 && TimeE == 0 && CpuE == 0)
+  {
+    return Quantity(v);
+  }
+  /// The paper: "$0.01 per GB (62.5 millicent per 64 MB block)".
+  [[nodiscard]] static constexpr Quantity dollars_per_gb(double usd_per_gb)
+    requires(MoneyE == 1 && DataE == -1 && TimeE == 0 && CpuE == 0)
+  {
+    return Quantity(usd_per_gb * kMillicentsPerDollar / kMBPerGB);
+  }
+  [[nodiscard]] static constexpr Quantity mc_per_block(double v)
+    requires(MoneyE == 1 && DataE == -1 && TimeE == 0 && CpuE == 0)
+  {
+    return Quantity(v / kBlockSizeMB);
+  }
+  [[nodiscard]] constexpr double mc_per_mb() const
+    requires(MoneyE == 1 && DataE == -1 && TimeE == 0 && CpuE == 0)
+  {
+    return v_;
+  }
+  [[nodiscard]] constexpr double mc_per_block() const
+    requires(MoneyE == 1 && DataE == -1 && TimeE == 0 && CpuE == 0)
+  {
+    return v_ * kBlockSizeMB;
+  }
+
+  // Compute intensity (computation / data) — the paper's break-even `c`.
+  [[nodiscard]] static constexpr Quantity ecu_s_per_mb(double v)
+    requires(MoneyE == 0 && DataE == -1 && TimeE == 0 && CpuE == 1)
+  {
+    return Quantity(v);
+  }
+  [[nodiscard]] constexpr double ecu_s_per_mb() const
+    requires(MoneyE == 0 && DataE == -1 && TimeE == 0 && CpuE == 1)
+  {
+    return v_;
+  }
+
+  // --- Dimension-preserving arithmetic ------------------------------------
+  [[nodiscard]] constexpr Quantity operator+(Quantity o) const {
+    return Quantity(v_ + o.v_);
+  }
+  [[nodiscard]] constexpr Quantity operator-(Quantity o) const {
+    return Quantity(v_ - o.v_);
+  }
+  [[nodiscard]] constexpr Quantity operator-() const { return Quantity(-v_); }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  // Dimensionless scaling.
+  [[nodiscard]] constexpr Quantity operator*(double s) const {
+    return Quantity(v_ * s);
+  }
+  [[nodiscard]] friend constexpr Quantity operator*(double s, Quantity q) {
+    return Quantity(s * q.v_);
+  }
+  [[nodiscard]] constexpr Quantity operator/(double s) const {
+    return Quantity(v_ / s);
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr bool operator==(const Quantity&) const = default;
+  [[nodiscard]] constexpr auto operator<=>(const Quantity&) const = default;
+
+  /// Reporting convenience: prints the canonical-unit value.
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.v_;
+  }
+
+ private:
+  explicit constexpr Quantity(double v) : v_(v) {}
+  double v_ = 0.0;
+};
+
+/// Money (canonical: millicents).
+using Millicents = Quantity<1, 0, 0, 0>;
+/// Data size (canonical: megabytes).
+using Bytes = Quantity<0, 1, 0, 0>;
+/// Wall-clock time (canonical: seconds).
+using Seconds = Quantity<0, 0, 1, 0>;
+/// Computation (canonical: ECU-seconds).
+using CpuSeconds = Quantity<0, 0, 0, 1>;
+/// Network bandwidth (canonical: MB/s). Bytes / BytesPerSec → Seconds.
+using BytesPerSec = Quantity<0, 1, -1, 0>;
+/// CPU price (canonical: millicents per ECU-second, paper footnote 1).
+/// CpuSeconds * UsdPerCpuSec → Millicents.
+using UsdPerCpuSec = Quantity<1, 0, 0, -1>;
+/// Data transfer price (canonical: millicents per MB).
+/// Bytes * McPerMb → Millicents.
+using McPerMb = Quantity<1, -1, 0, 0>;
+/// Compute intensity, the paper's break-even `c` (canonical: ECU-s per MB).
+/// CpuSecPerMb * UsdPerCpuSec → McPerMb.
+using CpuSecPerMb = Quantity<0, -1, 0, 1>;
+
+// --- Cross-dimension arithmetic: exponents compose ------------------------
+
+template <int M1, int D1, int T1, int C1, int M2, int D2, int T2, int C2>
+[[nodiscard]] constexpr auto operator*(Quantity<M1, D1, T1, C1> a,
+                                       Quantity<M2, D2, T2, C2> b) {
+  if constexpr (M1 + M2 == 0 && D1 + D2 == 0 && T1 + T2 == 0 && C1 + C2 == 0)
+    return a.raw() * b.raw();
+  else
+    return Quantity<M1 + M2, D1 + D2, T1 + T2, C1 + C2>::from_raw(a.raw() *
+                                                                  b.raw());
+}
+
+template <int M1, int D1, int T1, int C1, int M2, int D2, int T2, int C2>
+[[nodiscard]] constexpr auto operator/(Quantity<M1, D1, T1, C1> a,
+                                       Quantity<M2, D2, T2, C2> b) {
+  if constexpr (M1 - M2 == 0 && D1 - D2 == 0 && T1 - T2 == 0 && C1 - C2 == 0)
+    return a.raw() / b.raw();
+  else
+    return Quantity<M1 - M2, D1 - D2, T1 - T2, C1 - C2>::from_raw(a.raw() /
+                                                                  b.raw());
+}
+
+/// Inverting a quantity with a plain scalar numerator.
+template <int M, int D, int T, int C>
+[[nodiscard]] constexpr Quantity<-M, -D, -T, -C> operator/(
+    double s, Quantity<M, D, T, C> q) {
+  return Quantity<-M, -D, -T, -C>::from_raw(s / q.raw());
+}
+
+/// A dimensionless fraction clamped to [0, 1] at construction (LP decode
+/// values can carry ±1e-9 solver noise; anything non-finite clamps to 0).
+class Fraction {
+ public:
+  constexpr Fraction() = default;
+
+  [[nodiscard]] static constexpr Fraction of(double v) {
+    if (!(v >= 0.0)) return Fraction(0.0);  // negatives and NaN
+    if (v > 1.0) return Fraction(1.0);
+    return Fraction(v);
+  }
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  [[nodiscard]] constexpr bool operator==(const Fraction&) const = default;
+  [[nodiscard]] constexpr auto operator<=>(const Fraction&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Fraction f) {
+    return os << f.v_;
+  }
+
+ private:
+  explicit constexpr Fraction(double v) : v_(v) {}
+  double v_ = 0.0;
+};
+
+template <int M, int D, int T, int C>
+[[nodiscard]] constexpr Quantity<M, D, T, C> operator*(Fraction f,
+                                                       Quantity<M, D, T, C> q) {
+  return q * f.value();
+}
+template <int M, int D, int T, int C>
+[[nodiscard]] constexpr Quantity<M, D, T, C> operator*(Quantity<M, D, T, C> q,
+                                                       Fraction f) {
+  return q * f.value();
+}
+
+// --- Legacy scalar conversion helpers -------------------------------------
+// Kept for workload synthesis and report formatting that deliberately works
+// in raw doubles; the typed constructors above are the preferred spelling on
+// cost-bearing paths.
+
 /// Convert a number of 64 MB blocks to megabytes.
 [[nodiscard]] constexpr double blocks_to_mb(double blocks) {
   return blocks * kBlockSizeMB;
@@ -40,18 +389,12 @@ inline constexpr double kSecondsPerHour = 3600.0;
 
 /// Convert an hourly dollar price for `ecu` compute units into millicents
 /// per ECU-second — exactly the paper's footnote-1 breakdown.
-///
-/// Example: c1.medium at $0.17/hr with 5 ECU →
-///   0.17 * 100000 / 3600 / 5 ≈ 0.944 millicents per ECU-second,
-/// matching the paper's quoted 0.92–1.28 m¢ range across its price band.
 [[nodiscard]] constexpr double hourly_dollars_to_millicents_per_ecu_second(
     double dollars_per_hour, double ecu) {
   return dollars_per_hour * kMillicentsPerDollar / kSecondsPerHour / ecu;
 }
 
 /// Convert a $ / GB transfer price into millicents per megabyte.
-///
-/// The paper: "$0.01 per GB (62.5 millicent per 64 MB block)".
 [[nodiscard]] constexpr double dollars_per_gb_to_millicents_per_mb(
     double dollars_per_gb) {
   return dollars_per_gb * kMillicentsPerDollar / kMBPerGB;
@@ -62,12 +405,27 @@ inline constexpr double kSecondsPerHour = 3600.0;
   return millicents / kMillicentsPerDollar;
 }
 
+/// Typed overload: report a Millicents quantity in dollars.
+[[nodiscard]] constexpr double millicents_to_dollars(Millicents m) {
+  return m.mc() / kMillicentsPerDollar;
+}
+
 /// Approximate floating-point equality with absolute + relative tolerance.
 [[nodiscard]] inline bool almost_equal(double a, double b, double abs_tol = 1e-9,
                                        double rel_tol = 1e-9) {
   const double diff = std::fabs(a - b);
   if (diff <= abs_tol) return true;
   return diff <= rel_tol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+/// Same, for any two quantities of one dimension (tolerances in canonical
+/// units of that dimension).
+template <int M, int D, int T, int C>
+[[nodiscard]] inline bool almost_equal(Quantity<M, D, T, C> a,
+                                       Quantity<M, D, T, C> b,
+                                       double abs_tol = 1e-9,
+                                       double rel_tol = 1e-9) {
+  return almost_equal(a.raw(), b.raw(), abs_tol, rel_tol);
 }
 
 }  // namespace lips

@@ -6,8 +6,9 @@
 
 namespace lips::core {
 
-double ideal_locality_cost_mc(const cluster::Cluster& cluster,
-                              const workload::Workload& workload, Rng& rng) {
+Millicents ideal_locality_cost_mc(const cluster::Cluster& cluster,
+                                  const workload::Workload& workload,
+                                  Rng& rng) {
   // Machines that host a co-located store — only they can hold blocks.
   std::vector<MachineId> hosts;
   for (std::size_t s = 0; s < cluster.store_count(); ++s) {
@@ -18,12 +19,13 @@ double ideal_locality_cost_mc(const cluster::Cluster& cluster,
   LIPS_REQUIRE(!hosts.empty(),
                "ideal-locality baseline needs machine-co-located stores");
 
-  double cost = 0.0;
+  Millicents cost = Millicents::zero();
   for (std::size_t k = 0; k < workload.job_count(); ++k) {
     const JobId job{k};
     const workload::Job& j = workload.job(job);
     const double cpu = workload.job_cpu_ecu_s(job);
-    const double per_task = cpu / static_cast<double>(j.num_tasks);
+    const CpuSeconds per_task =
+        CpuSeconds::ecu_s(cpu / static_cast<double>(j.num_tasks));
     // Each task's block lands on a uniformly random host; the task runs
     // there (100% locality ⇒ no transfer charges, only that host's CPU).
     for (std::size_t t = 0; t < j.num_tasks; ++t) {
@@ -34,14 +36,14 @@ double ideal_locality_cost_mc(const cluster::Cluster& cluster,
   return cost;
 }
 
-double average_price_cost_mc(const cluster::Cluster& cluster,
-                             const workload::Workload& workload) {
+Millicents average_price_cost_mc(const cluster::Cluster& cluster,
+                                 const workload::Workload& workload) {
   LIPS_REQUIRE(cluster.machine_count() > 0, "cluster has no machines");
-  double price = 0.0;
+  UsdPerCpuSec price = UsdPerCpuSec::zero();
   for (std::size_t l = 0; l < cluster.machine_count(); ++l)
     price += cluster.machine(MachineId{l}).cpu_price_mc;
   price /= static_cast<double>(cluster.machine_count());
-  return workload.total_cpu_ecu_s() * price;
+  return CpuSeconds::ecu_s(workload.total_cpu_ecu_s()) * price;
 }
 
 }  // namespace lips::core

@@ -17,18 +17,18 @@
 
 namespace lips::core {
 
-/// Dollar cost (millicents) of the ideal-delay baseline: every data object's
-/// blocks are scattered uniformly over machine-co-located stores, every task
-/// runs on the machine hosting its block (zero transfer cost, full price of
-/// that machine's CPU). Input-free jobs are spread uniformly over machines.
+/// Dollar cost of the ideal-delay baseline: every data object's blocks are
+/// scattered uniformly over machine-co-located stores, every task runs on
+/// the machine hosting its block (zero transfer cost, full price of that
+/// machine's CPU). Input-free jobs are spread uniformly over machines.
 /// Deterministic given `rng`'s state.
-[[nodiscard]] double ideal_locality_cost_mc(const cluster::Cluster& cluster,
-                                            const workload::Workload& workload,
-                                            Rng& rng);
+[[nodiscard]] Millicents ideal_locality_cost_mc(
+    const cluster::Cluster& cluster, const workload::Workload& workload,
+    Rng& rng);
 
 /// Cost of running everything at the *average* machine price with zero
 /// transfers — a scheduler-agnostic reference point for sanity checks.
-[[nodiscard]] double average_price_cost_mc(const cluster::Cluster& cluster,
-                                           const workload::Workload& workload);
+[[nodiscard]] Millicents average_price_cost_mc(
+    const cluster::Cluster& cluster, const workload::Workload& workload);
 
 }  // namespace lips::core

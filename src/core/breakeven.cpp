@@ -4,19 +4,20 @@
 
 namespace lips::core {
 
-double move_savings_mc_per_mb(const BreakEvenInput& in) {
+McPerMb move_savings_mc_per_mb(const BreakEvenInput& in) {
   return in.cpu_s_per_mb * in.src_price_mc -
          (in.cpu_s_per_mb * in.dst_price_mc + in.transfer_cost_mc_per_mb);
 }
 
 bool should_move_data(const BreakEvenInput& in) {
-  return move_savings_mc_per_mb(in) > 0.0;
+  return move_savings_mc_per_mb(in) > McPerMb::zero();
 }
 
 double transfer_to_savings_ratio(const BreakEvenInput& in) {
-  const double cpu_savings =
+  const McPerMb cpu_savings =
       in.cpu_s_per_mb * (in.src_price_mc - in.dst_price_mc);
-  if (cpu_savings <= 0.0) return std::numeric_limits<double>::infinity();
+  if (cpu_savings <= McPerMb::zero())
+    return std::numeric_limits<double>::infinity();
   return in.transfer_cost_mc_per_mb / cpu_savings;
 }
 

@@ -6,23 +6,26 @@
 // moving the data from A to B makes sense only when c·a > c·b + d."
 #pragma once
 
+#include "common/units.hpp"
+
 namespace lips::core {
 
 /// Inputs of the break-even test for moving one job's data from a source
-/// node to a destination node with cheaper (or dearer) CPU.
+/// node to a destination node with cheaper (or dearer) CPU. Every field is
+/// dimensionally typed, so c·a and c·b + d can only combine the paper's way.
 struct BreakEvenInput {
   /// c: CPU seconds the job spends per MB of input.
-  double cpu_s_per_mb = 0.0;
-  /// a: CPU price on the source node (millicents per ECU-second).
-  double src_price_mc = 0.0;
+  CpuSecPerMb cpu_s_per_mb = CpuSecPerMb::zero();
+  /// a: CPU price on the source node.
+  UsdPerCpuSec src_price_mc = UsdPerCpuSec::zero();
   /// b: CPU price on the destination node.
-  double dst_price_mc = 0.0;
-  /// d: data transfer price between the nodes (millicents per MB).
-  double transfer_cost_mc_per_mb = 0.0;
+  UsdPerCpuSec dst_price_mc = UsdPerCpuSec::zero();
+  /// d: data transfer price between the nodes.
+  McPerMb transfer_cost_mc_per_mb = McPerMb::zero();
 };
 
 /// Net savings per MB from moving: c·a − (c·b + d). Positive ⇒ move.
-[[nodiscard]] double move_savings_mc_per_mb(const BreakEvenInput& in);
+[[nodiscard]] McPerMb move_savings_mc_per_mb(const BreakEvenInput& in);
 
 /// The paper's rule: move the data iff c·a > c·b + d.
 [[nodiscard]] bool should_move_data(const BreakEvenInput& in);

@@ -23,7 +23,7 @@ struct LevelSchedule {
 /// Full multi-level result.
 struct DagSchedule {
   std::vector<LevelSchedule> levels;
-  double total_cost_mc = 0.0;
+  Millicents total_cost_mc = Millicents::zero();
   bool feasible = true;  ///< false if any level's LP failed
 
   [[nodiscard]] std::size_t level_count() const { return levels.size(); }

@@ -263,17 +263,18 @@ void LipsPolicy::fallback_plan(const sched::ClusterState& state) {
       if (!source) continue;  // data in flight back to a store; next replan
     }
     std::size_t best_machine = SIZE_MAX;
-    double best_cost = std::numeric_limits<double>::infinity();
+    Millicents best_cost = Millicents::infinity();
     // Pass 0 skips quarantined (observed-slow) machines; pass 1 admits
     // them, so a fully-quarantined cluster still drains work.
     for (int pass = 0; pass < 2 && best_machine == SIZE_MAX; ++pass) {
       for (std::size_t m = 0; m < c.machine_count(); ++m) {
         if (!state.machine_up(MachineId{m}) || doomed_.count(m) > 0) continue;
         if (pass == 0 && quarantined_.count(m) > 0) continue;
-        double cost =
-            t.cpu_ecu_s * c.cpu_price_mc_at(MachineId{m}, state.now());
+        Millicents cost = CpuSeconds::ecu_s(t.cpu_ecu_s) *
+                          c.cpu_price_mc_at(MachineId{m}, state.now());
         if (source)
-          cost += t.input_mb * c.ms_cost_mc_per_mb(MachineId{m}, *source);
+          cost += Bytes::mb(t.input_mb) *
+                  c.ms_cost_mc_per_mb(MachineId{m}, *source);
         if (cost < best_cost) {
           best_cost = cost;
           best_machine = m;

@@ -92,7 +92,7 @@ class LipsPolicy : public sched::Scheduler {
   [[nodiscard]] std::size_t off_cycle_resolves() const {
     return off_cycle_resolves_;
   }
-  [[nodiscard]] double planned_cost_mc() const { return planned_cost_mc_; }
+  [[nodiscard]] Millicents planned_cost_mc() const { return planned_cost_mc_; }
   [[nodiscard]] std::size_t total_lp_iterations() const {
     return lp_iterations_;
   }
@@ -151,7 +151,8 @@ class LipsPolicy : public sched::Scheduler {
   std::size_t lp_iterations_ = 0;
   std::size_t quarantine_exclusions_ = 0;
   std::size_t quarantine_probes_ = 0;
-  double planned_cost_mc_ = 0.0;  ///< Σ epoch-LP objectives (modeled cost)
+  /// Σ epoch-LP objectives (modeled cost).
+  Millicents planned_cost_mc_ = Millicents::zero();
 };
 
 }  // namespace lips::core

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/error.hpp"
 
@@ -80,16 +81,17 @@ class ModelBuilder {
                      "machine throughput factor must be in (0, 1]");
     }
     if (opt_.fake_node) {
-      double max_price = 0.0;
+      UsdPerCpuSec max_price = UsdPerCpuSec::zero();
       for (std::size_t l = 0; l < c_.machine_count(); ++l)
         if (!machine_excluded_[l]) max_price = std::max(max_price, price_mc(l));
-      fake_price_mc_ = std::max(1.0, max_price) * opt_.fake_node_price_factor;
+      fake_price_mc_ = std::max(UsdPerCpuSec::mc_per_ecu_s(1.0), max_price) *
+                       opt_.fake_node_price_factor;
     }
   }
 
   /// Machine CPU price in force for this solve (spot schedules honored
   /// when options.price_time >= 0).
-  [[nodiscard]] double price_mc(std::size_t l) const {
+  [[nodiscard]] UsdPerCpuSec price_mc(std::size_t l) const {
     if (opt_.price_time >= 0)
       return c_.cpu_price_mc_at(MachineId{l}, opt_.price_time);
     return c_.machine(MachineId{l}).cpu_price_mc;
@@ -100,16 +102,16 @@ class ModelBuilder {
     return origins_.empty() ? w_.data(i).origin : origins_[i.value()];
   }
 
-  /// Machine CPU capacity (ECU-seconds) available to this model: the
-  /// paper's TP(M)·e, scaled down to the machine's *observed* throughput
-  /// when the caller supplies straggler feedback.
-  [[nodiscard]] double machine_capacity_ecu_s(MachineId l) const {
+  /// Machine CPU capacity available to this model: the paper's TP(M)·e,
+  /// scaled down to the machine's *observed* throughput when the caller
+  /// supplies straggler feedback.
+  [[nodiscard]] CpuSeconds machine_capacity_ecu_s(MachineId l) const {
     const cluster::Machine& m = c_.machine(l);
     const double horizon = opt_.epoch_s > 0 ? opt_.epoch_s : m.uptime_s;
     const double factor = opt_.machine_throughput_factor.empty()
                               ? 1.0
                               : opt_.machine_throughput_factor[l.value()];
-    return m.throughput_ecu * horizon * factor;
+    return CpuSeconds::ecu_s(m.throughput_ecu * horizon * factor);
   }
 
   /// Candidate stores for data object i (pruned to the K cheapest initial
@@ -144,12 +146,12 @@ class ModelBuilder {
       if (!machine_excluded_[l]) all.push_back(l);
     const std::size_t kk = opt_.max_candidate_machines;
     if (kk == 0 || kk >= all.size()) return all;
-    const double cpu = w_.job_cpu_ecu_s(k);
-    const double input = w_.job_input_mb(k);
+    const CpuSeconds cpu = CpuSeconds::ecu_s(w_.job_cpu_ecu_s(k));
+    const Bytes input = Bytes::mb(w_.job_input_mb(k));
     auto unit_cost = [&](std::size_t l) {
-      double best_ms = 0.0;
-      if (input > 0 && !stores.empty()) {
-        best_ms = std::numeric_limits<double>::infinity();
+      McPerMb best_ms = McPerMb::zero();
+      if (input > Bytes::zero() && !stores.empty()) {
+        best_ms = McPerMb::infinity();
         for (StoreId s : stores)
           best_ms = std::min(best_ms, c_.ms_cost_mc_per_mb(MachineId{l}, s));
       }
@@ -193,7 +195,7 @@ class ModelBuilder {
       for (JobId k : jobs_) {
         const workload::Job& job = w_.job(k);
         if (job.data.size() < 2) continue;
-        std::unordered_set<std::size_t> uni;
+        std::set<std::size_t> uni;  // ordered: iteration fixes LP column order
         for (DataId d : job.data)
           for (StoreId s : data_stores[d.value()]) uni.insert(s.value());
         for (DataId d : job.data) {
@@ -212,9 +214,9 @@ class ModelBuilder {
           // Size factor; we include it for dimensional consistency with
           // terms (7)–(8) — a pure-fraction cost would make placement of a
           // 6 GB object as cheap as a 6 MB one.)
-          const double coeff =
-              c_.ss_cost_mc_per_mb(origin_of(DataId{i}), j) * obj.size_mb;
-          const std::size_t v = model.add_variable(0.0, 1.0, coeff);
+          const Millicents coeff = c_.ss_cost_mc_per_mb(origin_of(DataId{i}), j) *
+                                   Bytes::mb(obj.size_mb);
+          const std::size_t v = model.add_variable(0.0, 1.0, coeff.mc());
           dvar_index.emplace(dkey(DataId{i}, j), v);
           dvars.push_back(DataVar{v, DataId{i}, j});
         }
@@ -244,7 +246,7 @@ class ModelBuilder {
     for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
       const JobId k = jobs_[kq];
       const workload::Job& job = w_.job(k);
-      const double cpu = w_.job_cpu_ecu_s(k);
+      const CpuSeconds cpu = CpuSeconds::ecu_s(w_.job_cpu_ecu_s(k));
 
       // Store set the job may read from: intersection across accessed data
       // (equal to each object's extended candidate set after the union pass
@@ -263,12 +265,12 @@ class ModelBuilder {
       job_stores[kq] = stores;
       job_machines[kq] = candidate_machines(k, stores);
 
-      double min_real_coeff = std::numeric_limits<double>::infinity();
+      Millicents min_real_coeff = Millicents::infinity();
       for (std::size_t l : job_machines[kq]) {
-        const double exec_mc = cpu * price_mc(l);
+        const Millicents exec_mc = cpu * price_mc(l);
         if (job.data.empty()) {
           // Input-free job: one variable per machine, objective (7) only.
-          const std::size_t v = model.add_variable(0.0, 1.0, exec_mc);
+          const std::size_t v = model.add_variable(0.0, 1.0, exec_mc.mc());
           tvars.push_back(TaskVar{v, k, l, std::nullopt});
           min_real_coeff = std::min(min_real_coeff, exec_mc);
         } else {
@@ -276,23 +278,23 @@ class ModelBuilder {
             // Objective (7) + (8): execution plus runtime reads, with
             // traffic scaled by the JD access fraction (partial accesses,
             // paper §III).
-            double coeff = exec_mc;
+            Millicents coeff = exec_mc;
             for (std::size_t di = 0; di < job.data.size(); ++di)
               coeff += c_.ms_cost_mc_per_mb(MachineId{l}, s) *
                        w_.job_access_fraction(k, di) *
-                       w_.data(job.data[di]).size_mb;
-            const std::size_t v = model.add_variable(0.0, 1.0, coeff);
+                       Bytes::mb(w_.data(job.data[di]).size_mb);
+            const std::size_t v = model.add_variable(0.0, 1.0, coeff.mc());
             tvars.push_back(TaskVar{v, k, l, s});
             // Patience floor: the true cost of this option includes the
             // x^d placement the linking row (13) forces. Charge the full
             // O(i)->s move as an upper bound (it may be shared with other
             // readers in the actual LP); overestimating only makes F
             // dearer, which is the livelock-safe direction.
-            double total = coeff;
+            Millicents total = coeff;
             if (co_schedule) {
               for (DataId d : job.data)
                 total += c_.ss_cost_mc_per_mb(origin_of(d), s) *
-                         w_.data(d).size_mb;
+                         Bytes::mb(w_.data(d).size_mb);
             }
             min_real_coeff = std::min(min_real_coeff, total);
           }
@@ -303,17 +305,17 @@ class ModelBuilder {
       // device); PatienceMin prices it just above the job's cheapest real
       // option (§V-B non-greedy patience — see ModelOptions).
       if (opt_.fake_node) {
-        double fake_coeff = cpu * fake_price_mc_;
+        Millicents fake_coeff = cpu * fake_price_mc_;
         if (opt_.fake_node_pricing ==
                 ModelOptions::FakeNodePricing::PatienceMin &&
-            std::isfinite(min_real_coeff)) {
+            min_real_coeff.finite()) {
           fake_coeff =
               std::max(opt_.fake_node_price_factor, 1.01) * min_real_coeff;
           // A zero-cost best option (free machine, free link) must still be
           // preferred over deferral.
-          if (fake_coeff <= 0.0) fake_coeff = 1e-6;
+          if (fake_coeff <= Millicents::zero()) fake_coeff = Millicents::mc(1e-6);
         }
-        const std::size_t v = model.add_variable(0.0, 1.0, fake_coeff);
+        const std::size_t v = model.add_variable(0.0, 1.0, fake_coeff.mc());
         tvars.push_back(TaskVar{v, k, kFakeNode, std::nullopt});
       }
     }
@@ -362,16 +364,16 @@ class ModelBuilder {
     {
       std::vector<std::vector<lp::Entry>> cpu_rows(c_.machine_count());
       for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
-        const double demand = job_capacity_demand_ecu_s(w_, jobs_[kq]);
+        const CpuSeconds demand = job_capacity_demand_ecu_s(w_, jobs_[kq]);
         for (std::size_t t : tvars_of_job[kq]) {
           if (tvars[t].machine == kFakeNode) continue;  // F: unlimited CPU
-          cpu_rows[tvars[t].machine].push_back({tvars[t].lp_var, demand});
+          cpu_rows[tvars[t].machine].push_back({tvars[t].lp_var, demand.ecu_s()});
         }
       }
       for (std::size_t l = 0; l < c_.machine_count(); ++l) {
         if (cpu_rows[l].empty()) continue;
         model.add_constraint(cpu_rows[l], lp::Sense::LessEqual,
-                             machine_capacity_ecu_s(MachineId{l}));
+                             machine_capacity_ecu_s(MachineId{l}).ecu_s());
       }
     }
 
@@ -380,14 +382,18 @@ class ModelBuilder {
       for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
         const workload::Job& job = w_.job(jobs_[kq]);
         if (job.data.empty()) continue;
-        const double input = w_.job_input_mb(jobs_[kq]);
-        std::unordered_map<std::size_t, std::vector<lp::Entry>> rows;
+        const Bytes input = Bytes::mb(w_.job_input_mb(jobs_[kq]));
+        // Ordered map: constraint-row order feeds the simplex pivot
+        // sequence, so iterating an unordered container here would make the
+        // solve (and every golden objective value) run-to-run unstable.
+        std::map<std::size_t, std::vector<lp::Entry>> rows;
         for (std::size_t t : tvars_of_job[kq]) {
           const TaskVar& tv = tvars[t];
           if (tv.machine == kFakeNode || !tv.store) continue;
-          const double bw =
+          const BytesPerSec bw =
               c_.bandwidth_mb_s(MachineId{tv.machine}, *tv.store);
-          rows[tv.machine].push_back({tv.lp_var, input / bw});
+          const Seconds transfer = input / bw;
+          rows[tv.machine].push_back({tv.lp_var, transfer.secs()});
         }
         for (auto& [l, row] : rows)
           model.add_constraint(row, lp::Sense::LessEqual, opt_.epoch_s);
@@ -431,7 +437,7 @@ class ModelBuilder {
     sched.status = sol.status;
     sched.lp_iterations = sol.iterations;
     if (!sol.optimal()) return sched;
-    sched.objective_mc = sol.objective;
+    sched.objective_mc = Millicents::mc(sol.objective);
 
     // ---- Decode. ------------------------------------------------------------
     constexpr double kEps = 1e-9;
@@ -442,12 +448,12 @@ class ModelBuilder {
         sched.placements.push_back(DataPlacement{dv.data, dv.store, f});
         sched.placement_transfer_mc +=
             f * c_.ss_cost_mc_per_mb(origin_of(dv.data), dv.store) *
-            w_.data(dv.data).size_mb;
+            Bytes::mb(w_.data(dv.data).size_mb);
       }
     }
     for (std::size_t kq = 0; kq < jobs_.size(); ++kq) {
       const JobId k = jobs_[kq];
-      const double cpu = w_.job_cpu_ecu_s(k);
+      const CpuSeconds cpu = CpuSeconds::ecu_s(w_.job_cpu_ecu_s(k));
       for (std::size_t t : tvars_of_job[kq]) {
         const TaskVar& tv = tvars[t];
         const double f = sol.values[tv.lp_var];
@@ -464,7 +470,8 @@ class ModelBuilder {
           for (std::size_t di = 0; di < job.data.size(); ++di)
             sched.runtime_transfer_mc +=
                 f * c_.ms_cost_mc_per_mb(MachineId{tv.machine}, *tv.store) *
-                w_.job_access_fraction(k, di) * w_.data(job.data[di]).size_mb;
+                w_.job_access_fraction(k, di) *
+                Bytes::mb(w_.data(job.data[di]).size_mb);
         }
       }
     }
@@ -477,7 +484,7 @@ class ModelBuilder {
   ModelOptions opt_;
   std::vector<JobId> jobs_;
   std::vector<double> remaining_;
-  double fake_price_mc_ = 0.0;
+  UsdPerCpuSec fake_price_mc_ = UsdPerCpuSec::zero();
   std::vector<StoreId> origins_;
   std::vector<char> machine_excluded_;
   std::vector<char> store_excluded_;
@@ -485,10 +492,10 @@ class ModelBuilder {
 
 }  // namespace
 
-double job_capacity_demand_ecu_s(const Workload& w, JobId k) {
+CpuSeconds job_capacity_demand_ecu_s(const Workload& w, JobId k) {
   // Constraint (4)/(12)/(23) LHS per unit fraction. The paper writes
   // Σ x^t · TCP(k) · Size(D_i); input-free jobs contribute their fixed CPU.
-  return w.job_cpu_ecu_s(k);
+  return CpuSeconds::ecu_s(w.job_cpu_ecu_s(k));
 }
 
 LpSchedule solve_offline_simple(const Cluster& cluster, const Workload& workload,

@@ -51,7 +51,7 @@ struct TaskPortion {
 /// Decoded LP schedule.
 struct LpSchedule {
   lp::SolveStatus status = lp::SolveStatus::IterationLimit;
-  double objective_mc = 0.0;  ///< total modeled cost, millicents
+  Millicents objective_mc = Millicents::zero();  ///< total modeled cost
 
   std::vector<DataPlacement> placements;  ///< empty for the Fig-2 model
   std::vector<TaskPortion> portions;
@@ -60,10 +60,13 @@ struct LpSchedule {
   /// work that must wait for a later epoch.
   std::vector<double> deferred_fraction;
 
-  /// Cost breakdown (millicents).
-  double placement_transfer_mc = 0.0;  ///< term (6): O(i) → store moves
-  double execution_mc = 0.0;           ///< term (7): CPU cost
-  double runtime_transfer_mc = 0.0;    ///< term (8): store → machine reads
+  /// Cost breakdown.
+  /// Term (6): O(i) → store moves.
+  Millicents placement_transfer_mc = Millicents::zero();
+  /// Term (7): CPU cost.
+  Millicents execution_mc = Millicents::zero();
+  /// Term (8): store → machine reads.
+  Millicents runtime_transfer_mc = Millicents::zero();
 
   std::size_t lp_variables = 0;
   std::size_t lp_constraints = 0;
@@ -162,7 +165,7 @@ using JobSubset = std::vector<JobId>;
 
 /// CPU demand of job k counted against machine capacity (constraint 4/12/23
 /// left-hand side per unit fraction): TCP(k)·ΣSize(D_i) + fixed.
-[[nodiscard]] double job_capacity_demand_ecu_s(const workload::Workload& w,
-                                               JobId k);
+[[nodiscard]] CpuSeconds job_capacity_demand_ecu_s(const workload::Workload& w,
+                                                   JobId k);
 
 }  // namespace lips::core

@@ -79,9 +79,11 @@ RoundedSchedule round_schedule(const cluster::Cluster& cluster,
   // rounding) + execution + runtime reads at integral fractions.
   out.cost_mc = schedule.placement_transfer_mc;
   for (const TaskBundle& b : out.bundles) {
-    out.cost_mc += b.cpu_ecu_s * cluster.machine(b.machine).cpu_price_mc;
+    out.cost_mc +=
+        CpuSeconds::ecu_s(b.cpu_ecu_s) * cluster.machine(b.machine).cpu_price_mc;
     if (b.store)
-      out.cost_mc += b.input_mb * cluster.ms_cost_mc_per_mb(b.machine, *b.store);
+      out.cost_mc +=
+          Bytes::mb(b.input_mb) * cluster.ms_cost_mc_per_mb(b.machine, *b.store);
   }
   return out;
 }

@@ -38,10 +38,12 @@ struct RoundedSchedule {
   std::vector<TaskBundle> bundles;
   std::vector<DataPlacement> placements;  ///< carried over from the LP
 
-  double cost_mc = 0.0;          ///< analytic cost of the integral schedule
-  double lp_lower_bound_mc = 0.0;  ///< the LP optimum (certified lower bound)
+  /// Analytic cost of the integral schedule.
+  Millicents cost_mc = Millicents::zero();
+  /// The LP optimum (certified lower bound).
+  Millicents lp_lower_bound_mc = Millicents::zero();
   /// cost_mc - lp_lower_bound_mc: certified distance-to-optimal bound.
-  [[nodiscard]] double rounding_gap_mc() const {
+  [[nodiscard]] Millicents rounding_gap_mc() const {
     return cost_mc - lp_lower_bound_mc;
   }
 };

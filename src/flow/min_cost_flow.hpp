@@ -38,7 +38,9 @@ class MinCostFlow {
 
   struct Result {
     long long max_flow = 0;
-    double total_cost = 0.0;
+    // Generic graph layer: arc costs are dimensionless edge weights here;
+    // callers attach units at the boundary (sched/flow_scheduler).
+    double total_cost = 0.0;  // lips-lint: allow(raw-cost-double)
   };
 
   /// Push up to `limit` units (negative = unlimited) of flow from `source`

@@ -28,7 +28,7 @@ void QuincyFlowScheduler::on_epoch(const ClusterState& state) {
 
   // Per (job, machine): cheapest feasible read store and the per-task cost.
   struct Option {
-    double cost_mc = std::numeric_limits<double>::infinity();
+    Millicents cost_mc = Millicents::infinity();
     std::optional<StoreId> store;
     bool feasible = false;
   };
@@ -38,7 +38,7 @@ void QuincyFlowScheduler::on_epoch(const ClusterState& state) {
   const std::size_t nj = job_ids.size();
   const std::size_t nm = c.machine_count();
   std::vector<Option> options(nj * nm);
-  std::vector<double> best_real(nj, std::numeric_limits<double>::infinity());
+  std::vector<Millicents> best_real(nj, Millicents::infinity());
 
   for (std::size_t jq = 0; jq < nj; ++jq) {
     const JobId k{job_ids[jq]};
@@ -49,12 +49,13 @@ void QuincyFlowScheduler::on_epoch(const ClusterState& state) {
         w.job_input_mb(k) / static_cast<double>(job.num_tasks);
     for (std::size_t l = 0; l < nm; ++l) {
       Option& opt = options[jq * nm + l];
-      opt.cost_mc = cpu_per_task * c.cpu_price_mc_at(MachineId{l}, now);
+      opt.cost_mc =
+          CpuSeconds::ecu_s(cpu_per_task) * c.cpu_price_mc_at(MachineId{l}, now);
       if (job.data.empty()) {
         opt.feasible = true;
       } else {
         // Cheapest store that physically holds the job's data.
-        double best = std::numeric_limits<double>::infinity();
+        Millicents best = Millicents::infinity();
         for (std::size_t sid = 0; sid < c.store_count(); ++sid) {
           bool holds_all = true;
           for (const DataId d : job.data) {
@@ -64,8 +65,9 @@ void QuincyFlowScheduler::on_epoch(const ClusterState& state) {
             }
           }
           if (!holds_all) continue;
-          const double read =
-              input_per_task * c.ms_cost_mc_per_mb(MachineId{l}, StoreId{sid});
+          const Millicents read =
+              Bytes::mb(input_per_task) *
+              c.ms_cost_mc_per_mb(MachineId{l}, StoreId{sid});
           if (read < best) {
             best = read;
             opt.store = StoreId{sid};
@@ -94,9 +96,9 @@ void QuincyFlowScheduler::on_epoch(const ClusterState& state) {
         static_cast<long long>(pending_of_job[job_ids[jq]].size());
     total_pending += pending;
     net.add_arc(source, job_base + jq, pending, 0.0);
-    if (std::isfinite(best_real[jq])) {
+    if (best_real[jq].finite()) {
       net.add_arc(job_base + jq, queue_node, pending,
-                  best_real[jq] * options_.defer_penalty_factor);
+                  (best_real[jq] * options_.defer_penalty_factor).mc());
     } else {
       // Data not physically available anywhere yet: must wait for free.
       net.add_arc(job_base + jq, queue_node, pending, 0.0);
@@ -115,7 +117,7 @@ void QuincyFlowScheduler::on_epoch(const ClusterState& state) {
       const std::size_t arc = net.add_arc(
           job_base + jq, machine_base + l,
           static_cast<long long>(pending_of_job[job_ids[jq]].size()),
-          opt.cost_mc);
+          opt.cost_mc.mc());
       arc_to_jl[arc] = {jq, l};
     }
   }

@@ -47,7 +47,7 @@ class QuincyFlowScheduler : public Scheduler {
       MachineId machine, const ClusterState& state) override;
 
   [[nodiscard]] std::size_t rounds() const { return rounds_; }
-  [[nodiscard]] double planned_cost_mc() const { return planned_cost_mc_; }
+  [[nodiscard]] Millicents planned_cost_mc() const { return planned_cost_mc_; }
 
  private:
   struct Pinned {
@@ -58,7 +58,7 @@ class QuincyFlowScheduler : public Scheduler {
   Options options_;
   std::vector<std::deque<Pinned>> plan_;  // per machine
   std::size_t rounds_ = 0;
-  double planned_cost_mc_ = 0.0;
+  Millicents planned_cost_mc_ = Millicents::zero();
 };
 
 }  // namespace lips::sched

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <queue>
 #include <unordered_map>
 
@@ -93,8 +94,8 @@ struct Instance {
   double start = 0.0;
   double finish = 0.0;  ///< planned completion (or timeout kill time)
   double full_duration = 0.0;
-  double exec_cost_mc = 0.0;  ///< cost of a complete run
-  double read_cost_mc = 0.0;
+  Millicents exec_cost_mc = Millicents::zero();  ///< cost of a complete run
+  Millicents read_cost_mc = Millicents::zero();
   // Progress accounting for CPU-slowdown re-timing. `progress` and
   // `billed_frac` cover the legs up to `last_update`; the leg from
   // `last_update` to "now" runs at `rate` (the machine's CPU factor when
@@ -119,7 +120,7 @@ struct PendingMove {
   double fraction = 0.0;
   double start_s = 0.0;
   double duration_s = 0.0;
-  double cost_mc = 0.0;
+  Millicents cost_mc = Millicents::zero();
   bool finished = false;
   bool aborted = false;  ///< endpoint store lost mid-transfer
 };
@@ -337,7 +338,7 @@ class Engine final : public ClusterState {
         if (stored_fraction(DataId{d}, pick) >= 1.0) continue;  // duplicate
         presence_[d][pick.value()] = 1.0;
         result_.ingest_replication_cost_mc +=
-            obj.size_mb * c_.ss_cost_mc_per_mb(origin, pick);
+            Bytes::mb(obj.size_mb) * c_.ss_cost_mc_per_mb(origin, pick);
         replicas.push_back(pick);
       }
     }
@@ -455,20 +456,20 @@ class Engine final : public ClusterState {
     const double available = stored_fraction(mv.data, mv.from);
     fraction = std::min(fraction, available);
     if (fraction <= 0.0) return;
-    const double mb = fraction * w_.data(mv.data).size_mb;
-    const double bw = c_.store_bandwidth_mb_s(mv.from, mv.to);
-    const double cost = mb * c_.ss_cost_mc_per_mb(mv.from, mv.to);
+    const Bytes mb = Bytes::mb(fraction * w_.data(mv.data).size_mb);
+    const BytesPerSec bw = c_.store_bandwidth_mb_s(mv.from, mv.to);
+    const Millicents cost = mb * c_.ss_cost_mc_per_mb(mv.from, mv.to);
     PendingMove pm;
     pm.data = mv.data;
     pm.from = mv.from;
     pm.to = mv.to;
     pm.fraction = fraction;
     pm.start_s = now_;
-    pm.duration_s = mb / bw;
+    pm.duration_s = (mb / bw).secs();
     pm.cost_mc = cost;
     moves_.push_back(pm);
     trace(TraceEvent::Kind::DataMoveStart, SIZE_MAX, SIZE_MAX, SIZE_MAX,
-          mv.to.value(), mb);
+          mv.to.value(), mb.mb());
     push_event(now_ + pm.duration_s, EventKind::MoveFinish, moves_.size() - 1);
   }
 
@@ -521,7 +522,7 @@ class Engine final : public ClusterState {
       result_.tasks_completed += 1;
       result_.makespan_s = std::max(result_.makespan_s, now_);
       trace(TraceEvent::Kind::TaskComplete, tasks_[tid].job.value(), tid,
-            inst.machine, SIZE_MAX, inst.exec_cost_mc + inst.read_cost_mc);
+            inst.machine, SIZE_MAX, (inst.exec_cost_mc + inst.read_cost_mc).mc());
       if (tasks_[tid].data) {
         const auto store = inst.store;
         if (store && c_.store(*store).colocated_machine == inst.machine)
@@ -533,8 +534,8 @@ class Engine final : public ClusterState {
       // so its bill also lands in the waste meter.
       for (const std::size_t sibling : running_of_task_[tid]) {
         instances_[sibling].cancelled = true;
-        const double exec_before = result_.execution_cost_mc;
-        const double read_before = result_.read_transfer_cost_mc;
+        const Millicents exec_before = result_.execution_cost_mc;
+        const Millicents read_before = result_.read_transfer_cost_mc;
         settle(sibling, now_);
         result_.wasted_cost_mc += (result_.execution_cost_mc - exec_before) +
                                   (result_.read_transfer_cost_mc - read_before);
@@ -632,8 +633,8 @@ class Engine final : public ClusterState {
       // historical clamp (re-timed ones legitimately bill past 1.0).
       if (!inst.ever_retimed) frac_bill = std::min(1.0, frac_bill);
     }
-    const double exec = frac_bill * inst.exec_cost_mc;
-    const double read = frac_work * inst.read_cost_mc;
+    const Millicents exec = frac_bill * inst.exec_cost_mc;
+    const Millicents read = frac_work * inst.read_cost_mc;
     result_.execution_cost_mc += exec;
     result_.read_transfer_cost_mc += read;
     if (inst.speculative) result_.speculation_cost_mc += exec + read;
@@ -931,8 +932,8 @@ class Engine final : public ClusterState {
   void kill_instance_for_fault(std::size_t iid, bool free_slot) {
     Instance& inst = instances_[iid];
     if (inst.settled || inst.cancelled) return;
-    const double exec_before = result_.execution_cost_mc;
-    const double read_before = result_.read_transfer_cost_mc;
+    const Millicents exec_before = result_.execution_cost_mc;
+    const Millicents read_before = result_.read_transfer_cost_mc;
     settle(iid, now_);
     result_.wasted_cost_mc += (result_.execution_cost_mc - exec_before) +
                               (result_.read_transfer_cost_mc - read_before);
@@ -1025,17 +1026,18 @@ class Engine final : public ClusterState {
       status_[d.task] = TaskStatus::Running;
     }
     double transfer_s = 0.0;
-    double read_cost = 0.0;
+    Millicents read_cost = Millicents::zero();
     if (t.data) {
       LIPS_REQUIRE(d.read_from.has_value(),
                    "task with input needs a store to read from");
       LIPS_REQUIRE(stored_fraction(*t.data, *d.read_from) > 0.0,
                    "scheduler read from a store without the data");
       transfer_s = t.input_mb / (c_.bandwidth_mb_s(MachineId{machine},
-                                                   *d.read_from) *
+                                                   *d.read_from)
+                                     .mb_per_s() *
                                  link_factor_[machine]);
-      read_cost =
-          t.input_mb * c_.ms_cost_mc_per_mb(MachineId{machine}, *d.read_from);
+      read_cost = Bytes::mb(t.input_mb) *
+                  c_.ms_cost_mc_per_mb(MachineId{machine}, *d.read_from);
     }
     const double cpu_s =
         t.cpu_ecu_s / c_.machine(MachineId{machine}).throughput_ecu;
@@ -1058,8 +1060,8 @@ class Engine final : public ClusterState {
     inst.ever_retimed = rate != 1.0;
     // Spot pricing: the instance is billed at the price in force when it
     // launches (EC2 spot semantics at task granularity).
-    inst.exec_cost_mc =
-        t.cpu_ecu_s * c_.cpu_price_mc_at(MachineId{machine}, now_);
+    inst.exec_cost_mc = CpuSeconds::ecu_s(t.cpu_ecu_s) *
+                        c_.cpu_price_mc_at(MachineId{machine}, now_);
     inst.read_cost_mc = read_cost;
     inst.speculative = speculative;
 
@@ -1097,8 +1099,9 @@ class Engine final : public ClusterState {
     const SimTask& t = tasks_[orig.task];
     double est = t.cpu_ecu_s / c_.machine(MachineId{machine}).throughput_ecu;
     if (t.data && orig.store)
-      est += t.input_mb / (c_.bandwidth_mb_s(MachineId{machine}, *orig.store) *
-                           link_factor_[machine]);
+      est += t.input_mb /
+             (c_.bandwidth_mb_s(MachineId{machine}, *orig.store).mb_per_s() *
+              link_factor_[machine]);
     return est / cpu_factor_[machine];
   }
 
@@ -1208,16 +1211,17 @@ class Engine final : public ClusterState {
     // 1/rate × nominal) plus its re-read.
     if (orig.full_duration > 0.0) {
       const double time_saved = orig.finish - (now_ + est);
-      const double saved =
+      const Millicents saved =
           time_saved * (orig.exec_cost_mc / orig.full_duration) +
           orig.read_cost_mc *
               std::min(1.0, time_saved * orig.rate / orig.full_duration);
-      double dup_read = 0.0;
+      Millicents dup_read = Millicents::zero();
       if (t.data && orig.store)
-        dup_read =
-            t.input_mb * c_.ms_cost_mc_per_mb(MachineId{machine}, *orig.store);
-      const double dup_cost =
-          t.cpu_ecu_s * c_.cpu_price_mc_at(MachineId{machine}, now_) /
+        dup_read = Bytes::mb(t.input_mb) *
+                   c_.ms_cost_mc_per_mb(MachineId{machine}, *orig.store);
+      const Millicents dup_cost =
+          CpuSeconds::ecu_s(t.cpu_ecu_s) *
+              c_.cpu_price_mc_at(MachineId{machine}, now_) /
               cpu_factor_[machine] +
           dup_read;
       if (saved - dup_cost <= cfg_.speculation.min_saving_mc) return false;
@@ -1238,10 +1242,10 @@ class Engine final : public ClusterState {
     result_.total_cost_mc =
         result_.execution_cost_mc + result_.read_transfer_cost_mc +
         result_.placement_transfer_cost_mc + result_.ingest_replication_cost_mc;
-    result_.data_local_fraction =
+    result_.data_local_fraction = Fraction::of(
         data_reads_ == 0 ? 1.0
                          : static_cast<double>(local_reads_) /
-                               static_cast<double>(data_reads_);
+                               static_cast<double>(data_reads_));
   }
 
   // ---- state -------------------------------------------------------------
@@ -1258,7 +1262,10 @@ class Engine final : public ClusterState {
   std::vector<std::size_t> job_order_;  // job ids sorted by arrival
   std::vector<std::size_t> job_rank_;
   std::vector<std::size_t> pending_;
-  std::vector<std::unordered_map<std::size_t, double>> presence_;
+  // Ordered map, not unordered: ensure_object_available() sums the
+  // fractions by iteration, and a floating-point sum's value depends on its
+  // term order — billing-visible state must iterate deterministically.
+  std::vector<std::map<std::size_t, double>> presence_;
   std::vector<int> slots_free_;
   std::vector<std::size_t> job_remaining_;
   std::vector<std::size_t> preds_remaining_;

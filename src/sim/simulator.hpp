@@ -51,8 +51,8 @@ struct SpeculationConfig {
   /// Cap on concurrently running speculative instances as a fraction of
   /// the cluster's total map slots (at least one is always allowed).
   double cap_fraction = 0.2;
-  /// Required expected saving (millicents) before a duplicate launches.
-  double min_saving_mc = 0.0;
+  /// Required expected saving before a duplicate launches.
+  Millicents min_saving_mc = Millicents::zero();
 };
 
 /// Simulation knobs.
@@ -133,8 +133,8 @@ struct TraceEvent {
 struct MachineMetrics {
   double busy_s = 0.0;            ///< wall-clock seconds slots were occupied
   double cpu_work_ecu_s = 0.0;    ///< ECU-seconds of useful work executed
-  double cpu_cost_mc = 0.0;
-  double read_cost_mc = 0.0;
+  Millicents cpu_cost_mc = Millicents::zero();
+  Millicents read_cost_mc = Millicents::zero();
   std::size_t tasks_run = 0;
   double downtime_s = 0.0;        ///< seconds spent crashed/revoked
   double slowed_s = 0.0;          ///< seconds spent inside slowdown windows
@@ -146,20 +146,24 @@ struct SimResult {
   double makespan_s = 0.0;      ///< last task completion time
   double sum_job_duration_s = 0.0;  ///< Σ_jobs (finish − arrival)
 
-  double total_cost_mc = 0.0;
-  double execution_cost_mc = 0.0;
-  double read_transfer_cost_mc = 0.0;       ///< store → machine input reads
-  double placement_transfer_cost_mc = 0.0;  ///< store → store data moves
-  double ingest_replication_cost_mc = 0.0;  ///< HDFS replica pipeline writes
+  Millicents total_cost_mc = Millicents::zero();
+  Millicents execution_cost_mc = Millicents::zero();
+  /// Store → machine input reads.
+  Millicents read_transfer_cost_mc = Millicents::zero();
+  /// Store → store data moves.
+  Millicents placement_transfer_cost_mc = Millicents::zero();
+  /// HDFS replica pipeline writes.
+  Millicents ingest_replication_cost_mc = Millicents::zero();
 
-  double data_local_fraction = 0.0;  ///< tasks served from a co-located store
+  /// Tasks served from a co-located store.
+  Fraction data_local_fraction = Fraction::of(0.0);
 
   std::size_t tasks_completed = 0;
   std::size_t speculative_launched = 0;
   std::size_t speculative_wasted = 0;  ///< duplicates cancelled after a win
   /// Money billed to speculative duplicates (winners and losers alike);
   /// loser-side spend additionally lands in wasted_cost_mc.
-  double speculation_cost_mc = 0.0;
+  Millicents speculation_cost_mc = Millicents::zero();
   std::size_t timeout_kills = 0;
   std::size_t epochs = 0;
 
@@ -177,7 +181,7 @@ struct SimResult {
   std::size_t data_refetches = 0;     ///< objects re-materialized at origin
   /// Money billed to work that a fault destroyed: partial CPU/read cost of
   /// killed instances plus partially-transferred bytes of aborted moves.
-  double wasted_cost_mc = 0.0;
+  Millicents wasted_cost_mc = Millicents::zero();
 
   std::vector<MachineMetrics> machines;
   std::vector<double> job_finish_s;  ///< per job; NaN when unfinished

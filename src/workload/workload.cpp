@@ -110,21 +110,27 @@ Workload make_table4_workload(const cluster::Cluster& cluster, Rng& rng) {
   // Table IV: J1-2 Pi (4 tasks each, no input), J3-4 WordCount (160 tasks,
   // 10 GB each), J5-7 Grep (320 tasks, 20 GB each), J8-9 Stress2 (160
   // tasks, 10 GB each) → 1608 map tasks, 100 GB total input.
+  // (Append-style name building; chained operator+ trips GCC 12's bogus
+  // -Wrestrict at -O3, see GCC PR105651.)
+  auto job_name = [](int i, const char* suffix) {
+    std::string n = "J";
+    n += std::to_string(i);
+    n += suffix;
+    return n;
+  };
   for (int i = 1; i <= 2; ++i) {
     Job j;
-    j.name = "J" + std::to_string(i) + "-Pi";
+    j.name = job_name(i, "-Pi");
     j.cpu_fixed_ecu_s = 4.0 * kPiTaskCpuEcuS;
     j.num_tasks = 4;
     w.add_job(std::move(j));
   }
   for (int i = 3; i <= 4; ++i)
-    add_input_job("J" + std::to_string(i) + "-WordCount", wordcount_profile(),
-                  10.0, 160);
+    add_input_job(job_name(i, "-WordCount"), wordcount_profile(), 10.0, 160);
   for (int i = 5; i <= 7; ++i)
-    add_input_job("J" + std::to_string(i) + "-Grep", grep_profile(), 20.0, 320);
+    add_input_job(job_name(i, "-Grep"), grep_profile(), 20.0, 320);
   for (int i = 8; i <= 9; ++i)
-    add_input_job("J" + std::to_string(i) + "-Stress2", stress2_profile(), 10.0,
-                  160);
+    add_input_job(job_name(i, "-Stress2"), stress2_profile(), 10.0, 160);
   LIPS_ASSERT(w.total_tasks() == 1608, "Table IV task count mismatch");
   return w;
 }

@@ -1,0 +1,11 @@
+// Positive control for the try_compile harness: well-dimensioned arithmetic
+// must compile, proving the negative checks fail for the right reason.
+#include "common/units.hpp"
+
+int main() {
+  const lips::Seconds t =
+      lips::Bytes::mb(640.0) / lips::BytesPerSec::mb_per_s(10.0);
+  const lips::Millicents c =
+      lips::CpuSeconds::ecu_s(100.0) * lips::UsdPerCpuSec::mc_per_ecu_s(5.0);
+  return t.secs() > 0.0 && c.mc() > 0.0 ? 0 : 1;
+}

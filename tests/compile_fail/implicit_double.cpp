@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: a quantity never converts implicitly to double; money
+// leaves the type system only through a named extractor such as .mc().
+#include "common/units.hpp"
+
+int main() {
+  double leaked = lips::Millicents::mc(1.0);
+  (void)leaked;
+  return 0;
+}

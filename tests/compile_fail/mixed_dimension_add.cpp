@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: adding quantities of different dimensions. Verified by
+// the try_compile negative check in tests/CMakeLists.txt.
+#include "common/units.hpp"
+
+int main() {
+  auto bad = lips::Bytes::mb(1.0) + lips::Seconds::secs(1.0);
+  (void)bad;
+  return 0;
+}

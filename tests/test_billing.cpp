@@ -1,0 +1,171 @@
+// Hand-computed billing regression tests. Every expected number below is
+// derived on paper from the cluster parameters — no golden values copied
+// from a prior run — so a unit mixup or rounding slip anywhere on the
+// billing path (execution, read transfer, placement moves, fault waste)
+// breaks an assertion whose comment shows the arithmetic.
+#include <gtest/gtest.h>
+
+#include "core/lips_policy.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace lips::sim {
+namespace {
+
+// One 1-ECU machine in zone a; one store in zone b (not co-located), so
+// every read crosses the priced link.
+cluster::Cluster remote_store_cluster() {
+  cluster::Cluster c;
+  const ZoneId za = c.add_zone("a");
+  const ZoneId zb = c.add_zone("b");
+  cluster::Machine m;
+  m.name = "m0";
+  m.zone = za;
+  m.throughput_ecu = 1.0;
+  m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(2.0);
+  m.map_slots = 1;
+  m.uptime_s = 1e9;
+  c.add_machine(std::move(m));
+  cluster::DataStore s;
+  s.name = "s0";
+  s.zone = zb;
+  s.capacity_mb = 1e9;
+  c.add_store(std::move(s));
+  c.finalize();
+  c.set_ms_cost_mc_per_mb(MachineId{0}, StoreId{0}, McPerMb::mc_per_mb(0.25));
+  c.set_bandwidth_mb_s(MachineId{0}, StoreId{0}, BytesPerSec::mb_per_s(10.0));
+  return c;
+}
+
+TEST(Billing, RemoteReadChargesExecutionPlusTransfer) {
+  // 128 MB at 0.5 ECU-s/MB on a 2.0 m¢/ECU-s machine:
+  //   execution = 128 · 0.5 · 2.0 = 128 m¢
+  //   read      = 128 MB · 0.25 m¢/MB = 32 m¢
+  //   makespan  = 128/10 s read + 64 ECU-s / 1 ECU = 12.8 + 64 = 76.8 s
+  const cluster::Cluster c = remote_store_cluster();
+  workload::Workload w;
+  const DataId d = w.add_data({"d", 128.0, StoreId{0}});
+  workload::Job j;
+  j.name = "scan";
+  j.tcp_cpu_s_per_mb = 0.5;
+  j.data = {d};
+  j.num_tasks = 1;
+  w.add_job(std::move(j));
+  sched::FifoLocalityScheduler fifo;
+  const SimResult r = simulate(c, w, fifo);
+  ASSERT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.execution_cost_mc.mc(), 128.0);
+  EXPECT_DOUBLE_EQ(r.read_transfer_cost_mc.mc(), 32.0);
+  EXPECT_DOUBLE_EQ(r.placement_transfer_cost_mc.mc(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_cost_mc.mc(), 160.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 76.8);
+  EXPECT_DOUBLE_EQ(r.data_local_fraction.value(), 0.0);
+}
+
+// One machine, one co-located store: a crash mid-task bills the dead work
+// to wasted_cost_mc and the rerun pays full price again.
+cluster::Cluster single_node_cluster() {
+  cluster::Cluster c;
+  const ZoneId z = c.add_zone("a");
+  cluster::Machine m;
+  m.name = "m0";
+  m.zone = z;
+  m.throughput_ecu = 1.0;
+  m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(1.0);
+  m.map_slots = 1;
+  m.uptime_s = 1e9;
+  c.add_machine(std::move(m));
+  cluster::DataStore s;
+  s.name = "s0";
+  s.zone = z;
+  s.capacity_mb = 1e9;
+  s.colocated_machine = 0;
+  c.add_store(std::move(s));
+  c.finalize();
+  return c;
+}
+
+TEST(Billing, CrashMidTaskBillsDeadWorkAsWaste) {
+  // A 100 ECU-s input-free task at 1.0 m¢/ECU-s starts at t=0. The machine
+  // dies at t=40 (40/100 of the duration billed → 40 m¢, all wasted),
+  // repairs for 60 s (back at t=100), and the rerun pays the full 100 m¢:
+  //   execution = 40 + 100 = 140 m¢, wasted = 40 m¢, makespan = 200 s.
+  const cluster::Cluster c = single_node_cluster();
+  workload::Workload w;
+  workload::Job j;
+  j.name = "burn";
+  j.cpu_fixed_ecu_s = 100.0;
+  j.num_tasks = 1;
+  w.add_job(std::move(j));
+  sched::FifoLocalityScheduler fifo;
+  SimConfig cfg;
+  cfg.faults.crash(/*time_s=*/40.0, /*machine=*/0, /*repair_s=*/60.0);
+  const SimResult r = simulate(c, w, fifo, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks_killed_by_faults, 1u);
+  EXPECT_DOUBLE_EQ(r.wasted_cost_mc.mc(), 40.0);
+  EXPECT_DOUBLE_EQ(r.execution_cost_mc.mc(), 140.0);
+  EXPECT_DOUBLE_EQ(r.total_cost_mc.mc(), 140.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 200.0);
+}
+
+// Two zones: expensive machine owns the data, cheap machine across a priced
+// store-to-store link. LiPS moves the data and the move is billed at
+// exactly size × ss price.
+cluster::Cluster two_zone_cluster() {
+  cluster::Cluster c;
+  const ZoneId za = c.add_zone("a");
+  const ZoneId zb = c.add_zone("b");
+  int i = 0;
+  for (const ZoneId z : {za, zb}) {
+    cluster::Machine m;
+    m.name = "m" + std::to_string(i);
+    m.zone = z;
+    m.throughput_ecu = 1.0;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(i == 0 ? 5.0 : 1.0);
+    m.map_slots = 1;
+    m.uptime_s = 1e9;
+    const MachineId id = c.add_machine(std::move(m));
+    cluster::DataStore s;
+    s.name = "s" + std::to_string(i++);
+    s.zone = z;
+    s.capacity_mb = 1e9;
+    s.colocated_machine = id.value();
+    c.add_store(std::move(s));
+  }
+  c.finalize();
+  c.set_ss_cost_mc_per_mb(StoreId{0}, StoreId{1}, McPerMb::mc_per_mb(0.5));
+  return c;
+}
+
+TEST(Billing, DataMoveBillsSizeTimesLinkPrice) {
+  // CPU-heavy job (20 ECU-s/MB over 256 MB): running on the 5× machine
+  // costs 4 m¢/ECU-s more than the cheap one, dwarfing the 0.5 m¢/MB move.
+  // LiPS relocates all 256 MB: placement = 256 · 0.5 = 128 m¢ exactly, and
+  // total = execution + reads + placement.
+  const cluster::Cluster c = two_zone_cluster();
+  workload::Workload w;
+  const DataId d = w.add_data({"d", 256.0, StoreId{0}});
+  workload::Job j;
+  j.name = "heavy";
+  j.tcp_cpu_s_per_mb = 20.0;
+  j.data = {d};
+  j.num_tasks = 4;
+  w.add_job(std::move(j));
+  core::LipsPolicyOptions lo;
+  lo.epoch_s = 10000.0;
+  core::LipsPolicy lips(lo);
+  const SimResult r = simulate(c, w, lips);
+  ASSERT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.placement_transfer_cost_mc.mc(), 128.0);
+  EXPECT_DOUBLE_EQ(
+      r.total_cost_mc.mc(),
+      (r.execution_cost_mc + r.read_transfer_cost_mc +
+       r.placement_transfer_cost_mc + r.ingest_replication_cost_mc)
+          .mc());
+  EXPECT_DOUBLE_EQ(r.wasted_cost_mc.mc(), 0.0);
+  EXPECT_DOUBLE_EQ(r.speculation_cost_mc.mc(), 0.0);
+}
+
+}  // namespace
+}  // namespace lips::sim

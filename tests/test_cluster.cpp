@@ -36,10 +36,10 @@ TEST(InstanceCatalog, C1Medium4To5TimesCheaperPerEcuSecond) {
 }
 
 TEST(InstanceCatalog, FootnotePriceBands) {
-  EXPECT_NEAR(c1_medium().cpu_price_low_mc, 0.92, 1e-9);
-  EXPECT_NEAR(c1_medium().cpu_price_high_mc, 1.28, 1e-9);
-  EXPECT_NEAR(m1_medium().cpu_price_low_mc, 4.44, 1e-9);
-  EXPECT_NEAR(m1_medium().cpu_price_high_mc, 6.39, 1e-9);
+  EXPECT_NEAR(c1_medium().cpu_price_low_mc.mc_per_ecu_s(), 0.92, 1e-9);
+  EXPECT_NEAR(c1_medium().cpu_price_high_mc.mc_per_ecu_s(), 1.28, 1e-9);
+  EXPECT_NEAR(m1_medium().cpu_price_low_mc.mc_per_ecu_s(), 4.44, 1e-9);
+  EXPECT_NEAR(m1_medium().cpu_price_high_mc.mc_per_ecu_s(), 6.39, 1e-9);
 }
 
 // ------------------------------------------------------------ assembly ----
@@ -94,14 +94,17 @@ TEST(ClusterBuild, ZoneDerivedCostsAndBandwidths) {
   const StoreId sb = *c.store_of_machine(mb);
 
   // Local path: free and fastest.
-  EXPECT_DOUBLE_EQ(c.ms_cost_mc_per_mb(ma, sa), 0.0);
-  EXPECT_DOUBLE_EQ(c.bandwidth_mb_s(ma, sa), Cluster::kLocalBandwidthMBs);
+  EXPECT_DOUBLE_EQ(c.ms_cost_mc_per_mb(ma, sa).mc_per_mb(), 0.0);
+  EXPECT_DOUBLE_EQ(c.bandwidth_mb_s(ma, sa).mb_per_s(),
+                   Cluster::kLocalBandwidthMBs.mb_per_s());
   // Cross-zone: billed at $0.01/GB = 62.5 m¢ per 64 MB block; 250 Mb/s.
-  EXPECT_NEAR(c.ms_cost_mc_per_mb(ma, sb) * kBlockSizeMB, 62.5, 1e-9);
-  EXPECT_DOUBLE_EQ(c.bandwidth_mb_s(ma, sb), Cluster::kInterZoneBandwidthMBs);
+  EXPECT_NEAR(c.ms_cost_mc_per_mb(ma, sb).mc_per_block(), 62.5, 1e-9);
+  EXPECT_DOUBLE_EQ(c.bandwidth_mb_s(ma, sb).mb_per_s(),
+                   Cluster::kInterZoneBandwidthMBs.mb_per_s());
   // Store-store cross-zone symmetric.
-  EXPECT_DOUBLE_EQ(c.ss_cost_mc_per_mb(sa, sb), c.ss_cost_mc_per_mb(sb, sa));
-  EXPECT_DOUBLE_EQ(c.ss_cost_mc_per_mb(sa, sa), 0.0);
+  EXPECT_DOUBLE_EQ(c.ss_cost_mc_per_mb(sa, sb).mc_per_mb(),
+                   c.ss_cost_mc_per_mb(sb, sa).mc_per_mb());
+  EXPECT_DOUBLE_EQ(c.ss_cost_mc_per_mb(sa, sa).mc_per_mb(), 0.0);
 }
 
 TEST(ClusterBuild, ExecutionHelpers) {
@@ -110,9 +113,9 @@ TEST(ClusterBuild, ExecutionHelpers) {
   const MachineId m = c.add_ec2_node(c1_medium(), z);
   c.finalize();
   // c1.medium: 5 ECU → 100 ECU-seconds of work takes 20 wall seconds.
-  EXPECT_DOUBLE_EQ(c.execution_time_s(m, 100.0), 20.0);
-  EXPECT_DOUBLE_EQ(c.execution_cost_mc(m, 100.0),
-                   100.0 * c1_medium().cpu_price_mid_mc());
+  EXPECT_DOUBLE_EQ(c.execution_time_s(m, CpuSeconds::ecu_s(100.0)).secs(), 20.0);
+  EXPECT_DOUBLE_EQ(c.execution_cost_mc(m, CpuSeconds::ecu_s(100.0)).mc(),
+                   100.0 * c1_medium().cpu_price_mid_mc().mc_per_ecu_s());
 }
 
 TEST(ClusterBuild, OverridesAfterFinalize) {
@@ -120,11 +123,14 @@ TEST(ClusterBuild, OverridesAfterFinalize) {
   const ZoneId z = c.add_zone("z");
   c.add_ec2_node(m1_small(), z);
   c.finalize();
-  c.set_ms_cost_mc_per_mb(MachineId{0}, StoreId{0}, 3.5);
-  EXPECT_DOUBLE_EQ(c.ms_cost_mc_per_mb(MachineId{0}, StoreId{0}), 3.5);
-  c.set_bandwidth_mb_s(MachineId{0}, StoreId{0}, 10.0);
-  EXPECT_DOUBLE_EQ(c.bandwidth_mb_s(MachineId{0}, StoreId{0}), 10.0);
-  EXPECT_THROW(c.set_bandwidth_mb_s(MachineId{0}, StoreId{0}, 0.0),
+  c.set_ms_cost_mc_per_mb(MachineId{0}, StoreId{0}, McPerMb::mc_per_mb(3.5));
+  EXPECT_DOUBLE_EQ(c.ms_cost_mc_per_mb(MachineId{0}, StoreId{0}).mc_per_mb(),
+                   3.5);
+  c.set_bandwidth_mb_s(MachineId{0}, StoreId{0}, BytesPerSec::mb_per_s(10.0));
+  EXPECT_DOUBLE_EQ(c.bandwidth_mb_s(MachineId{0}, StoreId{0}).mb_per_s(),
+                   10.0);
+  EXPECT_THROW(
+      c.set_bandwidth_mb_s(MachineId{0}, StoreId{0}, BytesPerSec::mb_per_s(0.0)),
                PreconditionError);
 }
 
@@ -192,14 +198,15 @@ TEST(RandomClusterBuilder, RespectsParameterRanges) {
   for (std::size_t l = 0; l < 15; ++l) {
     for (std::size_t s = 0; s < 25; ++s) {
       const double per_block =
-          c.ms_cost_mc_per_mb(MachineId{l}, StoreId{s}) * kBlockSizeMB;
+          c.ms_cost_mc_per_mb(MachineId{l}, StoreId{s}).mc_per_block();
       EXPECT_GE(per_block, 0.0);
       EXPECT_LE(per_block, 60.0);
     }
   }
   // Co-located links are free.
   for (std::size_t l = 0; l < 15; ++l)
-    EXPECT_DOUBLE_EQ(c.ms_cost_mc_per_mb(MachineId{l}, StoreId{l}), 0.0);
+    EXPECT_DOUBLE_EQ(c.ms_cost_mc_per_mb(MachineId{l}, StoreId{l}).mc_per_mb(),
+                     0.0);
 }
 
 TEST(RandomClusterBuilder, DeterministicForSeed) {
@@ -208,11 +215,11 @@ TEST(RandomClusterBuilder, DeterministicForSeed) {
   const Cluster a = make_random_cluster(p, r1);
   const Cluster b = make_random_cluster(p, r2);
   for (std::size_t l = 0; l < a.machine_count(); ++l) {
-    EXPECT_DOUBLE_EQ(a.machine(MachineId{l}).cpu_price_mc,
-                     b.machine(MachineId{l}).cpu_price_mc);
+    EXPECT_DOUBLE_EQ(a.machine(MachineId{l}).cpu_price_mc.mc_per_ecu_s(),
+                     b.machine(MachineId{l}).cpu_price_mc.mc_per_ecu_s());
   }
-  EXPECT_DOUBLE_EQ(a.ms_cost_mc_per_mb(MachineId{2}, StoreId{9}),
-                   b.ms_cost_mc_per_mb(MachineId{2}, StoreId{9}));
+  EXPECT_DOUBLE_EQ(a.ms_cost_mc_per_mb(MachineId{2}, StoreId{9}).mc_per_mb(),
+                   b.ms_cost_mc_per_mb(MachineId{2}, StoreId{9}).mc_per_mb());
 }
 
 }  // namespace

@@ -22,13 +22,13 @@ using workload::Workload;
 
 // Two machines in separate zones: src (expensive CPU) and dst (cheap CPU),
 // each with a co-located store. Cross-zone transfers are billed.
-Cluster two_node_cluster(double src_price_mc, double dst_price_mc,
+Cluster two_node_cluster(UsdPerCpuSec src_price_mc, UsdPerCpuSec dst_price_mc,
                          double src_tp = 1.0, double dst_tp = 1.0,
                          double uptime_s = 1.0e9) {
   Cluster c;
   const ZoneId za = c.add_zone("a");
   const ZoneId zb = c.add_zone("b");
-  auto add = [&](ZoneId z, double price, double tp) {
+  auto add = [&](ZoneId z, UsdPerCpuSec price, double tp) {
     cluster::Machine m;
     m.name = "m" + std::to_string(c.machine_count());
     m.zone = z;
@@ -69,23 +69,24 @@ Workload one_job_workload(double cpu_s_per_mb, double mb,
 TEST(BreakEven, PaperRule) {
   // c*a > c*b + d → move.
   BreakEvenInput in;
-  in.cpu_s_per_mb = 2.0;
-  in.src_price_mc = 5.0;
-  in.dst_price_mc = 1.0;
-  in.transfer_cost_mc_per_mb = 7.0;
-  EXPECT_DOUBLE_EQ(move_savings_mc_per_mb(in), 2.0 * 5 - (2.0 * 1 + 7));  // 1
+  in.cpu_s_per_mb = CpuSecPerMb::ecu_s_per_mb(2.0);
+  in.src_price_mc = UsdPerCpuSec::mc_per_ecu_s(5.0);
+  in.dst_price_mc = UsdPerCpuSec::mc_per_ecu_s(1.0);
+  in.transfer_cost_mc_per_mb = McPerMb::mc_per_mb(7.0);
+  EXPECT_DOUBLE_EQ(move_savings_mc_per_mb(in).mc_per_mb(),
+                   2.0 * 5 - (2.0 * 1 + 7));  // 1
   EXPECT_TRUE(should_move_data(in));
-  in.transfer_cost_mc_per_mb = 9.0;
+  in.transfer_cost_mc_per_mb = McPerMb::mc_per_mb(9.0);
   EXPECT_FALSE(should_move_data(in));
 }
 
 TEST(BreakEven, RatioBelowOneIffMovePays) {
   BreakEvenInput in;
-  in.cpu_s_per_mb = 1.4;
-  in.src_price_mc = 6.0;
-  in.dst_price_mc = 1.0;
+  in.cpu_s_per_mb = CpuSecPerMb::ecu_s_per_mb(1.4);
+  in.src_price_mc = UsdPerCpuSec::mc_per_ecu_s(6.0);
+  in.dst_price_mc = UsdPerCpuSec::mc_per_ecu_s(1.0);
   for (double d = 0.0; d < 14.0; d += 0.5) {
-    in.transfer_cost_mc_per_mb = d;
+    in.transfer_cost_mc_per_mb = McPerMb::mc_per_mb(d);
     EXPECT_EQ(should_move_data(in), transfer_to_savings_ratio(in) < 1.0)
         << "d=" << d;
   }
@@ -93,10 +94,10 @@ TEST(BreakEven, RatioBelowOneIffMovePays) {
 
 TEST(BreakEven, NoCpuSavingsMeansNeverMove) {
   BreakEvenInput in;
-  in.cpu_s_per_mb = 100.0;
-  in.src_price_mc = 1.0;
-  in.dst_price_mc = 1.0;  // no savings
-  in.transfer_cost_mc_per_mb = 0.001;
+  in.cpu_s_per_mb = CpuSecPerMb::ecu_s_per_mb(100.0);
+  in.src_price_mc = UsdPerCpuSec::mc_per_ecu_s(1.0);
+  in.dst_price_mc = UsdPerCpuSec::mc_per_ecu_s(1.0);  // no savings
+  in.transfer_cost_mc_per_mb = McPerMb::mc_per_mb(0.001);
   EXPECT_FALSE(should_move_data(in));
   EXPECT_TRUE(std::isinf(transfer_to_savings_ratio(in)));
 }
@@ -106,10 +107,11 @@ TEST(BreakEven, CpuIntensiveJobsMoveIoBoundStay) {
   // transfer at 62.5/64 m¢/MB. Pi (infinite intensity) always moves;
   // Grep (20 s/block) stays put at that price gap only when the transfer
   // outweighs 20/64 s/MB × ~4.5 m¢ of savings — check both regimes.
-  const double src = cluster::m1_medium().cpu_price_mid_mc();   // ~5.4 m¢
-  const double dst = cluster::c1_medium().cpu_price_mid_mc();   // ~1.1 m¢
-  BreakEvenInput grep{20.0 / 64.0, src, dst, Cluster::kInterZoneCostMcPerMB};
-  BreakEvenInput wordcount{90.0 / 64.0, src, dst,
+  const UsdPerCpuSec src = cluster::m1_medium().cpu_price_mid_mc();  // ~5.4
+  const UsdPerCpuSec dst = cluster::c1_medium().cpu_price_mid_mc();  // ~1.1
+  BreakEvenInput grep{CpuSecPerMb::ecu_s_per_mb(20.0 / 64.0), src, dst,
+                      Cluster::kInterZoneCostMcPerMB};
+  BreakEvenInput wordcount{CpuSecPerMb::ecu_s_per_mb(90.0 / 64.0), src, dst,
                            Cluster::kInterZoneCostMcPerMB};
   // WordCount's savings per MB exceed Grep's ~4.5×.
   EXPECT_GT(move_savings_mc_per_mb(wordcount), move_savings_mc_per_mb(grep));
@@ -135,12 +137,13 @@ FixedPlacement all_at_origin(const Workload& w) {
 TEST(OfflineSimple, RunsLocallyWhenTransferTooDear) {
   // I/O-bound job (low cpu/MB): reading remotely costs more than the CPU
   // gap saves → stay on the expensive source node.
-  const Cluster c = two_node_cluster(5.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   const Workload w = one_job_workload(0.1, 640.0);  // 64 ECU-s total
   const LpSchedule s = solve_offline_simple(c, w, all_at_origin(w));
   ASSERT_TRUE(s.optimal());
   // local: 64 ECU-s × 5 = 320 m¢. remote: 64 × 1 + 640 MB × 0.9766 = 689.
-  EXPECT_NEAR(s.objective_mc, 320.0, 1e-6);
+  EXPECT_NEAR(s.objective_mc.mc(), 320.0, 1e-6);
   ASSERT_EQ(s.portions.size(), 1u);
   EXPECT_EQ(s.portions[0].machine, MachineId{0});
   EXPECT_NEAR(s.portions[0].fraction, 1.0, 1e-9);
@@ -148,12 +151,14 @@ TEST(OfflineSimple, RunsLocallyWhenTransferTooDear) {
 
 TEST(OfflineSimple, ReadsRemotelyWhenCpuGapDominates) {
   // CPU-bound job: 10 ECU-s/MB × 640 MB = 6400 ECU-s.
-  const Cluster c = two_node_cluster(5.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   const Workload w = one_job_workload(10.0, 640.0);
   const LpSchedule s = solve_offline_simple(c, w, all_at_origin(w));
   ASSERT_TRUE(s.optimal());
   // local: 6400×5 = 32000. remote read: 6400×1 + 640×62.5/64 = 7025.
-  EXPECT_NEAR(s.objective_mc, 6400.0 + 640.0 * Cluster::kInterZoneCostMcPerMB,
+  EXPECT_NEAR(s.objective_mc.mc(),
+              6400.0 + 640.0 * Cluster::kInterZoneCostMcPerMB.mc_per_mb(),
               1e-6);
   ASSERT_EQ(s.portions.size(), 1u);
   EXPECT_EQ(s.portions[0].machine, MachineId{1});
@@ -163,7 +168,8 @@ TEST(OfflineSimple, ReadsRemotelyWhenCpuGapDominates) {
 TEST(OfflineSimple, CapacityForcesSplit) {
   // Cheap machine can only fit half the job in its uptime → the LP must
   // split 50/50 (greedy "all on cheapest" would be infeasible).
-  Cluster c = two_node_cluster(5.0, 1.0, 1.0, 1.0, /*uptime=*/320.0);
+  Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0), 1.0, 1.0, /*uptime=*/320.0);
   const Workload w = one_job_workload(1.0, 640.0);  // 640 ECU-s
   const LpSchedule s = solve_offline_simple(c, w, all_at_origin(w));
   ASSERT_TRUE(s.optimal());
@@ -177,7 +183,8 @@ TEST(OfflineSimple, CapacityForcesSplit) {
 }
 
 TEST(OfflineSimple, InfeasibleWhenClusterTooSmall) {
-  Cluster c = two_node_cluster(5.0, 1.0, 1.0, 1.0, /*uptime=*/10.0);
+  Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0), 1.0, 1.0, /*uptime=*/10.0);
   const Workload w = one_job_workload(1.0, 640.0);  // needs 640 ECU-s
   const LpSchedule s = solve_offline_simple(c, w, all_at_origin(w));
   EXPECT_EQ(s.status, lp::SolveStatus::Infeasible);
@@ -186,7 +193,8 @@ TEST(OfflineSimple, InfeasibleWhenClusterTooSmall) {
 TEST(OfflineSimple, SplitPlacementBoundsReads) {
   // Data is 30% on store 0, 70% on store 1; constraint (3) caps the portion
   // of the job reading from each store accordingly.
-  const Cluster c = two_node_cluster(1.0, 1.0);  // equal prices
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(1.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));  // equal prices
   const Workload w = one_job_workload(1.0, 100.0);
   FixedPlacement p(1);
   p[0].push_back({DataId{0}, StoreId{0}, 0.3});
@@ -199,34 +207,36 @@ TEST(OfflineSimple, SplitPlacementBoundsReads) {
   EXPECT_LE(read_from[0], 0.3 + 1e-6);
   EXPECT_LE(read_from[1], 0.7 + 1e-6);
   // Cheapest schedule reads each share locally → zero transfer cost.
-  EXPECT_NEAR(s.objective_mc, 100.0 * 1.0, 1e-6);
+  EXPECT_NEAR(s.objective_mc.mc(), 100.0 * 1.0, 1e-6);
 }
 
 // --------------------------------------------- co-scheduling (Fig 3) ------
 
 TEST(CoScheduling, MovesDataForCpuIntensiveJob) {
-  const Cluster c = two_node_cluster(5.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   const Workload w = one_job_workload(10.0, 640.0);
   const LpSchedule s = solve_co_scheduling(c, w);
   ASSERT_TRUE(s.optimal());
   // Best: move data to store 1 (640 MB × 0.9766 = 625 m¢), run locally on
   // the cheap node (6400 × 1). Total 7025 — same as remote read here, but
   // the model may pick either; objective must equal 7025.
-  EXPECT_NEAR(s.objective_mc, 7025.0, 1e-6);
+  EXPECT_NEAR(s.objective_mc.mc(), 7025.0, 1e-6);
 }
 
 TEST(CoScheduling, KeepsDataForIoBoundJob) {
-  const Cluster c = two_node_cluster(5.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   const Workload w = one_job_workload(0.1, 640.0);
   const LpSchedule s = solve_co_scheduling(c, w);
   ASSERT_TRUE(s.optimal());
-  EXPECT_NEAR(s.objective_mc, 320.0, 1e-6);  // stay local on source
+  EXPECT_NEAR(s.objective_mc.mc(), 320.0, 1e-6);  // stay local on source
   // Data remains fully at its origin.
   double at_origin = 0.0;
   for (const DataPlacement& p : s.placements)
     if (p.store == StoreId{0}) at_origin += p.fraction;
   EXPECT_NEAR(at_origin, 1.0, 1e-6);
-  EXPECT_NEAR(s.placement_transfer_mc, 0.0, 1e-9);
+  EXPECT_NEAR(s.placement_transfer_mc.mc(), 0.0, 1e-9);
 }
 
 TEST(CoScheduling, NeverWorseThanFixedPlacement) {
@@ -235,14 +245,16 @@ TEST(CoScheduling, NeverWorseThanFixedPlacement) {
   Rng rng(555);
   for (int trial = 0; trial < 10; ++trial) {
     const Cluster c =
-        two_node_cluster(rng.uniform(1, 10), rng.uniform(0.1, 5));
+        two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(rng.uniform(1, 10)),
+                         UsdPerCpuSec::mc_per_ecu_s(rng.uniform(0.1, 5)));
     const Workload w =
         one_job_workload(rng.uniform(0.05, 20), rng.uniform(64, 2048));
     const LpSchedule fixed = solve_offline_simple(c, w, all_at_origin(w));
     const LpSchedule joint = solve_co_scheduling(c, w);
     ASSERT_TRUE(fixed.optimal());
     ASSERT_TRUE(joint.optimal());
-    EXPECT_LE(joint.objective_mc, fixed.objective_mc + 1e-6) << "trial " << trial;
+    EXPECT_LE(joint.objective_mc.mc(), fixed.objective_mc.mc() + 1e-6)
+        << "trial " << trial;
   }
 }
 
@@ -255,13 +267,13 @@ TEST(CoScheduling, StoreCapacityRespected) {
   cluster::Machine m0;
   m0.name = "dear";
   m0.zone = za;
-  m0.cpu_price_mc = 5.0;
+  m0.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(5.0);
   m0.uptime_s = 1e9;
   c.add_machine(m0);
   cluster::Machine m1;
   m1.name = "cheap";
   m1.zone = zb;
-  m1.cpu_price_mc = 1.0;
+  m1.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(1.0);
   m1.uptime_s = 1e9;
   c.add_machine(m1);
   c.add_store({"s0", za, 1.0e9, 0});
@@ -316,7 +328,8 @@ TEST(CoScheduling, SolversAgree) {
   const LpSchedule b = solve_co_scheduling(c, w, revised);
   ASSERT_TRUE(a.optimal());
   ASSERT_TRUE(b.optimal());
-  EXPECT_NEAR(a.objective_mc, b.objective_mc, 1e-4 * (1.0 + a.objective_mc));
+  EXPECT_NEAR(a.objective_mc.mc(), b.objective_mc.mc(),
+              1e-4 * (1.0 + a.objective_mc.mc()));
 }
 
 TEST(CoScheduling, CostBreakdownSumsToObjective) {
@@ -328,12 +341,13 @@ TEST(CoScheduling, CostBreakdownSumsToObjective) {
   const LpSchedule s = solve_co_scheduling(c, w);
   ASSERT_TRUE(s.optimal());
   EXPECT_NEAR(
-      s.placement_transfer_mc + s.execution_mc + s.runtime_transfer_mc,
-      s.objective_mc, 1e-4 * (1.0 + s.objective_mc));
+      (s.placement_transfer_mc + s.execution_mc + s.runtime_transfer_mc).mc(),
+      s.objective_mc.mc(), 1e-4 * (1.0 + s.objective_mc.mc()));
 }
 
 TEST(CoScheduling, InputFreeJobRunsOnCheapestMachine) {
-  const Cluster c = two_node_cluster(5.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   Workload w;
   workload::Job pi;
   pi.name = "pi";
@@ -342,7 +356,7 @@ TEST(CoScheduling, InputFreeJobRunsOnCheapestMachine) {
   w.add_job(std::move(pi));
   const LpSchedule s = solve_co_scheduling(c, w);
   ASSERT_TRUE(s.optimal());
-  EXPECT_NEAR(s.objective_mc, 1000.0, 1e-6);  // all on the 1 m¢ machine
+  EXPECT_NEAR(s.objective_mc.mc(), 1000.0, 1e-6);  // all on the 1 m¢ machine
   ASSERT_EQ(s.portions.size(), 1u);
   EXPECT_EQ(s.portions[0].machine, MachineId{1});
   EXPECT_FALSE(s.portions[0].store.has_value());
@@ -361,8 +375,8 @@ TEST(CoScheduling, PruningPreservesOptimumWhenGenerous) {
   const LpSchedule same = solve_co_scheduling(c, w, pruned);
   ASSERT_TRUE(exact.optimal());
   ASSERT_TRUE(same.optimal());
-  EXPECT_NEAR(exact.objective_mc, same.objective_mc,
-              1e-5 * (1.0 + exact.objective_mc));
+  EXPECT_NEAR(exact.objective_mc.mc(), same.objective_mc.mc(),
+              1e-5 * (1.0 + exact.objective_mc.mc()));
 }
 
 TEST(CoScheduling, PruningGivesUpperBound) {
@@ -378,7 +392,7 @@ TEST(CoScheduling, PruningGivesUpperBound) {
   const LpSchedule approx = solve_co_scheduling(c, w, pruned);
   ASSERT_TRUE(exact.optimal());
   ASSERT_TRUE(approx.optimal());
-  EXPECT_GE(approx.objective_mc, exact.objective_mc - 1e-6);
+  EXPECT_GE(approx.objective_mc.mc(), exact.objective_mc.mc() - 1e-6);
   // Pruned model must be dramatically smaller.
   EXPECT_LT(approx.lp_variables, exact.lp_variables);
 }
@@ -387,7 +401,8 @@ TEST(CoScheduling, PruningGivesUpperBound) {
 
 TEST(OnlineModel, FakeNodeDefersOverflow) {
   // Epoch capacity: 2 machines × 1 ECU × 100 s = 200 ECU-s; job needs 640.
-  const Cluster c = two_node_cluster(5.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   const Workload w = one_job_workload(1.0, 640.0);
   ModelOptions opt;
   opt.epoch_s = 100.0;
@@ -401,7 +416,8 @@ TEST(OnlineModel, FakeNodeDefersOverflow) {
 }
 
 TEST(OnlineModel, WithoutFakeNodeOverflowIsInfeasible) {
-  const Cluster c = two_node_cluster(5.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   const Workload w = one_job_workload(1.0, 640.0);
   ModelOptions opt;
   opt.epoch_s = 100.0;
@@ -412,7 +428,8 @@ TEST(OnlineModel, WithoutFakeNodeOverflowIsInfeasible) {
 }
 
 TEST(OnlineModel, NoDeferralWhenEpochSuffices) {
-  const Cluster c = two_node_cluster(5.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   const Workload w = one_job_workload(1.0, 640.0);
   ModelOptions opt;
   opt.epoch_s = 10000.0;
@@ -425,11 +442,12 @@ TEST(OnlineModel, NoDeferralWhenEpochSuffices) {
 TEST(OnlineModel, BandwidthRowLimitsDataHeavyAssignment) {
   // Constraint (21): a machine whose link can only move 10 MB in the epoch
   // cannot be assigned a portion requiring more transfer.
-  Cluster c = two_node_cluster(5.0, 1.0);
+  Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   // Slow down every link to 0.1 MB/s.
   for (std::size_t l = 0; l < c.machine_count(); ++l)
     for (std::size_t s = 0; s < c.store_count(); ++s)
-      c.set_bandwidth_mb_s(MachineId{l}, StoreId{s}, 0.1);
+      c.set_bandwidth_mb_s(MachineId{l}, StoreId{s}, BytesPerSec::mb_per_s(0.1));
   const Workload w = one_job_workload(10.0, 640.0);
   ModelOptions opt;
   opt.epoch_s = 320.0;  // plenty of CPU but only 32 MB per link-epoch
@@ -443,7 +461,8 @@ TEST(OnlineModel, BandwidthRowLimitsDataHeavyAssignment) {
 }
 
 TEST(OnlineModel, EpochCapsCapacityTighterThanUptime) {
-  const Cluster c = two_node_cluster(2.0, 1.0);  // uptime 1e9 s
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(2.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));  // uptime 1e9 s
   const Workload w = one_job_workload(1.0, 640.0);
   ModelOptions offline;
   const LpSchedule off = solve_co_scheduling(c, w, offline);
@@ -456,7 +475,8 @@ TEST(OnlineModel, EpochCapsCapacityTighterThanUptime) {
   ASSERT_TRUE(on.optimal());
   // Offline puts everything on the cheap node; online must split (spill to
   // the dear node) or defer — cost per scheduled unit can only rise.
-  EXPECT_NEAR(off.objective_mc, 640.0 + 625.0, 1.0);  // move data + cheap CPU
+  EXPECT_NEAR(off.objective_mc.mc(), 640.0 + 625.0,
+              1.0);  // move data + cheap CPU
   double scheduled = 0.0;
   for (const TaskPortion& p : on.portions) scheduled += p.fraction;
   EXPECT_GT(scheduled, 0.0);
@@ -465,7 +485,8 @@ TEST(OnlineModel, EpochCapsCapacityTighterThanUptime) {
 // ----------------------------------------------------------- rounding -----
 
 TEST(Rounding, PreservesTaskTotals) {
-  const Cluster c = two_node_cluster(5.0, 1.0, 1.0, 1.0, /*uptime=*/320.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0), 1.0, 1.0, /*uptime=*/320.0);
   const Workload w = one_job_workload(1.0, 640.0, /*tasks=*/10);
   const LpSchedule s = solve_co_scheduling(c, w);
   ASSERT_TRUE(s.optimal());
@@ -485,13 +506,14 @@ TEST(Rounding, CostIsAboveLpLowerBound) {
   const LpSchedule s = solve_co_scheduling(c, w);
   ASSERT_TRUE(s.optimal());
   const RoundedSchedule r = round_schedule(c, w, s);
-  EXPECT_GE(r.cost_mc, r.lp_lower_bound_mc - 1e-6);
+  EXPECT_GE(r.cost_mc.mc(), r.lp_lower_bound_mc.mc() - 1e-6);
   // The gap should be small relative to total cost (jobs are 7-10 tasks).
-  EXPECT_LT(r.rounding_gap_mc(), 0.5 * r.lp_lower_bound_mc + 1e-6);
+  EXPECT_LT(r.rounding_gap_mc().mc(), 0.5 * r.lp_lower_bound_mc.mc() + 1e-6);
 }
 
 TEST(Rounding, BundleAccountingConsistent) {
-  const Cluster c = two_node_cluster(3.0, 1.0, 1.0, 1.0, /*uptime=*/500.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(3.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0), 1.0, 1.0, /*uptime=*/500.0);
   const Workload w = one_job_workload(1.0, 640.0, /*tasks=*/8);
   const LpSchedule s = solve_co_scheduling(c, w);
   ASSERT_TRUE(s.optimal());
@@ -504,7 +526,8 @@ TEST(Rounding, BundleAccountingConsistent) {
 }
 
 TEST(Rounding, RejectsNonOptimalSchedule) {
-  const Cluster c = two_node_cluster(1.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(1.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   const Workload w = one_job_workload(1.0, 64.0);
   LpSchedule bad;
   bad.status = lp::SolveStatus::Infeasible;
@@ -512,7 +535,8 @@ TEST(Rounding, RejectsNonOptimalSchedule) {
 }
 
 TEST(Rounding, DeferredWorkGetsFewerTasks) {
-  const Cluster c = two_node_cluster(5.0, 1.0);
+  const Cluster c = two_node_cluster(UsdPerCpuSec::mc_per_ecu_s(5.0),
+                                     UsdPerCpuSec::mc_per_ecu_s(1.0));
   const Workload w = one_job_workload(1.0, 640.0, /*tasks=*/16);
   ModelOptions opt;
   opt.epoch_s = 100.0;  // fits 200/640
@@ -541,8 +565,8 @@ TEST(BaselineCost, IdealLocalityMatchesExpectedPrice) {
   j.num_tasks = 1000;
   w.add_job(std::move(j));
   Rng rng(4242);
-  const double cost = ideal_locality_cost_mc(c, w, rng);
-  const double expected = average_price_cost_mc(c, w);
+  const double cost = ideal_locality_cost_mc(c, w, rng).mc();
+  const double expected = average_price_cost_mc(c, w).mc();
   EXPECT_NEAR(cost / expected, 1.0, 0.05);
 }
 
@@ -567,8 +591,8 @@ TEST(BaselineCost, LipsBeatsIdealLocalityOnAverage) {
     const LpSchedule s = solve_co_scheduling(c, w);
     ASSERT_TRUE(s.optimal()) << "trial " << trial;
     Rng brng = rng.split();
-    lips_total += s.objective_mc;
-    baseline_total += ideal_locality_cost_mc(c, w, brng);
+    lips_total += s.objective_mc.mc();
+    baseline_total += ideal_locality_cost_mc(c, w, brng).mc();
   }
   EXPECT_LT(lips_total, baseline_total);
 }

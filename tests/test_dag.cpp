@@ -115,12 +115,12 @@ TEST(DagDriver, SchedulesEveryLevel) {
   const core::DagSchedule ds = core::schedule_dag(c, w, dag);
   ASSERT_TRUE(ds.feasible);
   ASSERT_EQ(ds.level_count(), 3u);
-  double sum = 0.0;
+  Millicents sum = Millicents::zero();
   for (const core::LevelSchedule& ls : ds.levels) {
     EXPECT_TRUE(ls.schedule.optimal());
     sum += ls.schedule.objective_mc;
   }
-  EXPECT_NEAR(ds.total_cost_mc, sum, 1e-9);
+  EXPECT_NEAR(ds.total_cost_mc.mc(), sum.mc(), 1e-9);
 }
 
 TEST(DagDriver, IndependentJobsMatchSingleShot) {
@@ -135,8 +135,8 @@ TEST(DagDriver, IndependentJobsMatchSingleShot) {
   ASSERT_EQ(ds.level_count(), 1u);
   const core::LpSchedule whole = core::solve_co_scheduling(c, w);
   ASSERT_TRUE(whole.optimal());
-  EXPECT_NEAR(ds.total_cost_mc, whole.objective_mc,
-              1e-6 * (1.0 + whole.objective_mc));
+  EXPECT_NEAR(ds.total_cost_mc.mc(), whole.objective_mc.mc(),
+              1e-6 * (1.0 + whole.objective_mc.mc()));
 }
 
 TEST(DagDriver, PlacementsPersistAcrossLevels) {
@@ -149,7 +149,7 @@ TEST(DagDriver, PlacementsPersistAcrossLevels) {
     cluster::Machine m;
     m.name = "m";
     m.zone = z;
-    m.cpu_price_mc = price;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(price);
     m.uptime_s = 1e9;
     const MachineId id = c.add_machine(std::move(m));
     cluster::DataStore s;
@@ -179,9 +179,9 @@ TEST(DagDriver, PlacementsPersistAcrossLevels) {
   ASSERT_TRUE(ds.feasible);
   ASSERT_EQ(ds.level_count(), 2u);
   // Level 0 pays the cross-zone move (or remote read) once...
-  const double first = ds.levels[0].schedule.objective_mc;
+  const double first = ds.levels[0].schedule.objective_mc.mc();
   // ...level 1 reads locally from the new origin: execution cost only.
-  const double second = ds.levels[1].schedule.objective_mc;
+  const double second = ds.levels[1].schedule.objective_mc.mc();
   EXPECT_LT(second, first);
   EXPECT_NEAR(second, 6400.0 * 1.0, 1e-6);  // 6400 ECU-s at 1 m¢, no moves
 }
@@ -259,7 +259,7 @@ TEST(FractionalAccess, LpChargesPartialTraffic) {
     cluster::Machine m;
     m.name = "m";
     m.zone = z;
-    m.cpu_price_mc = price;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(price);
     m.uptime_s = 1e9;
     const MachineId id = c.add_machine(std::move(m));
     cluster::DataStore s;
@@ -289,8 +289,8 @@ TEST(FractionalAccess, LpChargesPartialTraffic) {
   const core::LpSchedule quarter = core::solve_co_scheduling(c, make(0.25));
   ASSERT_TRUE(full.optimal());
   ASSERT_TRUE(quarter.optimal());
-  EXPECT_NEAR(quarter.objective_mc, 0.25 * full.objective_mc,
-              1e-6 * (1.0 + full.objective_mc));
+  EXPECT_NEAR(quarter.objective_mc.mc(), 0.25 * full.objective_mc.mc(),
+              1e-6 * (1.0 + full.objective_mc.mc()));
 }
 
 TEST(FractionalAccess, SubsetSolveIgnoresForeignData) {

@@ -24,7 +24,7 @@ cluster::Cluster single_node(double price = 1.0, double tp = 1.0,
   cluster::Machine m;
   m.name = "solo";
   m.zone = z;
-  m.cpu_price_mc = price;
+  m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(price);
   m.throughput_ecu = tp;
   m.map_slots = slots;
   m.uptime_s = 1e9;
@@ -54,11 +54,11 @@ TEST(EdgeCases, SingleNodeSingleTask) {
   // LP and simulator agree on the only possible schedule's cost.
   const core::LpSchedule s = core::solve_co_scheduling(c, w);
   ASSERT_TRUE(s.optimal());
-  EXPECT_NEAR(s.objective_mc, 128.0, 1e-9);
+  EXPECT_NEAR(s.objective_mc.mc(), 128.0, 1e-9);
   sched::FifoLocalityScheduler fifo;
   const sim::SimResult r = sim::simulate(c, w, fifo);
   ASSERT_TRUE(r.completed);
-  EXPECT_NEAR(r.total_cost_mc, 128.0, 1e-9);
+  EXPECT_NEAR(r.total_cost_mc.mc(), 128.0, 1e-9);
 }
 
 TEST(EdgeCases, ManyTasksOnOneSlotSerialize) {
@@ -93,7 +93,7 @@ TEST(EdgeCases, ZeroCpuPureReadJob) {
   sched::FifoLocalityScheduler fifo;
   const sim::SimResult r = sim::simulate(c, w, fifo);
   ASSERT_TRUE(r.completed);
-  EXPECT_NEAR(r.execution_cost_mc, 0.0, 1e-12);
+  EXPECT_NEAR(r.execution_cost_mc.mc(), 0.0, 1e-12);
   EXPECT_NEAR(r.makespan_s, 2 * 80.0 / 80.0, 1e-9);  // 2 × (80 MB / 80 MB/s)
 }
 
@@ -104,7 +104,7 @@ TEST(EdgeCases, EmptyWorkloadSimulatesToNothing) {
   const sim::SimResult r = sim::simulate(c, w, fifo);
   EXPECT_TRUE(r.completed);
   EXPECT_EQ(r.tasks_completed, 0u);
-  EXPECT_DOUBLE_EQ(r.total_cost_mc, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_cost_mc.mc(), 0.0);
   EXPECT_DOUBLE_EQ(r.makespan_s, 0.0);
 }
 
@@ -113,7 +113,7 @@ TEST(EdgeCases, EmptyWorkloadLpIsTriviallyOptimal) {
   workload::Workload w;
   const core::LpSchedule s = core::solve_co_scheduling(c, w);
   ASSERT_TRUE(s.optimal());
-  EXPECT_DOUBLE_EQ(s.objective_mc, 0.0);
+  EXPECT_DOUBLE_EQ(s.objective_mc.mc(), 0.0);
   EXPECT_TRUE(s.portions.empty());
 }
 
@@ -212,7 +212,7 @@ TEST(EdgeCases, RoundingSingleTaskJobNeverSplits) {
     cluster::Machine m;
     m.name = "m" + std::to_string(i);
     m.zone = z;
-    m.cpu_price_mc = 1.0;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(1.0);
     m.uptime_s = 32.0;  // each node fits exactly half the job
     const MachineId id = c.add_machine(std::move(m));
     cluster::DataStore s;
@@ -315,7 +315,7 @@ TEST(EdgeCases, ReplicationOnSingleStoreClusterIsFree) {
   cfg.hdfs_replication = 3;
   const sim::SimResult r = sim::simulate(c, w, fifo, cfg);
   ASSERT_TRUE(r.completed);
-  EXPECT_DOUBLE_EQ(r.ingest_replication_cost_mc, 0.0);
+  EXPECT_DOUBLE_EQ(r.ingest_replication_cost_mc.mc(), 0.0);
 }
 
 TEST(EdgeCases, UnfinalizedClusterRejectedEverywhere) {
@@ -346,7 +346,7 @@ TEST(EdgeCases, OnlineSubsetRemainderValidation) {
                PreconditionError);
   const core::LpSchedule s = core::solve_co_scheduling(c, w, {}, {id}, {0.5});
   ASSERT_TRUE(s.optimal());
-  EXPECT_NEAR(s.objective_mc, 0.5, 1e-9);  // half the job at 1 m¢ × 1 ECU-s
+  EXPECT_NEAR(s.objective_mc.mc(), 0.5, 1e-9);  // half the job at 1 m¢ × 1 ECU-s
 }
 
 }  // namespace

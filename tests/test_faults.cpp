@@ -28,7 +28,7 @@ Cluster two_nodes(double price0 = 1.0, double price1 = 1.0, int slots = 1,
     cluster::Machine m;
     m.name = "m" + std::to_string(c.machine_count());
     m.zone = z;
-    m.cpu_price_mc = price;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(price);
     m.throughput_ecu = 1.0;
     m.map_slots = slots;
     m.uptime_s = 1e9;
@@ -84,7 +84,9 @@ TEST(FaultPlan, StormIsDeterministicAndSorted) {
     EXPECT_EQ(a.events[i].kind, b.events[i].kind);
     EXPECT_DOUBLE_EQ(a.events[i].time_s, b.events[i].time_s);
     EXPECT_EQ(a.events[i].machine, b.events[i].machine);
-    if (i > 0) EXPECT_GE(a.events[i].time_s, a.events[i - 1].time_s);
+    if (i > 0) {
+      EXPECT_GE(a.events[i].time_s, a.events[i - 1].time_s);
+    }
   }
   p.seed = 43;
   const FaultPlan other = make_fault_storm(p, 4, 4);
@@ -111,8 +113,8 @@ TEST(FaultSpec, ParsesKeysAndRejectsUnknown) {
   EXPECT_DOUBLE_EQ(p.revoke_probability, 0.1);
   EXPECT_DOUBLE_EQ(p.spot_warning_s, 90.0);
   EXPECT_EQ(p.seed, 7u);
-  EXPECT_THROW(parse_fault_spec("mtbf=notanumber"), PreconditionError);
-  EXPECT_THROW(parse_fault_spec("bogus=1"), PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("mtbf=notanumber"), PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("bogus=1"), PreconditionError);
 }
 
 TEST(FaultSpec, RoundTripsEveryKey) {
@@ -137,13 +139,13 @@ TEST(FaultSpec, RoundTripsEveryKey) {
 }
 
 TEST(FaultSpec, RejectsDuplicateAndMalformedEntries) {
-  EXPECT_THROW(parse_fault_spec("mtbf=1,mtbf=2"), PreconditionError);
-  EXPECT_THROW(parse_fault_spec("slowdown=1,mttr=2,slowdown=1"),
+  EXPECT_THROW((void)parse_fault_spec("mtbf=1,mtbf=2"), PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("slowdown=1,mttr=2,slowdown=1"),
                PreconditionError);
-  EXPECT_THROW(parse_fault_spec("mtbf"), PreconditionError);
-  EXPECT_THROW(parse_fault_spec("mtbf="), PreconditionError);
-  EXPECT_THROW(parse_fault_spec("mtbf=12x"), PreconditionError);
-  EXPECT_THROW(parse_fault_spec("=5"), PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("mtbf"), PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("mtbf="), PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("mtbf=12x"), PreconditionError);
+  EXPECT_THROW((void)parse_fault_spec("=5"), PreconditionError);
 }
 
 TEST(FaultPlan, StormGeneratesSlowdownWindows) {
@@ -195,9 +197,9 @@ TEST(FaultPlan, EmptyPlanChangesNothing) {
   EXPECT_EQ(a.tasks_killed_by_faults, 0u);
   EXPECT_EQ(a.tasks_lost, 0u);
   EXPECT_EQ(a.machines_lost, 0u);
-  EXPECT_EQ(a.wasted_cost_mc, 0.0);
+  EXPECT_EQ(a.wasted_cost_mc.mc(), 0.0);
   EXPECT_EQ(a.machines[0].downtime_s, 0.0);
-  EXPECT_EQ(a.speculation_cost_mc, 0.0);
+  EXPECT_EQ(a.speculation_cost_mc.mc(), 0.0);
   EXPECT_EQ(a.machine_slowdowns, 0u);
   EXPECT_EQ(a.machines[0].slowed_s, 0.0);
   EXPECT_EQ(b.machines[0].slowed_s, 0.0);
@@ -220,7 +222,7 @@ TEST(MachineFaults, TransientCrashKillsRequeuesAndRestores) {
   EXPECT_GE(r.tasks_killed_by_faults, 1u);
   EXPECT_EQ(r.fault_retries, r.tasks_killed_by_faults);
   EXPECT_EQ(r.tasks_lost, 0u);
-  EXPECT_GT(r.wasted_cost_mc, 0.0);  // 30 s of work died with the machine
+  EXPECT_GT(r.wasted_cost_mc.mc(), 0.0);  // 30 s of work died with the machine
   EXPECT_NEAR(r.machines[0].downtime_s, 200.0, 1e-9);
   EXPECT_EQ(count_kind(r, TraceEvent::Kind::MachineLost), 1u);
   EXPECT_EQ(count_kind(r, TraceEvent::Kind::MachineRestored), 1u);
@@ -319,7 +321,7 @@ TEST(StoreFaults, LinkDegradeStretchesTransfers) {
   ASSERT_TRUE(base.completed);
   EXPECT_GT(degraded.makespan_s, base.makespan_s * 1.5);
   // Bandwidth is time, not money: the bill is unchanged.
-  EXPECT_NEAR(degraded.total_cost_mc, base.total_cost_mc, 1e-9);
+  EXPECT_NEAR(degraded.total_cost_mc.mc(), base.total_cost_mc.mc(), 1e-9);
 }
 
 // ------------------------------------------------------------ LiPS policy -
@@ -380,24 +382,26 @@ TEST(LipsFaults, InfeasibleLpFallsBackToGreedyPlan) {
 //  * every task is completed, lost, or still in flight at the horizon;
 //  * identical seeds give identical runs.
 void check_invariants(const SimResult& r, std::size_t total_tasks) {
-  EXPECT_NEAR(r.total_cost_mc,
-              r.execution_cost_mc + r.read_transfer_cost_mc +
-                  r.placement_transfer_cost_mc + r.ingest_replication_cost_mc,
+  EXPECT_NEAR(r.total_cost_mc.mc(),
+              (r.execution_cost_mc + r.read_transfer_cost_mc +
+               r.placement_transfer_cost_mc + r.ingest_replication_cost_mc)
+                  .mc(),
               1e-6);
-  double machine_cpu = 0.0, machine_read = 0.0;
+  Millicents machine_cpu = Millicents::zero();
+  Millicents machine_read = Millicents::zero();
   for (const MachineMetrics& m : r.machines) {
     machine_cpu += m.cpu_cost_mc;
     machine_read += m.read_cost_mc;
   }
-  EXPECT_NEAR(machine_cpu, r.execution_cost_mc, 1e-6);
-  EXPECT_NEAR(machine_read, r.read_transfer_cost_mc, 1e-6);
+  EXPECT_NEAR(machine_cpu.mc(), r.execution_cost_mc.mc(), 1e-6);
+  EXPECT_NEAR(machine_read.mc(), r.read_transfer_cost_mc.mc(), 1e-6);
   EXPECT_LE(r.tasks_completed + r.tasks_lost, total_tasks);
   if (r.completed) {
     EXPECT_EQ(r.tasks_completed, total_tasks);
     EXPECT_EQ(r.tasks_lost, 0u);
   }
-  EXPECT_GE(r.wasted_cost_mc, 0.0);
-  EXPECT_LE(r.wasted_cost_mc, r.total_cost_mc + 1e-6);
+  EXPECT_GE(r.wasted_cost_mc.mc(), 0.0);
+  EXPECT_LE(r.wasted_cost_mc.mc(), r.total_cost_mc.mc() + 1e-6);
 }
 
 void expect_identical(const SimResult& a, const SimResult& b) {

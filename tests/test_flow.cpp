@@ -174,7 +174,7 @@ TEST(QuincyFlowSchedulerTest, LipsBeatsFlowWhenPlacementMatters) {
     cluster::Machine m;
     m.name = "m" + std::to_string(i);
     m.zone = i < 2 ? za : zb;
-    m.cpu_price_mc = i < 2 ? 6.0 : 1.0;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(i < 2 ? 6.0 : 1.0);
     m.map_slots = 2;
     m.uptime_s = 1e9;
     const MachineId id = c.add_machine(std::move(m));

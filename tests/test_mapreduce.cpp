@@ -30,7 +30,7 @@ cluster::Cluster three_nodes(double p0 = 1.0, double p1 = 1.0,
     cluster::Machine m;
     m.name = "m" + std::to_string(i);
     m.zone = zones[i];
-    m.cpu_price_mc = prices[i];
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(prices[i]);
     m.map_slots = 2;
     m.uptime_s = 1e9;
     const MachineId id = c.add_machine(std::move(m));
@@ -170,8 +170,8 @@ TEST(MapReduceSim, ShuffleReadsArePredominantlyMapLocal) {
   ASSERT_TRUE(r.completed);
   // All transfers happened inside zone z0 or machine-locally → no billed
   // cross-zone traffic beyond (possibly) a stray reducer on m2.
-  EXPECT_LT(r.read_transfer_cost_mc, 320.0 * c.ms_cost_mc_per_mb(
-                                                 MachineId{2}, StoreId{0}));
+  EXPECT_LT(r.read_transfer_cost_mc,
+            Bytes::mb(320.0) * c.ms_cost_mc_per_mb(MachineId{2}, StoreId{0}));
 }
 
 TEST(MapReduceSim, ShuffleVolumeScalesCost) {

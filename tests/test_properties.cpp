@@ -93,15 +93,17 @@ TEST_P(SimConservation, InvariantsHold) {
 
   // 2. Cost conservation: total = sum of components = sum over machines
   //    (+ store-to-store transfers, which no machine owns).
-  EXPECT_NEAR(r.total_cost_mc,
-              r.execution_cost_mc + r.read_transfer_cost_mc +
-                  r.placement_transfer_cost_mc + r.ingest_replication_cost_mc,
+  EXPECT_NEAR(r.total_cost_mc.mc(),
+              (r.execution_cost_mc + r.read_transfer_cost_mc +
+               r.placement_transfer_cost_mc + r.ingest_replication_cost_mc)
+                  .mc(),
               1e-6);
-  double per_machine = 0.0;
+  Millicents per_machine = Millicents::zero();
   for (const sim::MachineMetrics& m : r.machines)
     per_machine += m.cpu_cost_mc + m.read_cost_mc;
-  EXPECT_NEAR(per_machine, r.execution_cost_mc + r.read_transfer_cost_mc,
-              1e-6 * (1.0 + per_machine));
+  EXPECT_NEAR(per_machine.mc(),
+              (r.execution_cost_mc + r.read_transfer_cost_mc).mc(),
+              1e-6 * (1.0 + per_machine.mc()));
 
   // 3. Work conservation: useful ECU-seconds executed >= workload demand
   //    (speculation/timeouts can only add).
@@ -123,8 +125,8 @@ TEST_P(SimConservation, InvariantsHold) {
   }
 
   // 6. Locality fraction is a valid probability.
-  EXPECT_GE(r.data_local_fraction, 0.0);
-  EXPECT_LE(r.data_local_fraction, 1.0);
+  EXPECT_GE(r.data_local_fraction.value(), 0.0);
+  EXPECT_LE(r.data_local_fraction.value(), 1.0);
 }
 
 TEST_P(SimConservation, Deterministic) {
@@ -138,7 +140,7 @@ TEST_P(SimConservation, Deterministic) {
   auto p2 = make_policy(policy_kind);
   const sim::SimResult a = sim::simulate(c, w, *p1);
   const sim::SimResult b = sim::simulate(c, w, *p2);
-  EXPECT_DOUBLE_EQ(a.total_cost_mc, b.total_cost_mc);
+  EXPECT_DOUBLE_EQ(a.total_cost_mc.mc(), b.total_cost_mc.mc());
   EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
   for (std::size_t m = 0; m < a.machines.size(); ++m)
     EXPECT_DOUBLE_EQ(a.machines[m].busy_s, b.machines[m].busy_s);
@@ -226,9 +228,10 @@ TEST_P(LpScheduleProperties, DecodedScheduleSatisfiesPaperConstraints) {
   }
 
   // Objective equals the decoded breakdown.
-  EXPECT_NEAR(s.objective_mc,
-              s.placement_transfer_mc + s.execution_mc + s.runtime_transfer_mc,
-              1e-5 * (1.0 + s.objective_mc));
+  EXPECT_NEAR(
+      s.objective_mc.mc(),
+      (s.placement_transfer_mc + s.execution_mc + s.runtime_transfer_mc).mc(),
+      1e-5 * (1.0 + s.objective_mc.mc()));
 }
 
 TEST_P(LpScheduleProperties, OnlineNeverBeatsOfflineBound) {
@@ -253,7 +256,7 @@ TEST_P(LpScheduleProperties, OnlineNeverBeatsOfflineBound) {
   core::LipsPolicy lips(lo);
   const sim::SimResult r = sim::simulate(c, w, lips);
   ASSERT_TRUE(r.completed);
-  EXPECT_GE(r.total_cost_mc, offline.objective_mc - 1e-6);
+  EXPECT_GE(r.total_cost_mc.mc(), offline.objective_mc.mc() - 1e-6);
 }
 
 // ---------------------------------------------------------------------------
@@ -284,7 +287,7 @@ TEST_P(EpochSweep, LipsCompletesAtEveryEpochLength) {
   ASSERT_TRUE(r.completed) << "epoch " << epoch;
   EXPECT_EQ(r.tasks_completed, w.total_tasks());
   EXPECT_EQ(lips.lp_failures(), 0u);
-  EXPECT_GT(r.total_cost_mc, 0.0);
+  EXPECT_GT(r.total_cost_mc.mc(), 0.0);
 }
 
 }  // namespace

@@ -23,7 +23,7 @@ Cluster grid_cluster(std::size_t nodes, std::size_t zones, double price = 1.0,
     cluster::Machine m;
     m.name = "m" + std::to_string(i);
     m.zone = ZoneId{i % zones};
-    m.cpu_price_mc = price;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(price);
     m.throughput_ecu = 1.0;
     m.map_slots = slots;
     m.uptime_s = 1e9;
@@ -93,8 +93,8 @@ TEST(FifoPolicy, ReadsFromNearestReplica) {
   cfg.hdfs_replication = 3;
   const sim::SimResult r = sim::simulate(c, w, fifo, cfg);
   ASSERT_TRUE(r.completed);
-  EXPECT_DOUBLE_EQ(r.read_transfer_cost_mc, 0.0);
-  EXPECT_DOUBLE_EQ(r.data_local_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.read_transfer_cost_mc.mc(), 0.0);
+  EXPECT_DOUBLE_EQ(r.data_local_fraction.value(), 1.0);
 }
 
 TEST(FifoPolicy, ReplicationCostChargedAtIngest) {
@@ -114,8 +114,8 @@ TEST(FifoPolicy, ReplicationCostChargedAtIngest) {
   FifoLocalityScheduler fifo1;
   const sim::SimResult r1 = sim::simulate(c, w, fifo1);
   // The default replica pipeline puts the 2nd copy off-zone → paid.
-  EXPECT_GT(r3.ingest_replication_cost_mc, 0.0);
-  EXPECT_DOUBLE_EQ(r1.ingest_replication_cost_mc, 0.0);
+  EXPECT_GT(r3.ingest_replication_cost_mc.mc(), 0.0);
+  EXPECT_DOUBLE_EQ(r1.ingest_replication_cost_mc.mc(), 0.0);
 }
 
 // ---------------------------------------------------------------- delay ---
@@ -128,7 +128,7 @@ TEST(DelayPolicy, YieldsToYoungerJobWithLocalTask) {
   DelayScheduler delay(1e9, 1e9);  // infinite patience
   const sim::SimResult r = sim::simulate(c, w, delay);
   ASSERT_TRUE(r.completed);
-  EXPECT_DOUBLE_EQ(r.data_local_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.data_local_fraction.value(), 1.0);
   // Both machines worked (B did not starve behind A).
   EXPECT_GT(r.machines[0].tasks_run, 0u);
   EXPECT_GT(r.machines[1].tasks_run, 0u);

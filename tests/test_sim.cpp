@@ -26,7 +26,7 @@ Cluster two_nodes(double price0, double price1, double tp0 = 1.0,
     cluster::Machine m;
     m.name = "m" + std::to_string(c.machine_count());
     m.zone = z;
-    m.cpu_price_mc = price;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(price);
     m.throughput_ecu = tp;
     m.map_slots = slots;
     m.uptime_s = 1e9;
@@ -69,10 +69,10 @@ TEST(SimMechanics, SingleTaskTimingAndCostExact) {
   // FIFO picks the node-local machine 0 (machine order, locality level 0):
   // duration = 64 MB / 80 MB/s + 64 ECU-s / 1 ECU = 0.8 + 64 = 64.8 s.
   EXPECT_NEAR(r.makespan_s, 64.8, 1e-9);
-  EXPECT_NEAR(r.execution_cost_mc, 128.0, 1e-9);       // 64 × 2
-  EXPECT_NEAR(r.read_transfer_cost_mc, 0.0, 1e-12);    // local read free
-  EXPECT_NEAR(r.total_cost_mc, 128.0, 1e-9);
-  EXPECT_DOUBLE_EQ(r.data_local_fraction, 1.0);
+  EXPECT_NEAR(r.execution_cost_mc.mc(), 128.0, 1e-9);     // 64 × 2
+  EXPECT_NEAR(r.read_transfer_cost_mc.mc(), 0.0, 1e-12);  // local read free
+  EXPECT_NEAR(r.total_cost_mc.mc(), 128.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.data_local_fraction.value(), 1.0);
   EXPECT_NEAR(r.machines[0].busy_s, 64.8, 1e-9);
   EXPECT_NEAR(r.machines[1].busy_s, 0.0, 1e-12);
 }
@@ -89,9 +89,9 @@ TEST(SimMechanics, InputFreeJobRunsWithoutStores) {
   const SimResult r = simulate(c, w, fifo);
   ASSERT_TRUE(r.completed);
   EXPECT_EQ(r.tasks_completed, 4u);
-  EXPECT_NEAR(r.total_cost_mc, 100.0, 1e-9);
+  EXPECT_NEAR(r.total_cost_mc.mc(), 100.0, 1e-9);
   // Input-free reads count as local by convention.
-  EXPECT_DOUBLE_EQ(r.data_local_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.data_local_fraction.value(), 1.0);
 }
 
 TEST(SimMechanics, SlotsLimitParallelism) {
@@ -132,15 +132,16 @@ TEST(SimMechanics, CostBreakdownSums) {
   sched::FifoLocalityScheduler fifo;
   const SimResult r = simulate(c, w, fifo);
   ASSERT_TRUE(r.completed);
-  EXPECT_NEAR(r.total_cost_mc,
-              r.execution_cost_mc + r.read_transfer_cost_mc +
-                  r.placement_transfer_cost_mc,
+  EXPECT_NEAR(r.total_cost_mc.mc(),
+              (r.execution_cost_mc + r.read_transfer_cost_mc +
+               r.placement_transfer_cost_mc)
+                  .mc(),
               1e-9);
-  double machine_cost = 0.0;
+  Millicents machine_cost = Millicents::zero();
   for (const MachineMetrics& m : r.machines)
     machine_cost += m.cpu_cost_mc + m.read_cost_mc;
-  EXPECT_NEAR(machine_cost,
-              r.execution_cost_mc + r.read_transfer_cost_mc, 1e-9);
+  EXPECT_NEAR(machine_cost.mc(),
+              (r.execution_cost_mc + r.read_transfer_cost_mc).mc(), 1e-9);
 }
 
 TEST(SimMechanics, DeterministicAcrossRuns) {
@@ -150,7 +151,7 @@ TEST(SimMechanics, DeterministicAcrossRuns) {
   const SimResult a = simulate(c, w, f1);
   const SimResult b = simulate(c, w, f2);
   EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
-  EXPECT_DOUBLE_EQ(a.total_cost_mc, b.total_cost_mc);
+  EXPECT_DOUBLE_EQ(a.total_cost_mc.mc(), b.total_cost_mc.mc());
   EXPECT_EQ(a.tasks_completed, b.tasks_completed);
 }
 
@@ -181,11 +182,11 @@ TEST(DelayScheduler, AchievesHigherLocalityThanDefault) {
   const SimResult rd = simulate(c, w, delay);
   ASSERT_TRUE(rf.completed);
   ASSERT_TRUE(rd.completed);
-  EXPECT_GT(rd.data_local_fraction, rf.data_local_fraction);
-  EXPECT_DOUBLE_EQ(rd.data_local_fraction, 1.0);
+  EXPECT_GT(rd.data_local_fraction.value(), rf.data_local_fraction.value());
+  EXPECT_DOUBLE_EQ(rd.data_local_fraction.value(), 1.0);
   // Locality avoids cross-zone read charges entirely.
-  EXPECT_DOUBLE_EQ(rd.read_transfer_cost_mc, 0.0);
-  EXPECT_GT(rf.read_transfer_cost_mc, 0.0);
+  EXPECT_DOUBLE_EQ(rd.read_transfer_cost_mc.mc(), 0.0);
+  EXPECT_GT(rf.read_transfer_cost_mc.mc(), 0.0);
 }
 
 TEST(DelayScheduler, FallsBackAfterWaiting) {
@@ -197,7 +198,7 @@ TEST(DelayScheduler, FallsBackAfterWaiting) {
   const SimResult r = simulate(c, w, delay);
   ASSERT_TRUE(r.completed);
   EXPECT_GT(r.machines[1].tasks_run, 0u);
-  EXPECT_LT(r.data_local_fraction, 1.0);
+  EXPECT_LT(r.data_local_fraction.value(), 1.0);
 }
 
 TEST(Speculative, DuplicatesStragglerAndCutsMakespan) {
@@ -218,10 +219,10 @@ TEST(Speculative, DuplicatesStragglerAndCutsMakespan) {
   EXPECT_GT(spec.speculative_launched, 0u);
   EXPECT_LT(spec.makespan_s, base.makespan_s);
   // Speculation is never free: duplicates burn money.
-  EXPECT_GE(spec.total_cost_mc, base.total_cost_mc - 1e-9);
+  EXPECT_GE(spec.total_cost_mc.mc(), base.total_cost_mc.mc() - 1e-9);
   // The duplicate's bill is metered, and the losing copies' spend is waste.
-  EXPECT_GT(spec.speculation_cost_mc, 0.0);
-  EXPECT_GT(spec.wasted_cost_mc, 0.0);
+  EXPECT_GT(spec.speculation_cost_mc.mc(), 0.0);
+  EXPECT_GT(spec.wasted_cost_mc.mc(), 0.0);
 }
 
 TEST(Speculative, NaiveModeIsDeterministic) {
@@ -243,8 +244,8 @@ TEST(Speculative, NaiveModeIsDeterministic) {
   // Every cancelled loser was once launched, and its spend is metered.
   EXPECT_LE(a.speculative_wasted, a.speculative_launched);
   EXPECT_GT(a.speculative_launched, 0u);
-  EXPECT_GT(a.wasted_cost_mc, 0.0);
-  EXPECT_GT(a.speculation_cost_mc, 0.0);
+  EXPECT_GT(a.wasted_cost_mc.mc(), 0.0);
+  EXPECT_GT(a.speculation_cost_mc.mc(), 0.0);
 }
 
 TEST(Timeouts, SlowTaskIsKilledAndRetried) {
@@ -252,7 +253,7 @@ TEST(Timeouts, SlowTaskIsKilledAndRetried) {
   // Cross-zone link so slow that a remote read exceeds the timeout.
   const Workload w = one_job(0.01, 2 * 64.0, 2, StoreId{1});
   // Slow down machine 0's access to store 1 drastically.
-  c.set_bandwidth_mb_s(MachineId{0}, StoreId{1}, 0.01);
+  c.set_bandwidth_mb_s(MachineId{0}, StoreId{1}, BytesPerSec::mb_per_s(0.01));
   sched::FifoLocalityScheduler fifo;
   SimConfig cfg;
   cfg.task_timeout_s = 600.0;
@@ -268,8 +269,8 @@ TEST(Timeouts, KillsExactlyRetryBudgetThenRunsToCompletion) {
   // killed until the retry budget runs out, then the livelock guard lets
   // the task run to completion.
   const Workload w = one_job(0.01, 64.0, 1, StoreId{1});
-  c.set_bandwidth_mb_s(MachineId{0}, StoreId{1}, 0.01);
-  c.set_bandwidth_mb_s(MachineId{1}, StoreId{1}, 0.01);
+  c.set_bandwidth_mb_s(MachineId{0}, StoreId{1}, BytesPerSec::mb_per_s(0.01));
+  c.set_bandwidth_mb_s(MachineId{1}, StoreId{1}, BytesPerSec::mb_per_s(0.01));
   sched::FifoLocalityScheduler fifo;
   SimConfig cfg;
   cfg.task_timeout_s = 600.0;
@@ -291,8 +292,8 @@ TEST(Timeouts, KillsExactlyRetryBudgetThenRunsToCompletion) {
 TEST(Timeouts, ZeroRetriesDisablesKilling) {
   Cluster c = two_nodes(1.0, 1.0);
   const Workload w = one_job(0.01, 64.0, 1, StoreId{1});
-  c.set_bandwidth_mb_s(MachineId{0}, StoreId{1}, 0.01);
-  c.set_bandwidth_mb_s(MachineId{1}, StoreId{1}, 0.01);
+  c.set_bandwidth_mb_s(MachineId{0}, StoreId{1}, BytesPerSec::mb_per_s(0.01));
+  c.set_bandwidth_mb_s(MachineId{1}, StoreId{1}, BytesPerSec::mb_per_s(0.01));
   sched::FifoLocalityScheduler fifo;
   SimConfig cfg;
   cfg.task_timeout_s = 600.0;
@@ -318,7 +319,7 @@ TEST(LipsPolicySim, CompletesAndBeatsDefaultOnCost) {
   const SimResult rf = simulate(c, w, fifo);
   ASSERT_TRUE(rl.completed);
   ASSERT_TRUE(rf.completed);
-  EXPECT_LT(rl.total_cost_mc, rf.total_cost_mc);
+  EXPECT_LT(rl.total_cost_mc.mc(), rf.total_cost_mc.mc());
   EXPECT_GT(rl.machines[1].tasks_run, rl.machines[0].tasks_run);
   EXPECT_GE(lips.lp_solves(), 1u);
   EXPECT_EQ(lips.lp_failures(), 0u);
@@ -334,8 +335,8 @@ TEST(LipsPolicySim, SimulatedCostTracksLpPlan) {
   ASSERT_TRUE(r.completed);
   // The simulator's dollar meter should match the LP/rounded plan closely
   // (same prices, same assignments).
-  EXPECT_NEAR(r.total_cost_mc, lips.planned_cost_mc(),
-              0.05 * lips.planned_cost_mc());
+  EXPECT_NEAR(r.total_cost_mc.mc(), lips.planned_cost_mc().mc(),
+              0.05 * lips.planned_cost_mc().mc());
 }
 
 TEST(LipsPolicySim, ShortEpochsDeferWorkAcrossEpochs) {
@@ -365,7 +366,8 @@ TEST(LipsPolicySim, DataMovesArePaidAndGateTasks) {
   // Either it moved data (placement cost) or read remotely (read cost);
   // for this gap the LP picks a placement move or remote read of equal
   // price — both register as transfer spend.
-  EXPECT_GT(r.placement_transfer_cost_mc + r.read_transfer_cost_mc, 0.0);
+  EXPECT_GT((r.placement_transfer_cost_mc + r.read_transfer_cost_mc).mc(),
+            0.0);
   // All work must land on the cheap machine.
   EXPECT_EQ(r.machines[0].tasks_run, 0u);
   EXPECT_EQ(r.machines[1].tasks_run, 4u);

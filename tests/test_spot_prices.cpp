@@ -18,7 +18,7 @@ cluster::Cluster two_nodes(double p0, double p1) {
     cluster::Machine m;
     m.name = "m" + std::to_string(c.machine_count());
     m.zone = z;
-    m.cpu_price_mc = price;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(price);
     m.map_slots = 1;
     m.uptime_s = 1e9;
     const MachineId id = c.add_machine(std::move(m));
@@ -37,26 +37,26 @@ cluster::Cluster two_nodes(double p0, double p1) {
 
 TEST(PriceSchedule, StepFunctionResolution) {
   cluster::Cluster c = two_nodes(2.0, 3.0);
-  c.set_price_schedule(MachineId{0}, {{100.0, 5.0}, {200.0, 0.5}});
-  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 0.0), 2.0);    // base
-  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 99.9), 2.0);
-  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 100.0), 5.0);  // step 1
-  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 150.0), 5.0);
-  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 1e9), 0.5);    // step 2
+  c.set_price_schedule(MachineId{0}, {{100.0, UsdPerCpuSec::mc_per_ecu_s(5.0)}, {200.0, UsdPerCpuSec::mc_per_ecu_s(0.5)}});
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 0.0).mc_per_ecu_s(), 2.0);    // base
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 99.9).mc_per_ecu_s(), 2.0);
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 100.0).mc_per_ecu_s(), 5.0);  // step 1
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 150.0).mc_per_ecu_s(), 5.0);
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{0}, 1e9).mc_per_ecu_s(), 0.5);    // step 2
   // Unscheduled machine keeps its static price at all times.
-  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{1}, 1e9), 3.0);
+  EXPECT_DOUBLE_EQ(c.cpu_price_mc_at(MachineId{1}, 1e9).mc_per_ecu_s(), 3.0);
   EXPECT_TRUE(c.has_dynamic_prices());
 }
 
 TEST(PriceSchedule, Validation) {
   cluster::Cluster c = two_nodes(1.0, 1.0);
-  EXPECT_THROW(c.set_price_schedule(MachineId{5}, {{0.0, 1.0}}),
+  EXPECT_THROW(c.set_price_schedule(MachineId{5}, {{0.0, UsdPerCpuSec::mc_per_ecu_s(1.0)}}),
                PreconditionError);
   EXPECT_THROW(c.set_price_schedule(MachineId{0}, {}), PreconditionError);
-  EXPECT_THROW(c.set_price_schedule(MachineId{0}, {{0.0, -1.0}}),
+  EXPECT_THROW(c.set_price_schedule(MachineId{0}, {{0.0, UsdPerCpuSec::mc_per_ecu_s(-1.0)}}),
                PreconditionError);
   EXPECT_THROW(
-      c.set_price_schedule(MachineId{0}, {{100.0, 1.0}, {100.0, 2.0}}),
+      c.set_price_schedule(MachineId{0}, {{100.0, UsdPerCpuSec::mc_per_ecu_s(1.0)}, {100.0, UsdPerCpuSec::mc_per_ecu_s(2.0)}}),
       PreconditionError);
 }
 
@@ -65,7 +65,7 @@ TEST(PriceSchedule, Validation) {
 TEST(SpotBilling, InstanceBilledAtLaunchTimePrice) {
   // A job arriving after the price step pays the new price.
   cluster::Cluster c = two_nodes(2.0, 100.0);
-  c.set_price_schedule(MachineId{0}, {{500.0, 10.0}});
+  c.set_price_schedule(MachineId{0}, {{500.0, UsdPerCpuSec::mc_per_ecu_s(10.0)}});
   workload::Workload w;
   const DataId d = w.add_data({"d", 64.0, StoreId{0}});
   workload::Job j;
@@ -78,12 +78,12 @@ TEST(SpotBilling, InstanceBilledAtLaunchTimePrice) {
   sched::FifoLocalityScheduler fifo;
   const sim::SimResult r = sim::simulate(c, w, fifo);
   ASSERT_TRUE(r.completed);
-  EXPECT_NEAR(r.execution_cost_mc, 64.0 * 10.0, 1e-6);
+  EXPECT_NEAR(r.execution_cost_mc.mc(), 64.0 * 10.0, 1e-6);
 }
 
 TEST(SpotBilling, EarlyLaunchPaysOldPrice) {
   cluster::Cluster c = two_nodes(2.0, 100.0);
-  c.set_price_schedule(MachineId{0}, {{500.0, 10.0}});
+  c.set_price_schedule(MachineId{0}, {{500.0, UsdPerCpuSec::mc_per_ecu_s(10.0)}});
   workload::Workload w;
   const DataId d = w.add_data({"d", 64.0, StoreId{0}});
   workload::Job j;
@@ -95,7 +95,7 @@ TEST(SpotBilling, EarlyLaunchPaysOldPrice) {
   sched::FifoLocalityScheduler fifo;
   const sim::SimResult r = sim::simulate(c, w, fifo);
   ASSERT_TRUE(r.completed);
-  EXPECT_NEAR(r.execution_cost_mc, 64.0 * 2.0, 1e-6);
+  EXPECT_NEAR(r.execution_cost_mc.mc(), 64.0 * 2.0, 1e-6);
 }
 
 TEST(SpotLips, EpochLpFollowsThePrice) {
@@ -103,8 +103,8 @@ TEST(SpotLips, EpochLpFollowsThePrice) {
   // mirror image. LiPS epochs must route early work to m0 and late work to
   // m1. Two jobs arrive in the two price regimes.
   cluster::Cluster c = two_nodes(1.0, 10.0);
-  c.set_price_schedule(MachineId{0}, {{1000.0, 10.0}});
-  c.set_price_schedule(MachineId{1}, {{1000.0, 1.0}});
+  c.set_price_schedule(MachineId{0}, {{1000.0, UsdPerCpuSec::mc_per_ecu_s(10.0)}});
+  c.set_price_schedule(MachineId{1}, {{1000.0, UsdPerCpuSec::mc_per_ecu_s(1.0)}});
 
   workload::Workload w;
   for (int i = 0; i < 2; ++i) {
@@ -123,7 +123,7 @@ TEST(SpotLips, EpochLpFollowsThePrice) {
   const sim::SimResult r = sim::simulate(c, w, lips);
   ASSERT_TRUE(r.completed);
   // Early job on m0 (1 m¢), late job on m1 (1 m¢): both at the cheap rate.
-  EXPECT_NEAR(r.execution_cost_mc, 2 * 64.0 * 1.0, 1e-6);
+  EXPECT_NEAR(r.execution_cost_mc.mc(), 2 * 64.0 * 1.0, 1e-6);
   EXPECT_EQ(r.machines[0].tasks_run, 1u);
   EXPECT_EQ(r.machines[1].tasks_run, 1u);
 }
@@ -146,7 +146,7 @@ TEST(SpotLips, StaticPricesUnchangedByPriceTimeOption) {
   const core::LpSchedule sb = core::solve_co_scheduling(c, w, b);
   ASSERT_TRUE(sa.optimal());
   ASSERT_TRUE(sb.optimal());
-  EXPECT_NEAR(sa.objective_mc, sb.objective_mc, 1e-9);
+  EXPECT_NEAR(sa.objective_mc.mc(), sb.objective_mc.mc(), 1e-9);
 }
 
 }  // namespace

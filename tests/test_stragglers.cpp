@@ -28,7 +28,7 @@ Cluster two_nodes(double price0 = 1.0, double price1 = 1.0, int slots = 1,
     cluster::Machine m;
     m.name = "m" + std::to_string(c.machine_count());
     m.zone = z;
-    m.cpu_price_mc = price;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(price);
     m.throughput_ecu = 1.0;
     m.map_slots = slots;
     m.uptime_s = 1e9;
@@ -94,9 +94,10 @@ TEST(Slowdown, StretchesInFlightWorkAndBillsWallTime) {
   // CPU is billed by wall-clock occupancy (reserved capacity), so the bill
   // stretches with the slowdown; the read moved the same bytes, so the
   // transfer bill is unchanged.
-  EXPECT_NEAR(r.execution_cost_mc, base.execution_cost_mc * (229.2 / kTaskS),
-              1e-9);
-  EXPECT_NEAR(r.read_transfer_cost_mc, base.read_transfer_cost_mc, 1e-12);
+  EXPECT_NEAR(r.execution_cost_mc.mc(),
+              base.execution_cost_mc.mc() * (229.2 / kTaskS), 1e-9);
+  EXPECT_NEAR(r.read_transfer_cost_mc.mc(), base.read_transfer_cost_mc.mc(),
+              1e-12);
   EXPECT_EQ(r.machine_slowdowns, 1u);
   EXPECT_NEAR(r.machines[0].slowed_s, 1000.0, 1e-9);  // full window elapsed
   EXPECT_EQ(count_kind(r, TraceEvent::Kind::MachineSlowed), 1u);
@@ -134,7 +135,7 @@ TEST(Slowdown, IdleMachineSlowdownChangesNothing) {
   EXPECT_EQ(a.execution_cost_mc, b.execution_cost_mc);
   EXPECT_EQ(b.machine_slowdowns, 1u);  // the window opened, but nothing ran
   EXPECT_NEAR(b.machines[1].slowed_s, 50.0, 1e-9);
-  EXPECT_EQ(b.wasted_cost_mc, 0.0);
+  EXPECT_EQ(b.wasted_cost_mc.mc(), 0.0);
 }
 
 // --------------------------------------------- cost-aware speculation -----
@@ -159,10 +160,10 @@ TEST(CostAwareSpeculation, DuplicatesWhenTheDollarsSayYes) {
   EXPECT_NEAR(nospec.makespan_s, 5.0 + 59.8 * 8.0, 1e-9);  // 483.4 s
   EXPECT_EQ(spec.speculative_launched, 1u);
   EXPECT_EQ(spec.speculative_wasted, 1u);  // the stranded original lost
-  EXPECT_GT(spec.speculation_cost_mc, 0.0);
-  EXPECT_GT(spec.wasted_cost_mc, 0.0);
+  EXPECT_GT(spec.speculation_cost_mc.mc(), 0.0);
+  EXPECT_GT(spec.wasted_cost_mc.mc(), 0.0);
   EXPECT_LT(spec.makespan_s, nospec.makespan_s / 2.0);
-  EXPECT_LT(spec.total_cost_mc, nospec.total_cost_mc);
+  EXPECT_LT(spec.total_cost_mc.mc(), nospec.total_cost_mc.mc());
 }
 
 TEST(CostAwareSpeculation, DeclinesWhenTheDuplicateIsDearer) {
@@ -183,7 +184,7 @@ TEST(CostAwareSpeculation, DeclinesWhenTheDuplicateIsDearer) {
   ASSERT_TRUE(nospec.completed);
   ASSERT_TRUE(spec.completed);
   EXPECT_EQ(spec.speculative_launched, 0u);
-  EXPECT_EQ(spec.speculation_cost_mc, 0.0);
+  EXPECT_EQ(spec.speculation_cost_mc.mc(), 0.0);
   EXPECT_EQ(spec.makespan_s, nospec.makespan_s);
   EXPECT_EQ(spec.total_cost_mc, nospec.total_cost_mc);
   EXPECT_EQ(spec.execution_cost_mc, nospec.execution_cost_mc);

@@ -19,7 +19,7 @@ cluster::Cluster two_nodes() {
     cluster::Machine m;
     m.name = "m" + std::to_string(i);
     m.zone = z;
-    m.cpu_price_mc = i == 0 ? 5.0 : 1.0;
+    m.cpu_price_mc = UsdPerCpuSec::mc_per_ecu_s(i == 0 ? 5.0 : 1.0);
     m.map_slots = 1;
     m.uptime_s = 1e9;
     const MachineId id = c.add_machine(std::move(m));
@@ -98,11 +98,12 @@ TEST(Trace, CompleteCarriesCost) {
   SimConfig cfg;
   cfg.record_trace = true;
   const SimResult r = simulate(c, w, fifo, cfg);
-  double traced_cost = 0.0;
+  Millicents traced_cost = Millicents::zero();
   for (const TraceEvent& e : r.trace)
-    if (e.kind == TraceEvent::Kind::TaskComplete) traced_cost += e.amount;
-  EXPECT_NEAR(traced_cost, r.execution_cost_mc + r.read_transfer_cost_mc,
-              1e-6);
+    if (e.kind == TraceEvent::Kind::TaskComplete)
+      traced_cost += Millicents::mc(e.amount);
+  EXPECT_NEAR(traced_cost.mc(),
+              (r.execution_cost_mc + r.read_transfer_cost_mc).mc(), 1e-6);
 }
 
 TEST(Trace, LipsRunRecordsEpochsAndMoves) {

@@ -1,0 +1,172 @@
+// Unit tests for the dimensional quantity system (common/units.hpp):
+// conversion round-trips, exponent-composing arithmetic, Fraction clamping,
+// and saturation behavior of Millicents accumulation. The complementary
+// *negative* guarantee — mixed-dimension arithmetic does not compile — is a
+// CMake try_compile check, see tests/compile_fail/.
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace lips {
+namespace {
+
+// --- Conversion round-trips ------------------------------------------------
+
+TEST(Units, MoneyRoundTrips) {
+  EXPECT_DOUBLE_EQ(Millicents::mc(12345.0).mc(), 12345.0);
+  EXPECT_DOUBLE_EQ(Millicents::dollars(1.0).mc(), 100000.0);
+  EXPECT_DOUBLE_EQ(Millicents::dollars(0.17).dollars(), 0.17);
+  EXPECT_DOUBLE_EQ(Millicents::mc(62.5).dollars(), 62.5 / 100000.0);
+}
+
+TEST(Units, DataRoundTrips) {
+  EXPECT_DOUBLE_EQ(Bytes::mb(512.0).mb(), 512.0);
+  EXPECT_DOUBLE_EQ(Bytes::gb(10.0).mb(), 10240.0);
+  EXPECT_DOUBLE_EQ(Bytes::gb(2.5).gb(), 2.5);
+  EXPECT_DOUBLE_EQ(Bytes::blocks(3.0).mb(), 192.0);  // 3 × 64 MB
+  EXPECT_DOUBLE_EQ(Bytes::mb(96.0).blocks(), 1.5);
+}
+
+TEST(Units, TimeRoundTrips) {
+  EXPECT_DOUBLE_EQ(Seconds::secs(90.0).secs(), 90.0);
+  EXPECT_DOUBLE_EQ(Seconds::hours(2.0).secs(), 7200.0);
+  EXPECT_DOUBLE_EQ(Seconds::hours(0.5).hours(), 0.5);
+}
+
+TEST(Units, PriceRoundTrips) {
+  // Paper footnote 1: c1.medium at $0.17/hr with 5 ECU.
+  const UsdPerCpuSec p = UsdPerCpuSec::hourly_dollars(0.17, 5.0);
+  EXPECT_DOUBLE_EQ(p.mc_per_ecu_s(), 0.17 * 100000.0 / 3600.0 / 5.0);
+  // Paper: "$0.01 per GB (62.5 millicent per 64 MB block)".
+  const McPerMb t = McPerMb::dollars_per_gb(0.01);
+  EXPECT_DOUBLE_EQ(t.mc_per_block(), 62.5);
+  EXPECT_DOUBLE_EQ(McPerMb::mc_per_block(62.5).mc_per_mb(), 62.5 / 64.0);
+  EXPECT_DOUBLE_EQ(McPerMb::mc_per_mb(3.5).mc_per_mb(), 3.5);
+}
+
+// --- Dimension-composing arithmetic ---------------------------------------
+
+TEST(Units, TransferTimeIsBytesOverBandwidth) {
+  const Seconds t = Bytes::mb(640.0) / BytesPerSec::mb_per_s(10.0);
+  EXPECT_DOUBLE_EQ(t.secs(), 64.0);
+}
+
+TEST(Units, ExecutionCostIsCpuTimesPrice) {
+  const Millicents c = CpuSeconds::ecu_s(100.0) * UsdPerCpuSec::mc_per_ecu_s(5.0);
+  EXPECT_DOUBLE_EQ(c.mc(), 500.0);
+}
+
+TEST(Units, TransferCostIsBytesTimesPrice) {
+  const Millicents c = Bytes::blocks(2.0) * McPerMb::mc_per_block(62.5);
+  EXPECT_DOUBLE_EQ(c.mc(), 125.0);
+}
+
+TEST(Units, BreakEvenIntensityTimesPriceIsTransferPrice) {
+  // The paper's break-even: c [ECU-s/MB] × price [m¢/ECU-s] → m¢/MB.
+  const McPerMb m = CpuSecPerMb::ecu_s_per_mb(0.3125) *
+                    UsdPerCpuSec::mc_per_ecu_s(4.0);
+  EXPECT_DOUBLE_EQ(m.mc_per_mb(), 1.25);
+}
+
+TEST(Units, SameDimensionRatioIsPlainDouble) {
+  const double ratio = Millicents::mc(250.0) / Millicents::mc(1000.0);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  static_assert(std::is_same_v<decltype(Millicents::mc(1.0) /
+                                        Millicents::mc(2.0)),
+                               double>);
+  static_assert(std::is_same_v<decltype(Bytes::mb(1.0) *
+                                        McPerMb::mc_per_mb(1.0)),
+                               Millicents>);
+}
+
+TEST(Units, ScalarInversionFlipsDimension) {
+  const auto per_mc = 1.0 / Millicents::mc(4.0);
+  EXPECT_DOUBLE_EQ(per_mc.raw(), 0.25);
+  // (1/m¢) × m¢ cancels back to a double.
+  EXPECT_DOUBLE_EQ(per_mc * Millicents::mc(8.0), 2.0);
+}
+
+TEST(Units, AdditionAndScalingStayInDimension) {
+  Millicents m = Millicents::mc(10.0);
+  m += Millicents::mc(5.0);
+  m -= Millicents::mc(3.0);
+  m *= 2.0;
+  m /= 4.0;
+  EXPECT_DOUBLE_EQ(m.mc(), 6.0);
+  EXPECT_DOUBLE_EQ((-m).mc(), -6.0);
+  EXPECT_DOUBLE_EQ((3.0 * m).mc(), 18.0);
+  EXPECT_DOUBLE_EQ((m + m - m).mc(), 6.0);
+}
+
+TEST(Units, ComparisonAndStreaming) {
+  EXPECT_LT(Millicents::mc(1.0), Millicents::mc(2.0));
+  EXPECT_EQ(Millicents::dollars(1.0), Millicents::mc(100000.0));
+  EXPECT_GT(Seconds::hours(1.0), Seconds::secs(3599.0));
+  std::ostringstream os;
+  os << Millicents::mc(42.5);
+  EXPECT_EQ(os.str(), "42.5");
+}
+
+// --- Fraction --------------------------------------------------------------
+
+TEST(Units, FractionClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(Fraction::of(0.75).value(), 0.75);
+  EXPECT_DOUBLE_EQ(Fraction::of(-0.25).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Fraction::of(1.5).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Fraction::of(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Fraction::of(1.0).value(), 1.0);
+  // LP decode noise just outside the interval clamps, not asserts.
+  EXPECT_DOUBLE_EQ(Fraction::of(1.0 + 1e-12).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Fraction::of(-1e-12).value(), 0.0);
+}
+
+TEST(Units, FractionRejectsNonFinite) {
+  EXPECT_DOUBLE_EQ(Fraction::of(std::numeric_limits<double>::quiet_NaN()).value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(Fraction::of(std::numeric_limits<double>::infinity()).value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(Fraction::of(-std::numeric_limits<double>::infinity()).value(),
+                   0.0);
+}
+
+TEST(Units, FractionScalesQuantitiesBothWays) {
+  const Millicents m = Millicents::mc(200.0);
+  EXPECT_DOUBLE_EQ((Fraction::of(0.25) * m).mc(), 50.0);
+  EXPECT_DOUBLE_EQ((m * Fraction::of(0.25)).mc(), 50.0);
+}
+
+// --- Overflow / saturation -------------------------------------------------
+
+TEST(Units, MillicentsAccumulationSaturatesToInfinity) {
+  Millicents total = Millicents::mc(std::numeric_limits<double>::max());
+  EXPECT_TRUE(total.finite());
+  total += total;  // doubles saturate to +inf rather than wrap
+  EXPECT_FALSE(total.finite());
+  EXPECT_GT(total, Millicents::mc(std::numeric_limits<double>::max()));
+}
+
+TEST(Units, InfinitySentinelComparesAboveEverything) {
+  EXPECT_FALSE(Millicents::infinity().finite());
+  EXPECT_LT(Millicents::mc(1e300), Millicents::infinity());
+  EXPECT_TRUE(Millicents::zero().finite());
+  EXPECT_EQ(Millicents{}, Millicents::zero());
+}
+
+// --- Legacy scalar helpers (report formatting) -----------------------------
+
+TEST(Units, LegacyScalarHelpersAgreeWithTypedOnes) {
+  EXPECT_DOUBLE_EQ(millicents_to_dollars(Millicents::mc(250000.0)),
+                   millicents_to_dollars(250000.0));
+  EXPECT_DOUBLE_EQ(hourly_dollars_to_millicents_per_ecu_second(0.17, 5.0),
+                   UsdPerCpuSec::hourly_dollars(0.17, 5.0).mc_per_ecu_s());
+  EXPECT_DOUBLE_EQ(dollars_per_gb_to_millicents_per_mb(0.01),
+                   McPerMb::dollars_per_gb(0.01).mc_per_mb());
+  EXPECT_DOUBLE_EQ(blocks_to_mb(3.0), Bytes::blocks(3.0).mb());
+  EXPECT_DOUBLE_EQ(mb_to_blocks(96.0), Bytes::mb(96.0).blocks());
+}
+
+}  // namespace
+}  // namespace lips

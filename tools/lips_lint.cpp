@@ -1,0 +1,300 @@
+// lips-lint — source-tree checker for the two invariants the test suite
+// cannot see at runtime:
+//
+//   * cost correctness — every dollar-bearing quantity must travel through
+//     the dimensional types in common/units.hpp, never as a raw double;
+//   * determinism — no unseeded randomness, no iteration order leaking from
+//     unordered containers into schedules or bills, no wall-clock reads.
+//
+// Rules (suppress a single line with `// lips-lint: allow(<rule>)`):
+//
+//   raw-cost-double      double-typed *_cost* / *_mc / *_bytes / *_secs
+//                        declaration outside common/units.hpp
+//   raw-rng              rand()/srand()/std::random_device outside
+//                        common/rng.hpp (use lips::Rng)
+//   unordered-iteration  range-for or .begin() over a std::unordered_map/
+//                        unordered_set declared in the same file
+//   float-type           `float` anywhere (the cost model is double-only;
+//                        mixing widths changes rounding)
+//   nondet-time          system_clock / steady_clock / high_resolution_clock
+//                        / gettimeofday / time(nullptr) / clock() outside
+//                        bench/ (benchmarks measure wall time by design)
+//
+// Usage:
+//   lips_lint <file>...              lint; exit 1 if any finding
+//   lips_lint --self-test <file>...  every finding must match a
+//                                    `// lint-expect(<rule>)` marker on its
+//                                    line, and every marker must fire
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Replace comments and string/char literals with spaces (newlines kept) so
+/// rule regexes only ever see code. The raw text is still consulted for
+/// `lips-lint: allow` and `lint-expect` markers, which live in comments.
+std::string strip_to_code(const std::string& text) {
+  std::string out(text.size(), ' ');
+  enum class St { Code, Line, Block, Str, Chr } st = St::Code;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      out[i] = '\n';
+      if (st == St::Line) st = St::Code;
+      continue;
+    }
+    switch (st) {
+      case St::Code:
+        if (c == '/' && n == '/') {
+          st = St::Line;
+        } else if (c == '/' && n == '*') {
+          st = St::Block;
+          ++i;
+        } else if (c == '"') {
+          st = St::Str;
+          out[i] = '"';
+        } else if (c == '\'') {
+          st = St::Chr;
+          out[i] = '\'';
+        } else {
+          out[i] = c;
+        }
+        break;
+      case St::Line:
+        break;
+      case St::Block:
+        if (c == '*' && n == '/') {
+          st = St::Code;
+          ++i;
+        }
+        break;
+      case St::Str:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = St::Code;
+          out[i] = '"';
+        }
+        break;
+      case St::Chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::Code;
+          out[i] = '\'';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool in_bench(const std::string& path) {
+  return path.find("bench/") != std::string::npos;
+}
+
+struct FileLint {
+  std::string path;
+  std::vector<std::string> raw_lines;
+  std::string code;  // comment/string-stripped, newline-preserving
+  std::vector<Finding> findings;
+
+  bool load() {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    code = strip_to_code(text);
+    std::string line;
+    std::stringstream ls(text);
+    while (std::getline(ls, line)) raw_lines.push_back(line);
+    return true;
+  }
+
+  bool suppressed(std::size_t line_no, const std::string& rule) const {
+    if (line_no == 0 || line_no > raw_lines.size()) return false;
+    return raw_lines[line_no - 1].find("lips-lint: allow(" + rule + ")") !=
+           std::string::npos;
+  }
+
+  void add(std::size_t line_no, const std::string& rule,
+           const std::string& message) {
+    if (suppressed(line_no, rule)) return;
+    findings.push_back({path, line_no, rule, message});
+  }
+
+  void scan_regex(const std::regex& re, const std::string& rule,
+                  const std::string& message) {
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      add(line_of(code, static_cast<std::size_t>(it->position())), rule,
+          message);
+    }
+  }
+
+  void run() {
+    // raw-cost-double — money/data/time quantities must be dimensional types.
+    if (!ends_with(path, "common/units.hpp")) {
+      static const std::regex re(
+          R"(\bdouble\s+[A-Za-z_]\w*(?:_cost\w*|_mc|_bytes|_secs)\b)");
+      scan_regex(re, "raw-cost-double",
+                 "cost/size/time quantity typed as raw double; use the "
+                 "types in common/units.hpp");
+    }
+
+    // raw-rng — all randomness flows through the seeded lips::Rng.
+    if (!ends_with(path, "common/rng.hpp")) {
+      static const std::regex re(R"(\b(?:srand|rand)\s*\(|\brandom_device\b)");
+      scan_regex(re, "raw-rng",
+                 "unseeded/global RNG; use lips::Rng (common/rng.hpp)");
+    }
+
+    // unordered-iteration — iterating an unordered container leaks
+    // implementation-defined order into whatever consumes the loop.
+    {
+      static const std::regex decl(
+          R"(\bunordered_(?:map|set)\s*<[^;{]*?>\s+([A-Za-z_]\w*))");
+      std::set<std::string> names;
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), decl);
+           it != std::sregex_iterator(); ++it)
+        names.insert((*it)[1].str());
+      for (const std::string& name : names) {
+        const std::regex iter(R"(for\s*\([^;()]*:\s*)" + name + R"(\s*\))" +
+                              "|" + R"(\b)" + name + R"(\s*\.\s*begin\s*\()");
+        scan_regex(iter, "unordered-iteration",
+                   "iteration over std::unordered container '" + name +
+                       "' has implementation-defined order; use std::map/"
+                       "std::set or sort first");
+      }
+    }
+
+    // float-type — the cost model is double-only end to end.
+    {
+      static const std::regex re(R"(\bfloat\b)");
+      scan_regex(re, "float-type",
+                 "float narrows the cost model's precision; use double or a "
+                 "units.hpp type");
+    }
+
+    // nondet-time — simulator/tool output must not depend on wall time.
+    if (!in_bench(path)) {
+      static const std::regex re(
+          R"(\b(?:system_clock|steady_clock|high_resolution_clock)\b)"
+          R"(|\bgettimeofday\b|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\))"
+          R"(|\bclock\s*\(\s*\))");
+      scan_regex(re, "nondet-time",
+                 "wall-clock read in deterministic code; thread simulated "
+                 "time through instead");
+    }
+  }
+};
+
+/// Self-test: the fixture seeds one violation per rule, each tagged with
+/// `// lint-expect(<rule>)`. Pass iff findings and markers agree exactly.
+int self_test(FileLint& f) {
+  std::set<std::pair<std::size_t, std::string>> expected;
+  static const std::regex marker(R"(lint-expect\(([a-z-]+)\))");
+  for (std::size_t i = 0; i < f.raw_lines.size(); ++i) {
+    for (auto it = std::sregex_iterator(f.raw_lines[i].begin(),
+                                        f.raw_lines[i].end(), marker);
+         it != std::sregex_iterator(); ++it)
+      expected.insert({i + 1, (*it)[1].str()});
+  }
+  std::set<std::pair<std::size_t, std::string>> got;
+  for (const Finding& fd : f.findings) got.insert({fd.line, fd.rule});
+  int failures = 0;
+  for (const auto& [line, rule] : expected) {
+    if (!got.count({line, rule})) {
+      std::cerr << f.path << ":" << line << ": self-test: expected rule '"
+                << rule << "' did not fire\n";
+      ++failures;
+    }
+  }
+  for (const auto& [line, rule] : got) {
+    if (!expected.count({line, rule})) {
+      std::cerr << f.path << ":" << line << ": self-test: unexpected finding '"
+                << rule << "'\n";
+      ++failures;
+    }
+  }
+  if (failures == 0)
+    std::cout << f.path << ": self-test OK (" << expected.size()
+              << " seeded violations all detected)\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  bool self = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: lips_lint [--self-test] <file>...\n";
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "lips_lint: no input files\n";
+    return 2;
+  }
+  int exit_code = 0;
+  std::size_t total = 0;
+  for (const std::string& path : files) {
+    FileLint f;
+    f.path = path;
+    if (!f.load()) {
+      std::cerr << "lips_lint: cannot read " << path << "\n";
+      exit_code = 2;
+      continue;
+    }
+    f.run();
+    if (self) {
+      if (self_test(f) != 0) exit_code = 1;
+      continue;
+    }
+    for (const Finding& fd : f.findings) {
+      std::cerr << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
+                << fd.message << "\n";
+      ++total;
+    }
+    if (!f.findings.empty()) exit_code = 1;
+  }
+  if (!self) {
+    if (total == 0)
+      std::cout << "lips-lint: " << files.size() << " files clean\n";
+    else
+      std::cerr << "lips-lint: " << total << " finding(s)\n";
+  }
+  return exit_code;
+}

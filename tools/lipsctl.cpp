@@ -267,7 +267,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{
         name, Table::num(millicents_to_dollars(r.total_cost_mc), 3),
         Table::num(r.makespan_s, 0), Table::num(r.sum_job_duration_s, 0),
-        Table::pct(r.data_local_fraction), r.completed ? "yes" : "no"};
+        Table::pct(r.data_local_fraction.value()), r.completed ? "yes" : "no"};
     if (!args.faults.empty()) {
       row.push_back(std::to_string(r.tasks_killed_by_faults));
       row.push_back(std::to_string(r.fault_retries));
