@@ -7,12 +7,20 @@
 // + decode) across problem sizes and both simplex implementations.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "bench_util.hpp"
+#include "core/epoch_lp_context.hpp"
 #include "core/lp_models.hpp"
 
 namespace {
 
 using namespace lips;
+
+/// Set when the warm-vs-cold verification pass finds a status/objective
+/// divergence (or the warm path loses its pivot advantage); main() turns it
+/// into a nonzero exit so the CI perf-smoke step fails on regressions.
+bool g_solver_regression = false;
 
 struct Instance {
   cluster::Cluster cluster;
@@ -103,6 +111,129 @@ BENCHMARK(BM_EpochLpSolvePruned)
     ->Arg(2000)
     ->Unit(benchmark::kMillisecond);
 
+// ---- Incremental (warm-started) epoch re-solves -----------------------------
+//
+// A deterministic multi-epoch drift at the Table-IV scale: spot prices move
+// with the epoch clock, machines report varying observed throughput, and
+// jobs complete work so their remaining fractions shrink. Exactly the deltas
+// LipsPolicy feeds the LP between replans.
+
+constexpr std::size_t kResolveEpochs = 8;
+
+core::ModelOptions resolve_options(const Instance& inst, std::size_t epoch) {
+  core::ModelOptions opt;
+  opt.epoch_s = 600.0;
+  opt.fake_node = true;
+  opt.price_time = 600.0 * static_cast<double>(epoch);
+  std::vector<double> factors(inst.cluster.machine_count());
+  for (std::size_t m = 0; m < factors.size(); ++m)
+    factors[m] = 1.0 - 0.03 * static_cast<double>((epoch + m) % 4);
+  opt.machine_throughput_factor = std::move(factors);
+  return opt;
+}
+
+std::vector<double> resolve_remaining(const Instance& inst,
+                                      std::size_t epoch) {
+  std::vector<double> remaining(inst.workload.job_count());
+  for (std::size_t k = 0; k < remaining.size(); ++k)
+    remaining[k] = std::max(
+        0.05, 1.0 - 0.08 * static_cast<double>(epoch) *
+                        static_cast<double>(k % 5 + 1) / 5.0);
+  return remaining;
+}
+
+void BM_EpochLpResolveCold(benchmark::State& state) {
+  const Instance inst = make_instance(1608, 20, 20, 20);
+  std::size_t pivots = 0, solves = 0;
+  for (auto _ : state) {
+    for (std::size_t e = 0; e < kResolveEpochs; ++e) {
+      const core::LpSchedule s = core::solve_co_scheduling(
+          inst.cluster, inst.workload, resolve_options(inst, e), {},
+          resolve_remaining(inst, e));
+      benchmark::DoNotOptimize(s.objective_mc);
+      pivots += s.lp_iterations;
+      solves += 1;
+    }
+  }
+  state.counters["pivots_per_solve"] =
+      static_cast<double>(pivots) / static_cast<double>(solves);
+}
+BENCHMARK(BM_EpochLpResolveCold)->Unit(benchmark::kMillisecond);
+
+void BM_EpochLpResolveWarm(benchmark::State& state) {
+  const Instance inst = make_instance(1608, 20, 20, 20);
+  std::size_t pivots = 0, resolves = 0, warm = 0, reused = 0, fallbacks = 0;
+  for (auto _ : state) {
+    core::EpochLpContext ctx;  // epoch 0 is cold; 1..N-1 are re-solves
+    for (std::size_t e = 0; e < kResolveEpochs; ++e) {
+      const core::LpSchedule s =
+          ctx.solve(inst.cluster, inst.workload, resolve_options(inst, e), {},
+                    resolve_remaining(inst, e));
+      benchmark::DoNotOptimize(s.objective_mc);
+      if (e == 0) continue;  // count re-solves only, like the cold baseline
+      pivots += s.lp_iterations;
+      resolves += 1;
+      warm += s.warm_start_used ? 1 : 0;
+      reused += s.model_reused ? 1 : 0;
+      fallbacks += s.cold_fallback ? 1 : 0;
+    }
+  }
+  state.counters["pivots_per_resolve"] =
+      static_cast<double>(pivots) / static_cast<double>(resolves);
+  state.counters["warm_frac"] =
+      static_cast<double>(warm) / static_cast<double>(resolves);
+  state.counters["model_reuse_frac"] =
+      static_cast<double>(reused) / static_cast<double>(resolves);
+  state.counters["cold_fallbacks"] = static_cast<double>(fallbacks);
+}
+BENCHMARK(BM_EpochLpResolveWarm)->Unit(benchmark::kMillisecond);
+
+/// One-shot warm-vs-cold agreement check over the same epoch series the
+/// benchmarks time. Any status/objective divergence — or the warm path
+/// needing more than half the cold pivots — flips the regression flag.
+void verify_warm_matches_cold() {
+  const Instance inst = make_instance(1608, 20, 20, 20);
+  core::EpochLpContext ctx;
+  std::size_t cold_pivots = 0, warm_pivots = 0;
+  for (std::size_t e = 0; e < kResolveEpochs; ++e) {
+    const core::ModelOptions opt = resolve_options(inst, e);
+    const std::vector<double> remaining = resolve_remaining(inst, e);
+    const core::LpSchedule cold = core::solve_co_scheduling(
+        inst.cluster, inst.workload, opt, {}, remaining);
+    const core::LpSchedule warm =
+        ctx.solve(inst.cluster, inst.workload, opt, {}, remaining);
+    if (warm.status != cold.status) {
+      std::cout << "REGRESSION: epoch " << e << " warm status "
+                << lp::to_string(warm.status) << " != cold "
+                << lp::to_string(cold.status) << "\n";
+      g_solver_regression = true;
+      continue;
+    }
+    if (cold.optimal()) {
+      const double co = cold.objective_mc.mc();
+      const double wo = warm.objective_mc.mc();
+      if (std::fabs(co - wo) > 1e-4 + 1e-6 * std::fabs(co)) {
+        std::cout << "REGRESSION: epoch " << e << " warm objective " << wo
+                  << " != cold " << co << "\n";
+        g_solver_regression = true;
+      }
+    }
+    if (e == 0) continue;  // both sides cold on the first epoch
+    cold_pivots += cold.lp_iterations;
+    warm_pivots += warm.lp_iterations;
+  }
+  std::cout << "warm re-solve pivots: " << warm_pivots << " vs cold "
+            << cold_pivots << " ("
+            << (cold_pivots > 0 ? 100.0 * static_cast<double>(warm_pivots) /
+                                      static_cast<double>(cold_pivots)
+                                : 0.0)
+            << "%)\n";
+  if (warm_pivots * 2 > cold_pivots) {
+    std::cout << "REGRESSION: warm re-solves exceed 50% of cold pivots\n";
+    g_solver_regression = true;
+  }
+}
+
 void BM_SolverComparison(benchmark::State& state) {
   const Instance inst = make_instance(400, 20, 15, 15);
   core::ModelOptions opt;
@@ -128,7 +259,8 @@ int main(int argc, char** argv) {
       "§VI-A — LiPS scheduler overhead (LP build+solve+decode)");
   std::cout << "Paper: 10s of milliseconds for problems of thousands of"
                " tasks.\n";
+  verify_warm_matches_cold();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return g_solver_regression ? 1 : 0;
 }

@@ -1,0 +1,192 @@
+#include "core/epoch_lp_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lips::core {
+
+namespace {
+
+/// Feasibility tolerance for accepting an incremental solution. Looser than
+/// the solver's pivot tolerance: max_violation re-evaluates rows in original
+/// (unscaled) units, where capacity rows carry MB/ECU-sized coefficients.
+constexpr double kFeasTol = 1e-5;
+
+std::vector<std::size_t> sorted_unique(const std::vector<std::size_t>& v) {
+  std::vector<std::size_t> out = v;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+EpochLpContext::StructureKey EpochLpContext::make_key(
+    const cluster::Cluster& cluster, const workload::Workload& workload,
+    const ModelOptions& options, const std::vector<JobId>& jobs) {
+  StructureKey key;
+  key.cluster = &cluster;
+  key.workload = &workload;
+  key.machine_count = cluster.machine_count();
+  key.store_count = cluster.store_count();
+  key.data_count = workload.data_count();
+  key.jobs.reserve(jobs.size());
+  for (JobId k : jobs) key.jobs.push_back(k.value());
+  key.excluded_machines = sorted_unique(options.excluded_machines);
+  key.excluded_stores = sorted_unique(options.excluded_stores);
+  key.online = options.epoch_s > 0;
+  key.bandwidth_rows = options.bandwidth_rows;
+  key.fake_node = options.fake_node;
+  key.max_candidate_machines = options.max_candidate_machines;
+  key.max_candidate_stores = options.max_candidate_stores;
+  return key;
+}
+
+lp::Basis EpochLpContext::remap_basis(const detail::ModelLayout& from_layout,
+                                      const lp::Basis& from,
+                                      const detail::ModelLayout& to_layout) {
+  if (from.variables.size() != from_layout.num_variables ||
+      from.slacks.size() != from_layout.rows.size())
+    return {};
+
+  // Identity → status maps for the old model. Ordered maps: deterministic
+  // and keyed by tuples (lips-lint bans unordered iteration, and these are
+  // iterated implicitly via lookups only — ordered is simply the safe idiom).
+  using TaskKey = std::tuple<std::size_t, std::size_t, std::size_t>;
+  std::map<TaskKey, lp::BasisStatus> tmap;
+  std::map<std::pair<std::size_t, std::size_t>, lp::BasisStatus> dmap;
+  std::map<detail::RowKey, lp::BasisStatus> rmap;
+  auto task_key = [](const detail::TaskVar& tv) {
+    return TaskKey{tv.job.value(), tv.machine,
+                   tv.store ? tv.store->value() + 1 : 0};
+  };
+  for (const detail::TaskVar& tv : from_layout.tvars)
+    tmap.emplace(task_key(tv), from.variables[tv.lp_var]);
+  for (const detail::DataVar& dv : from_layout.dvars)
+    dmap.emplace(std::pair{dv.data.value(), dv.store.value()},
+                 from.variables[dv.lp_var]);
+  for (std::size_t i = 0; i < from_layout.rows.size(); ++i)
+    rmap.emplace(from_layout.rows[i], from.slacks[i]);
+
+  // New columns/rows the old model never saw default to nonbasic-at-lower;
+  // the solver's basis import sanitizes statuses against the actual bounds
+  // and completes/demotes to exactly one basic column per row.
+  lp::Basis to;
+  to.variables.assign(to_layout.num_variables, lp::BasisStatus::AtLower);
+  to.slacks.assign(to_layout.rows.size(), lp::BasisStatus::AtLower);
+  for (const detail::TaskVar& tv : to_layout.tvars) {
+    const auto it = tmap.find(task_key(tv));
+    if (it != tmap.end()) to.variables[tv.lp_var] = it->second;
+  }
+  for (const detail::DataVar& dv : to_layout.dvars) {
+    const auto it = dmap.find(std::pair{dv.data.value(), dv.store.value()});
+    if (it != dmap.end()) to.variables[dv.lp_var] = it->second;
+  }
+  for (std::size_t i = 0; i < to_layout.rows.size(); ++i) {
+    const auto it = rmap.find(to_layout.rows[i]);
+    if (it != rmap.end()) to.slacks[i] = it->second;
+  }
+  return to;
+}
+
+void EpochLpContext::invalidate() {
+  have_model_ = false;
+  basis_ = {};
+}
+
+LpSchedule EpochLpContext::solve(
+    const cluster::Cluster& cluster, const workload::Workload& workload,
+    const ModelOptions& options, const JobSubset& jobs,
+    const std::vector<double>& remaining_fraction,
+    const std::vector<StoreId>& effective_origins) {
+  ++stats_.solves;
+  const detail::ModelBuilder builder(cluster, workload, options, jobs,
+                                     remaining_fraction, effective_origins);
+  StructureKey key = make_key(cluster, workload, options, builder.jobs());
+
+  // The delta path requires pruning off: candidate sets under pruning
+  // depend on prices and origins, so equal keys would not guarantee equal
+  // structure. Pruned solves always rebuild (but still remap the basis).
+  const bool pruned =
+      options.max_candidate_machines > 0 || options.max_candidate_stores > 0;
+  const bool delta = have_model_ && !pruned && key == key_;
+
+  lp::Basis start;
+  if (delta) {
+    builder.apply_numeric(model_, layout_);
+    start = basis_;
+    ++stats_.model_reuses;
+  } else {
+    lp::LpModel fresh;
+    detail::ModelLayout fresh_layout;
+    builder.build(nullptr, fresh, fresh_layout);
+    if (have_model_ && !basis_.empty())
+      start = remap_basis(layout_, basis_, fresh_layout);
+    model_ = std::move(fresh);
+    layout_ = std::move(fresh_layout);
+    ++stats_.builds;
+  }
+  key_ = std::move(key);
+  have_model_ = true;
+
+  const auto solver = lp::make_solver(options.solver, options.solver_options);
+  lp::LpSolution sol = start.empty() ? solver->solve(model_)
+                                     : solver->solve_with_basis(model_, start);
+
+  // Guard rail: an incrementally-obtained optimum must satisfy the model it
+  // claims to solve. (The solver already falls back internally on repair
+  // failure; this catches anything that slips through, e.g. a numerically
+  // marginal basis.) On violation: rebuild cold and re-solve cold.
+  bool cold_fallback = false;
+  if (sol.optimal() && (delta || sol.warm_start_used) &&
+      model_.max_violation(sol.values) > kFeasTol)
+    cold_fallback = true;
+
+#ifndef NDEBUG
+  if (!cold_fallback && delta && sol.optimal()) {
+    // Debug cross-check: the in-place-updated model must be the model a
+    // cold build would produce — compare optimal objectives.
+    lp::LpModel check;
+    detail::ModelLayout check_layout;
+    builder.build(nullptr, check, check_layout);
+    const lp::LpSolution cold = solver->solve(check);
+    LIPS_ASSERT(cold.status == sol.status,
+                "incremental and cold solve status diverged");
+    LIPS_ASSERT(std::fabs(cold.objective - sol.objective) <=
+                    1e-6 + 1e-5 * std::fabs(cold.objective),
+                "incremental and cold solve objective diverged");
+  }
+#endif
+
+  if (cold_fallback) {
+    ++stats_.cold_fallbacks;
+    stats_.pivots += sol.iterations;  // the wasted incremental attempt
+    lp::LpModel fresh;
+    detail::ModelLayout fresh_layout;
+    builder.build(nullptr, fresh, fresh_layout);
+    model_ = std::move(fresh);
+    layout_ = std::move(fresh_layout);
+    sol = solver->solve(model_);
+  }
+
+  stats_.pivots += sol.iterations;
+  stats_.repair_pivots += sol.repair_iterations;
+  if (sol.warm_start_used) ++stats_.warm_solves;
+
+  LpSchedule sched = builder.decode(sol, layout_);
+  sched.model_reused = delta && !cold_fallback;
+  sched.warm_start_used = sol.warm_start_used;
+  sched.cold_fallback = cold_fallback;
+  sched.lp_repair_iterations = sol.repair_iterations;
+
+  // Keep the final basis for the next epoch; a failed solve exports none.
+  basis_ = sol.optimal() ? sol.basis : lp::Basis{};
+  return sched;
+}
+
+}  // namespace lips::core

@@ -1,0 +1,99 @@
+// Incremental epoch LP solving (DESIGN.md §8).
+//
+// The online driver solves a co-scheduling LP every epoch (and off-cycle
+// after faults); successive models differ only in numerics — spot prices,
+// remaining job fractions, throughput-scaled CPU budgets — and occasionally
+// in structure (job arrivals/completions, machines or stores dropping out).
+// EpochLpContext exploits that:
+//
+//  * same structure → the cached LpModel is updated *in place* (objective
+//    coefficients and row RHS) instead of rebuilt, and the previous epoch's
+//    simplex basis warm-starts the solver;
+//  * changed structure → the model is rebuilt, but the old basis is remapped
+//    onto the new model by column/row *identity* ((job, machine, store) for
+//    task variables, (data, store) for placement variables, RowKey for
+//    slacks) so the solve still warm-starts;
+//  * any incremental solution that fails the model's own feasibility check
+//    triggers an automatic cold rebuild + cold solve (`cold_fallback` in the
+//    returned LpSchedule), so results are always as trustworthy as the
+//    one-shot `solve_co_scheduling`. Debug builds additionally cross-check
+//    the in-place-updated model against a cold build.
+//
+// A context is bound to one (cluster, workload) pair for its useful life;
+// pointing it at different objects is safe (the structure key mismatches and
+// it rebuilds) but defeats the caching.
+#pragma once
+
+#include <vector>
+
+#include "core/lp_model_builder.hpp"
+#include "core/lp_models.hpp"
+
+namespace lips::core {
+
+class EpochLpContext {
+ public:
+  /// Counters over the context's lifetime (for lipsctl / benchmarks).
+  struct Stats {
+    std::size_t solves = 0;         ///< total solve() calls
+    std::size_t builds = 0;         ///< full model (re)builds
+    std::size_t model_reuses = 0;   ///< in-place numeric updates (no rebuild)
+    std::size_t warm_solves = 0;    ///< solves finished from a prior basis
+    std::size_t cold_fallbacks = 0; ///< incremental results rejected + re-solved
+    std::size_t pivots = 0;         ///< Σ simplex iterations (all solves)
+    std::size_t repair_pivots = 0;  ///< Σ dual-simplex repair iterations
+  };
+
+  /// Drop-in replacement for solve_co_scheduling (same model, same
+  /// semantics) that reuses the cached model/basis across calls.
+  [[nodiscard]] LpSchedule solve(
+      const cluster::Cluster& cluster, const workload::Workload& workload,
+      const ModelOptions& options, const JobSubset& jobs = {},
+      const std::vector<double>& remaining_fraction = {},
+      const std::vector<StoreId>& effective_origins = {});
+
+  /// Forget the cached model and basis (next solve is cold).
+  void invalidate();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// Everything that fixes the *structure* (columns and rows, not values)
+  /// of the built model. Two solves with equal keys share a model skeleton.
+  struct StructureKey {
+    const void* cluster = nullptr;
+    const void* workload = nullptr;
+    std::size_t machine_count = 0;
+    std::size_t store_count = 0;
+    std::size_t data_count = 0;
+    std::vector<std::size_t> jobs;
+    std::vector<std::size_t> excluded_machines;  // sorted, deduplicated
+    std::vector<std::size_t> excluded_stores;    // sorted, deduplicated
+    bool online = false;  // epoch_s > 0
+    bool bandwidth_rows = false;
+    bool fake_node = false;
+    std::size_t max_candidate_machines = 0;
+    std::size_t max_candidate_stores = 0;
+    bool operator==(const StructureKey&) const = default;
+  };
+
+  static StructureKey make_key(const cluster::Cluster& cluster,
+                               const workload::Workload& workload,
+                               const ModelOptions& options,
+                               const std::vector<JobId>& jobs);
+  /// Translate a basis across models by column/row identity. Missing
+  /// entries default to nonbasic-at-lower; the solver's import sanitizes
+  /// and completes the set.
+  static lp::Basis remap_basis(const detail::ModelLayout& from_layout,
+                               const lp::Basis& from,
+                               const detail::ModelLayout& to_layout);
+
+  bool have_model_ = false;
+  StructureKey key_;
+  lp::LpModel model_;
+  detail::ModelLayout layout_;
+  lp::Basis basis_;
+  Stats stats_;
+};
+
+}  // namespace lips::core

@@ -104,8 +104,12 @@ void LipsPolicy::replan(const sched::ClusterState& state) {
   for (std::size_t s = 0; s < c.store_count(); ++s)
     if (!state.store_up(StoreId{s})) model.excluded_stores.push_back(s);
   const LpSchedule lp =
-      solve_co_scheduling(c, w, model, subset, remaining, origins);
+      lp_context_.solve(c, w, model, subset, remaining, origins);
   lp_iterations_ += lp.lp_iterations;
+  lp_repair_iterations_ += lp.lp_repair_iterations;
+  if (lp.warm_start_used) lp_warm_solves_ += 1;
+  if (lp.model_reused) lp_model_reuses_ += 1;
+  if (lp.cold_fallback) lp_cold_fallbacks_ += 1;
   if (!lp.optimal()) {
     // The fake node keeps the machine side feasible, but the data side can
     // still fail (e.g. the surviving stores cannot hold the queue's data).

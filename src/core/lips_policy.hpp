@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/epoch_lp_context.hpp"
 #include "core/lp_models.hpp"
 #include "core/rounding.hpp"
 #include "sched/scheduler.hpp"
@@ -96,6 +97,20 @@ class LipsPolicy : public sched::Scheduler {
   [[nodiscard]] std::size_t total_lp_iterations() const {
     return lp_iterations_;
   }
+  /// Replans solved from the previous plan's simplex basis (warm starts).
+  [[nodiscard]] std::size_t lp_warm_solves() const { return lp_warm_solves_; }
+  /// Replans that updated the cached LP model in place (no rebuild).
+  [[nodiscard]] std::size_t lp_model_reuses() const {
+    return lp_model_reuses_;
+  }
+  /// Incremental solves rejected by the feasibility guard and re-solved cold.
+  [[nodiscard]] std::size_t lp_cold_fallbacks() const {
+    return lp_cold_fallbacks_;
+  }
+  /// Σ dual-simplex repair pivots across warm-started replans.
+  [[nodiscard]] std::size_t lp_repair_iterations() const {
+    return lp_repair_iterations_;
+  }
   /// Machine×replan exclusions due to low observed throughput.
   [[nodiscard]] std::size_t quarantine_exclusions() const {
     return quarantine_exclusions_;
@@ -144,11 +159,19 @@ class LipsPolicy : public sched::Scheduler {
   /// threshold (drives the probe cadence; erased on recovery).
   std::unordered_map<std::size_t, std::size_t> quarantine_age_;
 
+  /// Incremental solve pipeline: caches the built LP model and last basis
+  /// between replans (epoch ticks *and* off-cycle fault re-solves).
+  EpochLpContext lp_context_;
+
   std::size_t lp_solves_ = 0;
   std::size_t lp_failures_ = 0;
   std::size_t lp_fallbacks_ = 0;
   std::size_t off_cycle_resolves_ = 0;
   std::size_t lp_iterations_ = 0;
+  std::size_t lp_warm_solves_ = 0;
+  std::size_t lp_model_reuses_ = 0;
+  std::size_t lp_cold_fallbacks_ = 0;
+  std::size_t lp_repair_iterations_ = 0;
   std::size_t quarantine_exclusions_ = 0;
   std::size_t quarantine_probes_ = 0;
   /// Σ epoch-LP objectives (modeled cost).

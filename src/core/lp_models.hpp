@@ -72,6 +72,19 @@ struct LpSchedule {
   std::size_t lp_constraints = 0;
   std::size_t lp_iterations = 0;
 
+  /// Incremental-solve telemetry (EpochLpContext; always false/0 on the
+  /// one-shot solve_* entry points). `model_reused` — the cached model was
+  /// updated in place instead of rebuilt; `warm_start_used` — the solver
+  /// reached this solution from the previous epoch's basis;
+  /// `cold_fallback` — the incremental path produced a solution that failed
+  /// the feasibility check and a cold rebuild+solve supplied this result;
+  /// `lp_repair_iterations` — dual-simplex pivots spent restoring primal
+  /// feasibility after the basis import (a subset of lp_iterations).
+  bool model_reused = false;
+  bool warm_start_used = false;
+  bool cold_fallback = false;
+  std::size_t lp_repair_iterations = 0;
+
   [[nodiscard]] bool optimal() const {
     return status == lp::SolveStatus::Optimal;
   }

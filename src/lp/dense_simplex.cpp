@@ -79,6 +79,9 @@ LpSolution DenseSimplexSolver::solve(const LpModel& model) const {
   };
   std::vector<Row> rows;
   rows.reserve(model.num_constraints() + n_user);
+  // Bound row index per boxed variable (needed for reduced-cost extraction:
+  // the bound row's dual is the multiplier on the variable's upper bound).
+  std::vector<std::size_t> bound_row(n_user, SIZE_MAX);
 
   for (const Constraint& c : model.constraints()) {
     Row r;
@@ -111,6 +114,7 @@ LpSolution DenseSimplexSolver::solve(const LpModel& model) const {
       r.sense = Sense::LessEqual;
       r.rhs = v.upper - v.lower;
       r.entries.push_back({vmap[j].col, 1.0});
+      bound_row[j] = rows.size();
       rows.push_back(std::move(r));
     }
   }
@@ -138,12 +142,19 @@ LpSolution DenseSimplexSolver::solve(const LpModel& model) const {
     }
     out.status = SolveStatus::Optimal;
     out.objective = model.objective_value(out.values);
+    // No rows, so no duals; reduced costs are the raw objective coefficients.
+    out.reduced_costs.resize(n_user);
+    for (std::size_t j = 0; j < n_user; ++j)
+      out.reduced_costs[j] = model.variable(j).objective;
     return out;
   }
 
   // ---- 3. Normalize rhs >= 0, add slack/surplus/artificial columns. ------
-  for (Row& r : rows) {
+  std::vector<char> row_flipped(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    Row& r = rows[i];
     if (r.rhs < 0) {
+      row_flipped[i] = 1;
       r.rhs = -r.rhs;
       for (Entry& e : r.entries) e.coeff = -e.coeff;
       if (r.sense == Sense::LessEqual) {
@@ -169,6 +180,10 @@ LpSolution DenseSimplexSolver::solve(const LpModel& model) const {
   t.rhs.assign(m, 0.0);
 
   std::vector<std::size_t> basis(m);  // basic column per row
+  // Per row, a column whose tableau coefficients are exactly +e_i (the LE
+  // slack, or the GE/Equal artificial). At optimality its reduced cost is
+  // 0 - y'e_i, so the row's dual (in normalized space) is -z2 of that column.
+  std::vector<std::size_t> row_dual_col(m, 0);
   {
     std::size_t slack_at = n_struct;
     std::size_t art_at = art_begin;
@@ -178,14 +193,17 @@ LpSolution DenseSimplexSolver::solve(const LpModel& model) const {
       t.rhs[i] = r.rhs;
       if (r.sense == Sense::LessEqual) {
         t.at(i, slack_at) = 1.0;
+        row_dual_col[i] = slack_at;
         basis[i] = slack_at++;
       } else if (r.sense == Sense::GreaterEqual) {
         t.at(i, slack_at) = -1.0;
         ++slack_at;
         t.at(i, art_at) = 1.0;
+        row_dual_col[i] = art_at;
         basis[i] = art_at++;
       } else {  // Equal
         t.at(i, art_at) = 1.0;
+        row_dual_col[i] = art_at;
         basis[i] = art_at++;
       }
     }
@@ -404,6 +422,35 @@ LpSolution DenseSimplexSolver::solve(const LpModel& model) const {
   out.objective = model.objective_value(out.values);
   out.iterations = iterations;
   (void)obj_const;  // objective recomputed directly from user values
+
+  // ---- Extract duals and reduced costs. -----------------------------------
+  // The z2 row holds c_j - y'A_j for every tableau column, so each row's
+  // unit column yields its dual and each variable's column(s) its reduced
+  // cost; flipped rows and Reflected variables negate, and a boxed
+  // variable's bound-row dual is the multiplier on its upper bound.
+  out.duals.resize(model.num_constraints());
+  for (std::size_t i = 0; i < model.num_constraints(); ++i) {
+    const double y_norm = -z2[row_dual_col[i]];
+    out.duals[i] = row_flipped[i] ? -y_norm : y_norm;
+  }
+  out.reduced_costs.resize(n_user);
+  for (std::size_t j = 0; j < n_user; ++j) {
+    const VarMap& mp = vmap[j];
+    switch (mp.transform) {
+      case VarTransform::Shifted: {
+        double d = z2[mp.col];
+        if (bound_row[j] != SIZE_MAX) d -= z2[row_dual_col[bound_row[j]]];
+        out.reduced_costs[j] = d;
+        break;
+      }
+      case VarTransform::Reflected:
+        out.reduced_costs[j] = -z2[mp.col];
+        break;
+      case VarTransform::Split:
+        out.reduced_costs[j] = z2[mp.col];
+        break;
+    }
+  }
   return out;
 }
 

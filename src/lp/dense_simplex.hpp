@@ -6,6 +6,12 @@
 // zero lower bound and materializing finite upper bounds as explicit rows,
 // which keeps the tableau mechanics textbook-plain at the price of a larger
 // tableau — appropriate for the small-to-medium models it is used on.
+//
+// Duals and reduced costs are extracted from the final tableau's priced-out
+// objective row (each row's unit column carries -y_i; bound-row duals fold
+// into the boxed variables' reduced costs), so dense/revised cross-checks
+// can assert dual agreement. Warm starts are not supported: `solve_with_basis`
+// inherits the base-class behavior of ignoring the hint.
 #pragma once
 
 #include "lp/solver.hpp"

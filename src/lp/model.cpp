@@ -50,6 +50,43 @@ std::size_t LpModel::add_constraint(std::span<const Entry> entries, Sense sense,
   return constraints_.size() - 1;
 }
 
+void LpModel::set_rhs(std::size_t row, double rhs) {
+  LIPS_REQUIRE(row < constraints_.size(), "constraint index out of range");
+  LIPS_REQUIRE(std::isfinite(rhs), "constraint rhs must be finite");
+  constraints_[row].rhs = rhs;
+}
+
+void LpModel::set_objective(std::size_t var, double objective) {
+  LIPS_REQUIRE(var < variables_.size(), "variable index out of range");
+  LIPS_REQUIRE(std::isfinite(objective),
+               "objective coefficient must be finite");
+  variables_[var].objective = objective;
+}
+
+void LpModel::set_bounds(std::size_t var, double lower, double upper) {
+  LIPS_REQUIRE(var < variables_.size(), "variable index out of range");
+  LIPS_REQUIRE(!std::isnan(lower) && !std::isnan(upper),
+               "variable bounds must not be NaN");
+  LIPS_REQUIRE(lower <= upper, "variable lower bound must be <= upper bound");
+  LIPS_REQUIRE(lower < kInf && upper > -kInf,
+               "variable bounds must leave a nonempty feasible interval");
+  variables_[var].lower = lower;
+  variables_[var].upper = upper;
+}
+
+void LpModel::set_coefficient(std::size_t row, std::size_t var, double coeff) {
+  LIPS_REQUIRE(row < constraints_.size(), "constraint index out of range");
+  LIPS_REQUIRE(std::isfinite(coeff) && coeff != 0.0,
+               "coefficient update must be finite and nonzero");
+  auto& entries = constraints_[row].entries;
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), var,
+      [](const Entry& e, std::size_t v) { return e.var < v; });
+  LIPS_REQUIRE(it != entries.end() && it->var == var,
+               "coefficient update targets a structural zero");
+  it->coeff = coeff;
+}
+
 double LpModel::objective_value(std::span<const double> x) const {
   LIPS_REQUIRE(x.size() == variables_.size(),
                "point dimension must match variable count");

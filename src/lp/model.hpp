@@ -89,6 +89,18 @@ class LpModel {
     return constraints_;
   }
 
+  /// In-place mutators for incremental re-solves (EpochLpContext): a cached
+  /// model's numerics can be updated between epochs without rebuilding the
+  /// row structure. None of these change the sparsity pattern, so a basis
+  /// exported from the previous solve stays structurally valid.
+  void set_rhs(std::size_t row, double rhs);
+  void set_objective(std::size_t var, double objective);
+  void set_bounds(std::size_t var, double lower, double upper);
+  /// Update the coefficient of `var` in `row`. The entry must already exist
+  /// (structure is fixed at build time); the new value must be nonzero so
+  /// the sparsity pattern is preserved.
+  void set_coefficient(std::size_t row, std::size_t var, double coeff);
+
   /// Evaluate the objective at a point (size must match num_variables).
   [[nodiscard]] double objective_value(std::span<const double> x) const;
 

@@ -11,7 +11,37 @@ namespace lips::lp {
 
 namespace {
 
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+
 enum class Status : unsigned char { Basic, AtLower, AtUpper, FreeAtZero };
+
+Status from_basis(BasisStatus s) {
+  switch (s) {
+    case BasisStatus::Basic:
+      return Status::Basic;
+    case BasisStatus::AtLower:
+      return Status::AtLower;
+    case BasisStatus::AtUpper:
+      return Status::AtUpper;
+    case BasisStatus::Free:
+      return Status::FreeAtZero;
+  }
+  return Status::AtLower;
+}
+
+BasisStatus to_basis(Status s) {
+  switch (s) {
+    case Status::Basic:
+      return BasisStatus::Basic;
+    case Status::AtLower:
+      return BasisStatus::AtLower;
+    case Status::AtUpper:
+      return BasisStatus::AtUpper;
+    case Status::FreeAtZero:
+      return BasisStatus::Free;
+  }
+  return BasisStatus::AtLower;
+}
 
 struct Column {
   std::vector<Entry> rows;  // (row index, coefficient), sorted by row
@@ -47,57 +77,105 @@ class DenseMatrix {
   std::vector<double> a_;
 };
 
-}  // namespace
+// One solve: owns the computational form (structural + slack columns;
+// artificials appended only by the cold path) and the simplex state shared
+// by the primal phases, the dual repair phase, and basis import/export.
+class Engine {
+ public:
+  Engine(const LpModel& model, const SolverOptions& options)
+      : model_(model),
+        opt_(options),
+        tol_(options.tolerance),
+        n_user_(model.num_variables()),
+        m_(model.num_constraints()),
+        binv_(m_) {}
 
-LpSolution RevisedSimplexSolver::solve(const LpModel& model) const {
-  const double tol = options_.tolerance;
-  const std::size_t n_user = model.num_variables();
-  const std::size_t m = model.num_constraints();
+  [[nodiscard]] LpSolution run(const Basis* start);
 
-  LpSolution out;
-  out.values.assign(n_user, 0.0);
+ private:
+  // ---- setup ---------------------------------------------------------------
+  void build_columns();
+  void init_cold_point();
+  void append_artificials();
+  [[nodiscard]] bool import_basis(const Basis& start);
 
-  // Bounds-only model: optimum is at a bound per variable.
-  if (m == 0) {
-    for (std::size_t j = 0; j < n_user; ++j) {
-      const Variable& v = model.variable(j);
-      double x;
-      if (v.objective > 0) {
-        x = v.lower;
-      } else if (v.objective < 0) {
-        x = v.upper;
-      } else {
-        x = std::clamp(0.0, v.lower, v.upper);
-      }
-      if (!std::isfinite(x)) {
-        out.status = SolveStatus::Unbounded;
-        return out;
-      }
-      out.values[j] = x;
+  // ---- linear algebra ------------------------------------------------------
+  [[nodiscard]] bool refactorize();
+  void recompute_basics();
+  void compute_y(const std::vector<double>& cost);
+  [[nodiscard]] double sparse_dot_y(const Column& c) const;
+  void ftran(std::size_t enter);        // w_ = Binv * A_enter
+  void eta_update(std::size_t leave_row);
+
+  // ---- phases --------------------------------------------------------------
+  [[nodiscard]] SolveStatus run_primal(const std::vector<double>& cost,
+                                       const std::vector<bool>& allow);
+  [[nodiscard]] SolveStatus run_dual();
+  void update_devex(std::size_t enter, std::size_t leave_row);
+
+  // ---- warm-start repair ---------------------------------------------------
+  [[nodiscard]] std::size_t flip_to_dual_feasible();
+  [[nodiscard]] std::size_t count_primal_infeasible() const;
+  [[nodiscard]] std::size_t count_dual_infeasible();
+
+  // ---- wrap-up -------------------------------------------------------------
+  [[nodiscard]] SolveStatus cold_solve();
+  void finalize(LpSolution& out, SolveStatus s) const;
+
+  static double rest_value(const Column& c, Status st) {
+    switch (st) {
+      case Status::AtLower:
+        return c.lower;
+      case Status::AtUpper:
+        return c.upper;
+      default:
+        return 0.0;
     }
-    out.status = SolveStatus::Optimal;
-    out.objective = model.objective_value(out.values);
-    return out;
   }
 
-  // ---- Build computational form: A x = b with slack per row. -------------
-  // Column layout: [0, n_user) structurals, [n_user, n_user+m) slacks,
-  // artificials appended afterwards as needed.
-  std::vector<Column> cols;
-  cols.reserve(n_user + 2 * m);
-  for (std::size_t j = 0; j < n_user; ++j) {
-    const Variable& v = model.variable(j);
+  const LpModel& model_;
+  const SolverOptions& opt_;
+  const double tol_;
+  const std::size_t n_user_;
+  const std::size_t m_;
+
+  std::vector<Column> cols_;
+  std::vector<double> b_;
+  std::vector<double> cost2_;
+  std::size_t art_begin_ = 0;  // == cols_.size() when no artificials exist
+
+  std::vector<Status> status_;
+  std::vector<double> value_;
+  std::vector<std::size_t> basis_;
+  DenseMatrix binv_;
+  std::vector<bool> banned_;
+  std::vector<double> y_;
+  std::vector<double> w_;
+  std::vector<double> devex_;
+  std::size_t bucket_cursor_ = 0;
+
+  std::size_t iterations_ = 0;
+  std::size_t repair_iterations_ = 0;
+  std::size_t max_iter_ = 0;
+  bool warm_used_ = false;
+};
+
+void Engine::build_columns() {
+  cols_.clear();
+  cols_.reserve(n_user_ + 2 * m_);
+  for (std::size_t j = 0; j < n_user_; ++j) {
+    const Variable& v = model_.variable(j);
     Column c;
     c.cost = v.objective;
     c.lower = v.lower;
     c.upper = v.upper;
-    cols.push_back(std::move(c));
+    cols_.push_back(std::move(c));
   }
-  std::vector<double> b(m, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    const Constraint& row = model.constraint(i);
-    b[i] = row.rhs;
-    for (const Entry& e : row.entries) cols[e.var].rows.push_back({i, e.coeff});
+  b_.assign(m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const Constraint& row = model_.constraint(i);
+    b_[i] = row.rhs;
+    for (const Entry& e : row.entries) cols_[e.var].rows.push_back({i, e.coeff});
     Column s;  // slack: a'x + s = b
     s.cost = 0.0;
     switch (row.sense) {
@@ -115,376 +193,741 @@ LpSolution RevisedSimplexSolver::solve(const LpModel& model) const {
         break;
     }
     s.rows.push_back({i, 1.0});
-    cols.push_back(std::move(s));
+    cols_.push_back(std::move(s));
   }
+  art_begin_ = cols_.size();
+  cost2_.resize(cols_.size());
+  for (std::size_t j = 0; j < cols_.size(); ++j) cost2_[j] = cols_[j].cost;
+}
 
-  // ---- Initial point: every column nonbasic at a finite bound. -----------
-  std::vector<Status> status(cols.size(), Status::AtLower);
-  std::vector<double> value(cols.size(), 0.0);  // current value of each column
-  auto rest_value = [&](const Column& c, Status st) -> double {
-    switch (st) {
-      case Status::AtLower:
-        return c.lower;
-      case Status::AtUpper:
-        return c.upper;
-      default:
-        return 0.0;
-    }
-  };
-  for (std::size_t j = 0; j < cols.size(); ++j) {
-    const Column& c = cols[j];
+void Engine::init_cold_point() {
+  status_.assign(cols_.size(), Status::AtLower);
+  value_.assign(cols_.size(), 0.0);
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    const Column& c = cols_[j];
     if (c.lower > -kInf) {
-      status[j] = Status::AtLower;
+      status_[j] = Status::AtLower;
     } else if (c.upper < kInf) {
-      status[j] = Status::AtUpper;
+      status_[j] = Status::AtUpper;
     } else {
-      status[j] = Status::FreeAtZero;
+      status_[j] = Status::FreeAtZero;
     }
-    value[j] = rest_value(c, status[j]);
+    value_[j] = rest_value(c, status_[j]);
   }
+}
 
+void Engine::append_artificials() {
   // Row residuals with everything at bounds → artificial variables.
-  std::vector<double> residual = b;
-  for (std::size_t j = 0; j < cols.size(); ++j) {
-    if (value[j] == 0.0) continue;
-    for (const Entry& e : cols[j].rows) residual[e.var] -= e.coeff * value[j];
+  std::vector<double> residual = b_;
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (value_[j] == 0.0) continue;
+    for (const Entry& e : cols_[j].rows) residual[e.var] -= e.coeff * value_[j];
   }
-
-  std::vector<std::size_t> basis(m);
-  const std::size_t art_begin = cols.size();
-  for (std::size_t i = 0; i < m; ++i) {
+  basis_.resize(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
     Column a;
     a.cost = 0.0;  // phase-2 cost; phase-1 cost handled separately
     a.lower = 0.0;
     a.upper = kInf;
     a.rows.push_back({i, residual[i] >= 0.0 ? 1.0 : -1.0});
-    cols.push_back(std::move(a));
-    const std::size_t aj = cols.size() - 1;
-    basis[i] = aj;
-    status.push_back(Status::Basic);
-    value.push_back(std::fabs(residual[i]));
+    cols_.push_back(std::move(a));
+    basis_[i] = cols_.size() - 1;
+    status_.push_back(Status::Basic);
+    value_.push_back(std::fabs(residual[i]));
   }
-  const std::size_t n_total = cols.size();
-
+  cost2_.resize(cols_.size(), 0.0);
   // Basis inverse (identity-sign-adjusted: artificial columns are ±e_i, so
   // Binv starts as the diagonal of their signs).
-  DenseMatrix binv(m);
-  binv.set_identity();
-  for (std::size_t i = 0; i < m; ++i) {
-    if (cols[basis[i]].rows.front().coeff < 0.0) binv.at(i, i) = -1.0;
+  binv_.set_identity();
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (cols_[basis_[i]].rows.front().coeff < 0.0) binv_.at(i, i) = -1.0;
+  }
+}
+
+bool Engine::import_basis(const Basis& start) {
+  if (start.variables.size() != n_user_ || start.slacks.size() != m_)
+    return false;
+  status_.assign(cols_.size(), Status::AtLower);
+  std::vector<std::size_t> basics;
+  basics.reserve(m_);
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    Status st = from_basis(j < n_user_ ? start.variables[j]
+                                       : start.slacks[j - n_user_]);
+    const Column& c = cols_[j];
+    if (st == Status::Basic) {
+      basics.push_back(j);
+      status_[j] = st;
+      continue;
+    }
+    // Sanitize nonbasic statuses against this model's bounds (the exporting
+    // model may have had a different bound structure).
+    if (st == Status::AtLower && c.lower <= -kInf)
+      st = c.upper < kInf ? Status::AtUpper : Status::FreeAtZero;
+    if (st == Status::AtUpper && c.upper >= kInf)
+      st = c.lower > -kInf ? Status::AtLower : Status::FreeAtZero;
+    if (st == Status::FreeAtZero && (c.lower > -kInf || c.upper < kInf))
+      st = c.lower > -kInf ? Status::AtLower : Status::AtUpper;
+    status_[j] = st;
+  }
+  // A short basis (exporter finished with an artificial basic on a redundant
+  // row) is completed with slack columns; a long one is trimmed from the
+  // highest column index down (slacks first, structurals last).
+  for (std::size_t i = 0; i < m_ && basics.size() < m_; ++i) {
+    const std::size_t j = n_user_ + i;
+    if (status_[j] != Status::Basic) {
+      status_[j] = Status::AtLower;  // re-sanitized below after demotion
+      basics.push_back(j);
+      status_[j] = Status::Basic;
+    }
+  }
+  while (basics.size() > m_) {
+    const std::size_t j = basics.back();
+    basics.pop_back();
+    const Column& c = cols_[j];
+    status_[j] = c.lower > -kInf
+                     ? Status::AtLower
+                     : (c.upper < kInf ? Status::AtUpper : Status::FreeAtZero);
+  }
+  if (basics.size() != m_) return false;
+  basis_ = std::move(basics);
+  if (!refactorize()) return false;
+  value_.assign(cols_.size(), 0.0);
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (status_[j] != Status::Basic) value_[j] = rest_value(cols_[j], status_[j]);
+  }
+  recompute_basics();
+  return true;
+}
+
+bool Engine::refactorize() {
+  // Gauss-Jordan on [B | I].
+  DenseMatrix bm(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (const Entry& e : cols_[basis_[i]].rows) bm.at(e.var, i) = e.coeff;
+  }
+  binv_.set_identity();
+  for (std::size_t col = 0; col < m_; ++col) {
+    // Partial pivoting.
+    std::size_t piv = col;
+    double best = std::fabs(bm.at(col, col));
+    for (std::size_t r = col + 1; r < m_; ++r) {
+      const double v = std::fabs(bm.at(r, col));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < 1e-12) return false;  // singular basis
+    if (piv != col) {
+      for (std::size_t c = 0; c < m_; ++c) {
+        std::swap(bm.at(piv, c), bm.at(col, c));
+        std::swap(binv_.at(piv, c), binv_.at(col, c));
+      }
+    }
+    const double inv = 1.0 / bm.at(col, col);
+    for (std::size_t c = 0; c < m_; ++c) {
+      bm.at(col, c) *= inv;
+      binv_.at(col, c) *= inv;
+    }
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == col) continue;
+      const double f = bm.at(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < m_; ++c) {
+        bm.at(r, c) -= f * bm.at(col, c);
+        binv_.at(r, c) -= f * binv_.at(col, c);
+      }
+    }
+  }
+  return true;
+}
+
+void Engine::recompute_basics() {
+  // xB = Binv (b - N xN).
+  std::vector<double> rhs = b_;
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (status_[j] == Status::Basic || value_[j] == 0.0) continue;
+    for (const Entry& e : cols_[j].rows) rhs[e.var] -= e.coeff * value_[j];
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    double v = 0.0;
+    const double* row = binv_.row(i);
+    for (std::size_t k = 0; k < m_; ++k) v += row[k] * rhs[k];
+    value_[basis_[i]] = v;
+  }
+}
+
+void Engine::compute_y(const std::vector<double>& cost) {
+  y_.assign(m_, 0.0);
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double cb = cost[basis_[k]];
+    if (cb == 0.0) continue;
+    const double* row = binv_.row(k);
+    for (std::size_t i = 0; i < m_; ++i) y_[i] += cb * row[i];
+  }
+}
+
+double Engine::sparse_dot_y(const Column& c) const {
+  double d = 0.0;
+  for (const Entry& e : c.rows) d += y_[e.var] * e.coeff;
+  return d;
+}
+
+void Engine::ftran(std::size_t enter) {
+  w_.assign(m_, 0.0);
+  for (const Entry& e : cols_[enter].rows) {
+    const double coeff = e.coeff;
+    for (std::size_t i = 0; i < m_; ++i) {
+      w_[i] += binv_.at(i, e.var) * coeff;
+    }
+  }
+}
+
+void Engine::eta_update(std::size_t leave_row) {
+  const double piv = w_[leave_row];
+  LIPS_ASSERT(std::fabs(piv) > 1e-12, "pivot element vanished");
+  const double inv = 1.0 / piv;
+  double* prow = binv_.row(leave_row);
+  for (std::size_t c = 0; c < m_; ++c) prow[c] *= inv;
+  for (std::size_t r = 0; r < m_; ++r) {
+    if (r == leave_row) continue;
+    const double f = w_[r];
+    if (f == 0.0) continue;
+    double* rrow = binv_.row(r);
+    for (std::size_t c = 0; c < m_; ++c) rrow[c] -= f * prow[c];
+  }
+}
+
+void Engine::update_devex(std::size_t enter, std::size_t leave_row) {
+  // Devex reference weights (Forrest–Goldfarb): the entering column's weight
+  // propagates through the pivot row so steep columns stay expensive to
+  // re-enter; the leaving column inherits the pivot-scaled weight.
+  const double alpha_q = w_[leave_row];
+  if (std::fabs(alpha_q) < 1e-12) return;
+  const double gq = std::max(devex_[enter], 1.0);
+  const double* rho = binv_.row(leave_row);
+  double maxw = 0.0;
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (j == enter || status_[j] == Status::Basic || banned_[j]) continue;
+    double a = 0.0;
+    for (const Entry& e : cols_[j].rows) a += rho[e.var] * e.coeff;
+    if (a == 0.0) continue;
+    const double r = a / alpha_q;
+    const double cand = r * r * gq;
+    if (cand > devex_[j]) devex_[j] = cand;
+    if (devex_[j] > maxw) maxw = devex_[j];
+  }
+  devex_[basis_[leave_row]] = std::max(gq / (alpha_q * alpha_q), 1.0);
+  if (maxw > 1e10) devex_.assign(cols_.size(), 1.0);  // framework reset
+}
+
+SolveStatus Engine::run_primal(const std::vector<double>& cost,
+                               const std::vector<bool>& allow) {
+  const std::size_t n = cols_.size();
+  std::size_t stall = 0;
+  std::size_t since_refactor = 0;
+  double last_obj = kInfD;
+  const bool devex = opt_.pricing == PricingRule::Devex;
+  devex_.assign(n, 1.0);
+  bucket_cursor_ = 0;
+  // Partial pricing: scan candidate buckets round-robin; a pricing pass may
+  // stop early once it holds a candidate, but optimality is only declared
+  // after a full scan finds none.
+  constexpr std::size_t kBucket = 128;
+  const std::size_t buckets = (n + kBucket - 1) / kBucket;
+  const std::size_t min_buckets = std::max<std::size_t>(1, (buckets + 3) / 4);
+
+  while (true) {
+    if (iterations_ >= max_iter_) return SolveStatus::IterationLimit;
+
+    compute_y(cost);
+
+    const bool bland = stall > 2 * m_ + 32;
+    std::size_t enter = n;
+    int enter_dir = 0;  // +1: increase from bound, -1: decrease
+    double best_score = 0.0;
+    auto consider = [&](std::size_t j) {
+      if (status_[j] == Status::Basic || banned_[j] || !allow[j]) return;
+      const Column& c = cols_[j];
+      if (c.lower == c.upper) return;  // fixed column can never improve
+      const double d = cost[j] - sparse_dot_y(c);
+      int dir = 0;
+      if (status_[j] == Status::AtLower || status_[j] == Status::FreeAtZero) {
+        if (d < -tol_) dir = +1;
+      }
+      if (dir == 0 &&
+          (status_[j] == Status::AtUpper || status_[j] == Status::FreeAtZero)) {
+        if (d > tol_) dir = -1;
+      }
+      if (dir == 0) return;
+      const double score = devex ? (d * d) / devex_[j] : std::fabs(d);
+      if (score > best_score) {
+        best_score = score;
+        enter = j;
+        enter_dir = dir;
+      }
+    };
+    if (bland) {
+      // Bland anti-cycling: lowest-index eligible column, full scan.
+      for (std::size_t j = 0; j < n && enter == n; ++j) consider(j);
+    } else if (buckets <= 1) {
+      for (std::size_t j = 0; j < n; ++j) consider(j);
+    } else {
+      std::size_t scanned = 0;
+      while (scanned < buckets) {
+        const std::size_t bkt = (bucket_cursor_ + scanned) % buckets;
+        const std::size_t begin = bkt * kBucket;
+        const std::size_t end = std::min(n, begin + kBucket);
+        for (std::size_t j = begin; j < end; ++j) consider(j);
+        ++scanned;
+        if (scanned >= min_buckets && enter != n) break;
+      }
+      bucket_cursor_ = (bucket_cursor_ + scanned) % buckets;
+    }
+    if (enter == n) return SolveStatus::Optimal;
+
+    ftran(enter);
+
+    // Bounded ratio test. Entering moves by sigma * t, t >= 0.
+    const double sigma = enter_dir;
+    double t_max = kInfD;
+    std::size_t leave_row = m_;  // m = bound flip / unbounded sentinel
+    bool leave_at_upper = false;
+
+    // Entering variable's own range limit (bound flip).
+    const Column& ec = cols_[enter];
+    if (ec.lower > -kInf && ec.upper < kInf) t_max = ec.upper - ec.lower;
+
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double wi = w_[i];
+      const double delta = sigma * wi;  // basic i changes by -delta * t
+      const Column& bc = cols_[basis_[i]];
+      double limit = kInfD;
+      bool hits_upper = false;
+      if (delta > tol_) {
+        if (bc.lower > -kInf) limit = (value_[basis_[i]] - bc.lower) / delta;
+      } else if (delta < -tol_) {
+        if (bc.upper < kInf) {
+          limit = (value_[basis_[i]] - bc.upper) / delta;
+          hits_upper = true;
+        }
+      }
+      if (limit < -1e-12) limit = 0.0;  // numerical guard
+      if (limit < t_max - 1e-12 ||
+          (limit < t_max + 1e-12 && leave_row != m_ &&
+           basis_[i] < basis_[leave_row])) {
+        t_max = std::max(limit, 0.0);
+        leave_row = i;
+        leave_at_upper = hits_upper;
+      }
+    }
+
+    if (!std::isfinite(t_max)) return SolveStatus::Unbounded;
+
+    ++iterations_;
+    ++since_refactor;
+
+    if (leave_row == m_) {
+      // Bound flip: entering travels its whole range, basis unchanged.
+      for (std::size_t i = 0; i < m_; ++i)
+        value_[basis_[i]] -= sigma * w_[i] * t_max;
+      value_[enter] += sigma * t_max;
+      status_[enter] = (enter_dir > 0) ? Status::AtUpper : Status::AtLower;
+      // Snap exactly to the bound to avoid drift.
+      value_[enter] = rest_value(cols_[enter], status_[enter]);
+    } else {
+      if (devex && !bland) update_devex(enter, leave_row);
+      // Pivot: update values, basis, inverse.
+      for (std::size_t i = 0; i < m_; ++i)
+        value_[basis_[i]] -= sigma * w_[i] * t_max;
+      const std::size_t leaving = basis_[leave_row];
+      status_[leaving] = leave_at_upper ? Status::AtUpper : Status::AtLower;
+      value_[leaving] = rest_value(cols_[leaving], status_[leaving]);
+
+      value_[enter] = rest_value(cols_[enter], status_[enter]) + sigma * t_max;
+      status_[enter] = Status::Basic;
+      basis_[leave_row] = enter;
+
+      eta_update(leave_row);
+    }
+
+    if (since_refactor >= 1024) {
+      since_refactor = 0;
+      if (!refactorize()) return SolveStatus::IterationLimit;
+      recompute_basics();
+    }
+
+    // Stall detection for Bland switch.
+    double obj = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (value_[j] != 0.0) obj += cost[j] * value_[j];
+    if (obj >= last_obj - 1e-13) {
+      ++stall;
+    } else {
+      stall = 0;
+    }
+    last_obj = obj;
+  }
+}
+
+SolveStatus Engine::run_dual() {
+  // Bounded-variable dual simplex: starting from a dual-feasible basis,
+  // drive out primal infeasibility one most-violated basic at a time while
+  // the dual ratio test keeps every reduced cost sign-correct. Returns
+  //   Optimal       — primal feasible (caller polishes with run_primal),
+  //   Infeasible    — a row admits no entering column (dual ray; the LP is
+  //                   primal infeasible) *or* the repair stalled/went
+  //                   numerically bad — callers treat both as "abandon the
+  //                   warm start and solve cold",
+  //   IterationLimit— budget exhausted.
+  constexpr double kPivotTol = 1e-9;
+  std::size_t since_refactor = 0;
+  std::size_t stall = 0;
+  double last_worst = kInfD;
+
+  while (true) {
+    if (iterations_ >= max_iter_) return SolveStatus::IterationLimit;
+
+    // Leaving variable: the most-violated basic.
+    std::size_t r = m_;
+    double worst = tol_;
+    bool above = false;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Column& c = cols_[basis_[i]];
+      const double v = value_[basis_[i]];
+      if (c.lower > -kInf && c.lower - v > worst) {
+        worst = c.lower - v;
+        r = i;
+        above = false;
+      }
+      if (c.upper < kInf && v - c.upper > worst) {
+        worst = v - c.upper;
+        r = i;
+        above = true;
+      }
+    }
+    if (r == m_) return SolveStatus::Optimal;
+
+    // Degenerate dual steps make no primal progress; a long run of them
+    // means cycling risk — hand the model to the cold path instead.
+    if (worst >= last_worst - 1e-13) {
+      if (++stall > 2 * m_ + 32) return SolveStatus::Infeasible;
+    } else {
+      stall = 0;
+    }
+    last_worst = worst;
+
+    compute_y(cost2_);
+    const double* rho = binv_.row(r);
+
+    // Entering variable: minimum dual ratio |d_j| / |alpha_j| over columns
+    // whose pivot sign lets the leaving variable move back to its bound.
+    std::size_t enter = cols_.size();
+    double best_ratio = kInfD;
+    for (std::size_t j = 0; j < cols_.size(); ++j) {
+      if (status_[j] == Status::Basic || banned_[j]) continue;
+      const Column& c = cols_[j];
+      if (c.lower == c.upper) continue;
+      double a = 0.0;
+      for (const Entry& e : c.rows) a += rho[e.var] * e.coeff;
+      const double ap = above ? a : -a;
+      double ratio = kInfD;
+      if (status_[j] == Status::AtLower && ap > kPivotTol) {
+        ratio = std::max(cost2_[j] - sparse_dot_y(c), 0.0) / ap;
+      } else if (status_[j] == Status::AtUpper && ap < -kPivotTol) {
+        ratio = std::min(cost2_[j] - sparse_dot_y(c), 0.0) / ap;
+      } else if (status_[j] == Status::FreeAtZero && std::fabs(ap) > kPivotTol) {
+        ratio = std::fabs(cost2_[j] - sparse_dot_y(c)) / std::fabs(ap);
+      }
+      if (ratio < best_ratio - 1e-12) {
+        best_ratio = ratio;
+        enter = j;
+      }
+    }
+    if (enter == cols_.size()) return SolveStatus::Infeasible;
+
+    ftran(enter);
+    const double alpha = w_[r];
+    if (std::fabs(alpha) < kPivotTol) return SolveStatus::Infeasible;
+
+    const std::size_t leaving = basis_[r];
+    const Column& lc = cols_[leaving];
+    const double target = above ? lc.upper : lc.lower;
+    const double step = (value_[leaving] - target) / alpha;  // signed
+    for (std::size_t i = 0; i < m_; ++i) value_[basis_[i]] -= w_[i] * step;
+    value_[enter] = rest_value(cols_[enter], status_[enter]) + step;
+    status_[leaving] = above ? Status::AtUpper : Status::AtLower;
+    value_[leaving] = target;
+    status_[enter] = Status::Basic;
+    basis_[r] = enter;
+    eta_update(r);
+
+    ++iterations_;
+    ++repair_iterations_;
+    ++since_refactor;
+    if (since_refactor >= 128) {
+      since_refactor = 0;
+      if (!refactorize()) return SolveStatus::Infeasible;
+      recompute_basics();
+    }
+  }
+}
+
+std::size_t Engine::flip_to_dual_feasible() {
+  // Boxed nonbasic columns sitting on the dual-infeasible bound are flipped
+  // to the other bound — a free dual-feasibility repair (no pivots). The
+  // scheduling LPs are almost entirely [0,1] columns, so flips absorb most
+  // of an epoch delta's objective drift.
+  compute_y(cost2_);
+  std::size_t flips = 0;
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (status_[j] == Status::Basic) continue;
+    const Column& c = cols_[j];
+    if (!(c.lower > -kInf) || !(c.upper < kInf) || c.lower == c.upper) continue;
+    const double d = cost2_[j] - sparse_dot_y(c);
+    if (status_[j] == Status::AtLower && d < -tol_) {
+      status_[j] = Status::AtUpper;
+      value_[j] = c.upper;
+      ++flips;
+    } else if (status_[j] == Status::AtUpper && d > tol_) {
+      status_[j] = Status::AtLower;
+      value_[j] = c.lower;
+      ++flips;
+    }
+  }
+  if (flips > 0) recompute_basics();
+  return flips;
+}
+
+std::size_t Engine::count_primal_infeasible() const {
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    const Column& c = cols_[basis_[i]];
+    const double v = value_[basis_[i]];
+    if ((c.lower > -kInf && c.lower - v > tol_) ||
+        (c.upper < kInf && v - c.upper > tol_))
+      ++bad;
+  }
+  return bad;
+}
+
+std::size_t Engine::count_dual_infeasible() {
+  compute_y(cost2_);
+  std::size_t bad = 0;
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    if (status_[j] == Status::Basic) continue;
+    const Column& c = cols_[j];
+    if (c.lower == c.upper) continue;
+    const double d = cost2_[j] - sparse_dot_y(c);
+    switch (status_[j]) {
+      case Status::AtLower:
+        if (d < -tol_) ++bad;
+        break;
+      case Status::AtUpper:
+        if (d > tol_) ++bad;
+        break;
+      case Status::FreeAtZero:
+        if (std::fabs(d) > tol_) ++bad;
+        break;
+      case Status::Basic:
+        break;
+    }
+  }
+  return bad;
+}
+
+SolveStatus Engine::cold_solve() {
+  // Classic two-phase solve from the all-artificial basis. When entered as a
+  // warm-start fallback, `iterations_` keeps accumulating (the wasted warm
+  // pivots are honestly reported) and an automatic budget is re-granted at
+  // cold scale; an explicit budget is never extended.
+  init_cold_point();
+  append_artificials();
+  banned_.assign(cols_.size(), false);
+  if (opt_.max_iterations > 0) {
+    max_iter_ = opt_.max_iterations;
+  } else {
+    max_iter_ = iterations_ + automatic_iteration_budget(m_, cols_.size());
   }
 
-  // Phase-1 costs: 1 on artificials, 0 elsewhere.
-  std::vector<double> cost1(n_total, 0.0);
-  for (std::size_t j = art_begin; j < n_total; ++j) cost1[j] = 1.0;
-  std::vector<double> cost2(n_total, 0.0);
-  for (std::size_t j = 0; j < n_total; ++j) cost2[j] = cols[j].cost;
-
-  std::size_t max_iter = options_.max_iterations;
-  if (max_iter == 0) max_iter = 500 + 60 * (m + n_total);
-  std::size_t iterations = 0;
-
-  std::vector<double> y(m, 0.0);  // simplex multipliers
-  std::vector<double> w(m, 0.0);  // Binv * entering column
-  std::vector<bool> banned(n_total, false);
-
-  auto sparse_dot_y = [&](const Column& c) {
-    double d = 0.0;
-    for (const Entry& e : c.rows) d += y[e.var] * e.coeff;
-    return d;
-  };
-
-  // Recompute Binv and basic values from scratch (numerical refresh).
-  auto refactorize = [&]() -> bool {
-    // Gauss-Jordan on [B | I].
-    DenseMatrix bm(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      for (const Entry& e : cols[basis[i]].rows) bm.at(e.var, i) = e.coeff;
-    }
-    binv.set_identity();
-    for (std::size_t col = 0; col < m; ++col) {
-      // Partial pivoting.
-      std::size_t piv = col;
-      double best = std::fabs(bm.at(col, col));
-      for (std::size_t r = col + 1; r < m; ++r) {
-        const double v = std::fabs(bm.at(r, col));
-        if (v > best) {
-          best = v;
-          piv = r;
-        }
-      }
-      if (best < 1e-12) return false;  // singular basis
-      if (piv != col) {
-        for (std::size_t c = 0; c < m; ++c) {
-          std::swap(bm.at(piv, c), bm.at(col, c));
-          std::swap(binv.at(piv, c), binv.at(col, c));
-        }
-      }
-      const double inv = 1.0 / bm.at(col, col);
-      for (std::size_t c = 0; c < m; ++c) {
-        bm.at(col, c) *= inv;
-        binv.at(col, c) *= inv;
-      }
-      for (std::size_t r = 0; r < m; ++r) {
-        if (r == col) continue;
-        const double f = bm.at(r, col);
-        if (f == 0.0) continue;
-        for (std::size_t c = 0; c < m; ++c) {
-          bm.at(r, c) -= f * bm.at(col, c);
-          binv.at(r, c) -= f * binv.at(col, c);
-        }
-      }
-    }
-    return true;
-  };
-
-  // Recompute basic variable values: xB = Binv (b - N xN).
-  auto recompute_basics = [&]() {
-    std::vector<double> rhs = b;
-    for (std::size_t j = 0; j < n_total; ++j) {
-      if (status[j] == Status::Basic || value[j] == 0.0) continue;
-      for (const Entry& e : cols[j].rows) rhs[e.var] -= e.coeff * value[j];
-    }
-    for (std::size_t i = 0; i < m; ++i) {
-      double v = 0.0;
-      const double* row = binv.row(i);
-      for (std::size_t k = 0; k < m; ++k) v += row[k] * rhs[k];
-      value[basis[i]] = v;
-    }
-  };
-
-  // One simplex phase on the given cost vector. `allow` filters entering
-  // columns.
-  auto run_phase =
-      [&](const std::vector<double>& cost,
-          const std::vector<bool>& allow) -> SolveStatus {
-    std::size_t stall = 0;
-    std::size_t since_refactor = 0;
-    double last_obj = std::numeric_limits<double>::infinity();
-
-    while (true) {
-      if (iterations >= max_iter) return SolveStatus::IterationLimit;
-
-      // y = cB' Binv
-      for (std::size_t i = 0; i < m; ++i) y[i] = 0.0;
-      for (std::size_t k = 0; k < m; ++k) {
-        const double cb = cost[basis[k]];
-        if (cb == 0.0) continue;
-        const double* row = binv.row(k);
-        for (std::size_t i = 0; i < m; ++i) y[i] += cb * row[i];
-      }
-
-      // Price nonbasic columns.
-      const bool bland = stall > 2 * m + 32;
-      std::size_t enter = n_total;
-      int enter_dir = 0;  // +1: increase from bound, -1: decrease
-      double best_score = tol;
-      for (std::size_t j = 0; j < n_total; ++j) {
-        if (status[j] == Status::Basic || banned[j] || !allow[j]) continue;
-        const Column& c = cols[j];
-        if (c.lower == c.upper) continue;  // fixed column can never improve
-        const double d = cost[j] - sparse_dot_y(c);
-        int dir = 0;
-        double score = 0.0;
-        if (status[j] == Status::AtLower || status[j] == Status::FreeAtZero) {
-          if (d < -tol) {
-            dir = +1;
-            score = -d;
-          }
-        }
-        if (dir == 0 &&
-            (status[j] == Status::AtUpper || status[j] == Status::FreeAtZero)) {
-          if (d > tol) {
-            dir = -1;
-            score = d;
-          }
-        }
-        if (dir == 0) continue;
-        if (bland) {
-          enter = j;
-          enter_dir = dir;
-          break;
-        }
-        if (score > best_score) {
-          best_score = score;
-          enter = j;
-          enter_dir = dir;
-        }
-      }
-      if (enter == n_total) return SolveStatus::Optimal;
-
-      // w = Binv * A_enter
-      for (std::size_t i = 0; i < m; ++i) w[i] = 0.0;
-      for (const Entry& e : cols[enter].rows) {
-        const double coeff = e.coeff;
-        for (std::size_t i = 0; i < m; ++i) {
-          w[i] += binv.at(i, e.var) * coeff;
-        }
-      }
-
-      // Bounded ratio test. Entering moves by sigma * t, t >= 0.
-      const double sigma = enter_dir;
-      double t_max = std::numeric_limits<double>::infinity();
-      std::size_t leave_row = m;  // m = bound flip / unbounded sentinel
-      bool leave_at_upper = false;
-
-      // Entering variable's own range limit (bound flip).
-      const Column& ec = cols[enter];
-      if (ec.lower > -kInf && ec.upper < kInf) t_max = ec.upper - ec.lower;
-
-      for (std::size_t i = 0; i < m; ++i) {
-        const double wi = w[i];
-        const double delta = sigma * wi;  // basic i changes by -delta * t
-        const Column& bc = cols[basis[i]];
-        double limit = std::numeric_limits<double>::infinity();
-        bool hits_upper = false;
-        if (delta > tol) {
-          if (bc.lower > -kInf)
-            limit = (value[basis[i]] - bc.lower) / delta;
-        } else if (delta < -tol) {
-          if (bc.upper < kInf) {
-            limit = (value[basis[i]] - bc.upper) / delta;
-            hits_upper = true;
-          }
-        }
-        if (limit < -1e-12) limit = 0.0;  // numerical guard
-        if (limit < t_max - 1e-12 ||
-            (limit < t_max + 1e-12 && leave_row != m &&
-             basis[i] < basis[leave_row])) {
-          t_max = std::max(limit, 0.0);
-          leave_row = i;
-          leave_at_upper = hits_upper;
-        }
-      }
-
-      if (!std::isfinite(t_max)) return SolveStatus::Unbounded;
-
-      ++iterations;
-      ++since_refactor;
-
-      if (leave_row == m) {
-        // Bound flip: entering travels its whole range, basis unchanged.
-        for (std::size_t i = 0; i < m; ++i)
-          value[basis[i]] -= sigma * w[i] * t_max;
-        value[enter] += sigma * t_max;
-        status[enter] =
-            (enter_dir > 0) ? Status::AtUpper : Status::AtLower;
-        // Snap exactly to the bound to avoid drift.
-        value[enter] = rest_value(cols[enter], status[enter]);
-      } else {
-        // Pivot: update values, basis, inverse.
-        for (std::size_t i = 0; i < m; ++i)
-          value[basis[i]] -= sigma * w[i] * t_max;
-        const std::size_t leaving = basis[leave_row];
-        status[leaving] = leave_at_upper ? Status::AtUpper : Status::AtLower;
-        value[leaving] = rest_value(cols[leaving], status[leaving]);
-
-        value[enter] = rest_value(cols[enter], status[enter]) + sigma * t_max;
-        status[enter] = Status::Basic;
-        basis[leave_row] = enter;
-
-        // Eta update of Binv: pivot on w[leave_row].
-        const double piv = w[leave_row];
-        LIPS_ASSERT(std::fabs(piv) > 1e-12, "pivot element vanished");
-        const double inv = 1.0 / piv;
-        double* prow = binv.row(leave_row);
-        for (std::size_t c = 0; c < m; ++c) prow[c] *= inv;
-        for (std::size_t r = 0; r < m; ++r) {
-          if (r == leave_row) continue;
-          const double f = w[r];
-          if (f == 0.0) continue;
-          double* rrow = binv.row(r);
-          for (std::size_t c = 0; c < m; ++c) rrow[c] -= f * prow[c];
-        }
-      }
-
-      if (since_refactor >= 1024) {
-        since_refactor = 0;
-        if (!refactorize()) return SolveStatus::IterationLimit;
-        recompute_basics();
-      }
-
-      // Stall detection for Bland switch.
-      double obj = 0.0;
-      for (std::size_t j = 0; j < n_total; ++j)
-        if (value[j] != 0.0) obj += cost[j] * value[j];
-      if (obj >= last_obj - 1e-13) {
-        ++stall;
-      } else {
-        stall = 0;
-      }
-      last_obj = obj;
-    }
-  };
-
-  std::vector<bool> allow_all(n_total, true);
+  std::vector<double> cost1(cols_.size(), 0.0);
+  for (std::size_t j = art_begin_; j < cols_.size(); ++j) cost1[j] = 1.0;
+  const std::vector<bool> allow_all(cols_.size(), true);
 
   // ---- Phase 1: drive artificials to zero. --------------------------------
   {
-    const SolveStatus s = run_phase(cost1, allow_all);
-    if (s == SolveStatus::IterationLimit) {
-      out.status = s;
-      out.iterations = iterations;
-      return out;
-    }
+    const SolveStatus s = run_primal(cost1, allow_all);
+    if (s == SolveStatus::IterationLimit) return s;
     LIPS_ASSERT(s != SolveStatus::Unbounded, "phase-1 bounded below by 0");
     double art_sum = 0.0;
-    for (std::size_t j = art_begin; j < n_total; ++j) art_sum += value[j];
-    if (art_sum > 1e-6) {
-      out.status = SolveStatus::Infeasible;
-      out.iterations = iterations;
-      return out;
-    }
+    for (std::size_t j = art_begin_; j < cols_.size(); ++j) art_sum += value_[j];
+    if (art_sum > 1e-6) return SolveStatus::Infeasible;
     // Freeze artificials at zero for phase 2.
-    for (std::size_t j = art_begin; j < n_total; ++j) {
-      cols[j].lower = 0.0;
-      cols[j].upper = 0.0;
-      banned[j] = true;
-      if (status[j] != Status::Basic) {
-        status[j] = Status::AtLower;
-        value[j] = 0.0;
+    for (std::size_t j = art_begin_; j < cols_.size(); ++j) {
+      cols_[j].lower = 0.0;
+      cols_[j].upper = 0.0;
+      banned_[j] = true;
+      if (status_[j] != Status::Basic) {
+        status_[j] = Status::AtLower;
+        value_[j] = 0.0;
       }
     }
   }
 
   // ---- Phase 2: original objective. ---------------------------------------
-  {
-    const SolveStatus s = run_phase(cost2, allow_all);
-    if (s != SolveStatus::Optimal) {
-      out.status = s;
-      out.iterations = iterations;
-      return out;
+  return run_primal(cost2_, allow_all);
+}
+
+void Engine::finalize(LpSolution& out, SolveStatus s) const {
+  out.status = s;
+  out.iterations = iterations_;
+  out.repair_iterations = repair_iterations_;
+  out.warm_start_used = warm_used_;
+}
+
+LpSolution Engine::run(const Basis* start) {
+  LpSolution out;
+  out.values.assign(n_user_, 0.0);
+
+  // Bounds-only model: optimum is at a bound per variable.
+  if (m_ == 0) {
+    for (std::size_t j = 0; j < n_user_; ++j) {
+      const Variable& v = model_.variable(j);
+      double x;
+      if (v.objective > 0) {
+        x = v.lower;
+      } else if (v.objective < 0) {
+        x = v.upper;
+      } else {
+        x = std::clamp(0.0, v.lower, v.upper);
+      }
+      if (!std::isfinite(x)) {
+        out.status = SolveStatus::Unbounded;
+        return out;
+      }
+      out.values[j] = x;
+    }
+    out.status = SolveStatus::Optimal;
+    out.objective = model_.objective_value(out.values);
+    // With no rows there are no duals and every reduced cost is the raw
+    // objective coefficient.
+    out.reduced_costs.resize(n_user_);
+    out.basis.variables.resize(n_user_);
+    for (std::size_t j = 0; j < n_user_; ++j) {
+      const Variable& v = model_.variable(j);
+      out.reduced_costs[j] = v.objective;
+      out.basis.variables[j] = out.values[j] == v.lower
+                                   ? BasisStatus::AtLower
+                                   : (out.values[j] == v.upper
+                                          ? BasisStatus::AtUpper
+                                          : BasisStatus::Free);
+    }
+    return out;
+  }
+
+  build_columns();
+  banned_.assign(cols_.size(), false);
+
+  const bool explicit_budget = opt_.max_iterations > 0;
+  SolveStatus result = SolveStatus::IterationLimit;
+  bool solved = false;
+
+  if (start != nullptr && import_basis(*start)) {
+    out.warm_start_attempted = true;
+    const std::size_t flips = flip_to_dual_feasible();
+    (void)flips;
+    const std::size_t primal_bad = count_primal_infeasible();
+    const std::size_t dual_bad = count_dual_infeasible();
+    max_iter_ = explicit_budget
+                    ? opt_.max_iterations
+                    : automatic_iteration_budget(m_, cols_.size(),
+                                                 primal_bad + dual_bad);
+    const std::vector<bool> allow_all(cols_.size(), true);
+
+    // Repair order: if the basis is dual feasible, the dual simplex fixes
+    // the primal side cheaply; if it is primal feasible (dual side drifted),
+    // the primal phase 2 is already a valid warm continuation. Neither →
+    // the basis is not worth repairing; solve cold.
+    SolveStatus s = SolveStatus::Optimal;
+    bool usable = true;
+    if (primal_bad > 0) {
+      if (dual_bad == 0) {
+        s = run_dual();
+        if (s == SolveStatus::Infeasible) usable = false;  // cold decides
+      } else {
+        usable = false;
+      }
+    }
+    if (usable && s == SolveStatus::Optimal) s = run_primal(cost2_, allow_all);
+    if (usable) {
+      if (s == SolveStatus::Optimal || s == SolveStatus::Unbounded) {
+        warm_used_ = true;
+        result = s;
+        solved = true;
+      } else if (s == SolveStatus::IterationLimit && explicit_budget) {
+        // The caller asked for exactly this budget; report the limit
+        // honestly instead of silently buying more pivots.
+        warm_used_ = true;
+        result = s;
+        solved = true;
+      }
+      // IterationLimit under an automatic budget: the delta-sized budget
+      // was wrong for this repair — fall through to a cold solve.
     }
   }
+
+  if (!solved) result = cold_solve();
+
+  finalize(out, result);
+  if (result != SolveStatus::Optimal) return out;
 
   // Final numerical refresh for clean output values.
   if (refactorize()) recompute_basics();
 
-  for (std::size_t j = 0; j < n_user; ++j) {
-    const Variable& v = model.variable(j);
-    out.values[j] = std::clamp(value[j], v.lower, v.upper);
+  for (std::size_t j = 0; j < n_user_; ++j) {
+    const Variable& v = model_.variable(j);
+    out.values[j] = std::clamp(value_[j], v.lower, v.upper);
   }
-  out.status = SolveStatus::Optimal;
-  out.objective = model.objective_value(out.values);
-  out.iterations = iterations;
+  out.objective = model_.objective_value(out.values);
 
   // Dual extraction: y = cB' Binv at the optimal basis. Because every row
   // carries a +1 slack, the dual of row i equals -(reduced cost of slack i)
   // = -(0 - y_i) = y_i directly.
-  for (std::size_t i = 0; i < m; ++i) y[i] = 0.0;
-  for (std::size_t k = 0; k < m; ++k) {
-    const double cb = cost2[basis[k]];
-    if (cb == 0.0) continue;
-    const double* row = binv.row(k);
-    for (std::size_t i = 0; i < m; ++i) y[i] += cb * row[i];
+  compute_y(cost2_);
+  out.duals.assign(y_.begin(), y_.end());
+  out.reduced_costs.resize(n_user_);
+  for (std::size_t j = 0; j < n_user_; ++j) {
+    out.reduced_costs[j] = status_[j] == Status::Basic
+                               ? 0.0
+                               : cost2_[j] - sparse_dot_y(cols_[j]);
   }
-  out.duals.assign(y.begin(), y.end());
-  out.reduced_costs.resize(n_user);
-  for (std::size_t j = 0; j < n_user; ++j) {
-    out.reduced_costs[j] =
-        status[j] == Status::Basic ? 0.0 : cost2[j] - sparse_dot_y(cols[j]);
-  }
+
+  // Basis export (variables + row slacks; a basic artificial on a redundant
+  // row simply leaves its slack nonbasic — importers complete the set).
+  out.basis.variables.resize(n_user_);
+  for (std::size_t j = 0; j < n_user_; ++j)
+    out.basis.variables[j] = to_basis(status_[j]);
+  out.basis.slacks.resize(m_);
+  for (std::size_t i = 0; i < m_; ++i)
+    out.basis.slacks[i] = to_basis(status_[n_user_ + i]);
   return out;
+}
+
+}  // namespace
+
+LpSolution RevisedSimplexSolver::solve(const LpModel& model) const {
+  return solve_impl(model, nullptr);
+}
+
+LpSolution RevisedSimplexSolver::solve_with_basis(const LpModel& model,
+                                                  const Basis& start) const {
+  return solve_impl(model, start.empty() ? nullptr : &start);
+}
+
+LpSolution RevisedSimplexSolver::solve_impl(const LpModel& model,
+                                            const Basis* start) const {
+  Engine engine(model, options_);
+  return engine.run(start);
 }
 
 }  // namespace lips::lp

@@ -1,4 +1,4 @@
-// Bounded-variable revised primal simplex.
+// Bounded-variable revised primal simplex with warm starting.
 //
 // This is the production solver used by the LiPS scheduler: it keeps the
 // constraint matrix sparse (the scheduling LPs have ~3 nonzeros per column),
@@ -6,6 +6,17 @@
 // upper-bounded simplex technique (bound flips instead of explicit rows),
 // and maintains an explicit dense basis inverse that is eta-updated per
 // pivot and periodically refactorized for numerical hygiene.
+//
+// Pricing is devex (reference weights, partial pricing over column buckets)
+// by default; SolverOptions::pricing selects classic Dantzig.
+//
+// Warm starts: `solve_with_basis` refactorizes an imported basis, restores
+// dual feasibility with bound flips on boxed columns, repairs the remaining
+// primal infeasibility with a bounded-variable dual simplex phase, then
+// polishes with the primal phase — no Phase-1-from-artificials. Any basis
+// the repair path cannot certify (singular after import, a dual ray, a
+// stalled repair) falls back to the cold two-phase solve, so the result is
+// always as trustworthy as `solve`. See DESIGN.md §8.
 //
 // It is deliberately an independent implementation from DenseSimplexSolver;
 // the test suite cross-checks the two on randomized models.
@@ -21,8 +32,13 @@ class RevisedSimplexSolver final : public LpSolver {
       : options_(options) {}
 
   [[nodiscard]] LpSolution solve(const LpModel& model) const override;
+  [[nodiscard]] LpSolution solve_with_basis(const LpModel& model,
+                                            const Basis& start) const override;
 
  private:
+  [[nodiscard]] LpSolution solve_impl(const LpModel& model,
+                                      const Basis* start) const;
+
   SolverOptions options_;
 };
 

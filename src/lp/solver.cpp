@@ -19,6 +19,15 @@ std::string to_string(SolveStatus status) {
   return "unknown";
 }
 
+std::size_t automatic_iteration_budget(std::size_t num_rows,
+                                       std::size_t num_columns,
+                                       std::optional<std::size_t> warm_delta) {
+  const std::size_t cold = 500 + 60 * (num_rows + num_columns);
+  if (!warm_delta) return cold;
+  const std::size_t warm = 200 + 10 * num_rows + 50 * *warm_delta;
+  return std::min(warm, cold);
+}
+
 std::unique_ptr<LpSolver> make_solver(SolverKind kind,
                                       const SolverOptions& options) {
   switch (kind) {

@@ -145,7 +145,7 @@ TEST(EdgeCases, SolversAgreeOnWideModels) {
       m.add_constraint(es, lp::Sense::LessEqual, rng.uniform(2.0, 8.0));
     }
     const lp::LpSolution a = lp::DenseSimplexSolver().solve(m);
-    const lp::LpSolution b = lp::RevisedSimplexSolver().solve(m);
+    const lp::LpSolution b = lp::RevisedSimplexSolver().solve(m);  // lips-lint: allow(direct-solver-ctor)
     ASSERT_TRUE(a.optimal());
     ASSERT_TRUE(b.optimal());
     EXPECT_NEAR(a.objective, b.objective, 1e-5 * (1 + std::fabs(a.objective)))
@@ -181,7 +181,7 @@ TEST(EdgeCases, TallModelsWithManyEqualities) {
       }
     }
     const lp::LpSolution a = lp::DenseSimplexSolver().solve(m);
-    const lp::LpSolution b = lp::RevisedSimplexSolver().solve(m);
+    const lp::LpSolution b = lp::RevisedSimplexSolver().solve(m);  // lips-lint: allow(direct-solver-ctor)
     ASSERT_TRUE(a.optimal()) << "trial " << trial;
     ASSERT_TRUE(b.optimal()) << "trial " << trial;
     EXPECT_NEAR(a.objective, b.objective, 1e-5 * (1 + std::fabs(a.objective)));
@@ -196,7 +196,7 @@ TEST(EdgeCases, TinyCoefficientsStayStable) {
   m.add_variable(0.0, 1e9, 2e-7);
   m.add_constraint(std::vector<lp::Entry>{{0, 1e-6}, {1, 1e-6}},
                    lp::Sense::GreaterEqual, 1e-3);
-  const lp::LpSolution s = lp::RevisedSimplexSolver().solve(m);
+  const lp::LpSolution s = lp::RevisedSimplexSolver().solve(m);  // lips-lint: allow(direct-solver-ctor)
   ASSERT_TRUE(s.optimal());
   EXPECT_NEAR(s.values[0], 1000.0, 1e-3);  // cheapest variable does it all
 }

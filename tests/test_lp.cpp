@@ -322,7 +322,7 @@ TEST_P(BothSolvers, TransportationProblem) {
 TEST(LpCrossCheck, RandomFeasibleBoundedModels) {
   Rng rng(2024);
   DenseSimplexSolver dense;
-  RevisedSimplexSolver revised;
+  RevisedSimplexSolver revised;  // lips-lint: allow(direct-solver-ctor)
   for (int trial = 0; trial < 40; ++trial) {
     const std::size_t n = 2 + rng.index(6);
     const std::size_t k = 1 + rng.index(6);
@@ -369,7 +369,7 @@ TEST(LpCrossCheck, RandomFeasibleBoundedModels) {
 TEST(LpCrossCheck, RandomInfeasibleModels) {
   Rng rng(777);
   DenseSimplexSolver dense;
-  RevisedSimplexSolver revised;
+  RevisedSimplexSolver revised;  // lips-lint: allow(direct-solver-ctor)
   for (int trial = 0; trial < 20; ++trial) {
     const std::size_t n = 1 + rng.index(4);
     LpModel m;
@@ -387,7 +387,7 @@ TEST(LpCrossCheck, RandomInfeasibleModels) {
 // the objective at any feasible point we know (x0 from construction).
 TEST(LpCrossCheck, OptimumDominatesKnownFeasiblePoint) {
   Rng rng(31337);
-  RevisedSimplexSolver solver;
+  RevisedSimplexSolver solver;  // lips-lint: allow(direct-solver-ctor)
   for (int trial = 0; trial < 30; ++trial) {
     const std::size_t n = 2 + rng.index(8);
     LpModel m;
@@ -416,7 +416,7 @@ TEST(LpCrossCheck, OptimumDominatesKnownFeasiblePoint) {
 // the optimum and preserves an optimal solution set member's feasibility.
 TEST(LpCrossCheck, ObjectiveScalingInvariance) {
   Rng rng(99);
-  RevisedSimplexSolver solver;
+  RevisedSimplexSolver solver;  // lips-lint: allow(direct-solver-ctor)
   LpModel m;
   LpModel m_scaled;
   const std::size_t n = 6;
@@ -469,13 +469,14 @@ namespace lips::lp {
 namespace {
 
 // Strong duality and complementary slackness on random feasible models,
-// using the revised solver's dual extraction. For a bounded-variable LP,
+// using both solvers' dual extraction. For a bounded-variable LP,
 //   c'x* = y'b + Σ_j d_j x*_j   (d_j the reduced cost; zero on basics),
 // every nonzero dual implies a tight row, and every nonzero reduced cost
 // implies the variable sits on the matching bound.
 TEST(LpDuality, StrongDualityAndComplementarySlackness) {
   Rng rng(20260707);
-  RevisedSimplexSolver solver;
+  RevisedSimplexSolver solver;  // lips-lint: allow(direct-solver-ctor)
+  DenseSimplexSolver dense;
   for (int trial = 0; trial < 25; ++trial) {
     const std::size_t n = 2 + rng.index(6);
     const std::size_t k = 1 + rng.index(5);
@@ -504,49 +505,61 @@ TEST(LpDuality, StrongDualityAndComplementarySlackness) {
         m.add_constraint(es, Sense::Equal, lhs);
       }
     }
-    const LpSolution s = solver.solve(m);
-    ASSERT_TRUE(s.optimal()) << "trial " << trial;
-    ASSERT_EQ(s.duals.size(), m.num_constraints());
-    ASSERT_EQ(s.reduced_costs.size(), m.num_variables());
+    const LpSolution revised_sol = solver.solve(m);
+    const LpSolution dense_sol = dense.solve(m);
+    const struct {
+      const LpSolution* s;
+      const char* which;
+    } runs[] = {{&revised_sol, "revised"}, {&dense_sol, "dense"}};
+    for (const auto& run : runs) {
+      const LpSolution& s = *run.s;
+      ASSERT_TRUE(s.optimal()) << run.which << " trial " << trial;
+      ASSERT_EQ(s.duals.size(), m.num_constraints()) << run.which;
+      ASSERT_EQ(s.reduced_costs.size(), m.num_variables()) << run.which;
 
-    // Strong duality identity.
-    double dual_obj = 0.0;
-    for (std::size_t i = 0; i < m.num_constraints(); ++i)
-      dual_obj += s.duals[i] * m.constraint(i).rhs;
-    for (std::size_t j = 0; j < n; ++j)
-      dual_obj += s.reduced_costs[j] * s.values[j];
-    EXPECT_NEAR(dual_obj, s.objective, 1e-5 * (1.0 + std::fabs(s.objective)))
-        << "trial " << trial;
+      // Strong duality identity.
+      double dual_obj = 0.0;
+      for (std::size_t i = 0; i < m.num_constraints(); ++i)
+        dual_obj += s.duals[i] * m.constraint(i).rhs;
+      for (std::size_t j = 0; j < n; ++j)
+        dual_obj += s.reduced_costs[j] * s.values[j];
+      EXPECT_NEAR(dual_obj, s.objective, 1e-5 * (1.0 + std::fabs(s.objective)))
+          << run.which << " trial " << trial;
 
-    // Dual sign conventions + slackness on rows.
-    for (std::size_t i = 0; i < m.num_constraints(); ++i) {
-      const Constraint& row = m.constraint(i);
-      double lhs = 0.0;
-      for (const Entry& e : row.entries) lhs += e.coeff * s.values[e.var];
-      const double slack = row.rhs - lhs;
-      if (row.sense == Sense::LessEqual) {
-        EXPECT_LE(s.duals[i], 1e-6) << "trial " << trial << " row " << i;
-        if (s.duals[i] < -1e-5) {
-          EXPECT_NEAR(slack, 0.0, 1e-5) << "trial " << trial << " row " << i;
-        }
-      } else if (row.sense == Sense::GreaterEqual) {
-        EXPECT_GE(s.duals[i], -1e-6) << "trial " << trial << " row " << i;
-        if (s.duals[i] > 1e-5) {
-          EXPECT_NEAR(slack, 0.0, 1e-5) << "trial " << trial << " row " << i;
+      // Dual sign conventions + slackness on rows.
+      for (std::size_t i = 0; i < m.num_constraints(); ++i) {
+        const Constraint& row = m.constraint(i);
+        double lhs = 0.0;
+        for (const Entry& e : row.entries) lhs += e.coeff * s.values[e.var];
+        const double slack = row.rhs - lhs;
+        if (row.sense == Sense::LessEqual) {
+          EXPECT_LE(s.duals[i], 1e-6)
+              << run.which << " trial " << trial << " row " << i;
+          if (s.duals[i] < -1e-5) {
+            EXPECT_NEAR(slack, 0.0, 1e-5)
+                << run.which << " trial " << trial << " row " << i;
+          }
+        } else if (row.sense == Sense::GreaterEqual) {
+          EXPECT_GE(s.duals[i], -1e-6)
+              << run.which << " trial " << trial << " row " << i;
+          if (s.duals[i] > 1e-5) {
+            EXPECT_NEAR(slack, 0.0, 1e-5)
+                << run.which << " trial " << trial << " row " << i;
+          }
         }
       }
-    }
 
-    // Reduced-cost slackness on variable bounds.
-    for (std::size_t j = 0; j < n; ++j) {
-      const Variable& v = m.variable(j);
-      if (s.reduced_costs[j] > 1e-5) {
-        EXPECT_NEAR(s.values[j], v.lower, 1e-5)
-            << "trial " << trial << " var " << j;
-      }
-      if (s.reduced_costs[j] < -1e-5) {
-        EXPECT_NEAR(s.values[j], v.upper, 1e-5)
-            << "trial " << trial << " var " << j;
+      // Reduced-cost slackness on variable bounds.
+      for (std::size_t j = 0; j < n; ++j) {
+        const Variable& v = m.variable(j);
+        if (s.reduced_costs[j] > 1e-5) {
+          EXPECT_NEAR(s.values[j], v.lower, 1e-5)
+              << run.which << " trial " << trial << " var " << j;
+        }
+        if (s.reduced_costs[j] < -1e-5) {
+          EXPECT_NEAR(s.values[j], v.upper, 1e-5)
+              << run.which << " trial " << trial << " var " << j;
+        }
       }
     }
   }
@@ -563,12 +576,20 @@ TEST(LpDuality, ShadowPricePredictsRelaxation) {
   m.add_constraint(std::vector<Entry>{{0, 1.0}, {1, 1.0}},
                    Sense::GreaterEqual, 10.0);
   m.add_constraint(std::vector<Entry>{{0, 1.0}}, Sense::LessEqual, 4.0);
-  RevisedSimplexSolver solver;
+  RevisedSimplexSolver solver;  // lips-lint: allow(direct-solver-ctor)
   const LpSolution s = solver.solve(m);
   ASSERT_TRUE(s.optimal());
   EXPECT_NEAR(s.objective, 4.0 * 1 + 6.0 * 5, 1e-6);
   // Capacity row dual: adding one cheap unit saves 5 - 1 = 4 → dual = -4.
   EXPECT_NEAR(s.duals[1], -4.0, 1e-6);
+  // Nondegenerate optimum → both solvers must extract identical duals.
+  DenseSimplexSolver dense;
+  const LpSolution ds = dense.solve(m);
+  ASSERT_TRUE(ds.optimal());
+  EXPECT_NEAR(ds.duals[0], s.duals[0], 1e-6);
+  EXPECT_NEAR(ds.duals[1], -4.0, 1e-6);
+  EXPECT_NEAR(ds.reduced_costs[0], s.reduced_costs[0], 1e-6);
+  EXPECT_NEAR(ds.reduced_costs[1], s.reduced_costs[1], 1e-6);
 
   LpModel relaxed;
   relaxed.add_variable(0, kInf, 1.0);

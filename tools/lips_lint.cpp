@@ -19,6 +19,11 @@
 //   nondet-time          system_clock / steady_clock / high_resolution_clock
 //                        / gettimeofday / time(nullptr) / clock() outside
 //                        bench/ (benchmarks measure wall time by design)
+//   direct-solver-ctor   RevisedSimplexSolver named outside src/lp/ and
+//                        src/core/ — construct through lp::make_solver or
+//                        drive epoch re-solves via core::EpochLpContext so
+//                        warm-start basis reuse and iteration budgets stay
+//                        centralized
 //
 // Usage:
 //   lips_lint <file>...              lint; exit 1 if any finding
@@ -117,6 +122,11 @@ bool in_bench(const std::string& path) {
   return path.find("bench/") != std::string::npos;
 }
 
+bool in_solver_layer(const std::string& path) {
+  return path.find("src/lp/") != std::string::npos ||
+         path.find("src/core/") != std::string::npos;
+}
+
 struct FileLint {
   std::string path;
   std::vector<std::string> raw_lines;
@@ -210,6 +220,18 @@ struct FileLint {
       scan_regex(re, "nondet-time",
                  "wall-clock read in deterministic code; thread simulated "
                  "time through instead");
+    }
+
+    // direct-solver-ctor — the revised engine is an implementation detail of
+    // the lp/core layers; everyone else goes through lp::make_solver (cold
+    // solves) or core::EpochLpContext (warm-started epoch re-solves) so
+    // iteration budgets and warm-start telemetry stay centralized.
+    if (!in_solver_layer(path)) {
+      static const std::regex re(R"(\bRevisedSimplexSolver\b)");
+      scan_regex(re, "direct-solver-ctor",
+                 "direct RevisedSimplexSolver use outside src/lp//src/core/; "
+                 "construct via lp::make_solver or reuse "
+                 "core::EpochLpContext");
     }
   }
 };

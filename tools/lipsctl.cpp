@@ -191,6 +191,7 @@ int main(int argc, char** argv) {
   if (spec_cols) header.insert(header.end(), {"spec", "spec_usd"});
   t.set_header(header);
   bool all_completed = true;
+  std::string lips_lp_summary;  // printed under the table in non-csv mode
 
   std::stringstream names(args.schedulers);
   std::string name;
@@ -201,6 +202,7 @@ int main(int argc, char** argv) {
     cfg.record_trace = !args.trace_file.empty();
     cfg.faults = fault_plan;
     std::unique_ptr<sched::Scheduler> policy;
+    core::LipsPolicy* lips_policy = nullptr;  // for LP telemetry below
     if (name == "default") {
       cfg.speculative_execution = true;
       cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
@@ -233,7 +235,9 @@ int main(int argc, char** argv) {
       if (!args.feedback) lo.quarantine_below = 0.0;
       cfg.hdfs_replication = 1;  // LiPS manages placement itself
       cfg.task_timeout_s = 1200.0;
-      policy = std::make_unique<core::LipsPolicy>(lo);
+      auto lips = std::make_unique<core::LipsPolicy>(lo);
+      lips_policy = lips.get();
+      policy = std::move(lips);
     } else {
       std::cerr << "unknown scheduler: " << name << "\n";
       return 2;
@@ -281,12 +285,24 @@ int main(int argc, char** argv) {
           Table::num(millicents_to_dollars(r.speculation_cost_mc), 3));
     }
     t.add_row(row);
+    if (lips_policy != nullptr) {
+      std::ostringstream os;
+      os << "lips lp: " << lips_policy->lp_solves() << " solves ("
+         << lips_policy->lp_warm_solves() << " warm, "
+         << lips_policy->lp_model_reuses() << " model reuses, "
+         << lips_policy->lp_cold_fallbacks() << " cold fallbacks), "
+         << lips_policy->total_lp_iterations() << " pivots ("
+         << lips_policy->lp_repair_iterations() << " dual repair), "
+         << lips_policy->off_cycle_resolves() << " off-cycle re-solves\n";
+      lips_lp_summary = os.str();
+    }
   }
 
   if (args.csv) {
     t.print_csv(std::cout);
   } else {
     t.print(std::cout);
+    if (!lips_lp_summary.empty()) std::cout << "\n" << lips_lp_summary;
   }
   return all_completed ? 0 : 1;
 }
