@@ -6,9 +6,19 @@
 // Paper's reported shape: LiPS costs 68–69% less than both the default and
 // the delay scheduler (Fig. 9) while its execution time runs 40–100% longer
 // than delay's and close to the default's (Fig. 10).
+// Extra mode for CI (no figures, no google-benchmark):
+//   bench_fig9_fig10_scale --check-obs-overhead
+// asserts that attaching a *disabled* tracer to the simulator costs ≤2%
+// wall clock versus no observer at all (exit 1 on regression).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 #include "workload/swim.hpp"
 
 namespace {
@@ -104,9 +114,68 @@ void BM_SwimEpochSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_SwimEpochSolve)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
 
+// CI perf smoke: a disabled tracer must be free (one branch per emission
+// site). Interleaved baseline/disabled timings of the same seeded run absorb
+// machine drift; medians absorb outliers; a small absolute floor absorbs
+// timer noise when the run is fast.
+int check_obs_overhead() {
+  const cluster::Cluster c = cluster::make_ec2_cluster(30, 0.34, 3, 0.33);
+  Rng rng(2013);
+  workload::SwimParams sp;
+  sp.n_jobs = 2000;  // long enough (~0.5 s/run) that timer noise is < 2%
+  const workload::SwimWorkload sw = workload::make_swim_workload(sp, c, rng);
+
+  const auto run_once = [&](obs::Tracer* tracer) {
+    sched::FifoLocalityScheduler fifo;
+    sim::SimConfig cfg;
+    cfg.hdfs_replication = 3;
+    cfg.speculative_execution = true;
+    cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
+    cfg.task_timeout_s = 600.0;
+    cfg.obs.tracer = tracer;
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::SimResult r = sim::simulate(c, sw.workload, fifo, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(r.total_cost_mc);
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+
+  obs::Tracer tracer;
+  tracer.set_enabled(false);
+  constexpr int kRounds = 7;
+  std::vector<double> base_ms, disabled_ms;
+  run_once(nullptr);  // warm-up (page cache, allocator)
+  for (int i = 0; i < kRounds; ++i) {
+    base_ms.push_back(run_once(nullptr));
+    disabled_ms.push_back(run_once(&tracer));
+  }
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double base = median(base_ms);
+  const double disabled = median(disabled_ms);
+  const double overhead = disabled / base - 1.0;
+  const double budget_ms = base * 0.02 + 1.0;  // 2% + timer-noise floor
+  const bool ok = disabled <= base + budget_ms;
+  std::cout << "obs-overhead check: baseline " << Table::num(base, 2)
+            << " ms, disabled tracer " << Table::num(disabled, 2) << " ms ("
+            << Table::pct(overhead) << " overhead, budget 2%) — "
+            << (ok ? "OK" : "FAIL") << "\n";
+  if (tracer.size() != 0) {
+    std::cout << "obs-overhead check: disabled tracer recorded "
+              << tracer.size() << " events (expected none)\n";
+    return 1;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--check-obs-overhead") == 0)
+      return check_obs_overhead();
   const ScaleResult s = run_scale(400);
   print_tables(s);
   benchmark::Initialize(&argc, argv);

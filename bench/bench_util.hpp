@@ -7,12 +7,15 @@
 // wall-clock cost the paper itself discusses (the LiPS LP overhead, §VI-A).
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/lips_policy.hpp"
+#include "obs/export.hpp"
 #include "sched/delay_scheduler.hpp"
 #include "sched/fifo_scheduler.hpp"
 #include "sim/simulator.hpp"
@@ -49,7 +52,24 @@ struct ThreeWayOptions {
   /// Fault plan injected identically into every scheduler's run (empty =
   /// fault-free; see sim/faults.hpp and bench_ablation_faults).
   sim::FaultPlan faults;
+  /// Base path for per-scheduler cost-ledger dumps
+  /// (`<base>.<sched>.json`, schedulers `default`/`delay`/`lips`). Empty =
+  /// off. Every bench binary inherits the LIPS_LEDGER_OUT environment
+  /// variable as a default, so ledgers can be dumped without per-binary
+  /// flags. Missing parent directories are created (obs::open_output) —
+  /// these writes used to fail silently when the directory did not exist.
+  std::string ledger_out = [] {
+    const char* env = std::getenv("LIPS_LEDGER_OUT");
+    return env == nullptr ? std::string() : std::string(env);
+  }();
 };
+
+/// Write one run's cost ledger to `<base>.<sched>.json`.
+inline void dump_ledger(const std::string& base, const std::string& sched,
+                        const obs::CostLedger& ledger) {
+  std::ofstream out = obs::open_output(base + "." + sched + ".json");
+  obs::write_ledger_json(ledger, out);
+}
 
 /// Run the three schedulers on the same cluster/workload.
 inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
@@ -66,13 +86,24 @@ inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
   base_cfg.task_timeout_s = opt.baseline_timeout_s;
   base_cfg.faults = opt.faults;
 
+  // A fresh ledger per run: posts fold in billing order, so a ledger shared
+  // across runs would reconcile against neither run's totals.
+  const bool want_ledger = !opt.ledger_out.empty();
   {
     sched::FifoLocalityScheduler fifo;
-    out.hadoop_default = sim::simulate(cluster, workload, fifo, base_cfg);
+    obs::CostLedger ledger;
+    sim::SimConfig cfg = base_cfg;
+    if (want_ledger) cfg.obs.ledger = &ledger;
+    out.hadoop_default = sim::simulate(cluster, workload, fifo, cfg);
+    if (want_ledger) dump_ledger(opt.ledger_out, "default", ledger);
   }
   {
     sched::DelayScheduler delay(opt.delay_node_s, opt.delay_zone_s);
-    out.delay = sim::simulate(cluster, workload, delay, base_cfg);
+    obs::CostLedger ledger;
+    sim::SimConfig cfg = base_cfg;
+    if (want_ledger) cfg.obs.ledger = &ledger;
+    out.delay = sim::simulate(cluster, workload, delay, cfg);
+    if (want_ledger) dump_ledger(opt.ledger_out, "delay", ledger);
   }
   {
     core::LipsPolicyOptions lo;
@@ -80,14 +111,17 @@ inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
     lo.model.max_candidate_machines = opt.prune_machines;
     lo.model.max_candidate_stores = opt.prune_stores;
     core::LipsPolicy lips(lo);
+    obs::CostLedger ledger;
     sim::SimConfig lips_cfg;
     lips_cfg.hdfs_replication = 1;  // LiPS manages placement itself
     lips_cfg.speculative_execution = false;  // disabled for LiPS (paper)
     lips_cfg.task_timeout_s = opt.lips_timeout_s;
     lips_cfg.faults = opt.faults;
+    if (want_ledger) lips_cfg.obs.ledger = &ledger;
     out.lips = sim::simulate(cluster, workload, lips, lips_cfg);
     out.lips_planned_cost_mc = lips.planned_cost_mc();
     out.lips_lp_solves = lips.lp_solves();
+    if (want_ledger) dump_ledger(opt.ledger_out, "lips", ledger);
   }
   return out;
 }

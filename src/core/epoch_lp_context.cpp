@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <tuple>
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lips::core {
 
@@ -105,6 +108,10 @@ LpSchedule EpochLpContext::solve(
     const std::vector<double>& remaining_fraction,
     const std::vector<StoreId>& effective_origins) {
   ++stats_.solves;
+  const obs::Span span(obs_.tracer, "lp-solve", "lp");
+  // Wall-clock read only when a registry will consume the sample.
+  const std::uint64_t t_begin_us =
+      obs_.metrics != nullptr ? obs::monotonic_now_us() : 0;
   const detail::ModelBuilder builder(cluster, workload, options, jobs,
                                      remaining_fraction, effective_origins);
   StructureKey key = make_key(cluster, workload, options, builder.jobs());
@@ -183,6 +190,31 @@ LpSchedule EpochLpContext::solve(
   sched.warm_start_used = sol.warm_start_used;
   sched.cold_fallback = cold_fallback;
   sched.lp_repair_iterations = sol.repair_iterations;
+
+  if (obs_.metrics != nullptr) {
+    obs::MetricRegistry& reg = *obs_.metrics;
+    const char* mode = cold_fallback          ? "cold_fallback"
+                       : sol.warm_start_used  ? "warm"
+                                              : "cold";
+    reg.counter("lips_lp_solves_total", {{"mode", mode}}).inc();
+    reg.counter("lips_lp_pivots_total")
+        .inc(static_cast<double>(sol.iterations));
+    if (sol.repair_iterations > 0)
+      reg.counter("lips_lp_repair_pivots_total")
+          .inc(static_cast<double>(sol.repair_iterations));
+    if (sched.model_reused) reg.counter("lips_lp_model_reuses_total").inc();
+    reg.histogram("lips_lp_solve_duration_ms",
+                  {0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0})
+        .observe(static_cast<double>(obs::monotonic_now_us() - t_begin_us) /
+                 1000.0);
+  }
+  if (obs_.tracer != nullptr && obs_.tracer->enabled())
+    obs_.tracer->instant(cold_fallback         ? "lp-cold-fallback"
+                         : sol.warm_start_used ? "lp-warm-solve"
+                                               : "lp-cold-solve",
+                         "lp", "pivots", static_cast<double>(sol.iterations),
+                         "repair_pivots",
+                         static_cast<double>(sol.repair_iterations));
 
   // Keep the final basis for the next epoch; a failed solve exports none.
   basis_ = sol.optimal() ? sol.basis : lp::Basis{};

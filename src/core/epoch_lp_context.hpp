@@ -28,6 +28,7 @@
 
 #include "core/lp_model_builder.hpp"
 #include "core/lp_models.hpp"
+#include "obs/obs.hpp"
 
 namespace lips::core {
 
@@ -56,6 +57,11 @@ class EpochLpContext {
   void invalidate();
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Attach observability sinks: solve() opens a tracer span per call, tags
+  /// warm/cold/repair outcomes as instant events, and feeds solve counters
+  /// and a duration histogram into the metrics registry.
+  void set_observer(const obs::Observer& observer) { obs_ = observer; }
 
  private:
   /// Everything that fixes the *structure* (columns and rows, not values)
@@ -88,6 +94,7 @@ class EpochLpContext {
                                const lp::Basis& from,
                                const detail::ModelLayout& to_layout);
 
+  obs::Observer obs_{};
   bool have_model_ = false;
   StructureKey key_;
   lp::LpModel model_;

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lips::core {
 
@@ -46,6 +49,10 @@ void LipsPolicy::on_spot_warning(MachineId machine, double revoke_time_s,
 }
 
 void LipsPolicy::replan(const sched::ClusterState& state) {
+  lp_context_.set_observer(obs_);
+  const obs::Span span(obs_.tracer, "lips-replan", "sched");
+  if (obs_.metrics != nullptr)
+    obs_.metrics->counter("lips_policy_replans_total").inc();
   const cluster::Cluster& c = state.cluster();
   const workload::Workload& w = state.workload();
 
@@ -122,6 +129,15 @@ void LipsPolicy::replan(const sched::ClusterState& state) {
   // 3. Round to whole tasks.
   const RoundedSchedule rounded = round_schedule(c, w, lp);
   planned_cost_mc_ += rounded.cost_mc;
+
+  // The LP objective includes the fake node F's deferral coefficients; the
+  // decoded breakdown sums only real variables. The difference is the
+  // modeled cost of work this plan pushed past the epoch boundary.
+  const Millicents fake_carry = lp.objective_mc - lp.placement_transfer_mc -
+                                lp.execution_mc - lp.runtime_transfer_mc;
+  fake_node_carry_mc_ += fake_carry;
+  if (obs_.ledger != nullptr)
+    obs_.ledger->post(obs::CostMeter::FakeNodeCarry, fake_carry);
 
   // 4/5. Pin tasks and derive the data moves the plan depends on.
   // Required presence per (data, store) = total fraction read there this
@@ -246,6 +262,10 @@ void LipsPolicy::apply_throughput_feedback(const sched::ClusterState& state,
 
 void LipsPolicy::fallback_plan(const sched::ClusterState& state) {
   lp_fallbacks_ += 1;
+  if (obs_.metrics != nullptr)
+    obs_.metrics->counter("lips_policy_fallback_plans_total").inc();
+  if (obs_.tracer != nullptr && obs_.tracer->enabled())
+    obs_.tracer->instant("lips-fallback-plan", "sched");
   const cluster::Cluster& c = state.cluster();
   // No data moves, no gates: each pending task reads from the live store
   // holding the most of its input and runs on the machine minimizing

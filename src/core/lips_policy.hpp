@@ -94,6 +94,13 @@ class LipsPolicy : public sched::Scheduler {
     return off_cycle_resolves_;
   }
   [[nodiscard]] Millicents planned_cost_mc() const { return planned_cost_mc_; }
+  /// Σ fake-node contributions to the epoch-LP objectives: modeled cost of
+  /// the work each plan deferred to a later epoch rather than placed. Folded
+  /// replan by replan in the same order the cost ledger sees its
+  /// FakeNodeCarry posts, so the two agree bit for bit.
+  [[nodiscard]] Millicents fake_node_carry_mc() const {
+    return fake_node_carry_mc_;
+  }
   [[nodiscard]] std::size_t total_lp_iterations() const {
     return lp_iterations_;
   }
@@ -176,6 +183,7 @@ class LipsPolicy : public sched::Scheduler {
   std::size_t quarantine_probes_ = 0;
   /// Σ epoch-LP objectives (modeled cost).
   Millicents planned_cost_mc_ = Millicents::zero();
+  Millicents fake_node_carry_mc_ = Millicents::zero();
 };
 
 }  // namespace lips::core

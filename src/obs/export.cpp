@@ -1,0 +1,254 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lips::obs {
+
+namespace {
+
+/// Round-trip double formatting (max_digits10): a parser reading the dump
+/// recovers the exact bit pattern, which the reconciliation tests rely on.
+void put_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN literal; the exporters never feed these on healthy
+    // runs (ledger posts are checked finite), so a string marker suffices.
+    os << "\"" << (std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf")) << "\"";
+    return;
+  }
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+}
+
+void put_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
+             << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Prometheus label block: `{k1="v1",k2="v2"}` or nothing when empty; an
+/// extra pre-sorted label can be appended (histogram `le`).
+void put_prom_labels(std::ostream& os, const Labels& labels,
+                     const std::string& extra_key = "",
+                     const std::string& extra_val = "") {
+  if (labels.empty() && extra_key.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"" << v << '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) os << ',';
+    os << extra_key << "=\"" << extra_val << '"';
+  }
+  os << '}';
+}
+
+std::string prom_bound(double b) {
+  std::ostringstream ss;
+  ss << std::setprecision(std::numeric_limits<double>::max_digits10) << b;
+  return ss.str();
+}
+
+const char* kind_name(MetricRegistry::Kind k) {
+  switch (k) {
+    case MetricRegistry::Kind::Counter:
+      return "counter";
+    case MetricRegistry::Kind::Gauge:
+      return "gauge";
+    case MetricRegistry::Kind::Histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_prometheus(const std::vector<MetricRegistry::Sample>& samples,
+                      std::ostream& os) {
+  std::string last_name;
+  for (const MetricRegistry::Sample& s : samples) {
+    if (s.name != last_name) {
+      os << "# TYPE " << s.name << ' ' << kind_name(s.kind) << '\n';
+      last_name = s.name;
+    }
+    if (s.kind == MetricRegistry::Kind::Histogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+        cumulative += s.counts[i];
+        os << s.name << "_bucket";
+        put_prom_labels(os, s.labels, "le",
+                        i < s.bounds.size() ? prom_bound(s.bounds[i]) : "+Inf");
+        os << ' ' << cumulative << '\n';
+      }
+      os << s.name << "_sum";
+      put_prom_labels(os, s.labels);
+      os << ' ';
+      put_double(os, s.sum);
+      os << '\n';
+      os << s.name << "_count";
+      put_prom_labels(os, s.labels);
+      os << ' ' << s.count << '\n';
+    } else {
+      os << s.name;
+      put_prom_labels(os, s.labels);
+      os << ' ';
+      put_double(os, s.value);
+      os << '\n';
+    }
+  }
+}
+
+void write_metrics_json(const std::vector<MetricRegistry::Sample>& samples,
+                        std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MetricRegistry::Sample& s = samples[i];
+    if (i != 0) os << ",";
+    os << "\n  {\"name\": ";
+    put_json_string(os, s.name);
+    os << ", \"kind\": \"" << kind_name(s.kind) << "\", \"labels\": {";
+    for (std::size_t j = 0; j < s.labels.size(); ++j) {
+      if (j != 0) os << ", ";
+      put_json_string(os, s.labels[j].first);
+      os << ": ";
+      put_json_string(os, s.labels[j].second);
+    }
+    os << "}";
+    if (s.kind == MetricRegistry::Kind::Histogram) {
+      os << ", \"bounds\": [";
+      for (std::size_t j = 0; j < s.bounds.size(); ++j) {
+        if (j != 0) os << ", ";
+        put_double(os, s.bounds[j]);
+      }
+      os << "], \"counts\": [";
+      for (std::size_t j = 0; j < s.counts.size(); ++j) {
+        if (j != 0) os << ", ";
+        os << s.counts[j];
+      }
+      os << "], \"sum\": ";
+      put_double(os, s.sum);
+      os << ", \"count\": " << s.count;
+    } else {
+      os << ", \"value\": ";
+      put_double(os, s.value);
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+}
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  tracer.for_each([&](const TraceRecord& rec) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": ";
+    put_json_string(os, rec.name);
+    os << ", \"cat\": ";
+    put_json_string(os, rec.cat);
+    os << ", \"ph\": \"" << rec.phase << "\", \"ts\": " << rec.ts_us
+       << ", \"pid\": 0, \"tid\": 0";
+    if (rec.phase == 'i') os << ", \"s\": \"t\"";
+    if (rec.arg_key[0] != nullptr || rec.arg_key[1] != nullptr) {
+      os << ", \"args\": {";
+      bool first_arg = true;
+      for (int a = 0; a < 2; ++a) {
+        if (rec.arg_key[a] == nullptr) continue;
+        if (!first_arg) os << ", ";
+        first_arg = false;
+        put_json_string(os, rec.arg_key[a]);
+        os << ": ";
+        put_double(os, rec.arg_val[a]);
+      }
+      os << "}";
+    }
+    os << "}";
+  });
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void write_ledger_json(const CostLedger& ledger, std::ostream& os) {
+  os << "{\n  \"posts\": " << ledger.posts() << ",\n  \"meter_totals_mc\": {";
+  for (std::size_t m = 0; m < kMeterCount; ++m) {
+    if (m != 0) os << ", ";
+    os << '"' << to_string(static_cast<CostMeter>(m)) << "\": ";
+    put_double(os, ledger.meter_total(static_cast<CostMeter>(m)).mc());
+  }
+  os << "},\n  \"category_totals_mc\": {";
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    if (c != 0) os << ", ";
+    os << '"' << to_string(static_cast<CostCategory>(c)) << "\": ";
+    put_double(os, ledger.category_total(static_cast<CostCategory>(c)).mc());
+  }
+  os << "},\n  \"billed_total_mc\": ";
+  put_double(os, ledger.billed_total().mc());
+  os << ",\n  \"cells\": [";
+  bool first = true;
+  for (const auto& [key, amount] : ledger.cells()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"epoch\": " << key.epoch << ", \"job\": ";
+    if (key.job == CostLedger::kNone)
+      os << "null";
+    else
+      os << key.job;
+    os << ", \"machine\": ";
+    if (key.machine == CostLedger::kNone)
+      os << "null";
+    else
+      os << key.machine;
+    os << ", \"category\": \"" << to_string(key.category) << "\", \"mc\": ";
+    put_double(os, amount.mc());
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::ofstream open_output(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    LIPS_REQUIRE(!ec, "cannot create output directory " +
+                          p.parent_path().string() + ": " + ec.message());
+  }
+  std::ofstream out(path);
+  LIPS_REQUIRE(out.good(), "cannot open output file " + path);
+  return out;
+}
+
+}  // namespace lips::obs

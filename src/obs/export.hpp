@@ -1,0 +1,45 @@
+// Exporters for the observability subsystem: Prometheus text exposition and
+// JSON for the metrics registry, Chrome trace_event JSON for the tracer,
+// and a cells + totals JSON dump for the cost ledger.
+//
+// All exporters write to a caller-supplied std::ostream (files, string
+// streams in tests, stdout in tools) and format doubles with round-trip
+// precision, so a dump parsed back recovers exact values. Output order is
+// deterministic: metrics come from the registry's sorted snapshot, trace
+// events in ring order, ledger cells in key order.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lips::obs {
+
+/// Prometheus text exposition format (one `# TYPE` comment per metric name,
+/// histograms expanded to cumulative `_bucket{le=...}` / `_sum` / `_count`).
+void write_prometheus(const std::vector<MetricRegistry::Sample>& samples,
+                      std::ostream& os);
+
+/// The same snapshot as a JSON array of series objects.
+void write_metrics_json(const std::vector<MetricRegistry::Sample>& samples,
+                        std::ostream& os);
+
+/// Chrome trace_event JSON object format:
+///   {"traceEvents": [...], "displayTimeUnit": "ms"}
+/// loadable directly in chrome://tracing or https://ui.perfetto.dev.
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+/// Ledger dump: per-meter and per-category totals plus every cell.
+void write_ledger_json(const CostLedger& ledger, std::ostream& os);
+
+/// Open `path` for writing, creating missing parent directories first.
+/// Throws PreconditionError when the stream cannot be opened — callers used
+/// to silently lose output when the directory did not exist.
+[[nodiscard]] std::ofstream open_output(const std::string& path);
+
+}  // namespace lips::obs

@@ -1,0 +1,166 @@
+// Metrics registry — typed counters, gauges, and fixed-bucket histograms
+// keyed by (name, labels).
+//
+// Design goals, in order:
+//   * hot path cost — incrementing an instrument is one relaxed atomic op on
+//     a pre-resolved handle; no map lookup, no lock, no allocation. Call
+//     sites resolve handles once (registration takes the registry mutex) and
+//     then hammer the handle. Today's simulator is single-threaded, but the
+//     instruments are already safe to share across shards, so the API will
+//     not need to change when the event loop is partitioned;
+//   * deterministic output — snapshots and exports walk instruments in
+//     (name, labels) order, so two runs of a deterministic simulation
+//     produce byte-identical Prometheus/JSON dumps;
+//   * Prometheus compatibility — names and label keys are validated against
+//     the exposition-format charset at registration, histograms use the
+//     cumulative `le` bucket convention.
+//
+// The registry is null-safe through obs::Observer: code holds `Counter*`
+// handles that are simply nullptr when metrics are off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lips::obs {
+
+/// Label set attached to one instrument. Order-insensitive at registration
+/// (labels are sorted by key); duplicate keys are a precondition error.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+/// Relaxed atomic add for doubles (no fetch_add for floating point until
+/// C++20's is library-optional); a CAS loop is the portable spelling and
+/// uncontended it costs the same as one exchange.
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotone event count. `inc` is the hot path.
+class Counter {
+ public:
+  void inc(double delta = 1.0) { detail::atomic_add(v_, delta); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricRegistry;
+  Counter() = default;
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time level; `set` overwrites, `add` adjusts.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { detail::atomic_add(v_, delta); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricRegistry;
+  Gauge() = default;
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` (cumulative upper-bound)
+/// semantics: an observation lands in the first bucket whose bound is
+/// >= the value; values above every bound land in the implicit +Inf bucket.
+/// Bounds are fixed at registration — no re-bucketing on the hot path.
+class Histogram {
+ public:
+  void observe(double v);
+
+  /// Upper bounds as registered (strictly increasing, +Inf not included).
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds().size() is +Inf.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_count() const;
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  // Heap array rather than std::vector: atomics are not movable, and the
+  // bucket count never changes after construction.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+/// Owner of all instruments. Registration (`counter`/`gauge`/`histogram`)
+/// takes a mutex and returns a stable reference — instruments are never
+/// moved or destroyed before the registry. Re-registering the same
+/// (name, labels) returns the existing instrument; the same name with a
+/// different instrument kind is a precondition error.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       Labels labels = {});
+
+  enum class Kind : unsigned char { Counter, Gauge, Histogram };
+
+  /// One instrument's state, copied out under the registry mutex.
+  struct Sample {
+    std::string name;
+    Labels labels;  // sorted by key
+    Kind kind = Kind::Counter;
+    double value = 0.0;                 // counter / gauge
+    std::vector<double> bounds;         // histogram
+    std::vector<std::uint64_t> counts;  // histogram, per-bucket, +Inf last
+    double sum = 0.0;                   // histogram
+    std::uint64_t count = 0;            // histogram
+  };
+
+  /// Consistent-order snapshot: samples sorted by (name, labels). Individual
+  /// instrument reads are relaxed — a snapshot taken mid-update on another
+  /// thread is per-instrument atomic, not cross-instrument.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Number of registered series.
+  [[nodiscard]] std::size_t series_count() const;
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;
+    [[nodiscard]] bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+  static Key make_key(std::string_view name, Labels labels);
+
+  mutable std::mutex mu_;
+  // unique_ptr for address stability; std::map for deterministic snapshots.
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Kind> kind_of_name_;
+};
+
+}  // namespace lips::obs

@@ -1,0 +1,35 @@
+// Observability facade: the nullable sink bundle every instrumented layer
+// carries.
+//
+// `Observer` is three raw pointers — metrics registry, tracer, cost ledger —
+// any of which may be null. Instrumented code (simulator, schedulers, the
+// LiPS policy, the LP context) holds an Observer by value and guards each
+// emission with a null check, so a default-constructed Observer makes every
+// instrumentation site a branch-and-skip: observability is strictly opt-in
+// and costs nothing when absent. The sinks themselves outlive the observed
+// run; ownership stays with the caller (lipsctl, bench harness, tests).
+//
+// This header is deliberately forward-declaration-only so that low layers
+// (sched/scheduler.hpp) can embed an Observer without pulling in the full
+// metrics/trace/ledger machinery; emission sites include the concrete
+// headers.
+#pragma once
+
+namespace lips::obs {
+
+class MetricRegistry;
+class Tracer;
+class CostLedger;
+
+struct Observer {
+  MetricRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  CostLedger* ledger = nullptr;
+
+  /// True when at least one sink is attached.
+  [[nodiscard]] bool any() const {
+    return metrics != nullptr || tracer != nullptr || ledger != nullptr;
+  }
+};
+
+}  // namespace lips::obs

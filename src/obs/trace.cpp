@@ -1,0 +1,78 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace lips::obs {
+
+std::uint64_t monotonic_now_us() {
+  // The single sanctioned wall-clock read outside bench/: trace timestamps
+  // annotate a run, they never feed back into it.
+  const auto now = std::chrono::steady_clock::now();  // lips-lint: allow(nondet-time)
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+Tracer::Tracer(std::size_t capacity) {
+  LIPS_REQUIRE(capacity >= 1, "tracer ring needs at least one slot");
+  ring_.resize(capacity);
+  t0_us_ = monotonic_now_us();
+}
+
+void Tracer::push(const TraceRecord& rec) {
+  ring_[next_] = rec;
+  next_ = (next_ + 1) % ring_.size();
+  if (next_ == 0) wrapped_ = true;
+  ++total_;
+}
+
+void Tracer::begin(const char* name, const char* cat) {
+  if (!enabled_) return;
+  TraceRecord rec;
+  rec.name = name;
+  rec.cat = cat;
+  rec.phase = 'B';
+  rec.ts_us = monotonic_now_us() - t0_us_;
+  push(rec);
+}
+
+void Tracer::end(const char* name, const char* cat) {
+  if (!enabled_) return;
+  TraceRecord rec;
+  rec.name = name;
+  rec.cat = cat;
+  rec.phase = 'E';
+  rec.ts_us = monotonic_now_us() - t0_us_;
+  push(rec);
+}
+
+void Tracer::instant(const char* name, const char* cat, const char* k1,
+                     double v1, const char* k2, double v2) {
+  if (!enabled_) return;
+  TraceRecord rec;
+  rec.name = name;
+  rec.cat = cat;
+  rec.phase = 'i';
+  rec.ts_us = monotonic_now_us() - t0_us_;
+  rec.arg_key[0] = k1;
+  rec.arg_val[0] = v1;
+  rec.arg_key[1] = k2;
+  rec.arg_val[1] = v2;
+  push(rec);
+}
+
+std::size_t Tracer::size() const {
+  return wrapped_ ? ring_.size() : next_;
+}
+
+void Tracer::clear() {
+  next_ = 0;
+  wrapped_ = false;
+  total_ = 0;
+  t0_us_ = monotonic_now_us();
+}
+
+}  // namespace lips::obs

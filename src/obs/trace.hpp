@@ -1,0 +1,109 @@
+// Event tracer — Chrome trace_event JSON recording for simulator runs.
+//
+// Records land in a fixed-capacity ring buffer (oldest overwritten first) so
+// tracing a multi-hour simulated day cannot exhaust memory; capacity is a
+// constructor knob. Duration work uses explicit 'B'/'E' (begin/end) event
+// pairs rather than single 'X' complete events: B/E records are appended in
+// real time, which makes the buffer's timestamp sequence monotonically
+// non-decreasing by construction — a property the exporter and tests rely
+// on. A ring overwrite can orphan a 'B' whose 'E' survived; trace viewers
+// (chrome://tracing, Perfetto) tolerate that at the window edge.
+//
+// Zero-cost when disabled: every record call first checks one bool; a
+// disabled tracer performs no clock read, no argument marshalling, no write.
+// The Span RAII helper latches enablement at open so a span closed after a
+// mid-run disable stays balanced.
+//
+// Names and categories are `const char*` by design: instrumentation sites
+// pass string literals, the tracer stores the pointer — no copies on the hot
+// path. Dynamic strings are not supported; that is a feature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lips::obs {
+
+/// Monotonic wall-clock in microseconds. Observability timestamps only —
+/// never feeds schedules, bills, or any other deterministic output (the
+/// nondet-time lint rule guards every other call site).
+[[nodiscard]] std::uint64_t monotonic_now_us();
+
+/// One ring-buffer slot. Two inline numeric args cover every current
+/// instrumentation site without heap traffic.
+struct TraceRecord {
+  const char* name = "";
+  const char* cat = "";
+  char phase = 'i';  // 'B' begin, 'E' end, 'i' instant
+  std::uint64_t ts_us = 0;
+  const char* arg_key[2] = {nullptr, nullptr};
+  double arg_val[2] = {0.0, 0.0};
+};
+
+class Tracer {
+ public:
+  /// `capacity` is the ring size in records (>= 1).
+  explicit Tracer(std::size_t capacity = 1 << 16);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void begin(const char* name, const char* cat);
+  void end(const char* name, const char* cat);
+  void instant(const char* name, const char* cat, const char* k1 = nullptr,
+               double v1 = 0.0, const char* k2 = nullptr, double v2 = 0.0);
+
+  /// Records currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Records ever recorded, including ones the ring has since overwritten.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Records lost to ring overwrite.
+  [[nodiscard]] std::uint64_t overwritten() const {
+    return total_ - size();
+  }
+
+  void clear();
+
+  /// Visit surviving records oldest → newest (i.e. in non-decreasing ts_us).
+  template <typename F>
+  void for_each(F&& f) const {
+    const std::size_t n = size();
+    const std::size_t start = wrapped_ ? next_ : 0;
+    for (std::size_t i = 0; i < n; ++i)
+      f(ring_[(start + i) % ring_.size()]);
+  }
+
+ private:
+  void push(const TraceRecord& rec);
+
+  std::vector<TraceRecord> ring_;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  std::uint64_t total_ = 0;
+  std::uint64_t t0_us_ = 0;  // construction time; records are relative
+  bool enabled_ = true;
+};
+
+/// RAII duration span: begin on construction, end on destruction. Null or
+/// disabled tracer → both ends are no-ops (the decision latches at open).
+class Span {
+ public:
+  Span(Tracer* t, const char* name, const char* cat)
+      : t_(t != nullptr && t->enabled() ? t : nullptr),
+        name_(name),
+        cat_(cat) {
+    if (t_ != nullptr) t_->begin(name_, cat_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (t_ != nullptr) t_->end(name_, cat_);
+  }
+
+ private:
+  Tracer* t_;
+  const char* name_;
+  const char* cat_;
+};
+
+}  // namespace lips::obs

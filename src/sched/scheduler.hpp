@@ -15,6 +15,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/ids.hpp"
+#include "obs/obs.hpp"
 #include "workload/workload.hpp"
 
 namespace lips::sched {
@@ -153,6 +154,15 @@ class Scheduler {
     (void)revoke_time_s;
     (void)state;
   }
+
+  /// Attach observability sinks (src/obs). The simulator forwards its
+  /// SimConfig::obs here before the run starts; schedulers emit through the
+  /// protected `obs_` (every sink pointer may be null — emission sites must
+  /// check). The observer from the most recent attach wins.
+  void set_observer(const obs::Observer& observer) { obs_ = observer; }
+
+ protected:
+  obs::Observer obs_{};
 };
 
 }  // namespace lips::sched

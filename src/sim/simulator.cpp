@@ -9,6 +9,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lips::sim {
 
@@ -113,6 +115,65 @@ struct Instance {
   bool settled = false;
 };
 
+/// Tracer span name per simulator event kind (string literals only: the
+/// tracer stores the pointer, not a copy).
+const char* span_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::JobArrival:
+      return "job-arrival";
+    case EventKind::InstanceFinish:
+      return "instance-finish";
+    case EventKind::EpochTick:
+      return "epoch-tick";
+    case EventKind::MoveFinish:
+      return "move-finish";
+    case EventKind::Fault:
+      return "fault";
+    case EventKind::MachineRestore:
+      return "machine-restore";
+    case EventKind::LinkRestore:
+      return "link-restore";
+    case EventKind::TaskRetry:
+      return "task-retry";
+    case EventKind::SlowdownRestore:
+      return "slowdown-restore";
+  }
+  return "event";
+}
+
+const char* fault_span_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::MachineCrash:
+      return "fault-machine-crash";
+    case FaultEvent::Kind::SpotRevocation:
+      return "fault-spot-revocation";
+    case FaultEvent::Kind::StoreLoss:
+      return "fault-store-loss";
+    case FaultEvent::Kind::LinkDegrade:
+      return "fault-link-degrade";
+    case FaultEvent::Kind::MachineSlowdown:
+      return "fault-machine-slowdown";
+  }
+  return "fault";
+}
+
+/// Pre-resolved metric handles (registration takes the registry mutex; the
+/// event loop only touches these raw pointers, all null when metrics are
+/// off).
+struct SimMeters {
+  obs::Counter* launched = nullptr;
+  obs::Counter* launched_spec = nullptr;
+  obs::Counter* completed = nullptr;
+  obs::Counter* timeout_kills = nullptr;
+  obs::Counter* fault_kills = nullptr;
+  obs::Counter* spec_cancelled = nullptr;
+  obs::Counter* epochs = nullptr;
+  obs::Counter* moves = nullptr;
+  obs::Counter* faults = nullptr;
+  obs::Gauge* pending = nullptr;
+  obs::Histogram* runtime = nullptr;
+};
+
 struct PendingMove {
   DataId data;
   StoreId from{0};
@@ -132,6 +193,32 @@ class Engine final : public ClusterState {
          const workload::JobDag* dependencies)
       : c_(cluster), w_(workload), policy_(policy), cfg_(config) {
     LIPS_REQUIRE(c_.finalized(), "cluster must be finalized");
+    // Observability first: ingest replication below already bills (and
+    // therefore posts to the ledger), and the policy may consult its
+    // observer from the first callback.
+    obs_ = cfg_.obs;
+    tracer_ = obs_.tracer;
+    ledger_ = obs_.ledger;
+    policy_.set_observer(obs_);
+    if (obs_.metrics != nullptr) {
+      obs::MetricRegistry& reg = *obs_.metrics;
+      meters_.launched = &reg.counter("lips_sim_instances_launched_total",
+                                      {{"speculative", "false"}});
+      meters_.launched_spec = &reg.counter("lips_sim_instances_launched_total",
+                                           {{"speculative", "true"}});
+      meters_.completed = &reg.counter("lips_sim_tasks_completed_total");
+      meters_.timeout_kills = &reg.counter("lips_sim_timeout_kills_total");
+      meters_.fault_kills = &reg.counter("lips_sim_fault_kills_total");
+      meters_.spec_cancelled =
+          &reg.counter("lips_sim_speculative_cancelled_total");
+      meters_.epochs = &reg.counter("lips_sim_epochs_total");
+      meters_.moves = &reg.counter("lips_sim_data_moves_total");
+      meters_.faults = &reg.counter("lips_sim_faults_injected_total");
+      meters_.pending = &reg.gauge("lips_sim_pending_tasks");
+      meters_.runtime = &reg.histogram(
+          "lips_sim_instance_runtime_seconds",
+          {1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0});
+    }
     if (dependencies) {
       // The DAG may be sized generously (extra ids are simply jobless);
       // it must at least cover every real job.
@@ -257,6 +344,7 @@ class Engine final : public ClusterState {
       events_.pop();
       if (ev.time > cfg_.horizon_s) break;
       now_ = ev.time;
+      const obs::Span span(tracer_, span_name(ev.kind), "sim");
       dispatch(ev);
     }
 
@@ -337,8 +425,11 @@ class Engine final : public ClusterState {
         }
         if (stored_fraction(DataId{d}, pick) >= 1.0) continue;  // duplicate
         presence_[d][pick.value()] = 1.0;
-        result_.ingest_replication_cost_mc +=
+        const Millicents repl_cost =
             Bytes::mb(obj.size_mb) * c_.ss_cost_mc_per_mb(origin, pick);
+        result_.ingest_replication_cost_mc += repl_cost;
+        if (ledger_ != nullptr)
+          ledger_->post(obs::CostMeter::IngestReplication, repl_cost);
         replicas.push_back(pick);
       }
     }
@@ -440,6 +531,16 @@ class Engine final : public ClusterState {
 
   void on_epoch_tick() {
     result_.epochs += 1;
+    // Posts between consecutive ticks land on this epoch's ledger rows
+    // (epoch 0 covers ingest and everything before the first tick settles).
+    if (ledger_ != nullptr) ledger_->set_current_epoch(result_.epochs);
+    if (meters_.epochs != nullptr) {
+      meters_.epochs->inc();
+      meters_.pending->set(static_cast<double>(pending_.size()));
+    }
+    if (tracer_ != nullptr)
+      tracer_->instant("epoch", "sim", "epoch",
+                       static_cast<double>(result_.epochs), "sim_time_s", now_);
     trace(TraceEvent::Kind::EpochTick);
     policy_.on_epoch(*this);
     for (const sched::DataMove& mv : policy_.take_data_moves()) start_move(mv);
@@ -480,6 +581,9 @@ class Engine final : public ClusterState {
     presence_[mv.data.value()][mv.to.value()] = std::min(
         1.0, presence_[mv.data.value()][mv.to.value()] + mv.fraction);
     result_.placement_transfer_cost_mc += mv.cost_mc;
+    if (ledger_ != nullptr)
+      ledger_->post(obs::CostMeter::PlacementTransfer, mv.cost_mc);
+    if (meters_.moves != nullptr) meters_.moves->inc();
     trace(TraceEvent::Kind::DataMoveFinish, SIZE_MAX, SIZE_MAX, SIZE_MAX,
           mv.to.value(), mv.fraction * w_.data(mv.data).size_mb);
     try_assign();
@@ -495,6 +599,7 @@ class Engine final : public ClusterState {
     if (inst.timeout_kill) {
       settle(iid, inst.finish);
       result_.timeout_kills += 1;
+      if (meters_.timeout_kills != nullptr) meters_.timeout_kills->inc();
       trace(TraceEvent::Kind::TimeoutKill, tasks_[inst.task].job.value(),
             inst.task, inst.machine);
       slots_free_[inst.machine] += 1;
@@ -520,6 +625,7 @@ class Engine final : public ClusterState {
       status_[tid] = TaskStatus::Done;
       done_tasks_ += 1;
       result_.tasks_completed += 1;
+      if (meters_.completed != nullptr) meters_.completed->inc();
       result_.makespan_s = std::max(result_.makespan_s, now_);
       trace(TraceEvent::Kind::TaskComplete, tasks_[tid].job.value(), tid,
             inst.machine, SIZE_MAX, (inst.exec_cost_mc + inst.read_cost_mc).mc());
@@ -537,8 +643,14 @@ class Engine final : public ClusterState {
         const Millicents exec_before = result_.execution_cost_mc;
         const Millicents read_before = result_.read_transfer_cost_mc;
         settle(sibling, now_);
-        result_.wasted_cost_mc += (result_.execution_cost_mc - exec_before) +
-                                  (result_.read_transfer_cost_mc - read_before);
+        const Millicents waste =
+            (result_.execution_cost_mc - exec_before) +
+            (result_.read_transfer_cost_mc - read_before);
+        result_.wasted_cost_mc += waste;
+        if (ledger_ != nullptr)
+          ledger_->post(obs::CostMeter::Wasted, waste, tasks_[tid].job.value(),
+                        instances_[sibling].machine);
+        if (meters_.spec_cancelled != nullptr) meters_.spec_cancelled->inc();
         slots_free_[instances_[sibling].machine] += 1;
         result_.speculative_wasted += 1;
         trace(TraceEvent::Kind::TaskCancelled, tasks_[tid].job.value(), tid,
@@ -638,6 +750,15 @@ class Engine final : public ClusterState {
     result_.execution_cost_mc += exec;
     result_.read_transfer_cost_mc += read;
     if (inst.speculative) result_.speculation_cost_mc += exec + read;
+    if (ledger_ != nullptr) {
+      const std::size_t job = tasks_[inst.task].job.value();
+      ledger_->post(obs::CostMeter::Execution, exec, job, inst.machine);
+      ledger_->post(obs::CostMeter::ReadTransfer, read, job, inst.machine);
+      if (inst.speculative)
+        ledger_->post(obs::CostMeter::Speculation, exec + read, job,
+                      inst.machine);
+    }
+    if (meters_.runtime != nullptr) meters_.runtime->observe(ran);
     MachineMetrics& mm = result_.machines[inst.machine];
     mm.busy_s += ran;
     mm.cpu_cost_mc += exec;
@@ -685,6 +806,11 @@ class Engine final : public ClusterState {
 
   void on_fault(std::size_t idx) {
     const FaultEvent e = fault_events_[idx];  // by value: the list may grow
+    if (meters_.faults != nullptr) meters_.faults->inc();
+    if (tracer_ != nullptr)
+      tracer_->instant(fault_span_name(e.kind), "fault", "machine",
+                       static_cast<double>(e.machine), "store",
+                       static_cast<double>(e.store));
     switch (e.kind) {
       case FaultEvent::Kind::MachineCrash: {
         const bool permanent = e.duration_s <= 0.0;
@@ -847,8 +973,13 @@ class Engine final : public ClusterState {
           mv.duration_s <= 0.0
               ? 1.0
               : std::clamp((now_ - mv.start_s) / mv.duration_s, 0.0, 1.0);
-      result_.placement_transfer_cost_mc += frac_done * mv.cost_mc;
-      result_.wasted_cost_mc += frac_done * mv.cost_mc;
+      const Millicents part = frac_done * mv.cost_mc;
+      result_.placement_transfer_cost_mc += part;
+      result_.wasted_cost_mc += part;
+      if (ledger_ != nullptr) {
+        ledger_->post(obs::CostMeter::PlacementTransfer, part);
+        ledger_->post(obs::CostMeter::Wasted, part);
+      }
     }
     // Wipe the store's block fractions; objects that lost their last usable
     // replica are re-materialized from their durable source.
@@ -935,8 +1066,13 @@ class Engine final : public ClusterState {
     const Millicents exec_before = result_.execution_cost_mc;
     const Millicents read_before = result_.read_transfer_cost_mc;
     settle(iid, now_);
-    result_.wasted_cost_mc += (result_.execution_cost_mc - exec_before) +
-                              (result_.read_transfer_cost_mc - read_before);
+    const Millicents waste = (result_.execution_cost_mc - exec_before) +
+                             (result_.read_transfer_cost_mc - read_before);
+    result_.wasted_cost_mc += waste;
+    if (ledger_ != nullptr)
+      ledger_->post(obs::CostMeter::Wasted, waste,
+                    tasks_[inst.task].job.value(), inst.machine);
+    if (meters_.fault_kills != nullptr) meters_.fault_kills->inc();
     inst.cancelled = true;  // the queued finish event becomes a no-op
     if (free_slot) slots_free_[inst.machine] += 1;
     detach_instance(iid);
@@ -987,7 +1123,10 @@ class Engine final : public ClusterState {
               ? 1.0
               : std::clamp((cfg_.horizon_s - mv.start_s) / mv.duration_s, 0.0,
                            1.0);
-      result_.placement_transfer_cost_mc += frac_done * mv.cost_mc;
+      const Millicents part = frac_done * mv.cost_mc;
+      result_.placement_transfer_cost_mc += part;
+      if (ledger_ != nullptr)
+        ledger_->post(obs::CostMeter::PlacementTransfer, part);
     }
   }
 
@@ -1081,6 +1220,8 @@ class Engine final : public ClusterState {
     instances_.push_back(inst);
     active_instances_.push_back(instances_.size() - 1);
     running_of_task_[d.task].push_back(instances_.size() - 1);
+    if (meters_.launched != nullptr)
+      (speculative ? meters_.launched_spec : meters_.launched)->inc();
     if (speculative) result_.speculative_launched += 1;
     push_event(inst.finish, EventKind::InstanceFinish, instances_.size() - 1);
   }
@@ -1246,6 +1387,18 @@ class Engine final : public ClusterState {
         data_reads_ == 0 ? 1.0
                          : static_cast<double>(local_reads_) /
                                static_cast<double>(data_reads_));
+#ifndef NDEBUG
+    // The ledger's whole contract: a fresh ledger attached for the run folds
+    // the exact value sequence of the billing accumulators, so the per-meter
+    // totals must match them bit for bit — not within a tolerance.
+    if (ledger_ != nullptr) {
+      const auto rec = ledger_->reconcile(billed_totals(result_));
+      LIPS_ASSERT(rec.ok,
+                  "cost ledger does not reconcile bit-identically with the "
+                  "simulator's billing totals (was the ledger reused across "
+                  "runs?)");
+    }
+#endif
   }
 
   // ---- state -------------------------------------------------------------
@@ -1253,6 +1406,12 @@ class Engine final : public ClusterState {
   const workload::Workload& w_;
   sched::Scheduler& policy_;
   SimConfig cfg_;
+
+  // Observability sinks (all null/empty when SimConfig::obs is default).
+  obs::Observer obs_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::CostLedger* ledger_ = nullptr;
+  SimMeters meters_;
 
   std::vector<SimTask> tasks_;
   std::vector<TaskStatus> status_;

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/ledger.hpp"
+#include "obs/obs.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/faults.hpp"
 #include "workload/dag.hpp"
@@ -96,6 +98,14 @@ struct SimConfig {
   /// After this many fault kills a task is abandoned and accounted lost
   /// (the analogue of Hadoop's mapred.map.max.attempts).
   std::size_t fault_retry_budget = 8;
+
+  /// Observability sinks (src/obs): metrics registry, Chrome-trace tracer,
+  /// and cost ledger, each optional (null = off, zero overhead beyond one
+  /// branch per emission site). The simulator also forwards the observer to
+  /// the scheduler via Scheduler::set_observer before the run starts. Attach
+  /// a *fresh* ledger per run: the ledger folds posts in billing order and a
+  /// ledger shared across runs cannot reconcile against either one.
+  obs::Observer obs{};
 };
 
 /// One recorded scheduling event (SimConfig::record_trace).
@@ -191,6 +201,22 @@ struct SimResult {
     return jobs == 0 ? 0.0 : sum_job_duration_s / static_cast<double>(jobs);
   }
 };
+
+/// Adapter for obs::CostLedger::reconcile: the run's aggregate billing
+/// accumulators in the ledger's sim-free struct. A ledger attached for the
+/// whole run must match these bit for bit (the simulator asserts exactly
+/// that at finalize in debug builds).
+[[nodiscard]] inline obs::CostLedger::BilledTotals billed_totals(
+    const SimResult& r) {
+  obs::CostLedger::BilledTotals b;
+  b.execution = r.execution_cost_mc;
+  b.read_transfer = r.read_transfer_cost_mc;
+  b.placement_transfer = r.placement_transfer_cost_mc;
+  b.ingest_replication = r.ingest_replication_cost_mc;
+  b.wasted = r.wasted_cost_mc;
+  b.speculation = r.speculation_cost_mc;
+  return b;
+}
 
 /// Run `policy` over `workload` on `cluster`. The cluster must be finalized.
 /// Initial data placement: every non-intermediate object fully at its

@@ -10,6 +10,8 @@
 // substitution rationale.
 #pragma once
 
+#include <istream>
+
 #include "common/rng.hpp"
 #include "workload/workload.hpp"
 
@@ -50,5 +52,26 @@ struct SwimWorkload {
 [[nodiscard]] SwimWorkload make_swim_workload(const SwimParams& params,
                                               const cluster::Cluster& cluster,
                                               Rng& rng);
+
+/// Load a SWIM-style replay trace instead of synthesizing one. Line format:
+///
+///   <arrival_s> <input_mb> [<cpu_ecu_s_per_block>]
+///
+/// one job per line; blank lines and lines starting with `#` are skipped.
+/// Classes are assigned by input size (≤1 GB interactive, ≤20 GB medium,
+/// else large). The optional third field fixes the job's CPU intensiveness
+/// (ECU-seconds per 256 MB block, the paper's Table-I axis); when absent it
+/// is drawn from the Table-I spectrum exactly as make_swim_workload does.
+/// `rng` also scatters each job's input object over the cluster's stores, so
+/// a fixed seed yields a bit-identical workload for the same trace.
+///
+/// Throws PreconditionError (with the 1-based line number) on malformed
+/// lines — wrong field count, unparsable numbers, negative arrival,
+/// non-positive size — and on a trace with no jobs.
+[[nodiscard]] SwimWorkload load_swim_trace(std::istream& in,
+                                           const cluster::Cluster& cluster,
+                                           Rng& rng,
+                                           double max_input_mb = 100.0 *
+                                                                 1024.0);
 
 }  // namespace lips::workload

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
+#include "common/error.hpp"
 #include "workload/swim.hpp"
 #include "workload/workload.hpp"
 
@@ -193,6 +196,105 @@ TEST(SwimGenerator, DeterministicForSeed) {
     EXPECT_DOUBLE_EQ(a.workload.job_input_mb(JobId{k}),
                      b.workload.job_input_mb(JobId{k}));
   }
+}
+
+// -------------------------------------------------------- trace loader ---
+
+TEST(SwimLoader, ParsesCommentsBlanksAndFields) {
+  const auto c = small_cluster(8);
+  Rng rng(3);
+  std::istringstream trace(
+      "# synthetic replay\n"
+      "\n"
+      "   \t\n"
+      "100.5 512\n"
+      "50 4096 45\n"       // explicit CPU column: 45 ECU-s per block
+      "# trailing comment\n"
+      "7200 30000\n");
+  const SwimWorkload sw = load_swim_trace(trace, c, rng);
+  ASSERT_EQ(sw.workload.job_count(), 3u);
+  // Jobs come back sorted by arrival.
+  EXPECT_DOUBLE_EQ(sw.workload.job(JobId{0}).arrival_s, 50.0);
+  EXPECT_DOUBLE_EQ(sw.workload.job(JobId{1}).arrival_s, 100.5);
+  EXPECT_DOUBLE_EQ(sw.workload.job(JobId{2}).arrival_s, 7200.0);
+  EXPECT_DOUBLE_EQ(sw.workload.job_input_mb(JobId{0}), 4096.0);
+  // The explicit CPU column pins tcp exactly (per-MB = per-block / 64).
+  EXPECT_DOUBLE_EQ(sw.workload.job(JobId{0}).tcp_cpu_s_per_mb,
+                   45.0 / kBlockSizeMB);
+  // Classes by size: 512 MB interactive, 4 GB medium, ~29 GB large.
+  EXPECT_EQ(sw.classes[0], SwimClass::Medium);
+  EXPECT_EQ(sw.classes[1], SwimClass::Interactive);
+  EXPECT_EQ(sw.classes[2], SwimClass::Large);
+  // Task counts scale with 64 MB blocks.
+  EXPECT_EQ(sw.workload.job(JobId{1}).num_tasks, 8u);
+  EXPECT_EQ(sw.workload.job(JobId{0}).num_tasks, 64u);
+}
+
+TEST(SwimLoader, MalformedLinesThrowWithLineNumber) {
+  const auto c = small_cluster(4);
+  const auto load = [&](const std::string& text) {
+    Rng rng(1);
+    std::istringstream in(text);
+    return load_swim_trace(in, c, rng);
+  };
+  const auto expect_throw_mentioning = [&](const std::string& text,
+                                           const std::string& needle) {
+    try {
+      (void)load(text);
+      FAIL() << "expected PreconditionError for: " << text;
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+  };
+  expect_throw_mentioning("abc 100\n", "line 1");
+  expect_throw_mentioning("10\n", "line 1");                 // missing size
+  expect_throw_mentioning("0 100\n10 x\n", "line 2");        // bad size
+  expect_throw_mentioning("10 100 5 9\n", "trailing");       // 4 fields
+  expect_throw_mentioning("-1 100\n", "arrival");
+  expect_throw_mentioning("10 0\n", "input MB");
+  expect_throw_mentioning("10 100 0\n", "ECU");              // bad CPU column
+}
+
+TEST(SwimLoader, EmptyTraceThrows) {
+  const auto c = small_cluster(4);
+  Rng rng(1);
+  std::istringstream empty("");
+  EXPECT_THROW((void)load_swim_trace(empty, c, rng), PreconditionError);
+  Rng rng2(1);
+  std::istringstream comments_only("# header\n\n# more\n");
+  EXPECT_THROW((void)load_swim_trace(comments_only, c, rng2),
+               PreconditionError);
+}
+
+TEST(SwimLoader, DeterministicForSeed) {
+  const auto c = small_cluster(8);
+  const std::string text =
+      "0 512\n100 2048\n200 512 30\n300 65536\n400 77\n";
+  Rng r1(42), r2(42);
+  std::istringstream in1(text), in2(text);
+  const SwimWorkload a = load_swim_trace(in1, c, r1);
+  const SwimWorkload b = load_swim_trace(in2, c, r2);
+  ASSERT_EQ(a.workload.job_count(), b.workload.job_count());
+  for (std::size_t k = 0; k < a.workload.job_count(); ++k) {
+    EXPECT_DOUBLE_EQ(a.workload.job(JobId{k}).tcp_cpu_s_per_mb,
+                     b.workload.job(JobId{k}).tcp_cpu_s_per_mb);
+    EXPECT_EQ(a.workload.data(a.workload.job(JobId{k}).data[0]).origin,
+              b.workload.data(b.workload.job(JobId{k}).data[0]).origin);
+  }
+  // A different seed scatters origins differently (sanity that the rng is
+  // actually consulted).
+  Rng r3(43);
+  std::istringstream in3(text);
+  const SwimWorkload c2 = load_swim_trace(in3, c, r3);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < a.workload.job_count(); ++k)
+    any_diff = any_diff ||
+               a.workload.job(JobId{k}).tcp_cpu_s_per_mb !=
+                   c2.workload.job(JobId{k}).tcp_cpu_s_per_mb ||
+               a.workload.data(a.workload.job(JobId{k}).data[0]).origin !=
+                   c2.workload.data(c2.workload.job(JobId{k}).data[0]).origin;
+  EXPECT_TRUE(any_diff);
 }
 
 // ------------------------------------------------------ random workload ---

@@ -4,8 +4,10 @@
 // unless lint flags exactly the tagged lines — so this file proves both that
 // each rule fires and that the suppression / comment-stripping logic does
 // not fire anywhere else.
+#include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <iostream>
 #include <random>
 #include <unordered_map>
 #include <unordered_set>
@@ -66,5 +68,19 @@ inline void bad_solver_use() {
 }
 // A comment naming RevisedSimplexSolver must not fire; a suppressed use:
 using Engine = RevisedSimplexSolver;  // lips-lint: allow(direct-solver-ctor)
+
+// --- raw-stdout-in-lib -----------------------------------------------------
+// The fixture opts into the src/-only gate (see stdout_banned in the linter).
+inline void bad_report(double cost) {
+  std::cout << "cost: " << cost;     // lint-expect(raw-stdout-in-lib)
+  printf("%f", cost);                // lint-expect(raw-stdout-in-lib)
+}
+// std::cout in this comment or in a "std::cout string" must not fire, and
+// neither must the prefixed printf variants:
+inline void ok_report(char* buf, std::size_t n, double cost) {
+  std::snprintf(buf, n, "%f", cost);  // OK: snprintf writes to a buffer
+}
+// A suppressed occurrence must not be reported either:
+inline void legacy_report() { std::cout.flush(); }  // lips-lint: allow(raw-stdout-in-lib)
 
 }  // namespace fixture

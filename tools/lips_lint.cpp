@@ -24,6 +24,11 @@
 //                        drive epoch re-solves via core::EpochLpContext so
 //                        warm-start basis reuse and iteration budgets stay
 //                        centralized
+//   raw-stdout-in-lib    printf/std::cout inside src/ library code — library
+//                        layers report through return values, exceptions, or
+//                        the obs exporters (which take a caller-supplied
+//                        ostream); only the obs exporters and the tools/
+//                        binaries own process stdout
 //
 // Usage:
 //   lips_lint <file>...              lint; exit 1 if any finding
@@ -125,6 +130,16 @@ bool in_bench(const std::string& path) {
 bool in_solver_layer(const std::string& path) {
   return path.find("src/lp/") != std::string::npos ||
          path.find("src/core/") != std::string::npos;
+}
+
+/// Library source subject to raw-stdout-in-lib: everything under src/ except
+/// the obs exporters (whose whole job is formatting to a stream; they still
+/// take the ostream from the caller rather than grabbing stdout). The lint
+/// fixture opts in so the self-test can seed violations.
+bool stdout_banned(const std::string& path) {
+  if (path.find("lint_fixtures") != std::string::npos) return true;
+  return path.find("src/") != std::string::npos &&
+         path.find("src/obs/export") == std::string::npos;
 }
 
 struct FileLint {
@@ -232,6 +247,16 @@ struct FileLint {
                  "direct RevisedSimplexSolver use outside src/lp//src/core/; "
                  "construct via lp::make_solver or reuse "
                  "core::EpochLpContext");
+    }
+
+    // raw-stdout-in-lib — library code never writes to process stdout;
+    // formatting belongs in the obs exporters (caller-supplied ostream) and
+    // printing in the tools/ and bench/ binaries.
+    if (stdout_banned(path)) {
+      static const std::regex re(R"(\bstd\s*::\s*cout\b|\bprintf\s*\()");
+      scan_regex(re, "raw-stdout-in-lib",
+                 "printf/std::cout in src/ library code; return data or "
+                 "write through an obs exporter's ostream instead");
     }
   }
 };

@@ -16,6 +16,13 @@
 //           [--no-feedback]  (disable LiPS observed-throughput feedback and
 //                             quarantine)
 //           [--trace FILE]   (write a per-scheduler event trace as CSV)
+//           [--metrics-out BASE] [--trace-out BASE] [--ledger-out BASE]
+//                            (observability dumps, one file set per
+//                             scheduler: BASE.<sched>.prom + .json metrics
+//                             snapshots, BASE.<sched>.trace.json Chrome
+//                             trace for chrome://tracing / Perfetto, and
+//                             BASE.<sched>.json cost-ledger cells; any of
+//                             the three also prints a `lips obs:` summary)
 //
 // Examples:
 //   lipsctl                                  # the paper's Fig-6 (iii) setup
@@ -30,9 +37,11 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "common/table.hpp"
+#include "obs/export.hpp"
 #include "core/lips_policy.hpp"
 #include "sched/delay_scheduler.hpp"
 #include "sched/fair_scheduler.hpp"
@@ -60,6 +69,9 @@ struct Args {
   double patience = 1.25;  // <= 0 → prohibitive fake node
   bool csv = false;
   std::string trace_file;
+  std::string metrics_out;  // obs dumps; empty = that sink stays off
+  std::string trace_out;
+  std::string ledger_out;
   std::string faults;  // fault-storm spec; empty = fault-free
   std::string speculation = "auto";  // auto|off|naive|cost
   bool feedback = true;  // LiPS observed-throughput feedback / quarantine
@@ -73,6 +85,8 @@ struct Args {
          "       [--epoch S] [--seed S] [--schedulers LIST] "
          "[--replication R]\n"
          "       [--patience FACTOR|off] [--csv] [--trace FILE]\n"
+         "       [--metrics-out BASE] [--trace-out BASE] [--ledger-out "
+         "BASE]\n"
          "       [--faults SPEC]   e.g. mtbf=3600,revoke=0.1,seed=7\n"
          "       [--speculation auto|off|naive|cost] [--no-feedback]\n";
   std::exit(2);
@@ -115,6 +129,12 @@ Args parse(int argc, char** argv) {
       a.csv = true;
     } else if (flag == "--trace") {
       a.trace_file = value();
+    } else if (flag == "--metrics-out") {
+      a.metrics_out = value();
+    } else if (flag == "--trace-out") {
+      a.trace_out = value();
+    } else if (flag == "--ledger-out") {
+      a.ledger_out = value();
     } else if (flag == "--faults") {
       a.faults = value();
     } else if (flag == "--speculation") {
@@ -192,6 +212,9 @@ int main(int argc, char** argv) {
   t.set_header(header);
   bool all_completed = true;
   std::string lips_lp_summary;  // printed under the table in non-csv mode
+  std::string obs_summary;      // one `lips obs:` line per scheduler
+  const bool want_obs = !args.metrics_out.empty() ||
+                        !args.trace_out.empty() || !args.ledger_out.empty();
 
   std::stringstream names(args.schedulers);
   std::string name;
@@ -252,8 +275,76 @@ int main(int argc, char** argv) {
       cfg.speculative_execution = true;
       cfg.speculation.mode = sim::SpeculationConfig::Mode::CostAware;
     }
+    // Fresh sinks per run: the ledger folds posts in billing order, so a
+    // ledger shared across runs would reconcile against neither.
+    std::unique_ptr<obs::MetricRegistry> metrics;
+    std::unique_ptr<obs::Tracer> tracer;
+    std::unique_ptr<obs::CostLedger> ledger;
+    if (want_obs) {
+      metrics = std::make_unique<obs::MetricRegistry>();
+      tracer = std::make_unique<obs::Tracer>();
+      ledger = std::make_unique<obs::CostLedger>();
+      cfg.obs = obs::Observer{metrics.get(), tracer.get(), ledger.get()};
+    }
     const sim::SimResult r = sim::simulate(c, w, *policy, cfg);
     all_completed = all_completed && r.completed;
+    if (want_obs) {
+      if (!args.metrics_out.empty()) {
+        const auto samples = metrics->snapshot();
+        std::ofstream prom =
+            obs::open_output(args.metrics_out + "." + name + ".prom");
+        obs::write_prometheus(samples, prom);
+        std::ofstream json =
+            obs::open_output(args.metrics_out + "." + name + ".json");
+        obs::write_metrics_json(samples, json);
+      }
+      if (!args.trace_out.empty()) {
+        std::ofstream out =
+            obs::open_output(args.trace_out + "." + name + ".trace.json");
+        obs::write_chrome_trace(*tracer, out);
+      }
+      if (!args.ledger_out.empty()) {
+        std::ofstream out =
+            obs::open_output(args.ledger_out + "." + name + ".json");
+        obs::write_ledger_json(*ledger, out);
+      }
+      const obs::CostLedger::Reconciliation rec =
+          ledger->reconcile(sim::billed_totals(r));
+      std::ostringstream os;
+      os << "lips obs: " << name << ": billed $"
+         << Table::num(millicents_to_dollars(ledger->billed_total()), 3)
+         << " (cpu $"
+         << Table::num(millicents_to_dollars(
+                           ledger->category_total(obs::CostCategory::Cpu)),
+                       3)
+         << ", transfer $"
+         << Table::num(millicents_to_dollars(ledger->category_total(
+                           obs::CostCategory::Transfer)),
+                       3)
+         << ", placement $"
+         << Table::num(millicents_to_dollars(ledger->category_total(
+                           obs::CostCategory::InitialPlacement)),
+                       3)
+         << ", wasted $"
+         << Table::num(millicents_to_dollars(ledger->category_total(
+                           obs::CostCategory::WastedFault)),
+                       3)
+         << ", spec $"
+         << Table::num(millicents_to_dollars(ledger->category_total(
+                           obs::CostCategory::Speculation)),
+                       3)
+         << ", carry $"
+         << Table::num(millicents_to_dollars(ledger->category_total(
+                           obs::CostCategory::FakeNodeCarry)),
+                       3)
+         << "), ledger "
+         << (rec.ok ? "reconciles bit-identically" : "DOES NOT reconcile")
+         << " over " << ledger->posts() << " posts, "
+         << tracer->total_recorded() << " trace events ("
+         << tracer->overwritten() << " overwritten), "
+         << metrics->series_count() << " metric series\n";
+      obs_summary += os.str();
+    }
     if (!args.trace_file.empty()) {
       const std::string path = args.trace_file + "." + name + ".csv";
       std::ofstream out(path);
@@ -303,6 +394,7 @@ int main(int argc, char** argv) {
   } else {
     t.print(std::cout);
     if (!lips_lp_summary.empty()) std::cout << "\n" << lips_lp_summary;
+    if (!obs_summary.empty()) std::cout << "\n" << obs_summary;
   }
   return all_completed ? 0 : 1;
 }
