@@ -178,6 +178,16 @@ int main(int argc, char** argv) {
       return check_obs_overhead();
   const ScaleResult s = run_scale(400);
   print_tables(s);
+  bench::write_bench_records(
+      "fig9_fig10_scale",
+      {{"swim400-100nodes-default", 2013,
+        millicents_to_dollars(s.r.hadoop_default.total_cost_mc),
+        s.r.default_wall_ms, 0},
+       {"swim400-100nodes-delay", 2013,
+        millicents_to_dollars(s.r.delay.total_cost_mc), s.r.delay_wall_ms, 0},
+       {"swim400-100nodes-lips", 2013,
+        millicents_to_dollars(s.r.lips.total_cost_mc), s.r.lips_wall_ms,
+        s.r.lips_lp_pivots}});
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

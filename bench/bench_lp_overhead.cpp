@@ -195,13 +195,21 @@ void verify_warm_matches_cold() {
   const Instance inst = make_instance(1608, 20, 20, 20);
   core::EpochLpContext ctx;
   std::size_t cold_pivots = 0, warm_pivots = 0;
+  double cold_wall_ms = 0.0, warm_wall_ms = 0.0;
+  double cold_usd = 0.0, warm_usd = 0.0;
   for (std::size_t e = 0; e < kResolveEpochs; ++e) {
     const core::ModelOptions opt = resolve_options(inst, e);
     const std::vector<double> remaining = resolve_remaining(inst, e);
+    const auto t_cold = std::chrono::steady_clock::now();
     const core::LpSchedule cold = core::solve_co_scheduling(
         inst.cluster, inst.workload, opt, {}, remaining);
+    cold_wall_ms += lips::bench::wall_ms_since(t_cold);
+    const auto t_warm = std::chrono::steady_clock::now();
     const core::LpSchedule warm =
         ctx.solve(inst.cluster, inst.workload, opt, {}, remaining);
+    warm_wall_ms += lips::bench::wall_ms_since(t_warm);
+    cold_usd += millicents_to_dollars(cold.objective_mc.mc());
+    warm_usd += millicents_to_dollars(warm.objective_mc.mc());
     if (warm.status != cold.status) {
       std::cout << "REGRESSION: epoch " << e << " warm status "
                 << lp::to_string(warm.status) << " != cold "
@@ -232,6 +240,12 @@ void verify_warm_matches_cold() {
     std::cout << "REGRESSION: warm re-solves exceed 50% of cold pivots\n";
     g_solver_regression = true;
   }
+  lips::bench::write_bench_records(
+      "lp_overhead",
+      {{"table4-1608tasks-8epochs-cold", 99, cold_usd, cold_wall_ms,
+        cold_pivots},
+       {"table4-1608tasks-8epochs-warm", 99, warm_usd, warm_wall_ms,
+        warm_pivots}});
 }
 
 void BM_SolverComparison(benchmark::State& state) {

@@ -7,10 +7,12 @@
 // wall-clock cost the paper itself discusses (the LiPS LP overhead, §VI-A).
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -33,6 +35,13 @@ struct ThreeWayResult {
   sim::SimResult lips;
   Millicents lips_planned_cost_mc = Millicents::zero();
   std::size_t lips_lp_solves = 0;
+  std::size_t lips_lp_pivots = 0;
+  // Wall-clock per scheduler run, for the BENCH_*.json artifacts (bench/ is
+  // exempt from the nondet-time lint rule: benchmarks measure wall time by
+  // design).
+  double default_wall_ms = 0.0;
+  double delay_wall_ms = 0.0;
+  double lips_wall_ms = 0.0;
 };
 
 struct ThreeWayOptions {
@@ -64,6 +73,52 @@ struct ThreeWayOptions {
   }();
 };
 
+/// One row of the canonical benchmark artifact. Every bench binary that
+/// produces headline numbers appends its runs to a `BENCH_<name>.json` file
+/// so CI (and humans diffing two commits) consume one schema instead of
+/// scraping stdout: bench name, scenario, seed, cost, wall-ms, pivots.
+struct BenchRecord {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  double cost_usd = 0.0;
+  double wall_ms = 0.0;
+  std::size_t pivots = 0;
+};
+
+/// Artifact directory: $LIPS_BENCH_DIR, defaulting to ./bench-results.
+[[nodiscard]] inline std::string bench_result_dir() {
+  const char* env = std::getenv("LIPS_BENCH_DIR");
+  return env == nullptr ? std::string("bench-results") : std::string(env);
+}
+
+/// Write `<dir>/BENCH_<bench>.json` with one object per record. Missing
+/// parent directories are created (obs::open_output).
+inline void write_bench_records(const std::string& bench,
+                                const std::vector<BenchRecord>& records) {
+  std::ofstream out =
+      obs::open_output(bench_result_dir() + "/BENCH_" + bench + ".json");
+  out.precision(12);
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"records\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"scenario\": \"" << r.scenario
+        << "\", \"seed\": " << r.seed << ", \"cost_usd\": " << r.cost_usd
+        << ", \"wall_ms\": " << r.wall_ms << ", \"pivots\": " << r.pivots
+        << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "bench records written to " << bench_result_dir() << "/BENCH_"
+            << bench << ".json (" << records.size() << " rows)\n";
+}
+
+/// Wall-clock helper for the records above.
+[[nodiscard]] inline double wall_ms_since(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 /// Write one run's cost ledger to `<base>.<sched>.json`.
 inline void dump_ledger(const std::string& base, const std::string& sched,
                         const obs::CostLedger& ledger) {
@@ -94,7 +149,9 @@ inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
     obs::CostLedger ledger;
     sim::SimConfig cfg = base_cfg;
     if (want_ledger) cfg.obs.ledger = &ledger;
+    const auto t0 = std::chrono::steady_clock::now();
     out.hadoop_default = sim::simulate(cluster, workload, fifo, cfg);
+    out.default_wall_ms = wall_ms_since(t0);
     if (want_ledger) dump_ledger(opt.ledger_out, "default", ledger);
   }
   {
@@ -102,7 +159,9 @@ inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
     obs::CostLedger ledger;
     sim::SimConfig cfg = base_cfg;
     if (want_ledger) cfg.obs.ledger = &ledger;
+    const auto t0 = std::chrono::steady_clock::now();
     out.delay = sim::simulate(cluster, workload, delay, cfg);
+    out.delay_wall_ms = wall_ms_since(t0);
     if (want_ledger) dump_ledger(opt.ledger_out, "delay", ledger);
   }
   {
@@ -118,9 +177,12 @@ inline ThreeWayResult run_three_way(const cluster::Cluster& cluster,
     lips_cfg.task_timeout_s = opt.lips_timeout_s;
     lips_cfg.faults = opt.faults;
     if (want_ledger) lips_cfg.obs.ledger = &ledger;
+    const auto t0 = std::chrono::steady_clock::now();
     out.lips = sim::simulate(cluster, workload, lips, lips_cfg);
+    out.lips_wall_ms = wall_ms_since(t0);
     out.lips_planned_cost_mc = lips.planned_cost_mc();
     out.lips_lp_solves = lips.lp_solves();
+    out.lips_lp_pivots = lips.total_lp_iterations();
     if (want_ledger) dump_ledger(opt.ledger_out, "lips", ledger);
   }
   return out;

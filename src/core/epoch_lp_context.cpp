@@ -155,7 +155,12 @@ LpSchedule EpochLpContext::solve(
     cold_fallback = true;
 
 #ifndef NDEBUG
-  if (!cold_fallback && delta && sol.optimal()) {
+  // Skipped under fault injection: the extra solve would consume the
+  // injector's deterministic RNG stream, and injected corruption makes the
+  // two objectives legitimately diverge (the validation gate and the
+  // degradation ladder own that case).
+  if (!cold_fallback && delta && sol.optimal() &&
+      options.solver_options.fault_injector == nullptr) {
     // Debug cross-check: the in-place-updated model must be the model a
     // cold build would produce — compare optimal objectives.
     lp::LpModel check;

@@ -5,11 +5,48 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/schedule_validator.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace lips::core {
+
+namespace {
+
+const char* rung_label(LipsPolicy::DegradationRung rung) {
+  switch (rung) {
+    case LipsPolicy::DegradationRung::Primary:
+      return "primary";
+    case LipsPolicy::DegradationRung::ColdRebuild:
+      return "cold_rebuild";
+    case LipsPolicy::DegradationRung::SanitizedRetry:
+      return "sanitized_retry";
+    case LipsPolicy::DegradationRung::GreedyFallback:
+      return "greedy_fallback";
+    case LipsPolicy::DegradationRung::ReuseLastPlan:
+      return "reuse_last_plan";
+  }
+  return "unknown";
+}
+
+const char* rung_instant_name(LipsPolicy::DegradationRung rung) {
+  switch (rung) {
+    case LipsPolicy::DegradationRung::Primary:
+      return "lips-degradation-primary";
+    case LipsPolicy::DegradationRung::ColdRebuild:
+      return "lips-degradation-cold-rebuild";
+    case LipsPolicy::DegradationRung::SanitizedRetry:
+      return "lips-degradation-sanitized-retry";
+    case LipsPolicy::DegradationRung::GreedyFallback:
+      return "lips-degradation-greedy-fallback";
+    case LipsPolicy::DegradationRung::ReuseLastPlan:
+      return "lips-degradation-reuse-last-plan";
+  }
+  return "lips-degradation";
+}
+
+}  // namespace
 
 LipsPolicy::LipsPolicy(LipsPolicyOptions options) : options_(options) {
   LIPS_REQUIRE(options_.epoch_s > 0, "LiPS policy needs a positive epoch");
@@ -110,19 +147,89 @@ void LipsPolicy::replan(const sched::ClusterState& state) {
     if (excluded[m]) model.excluded_machines.push_back(m);
   for (std::size_t s = 0; s < c.store_count(); ++s)
     if (!state.store_up(StoreId{s})) model.excluded_stores.push_back(s);
-  const LpSchedule lp =
-      lp_context_.solve(c, w, model, subset, remaining, origins);
-  lp_iterations_ += lp.lp_iterations;
-  lp_repair_iterations_ += lp.lp_repair_iterations;
-  if (lp.warm_start_used) lp_warm_solves_ += 1;
-  if (lp.model_reused) lp_model_reuses_ += 1;
-  if (lp.cold_fallback) lp_cold_fallbacks_ += 1;
-  if (!lp.optimal()) {
-    // The fake node keeps the machine side feasible, but the data side can
-    // still fail (e.g. the surviving stores cannot hold the queue's data).
-    // Fall back to a greedy plan so work keeps draining.
+  // Graceful-degradation ladder (DESIGN.md §10): walk the LP rungs in order
+  // until one produces a schedule that both solves and passes the
+  // independent validation gate. On a healthy pipeline rung 0 is the only
+  // rung ever entered and this block is exactly the old single solve.
+  register_resilience_metrics();
+  last_ladder_.clear();
+  LpSchedule lp;
+  bool accepted = false;
+  for (int rung = 0; rung <= 2 && !accepted; ++rung) {
+    enter_rung(static_cast<DegradationRung>(rung));
+    LpSchedule attempt;
+    try {
+      if (rung == 0) {
+        // Rung 0: incremental epoch solve (model reuse + warm basis).
+        attempt = lp_context_.solve(c, w, model, subset, remaining, origins);
+      } else if (rung == 1) {
+        // Rung 1: drop the cached model and basis — a stale or corrupted
+        // warm state cannot poison a cold rebuild.
+        lp_context_.invalidate();
+        attempt = lp_context_.solve(c, w, model, subset, remaining, origins);
+      } else {
+        // Rung 2: bounded one-shot retry with model re-sanitization — the
+        // solver re-derives its computational arrays from the (finiteness-
+        // guarded) LpModel right before pivoting, stripping non-finite and
+        // absurd coefficients, and starts from no basis at all.
+        lp_context_.invalidate();
+        ModelOptions sanitized = model;
+        sanitized.solver_options.sanitize_model = true;
+        attempt =
+            solve_co_scheduling(c, w, sanitized, subset, remaining, origins);
+      }
+    } catch (const std::exception&) {
+      // A long-running planner must degrade, not die: a pivot blow-up under
+      // a corrupted model is one more reason to take the next rung.
+      solver_exceptions_ += 1;
+      continue;
+    }
+    lp_iterations_ += attempt.lp_iterations;
+    lp_repair_iterations_ += attempt.lp_repair_iterations;
+    if (attempt.warm_start_used) lp_warm_solves_ += 1;
+    if (attempt.model_reused) lp_model_reuses_ += 1;
+    if (attempt.cold_fallback) lp_cold_fallbacks_ += 1;
+    if (!attempt.optimal()) continue;
+    if (options_.validate_schedules) {
+      const ValidationReport verdict = validate_schedule(
+          c, w, model, attempt, subset, remaining, origins);
+      schedules_validated_ += 1;
+      if (!verdict.ok) {
+        // A "successful" solve that decodes to garbage: reject it before
+        // the simulator bills a single millicent of it.
+        validation_failures_ += 1;
+        if (obs_.metrics != nullptr)
+          obs_.metrics->counter("lips_schedule_validation_failures_total")
+              .inc();
+        if (obs_.tracer != nullptr && obs_.tracer->enabled())
+          obs_.tracer->instant("lips-validation-failure", "sched");
+        continue;
+      }
+    }
+    lp = std::move(attempt);
+    accepted = true;
+  }
+  if (!accepted) {
+    // Rung 3: every LP rung failed (e.g. genuinely Infeasible — the fake
+    // node keeps the machine side feasible, but the surviving stores may
+    // not hold the queue's data). Fall back to a greedy plan so work keeps
+    // draining.
     lp_failures_ += 1;
+    enter_rung(DegradationRung::GreedyFallback);
     fallback_plan(state);
+    bool any_pin = false;
+    for (const auto& queue : plan_)
+      if (!queue.empty()) any_pin = true;
+    if (!any_pin && !last_good_plan_.empty() &&
+        last_good_plan_.size() == plan_.size()) {
+      // Rung 4: greedy produced nothing runnable but an earlier epoch's
+      // validated plan exists — restore its pins and gates. Pins whose
+      // tasks already ran are dropped at launch time (is_pending check).
+      enter_rung(DegradationRung::ReuseLastPlan);
+      plan_ = last_good_plan_;
+      gates_ = last_good_gates_;
+      plan_reuses_ += 1;
+    }
     return;
   }
 
@@ -202,6 +309,36 @@ void LipsPolicy::replan(const sched::ClusterState& state) {
       plan_[b.machine.value()].push_back(PinnedTask{id, b.store, gates});
     }
   }
+
+  // This plan solved and validated: snapshot its pins and gates as the
+  // ladder's last resort (rung 4).
+  last_good_plan_ = plan_;
+  last_good_gates_ = gates_;
+}
+
+void LipsPolicy::enter_rung(DegradationRung rung) {
+  last_ladder_.push_back(rung);
+  rung_counts_[static_cast<std::size_t>(rung)] += 1;
+  if (rung == DegradationRung::Primary) return;  // healthy path, not counted
+  if (obs_.metrics != nullptr)
+    obs_.metrics
+        ->counter("lips_degradation_total", {{"rung", rung_label(rung)}})
+        .inc();
+  if (obs_.tracer != nullptr && obs_.tracer->enabled())
+    obs_.tracer->instant(rung_instant_name(rung), "sched");
+}
+
+void LipsPolicy::register_resilience_metrics() {
+  // Counters are registered (at zero) before any escalation can happen, so
+  // a fault-free run still exports every lips_degradation_total series and
+  // dashboards/CI can assert they are all zero rather than absent.
+  if (resilience_metrics_registered_ || obs_.metrics == nullptr) return;
+  for (std::size_t r = 1; r < kNumDegradationRungs; ++r)
+    obs_.metrics->counter(
+        "lips_degradation_total",
+        {{"rung", rung_label(static_cast<DegradationRung>(r))}});
+  obs_.metrics->counter("lips_schedule_validation_failures_total");
+  resilience_metrics_registered_ = true;
 }
 
 void LipsPolicy::apply_throughput_feedback(const sched::ClusterState& state,

@@ -18,6 +18,7 @@
 // paper disables Hadoop's speculative execution for LiPS runs).
 #pragma once
 
+#include <array>
 #include <deque>
 #include <map>
 #include <unordered_map>
@@ -59,10 +60,33 @@ struct LipsPolicyOptions {
   /// slowdown clears. 0 = never probe (quarantine is then permanent unless
   /// idle-machine recovery lifts the EWMA some other way).
   std::size_t quarantine_probe_epochs = 4;
+
+  /// Run the independent schedule validation gate (core/schedule_validator)
+  /// on every decoded LP schedule before acting on it; a schedule that
+  /// fails validation is treated like a failed solve and the degradation
+  /// ladder escalates. One extra O(nnz) pass per replan.
+  bool validate_schedules = true;
 };
 
 class LipsPolicy : public sched::Scheduler {
  public:
+  /// Rungs of the graceful-degradation ladder (DESIGN.md §10). Each replan
+  /// walks the rungs in order until one produces a schedule that solves AND
+  /// passes validation; every rung entered is recorded, and escalations
+  /// (rungs > Primary) are counted in the MetricRegistry as
+  /// `lips_degradation_total{rung=...}`.
+  enum class DegradationRung : unsigned char {
+    Primary = 0,         ///< incremental warm epoch solve (healthy path)
+    ColdRebuild = 1,     ///< drop cached model + basis, rebuild, solve cold
+    SanitizedRetry = 2,  ///< one-shot solve with model re-sanitization
+                         ///< (non-finite/absurd coefficients stripped,
+                         ///< basis reset)
+    GreedyFallback = 3,  ///< greedy fallback_plan, no LP
+    ReuseLastPlan = 4,   ///< greedy produced nothing runnable: restore the
+                         ///< last validated plan's pins and gates
+  };
+  static constexpr std::size_t kNumDegradationRungs = 5;
+
   explicit LipsPolicy(LipsPolicyOptions options = {});
 
   [[nodiscard]] std::string name() const override { return "lips"; }
@@ -88,8 +112,42 @@ class LipsPolicy : public sched::Scheduler {
 
   // --- introspection (for tests and reports) ------------------------------
   [[nodiscard]] std::size_t lp_solves() const { return lp_solves_; }
+  /// Replans where *every* LP rung of the ladder failed and the greedy
+  /// fallback was taken (always equal to lp_fallbacks()). Per-attempt
+  /// failures are visible through degradations() instead.
   [[nodiscard]] std::size_t lp_failures() const { return lp_failures_; }
   [[nodiscard]] std::size_t lp_fallbacks() const { return lp_fallbacks_; }
+  /// Times the given ladder rung was entered. Primary counts replans that
+  /// reached the solve stage; every other rung counts escalations (all zero
+  /// on a healthy run).
+  [[nodiscard]] std::size_t degradations(DegradationRung rung) const {
+    return rung_counts_[static_cast<std::size_t>(rung)];
+  }
+  /// Σ escalations across rungs > Primary.
+  [[nodiscard]] std::size_t total_degradations() const {
+    std::size_t total = 0;
+    for (std::size_t r = 1; r < kNumDegradationRungs; ++r)
+      total += rung_counts_[r];
+    return total;
+  }
+  /// The sequence of rungs the most recent replan walked, in order.
+  [[nodiscard]] const std::vector<DegradationRung>& last_ladder() const {
+    return last_ladder_;
+  }
+  /// Validation gate traffic: schedules checked / schedules rejected.
+  [[nodiscard]] std::size_t schedules_validated() const {
+    return schedules_validated_;
+  }
+  [[nodiscard]] std::size_t validation_failures() const {
+    return validation_failures_;
+  }
+  /// Replans that restored the last validated plan (rung 4 taken).
+  [[nodiscard]] std::size_t plan_reuses() const { return plan_reuses_; }
+  /// Solver-layer exceptions swallowed by the ladder (a daemon degrades
+  /// instead of dying on a pivot blow-up under a corrupted model).
+  [[nodiscard]] std::size_t solver_exceptions() const {
+    return solver_exceptions_;
+  }
   [[nodiscard]] std::size_t off_cycle_resolves() const {
     return off_cycle_resolves_;
   }
@@ -151,6 +209,13 @@ class LipsPolicy : public sched::Scheduler {
   /// surviving stores cannot hold the queue's data): pin each pending task
   /// greedily to its cheapest live option so work still drains.
   void fallback_plan(const sched::ClusterState& state);
+  /// Record entering a ladder rung: per-rung counter, last_ladder_ trail,
+  /// and (for escalations) the lips_degradation_total metric + a trace
+  /// instant.
+  void enter_rung(DegradationRung rung);
+  /// Pre-register the degradation/validation metric series at zero so a
+  /// fault-free run still exports them (CI greps for the name).
+  void register_resilience_metrics();
 
   LipsPolicyOptions options_;
   /// Per-machine queue of pinned tasks for the current epoch.
@@ -184,6 +249,20 @@ class LipsPolicy : public sched::Scheduler {
   /// Σ epoch-LP objectives (modeled cost).
   Millicents planned_cost_mc_ = Millicents::zero();
   Millicents fake_node_carry_mc_ = Millicents::zero();
+
+  // --- resilience ladder state (DESIGN.md §10) ----------------------------
+  std::array<std::size_t, kNumDegradationRungs> rung_counts_{};
+  std::vector<DegradationRung> last_ladder_;
+  std::size_t schedules_validated_ = 0;
+  std::size_t validation_failures_ = 0;
+  std::size_t plan_reuses_ = 0;
+  std::size_t solver_exceptions_ = 0;
+  bool resilience_metrics_registered_ = false;
+  /// Snapshot of the pins/gates of the last plan that passed validation,
+  /// for rung 4 (ReuseLastPlan). Stale pins are dropped at launch time by
+  /// the is_pending check in on_slot_available.
+  std::vector<std::deque<PinnedTask>> last_good_plan_;
+  std::vector<Gate> last_good_gates_;
 };
 
 }  // namespace lips::core

@@ -1,0 +1,69 @@
+// Independent validation gate for decoded LP schedules.
+//
+// The LP pipeline can fail in ways that still report SolveStatus::Optimal:
+// a corrupted RHS drives phase 1 to a bogus feasibility proof, a stale warm
+// basis "succeeds" with a subtly wrong vertex, a NaN rides a decoded
+// fraction into the simulator and gets billed. validate_schedule re-checks
+// every invariant the schedule is supposed to satisfy *from the original
+// cluster/workload inputs*, sharing no state with the solver or the model
+// builder beyond the ModelOptions — an O(nnz) second opinion cheap enough
+// to run on every epoch (the degradation ladder in LipsPolicy runs it on
+// every accepted plan before the simulator acts).
+//
+// Invariants checked (DESIGN.md §10):
+//   * status is Optimal and every number in the schedule is finite;
+//   * fractions lie in [0, 1] and reference in-range, non-excluded
+//     machines/stores/data/jobs;
+//   * every job is covered: portions + deferral add up to the remaining
+//     fraction (constraint 10), with no silent over-assignment;
+//   * machine CPU capacity (12), store capacity (11), and the per-(job,
+//     machine) epoch bandwidth rows (21) are respected;
+//   * reads are store-consistent: a portion reading store s is backed by
+//     that job's inputs actually placed on s (linking rows 13);
+//   * the decoded cost breakdown is reproducible from first principles and
+//     the LP objective equals breakdown + a non-negative deferral residual
+//     (zero when nothing deferred) — transfers are implicitly non-negative
+//     because every fraction is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lp_models.hpp"
+
+namespace lips::core {
+
+/// One violated invariant.
+struct ScheduleViolation {
+  std::string what;        ///< human-readable, names the entity involved
+  double magnitude = 0.0;  ///< how far past the invariant (units vary)
+};
+
+/// Outcome of one validate_schedule call. At most kMaxReportedViolations
+/// are kept verbatim; the rest are counted in `dropped`.
+struct ValidationReport {
+  bool ok = true;
+  std::size_t checks = 0;  ///< individual invariant evaluations performed
+  double worst_violation = 0.0;
+  std::vector<ScheduleViolation> violations;
+  std::size_t dropped = 0;
+
+  /// One-line digest for logs and traces.
+  [[nodiscard]] std::string summary() const;
+};
+
+inline constexpr std::size_t kMaxReportedViolations = 16;
+
+/// Validate `schedule` against the inputs it was decoded from. The
+/// `jobs` / `remaining_fraction` / `effective_origins` arguments carry the
+/// same semantics as solve_co_scheduling (empty = all jobs / all 1.0 /
+/// workload origins). Never throws on a bad schedule — garbage in the
+/// schedule is precisely what it exists to report.
+[[nodiscard]] ValidationReport validate_schedule(
+    const cluster::Cluster& cluster, const workload::Workload& workload,
+    const ModelOptions& options, const LpSchedule& schedule,
+    const JobSubset& jobs = {},
+    const std::vector<double>& remaining_fraction = {},
+    const std::vector<StoreId>& effective_origins = {});
+
+}  // namespace lips::core

@@ -2,34 +2,85 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace lips::lp {
 
+namespace {
+
+// Diagnostics name the offending entity: a NaN that surfaces here was
+// produced by some upstream cost computation, and "objective coefficient
+// must be finite" without a variable name sends the debugger straight back
+// to a print-statement hunt. Messages are built only on the throwing path,
+// so the hot ingest loops pay one branch per check.
+
+std::string show(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string var_label(std::size_t index, const std::string& name) {
+  std::ostringstream os;
+  os << "variable #" << index;
+  if (!name.empty()) os << " ('" << name << "')";
+  return os.str();
+}
+
+std::string row_label(std::size_t index, const std::string& name) {
+  std::ostringstream os;
+  os << "row #" << index;
+  if (!name.empty()) os << " ('" << name << "')";
+  return os.str();
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  LIPS_REQUIRE(false, message);
+  std::abort();  // unreachable; LIPS_REQUIRE(false, ...) always throws
+}
+
+}  // namespace
+
 std::size_t LpModel::add_variable(double lower, double upper, double objective,
                                   std::string name) {
-  LIPS_REQUIRE(!std::isnan(lower) && !std::isnan(upper),
-               "variable bounds must not be NaN");
-  LIPS_REQUIRE(lower <= upper, "variable lower bound must be <= upper bound");
-  LIPS_REQUIRE(std::isfinite(objective),
-               "objective coefficient must be finite");
-  LIPS_REQUIRE(lower < kInf && upper > -kInf,
-               "variable bounds must leave a nonempty feasible interval");
+  const std::size_t j = variables_.size();
+  if (std::isnan(lower) || std::isnan(upper))
+    fail("bounds of " + var_label(j, name) + " must not be NaN (got [" +
+         show(lower) + ", " + show(upper) + "])");
+  if (!(lower <= upper))
+    fail("lower bound of " + var_label(j, name) +
+         " must be <= upper bound (got [" + show(lower) + ", " + show(upper) +
+         "])");
+  if (!std::isfinite(objective))
+    fail("objective coefficient of " + var_label(j, name) +
+         " must be finite (got " + show(objective) + ")");
+  if (!(lower < kInf && upper > -kInf))
+    fail("bounds of " + var_label(j, name) +
+         " must leave a nonempty feasible interval (got [" + show(lower) +
+         ", " + show(upper) + "])");
   variables_.push_back(Variable{lower, upper, objective, std::move(name)});
   return variables_.size() - 1;
 }
 
 std::size_t LpModel::add_constraint(std::span<const Entry> entries, Sense sense,
                                     double rhs, std::string name) {
-  LIPS_REQUIRE(std::isfinite(rhs), "constraint rhs must be finite");
+  const std::size_t i = constraints_.size();
+  if (!std::isfinite(rhs))
+    fail("rhs of " + row_label(i, name) + " must be finite (got " + show(rhs) +
+         ")");
   Constraint row;
   row.sense = sense;
   row.rhs = rhs;
   row.name = std::move(name);
   row.entries.assign(entries.begin(), entries.end());
   for (const Entry& e : row.entries) {
-    LIPS_REQUIRE(e.var < variables_.size(),
-                 "constraint references unknown variable");
-    LIPS_REQUIRE(std::isfinite(e.coeff), "constraint coefficient must be finite");
+    if (e.var >= variables_.size())
+      fail(row_label(i, row.name) + " references unknown variable index " +
+           std::to_string(e.var));
+    if (!std::isfinite(e.coeff))
+      fail("coefficient of " + var_label(e.var, variables_[e.var].name) +
+           " in " + row_label(i, row.name) + " must be finite (got " +
+           show(e.coeff) + ")");
   }
   std::sort(row.entries.begin(), row.entries.end(),
             [](const Entry& a, const Entry& b) { return a.var < b.var; });
@@ -52,32 +103,45 @@ std::size_t LpModel::add_constraint(std::span<const Entry> entries, Sense sense,
 
 void LpModel::set_rhs(std::size_t row, double rhs) {
   LIPS_REQUIRE(row < constraints_.size(), "constraint index out of range");
-  LIPS_REQUIRE(std::isfinite(rhs), "constraint rhs must be finite");
+  if (!std::isfinite(rhs))
+    fail("rhs of " + row_label(row, constraints_[row].name) +
+         " must be finite (got " + show(rhs) + ")");
   constraints_[row].rhs = rhs;
 }
 
 void LpModel::set_objective(std::size_t var, double objective) {
   LIPS_REQUIRE(var < variables_.size(), "variable index out of range");
-  LIPS_REQUIRE(std::isfinite(objective),
-               "objective coefficient must be finite");
+  if (!std::isfinite(objective))
+    fail("objective coefficient of " +
+         var_label(var, variables_[var].name) + " must be finite (got " +
+         show(objective) + ")");
   variables_[var].objective = objective;
 }
 
 void LpModel::set_bounds(std::size_t var, double lower, double upper) {
   LIPS_REQUIRE(var < variables_.size(), "variable index out of range");
-  LIPS_REQUIRE(!std::isnan(lower) && !std::isnan(upper),
-               "variable bounds must not be NaN");
-  LIPS_REQUIRE(lower <= upper, "variable lower bound must be <= upper bound");
-  LIPS_REQUIRE(lower < kInf && upper > -kInf,
-               "variable bounds must leave a nonempty feasible interval");
+  const std::string& name = variables_[var].name;
+  if (std::isnan(lower) || std::isnan(upper))
+    fail("bounds of " + var_label(var, name) + " must not be NaN (got [" +
+         show(lower) + ", " + show(upper) + "])");
+  if (!(lower <= upper))
+    fail("lower bound of " + var_label(var, name) +
+         " must be <= upper bound (got [" + show(lower) + ", " + show(upper) +
+         "])");
+  if (!(lower < kInf && upper > -kInf))
+    fail("bounds of " + var_label(var, name) +
+         " must leave a nonempty feasible interval (got [" + show(lower) +
+         ", " + show(upper) + "])");
   variables_[var].lower = lower;
   variables_[var].upper = upper;
 }
 
 void LpModel::set_coefficient(std::size_t row, std::size_t var, double coeff) {
   LIPS_REQUIRE(row < constraints_.size(), "constraint index out of range");
-  LIPS_REQUIRE(std::isfinite(coeff) && coeff != 0.0,
-               "coefficient update must be finite and nonzero");
+  if (!std::isfinite(coeff) || coeff == 0.0)
+    fail("coefficient update for " + var_label(var, {}) + " in " +
+         row_label(row, constraints_[row].name) +
+         " must be finite and nonzero (got " + show(coeff) + ")");
   auto& entries = constraints_[row].entries;
   const auto it = std::lower_bound(
       entries.begin(), entries.end(), var,
@@ -101,6 +165,9 @@ double LpModel::max_violation(std::span<const double> x) const {
                "point dimension must match variable count");
   double worst = 0.0;
   for (std::size_t j = 0; j < variables_.size(); ++j) {
+    // A non-finite component is an unbounded violation, not a value that
+    // std::max silently ignores (NaN compares false against everything).
+    if (!std::isfinite(x[j])) return kInf;
     worst = std::max(worst, variables_[j].lower - x[j]);
     worst = std::max(worst, x[j] - variables_[j].upper);
   }

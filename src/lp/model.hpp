@@ -56,7 +56,10 @@ struct Constraint {
 /// A minimization LP under construction / being solved.
 ///
 /// Invariants enforced on insertion: finite coefficients and rhs, lower <=
-/// upper, valid variable indices, normalized (sorted, merged) rows.
+/// upper, valid variable indices, normalized (sorted, merged) rows. A
+/// violation throws PreconditionError whose message names the offending
+/// variable/row (index plus name when one was given) and the bad value, so
+/// a NaN produced upstream is attributable without a debugger.
 class LpModel {
  public:
   /// Add a variable with bounds [lower, upper] and objective coefficient.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "lp/solver_faults.hpp"
 
 namespace lips::lp {
 
@@ -88,6 +89,7 @@ class Engine {
         tol_(options.tolerance),
         n_user_(model.num_variables()),
         m_(model.num_constraints()),
+        chaos_(options.fault_injector),
         binv_(m_) {}
 
   [[nodiscard]] LpSolution run(const Basis* start);
@@ -133,11 +135,14 @@ class Engine {
     }
   }
 
+  void sanitize_computational_form();
+
   const LpModel& model_;
   const SolverOptions& opt_;
   const double tol_;
   const std::size_t n_user_;
   const std::size_t m_;
+  SolverFaultInjector* const chaos_;  // may be null
 
   std::vector<Column> cols_;
   std::vector<double> b_;
@@ -198,6 +203,20 @@ void Engine::build_columns() {
   art_begin_ = cols_.size();
   cost2_.resize(cols_.size());
   for (std::size_t j = 0; j < cols_.size(); ++j) cost2_[j] = cols_[j].cost;
+}
+
+void Engine::sanitize_computational_form() {
+  // Re-derive the computational objective and RHS from the LpModel, whose
+  // mutators reject non-finite input — so this pass heals anything that
+  // corrupted the arrays *after* ingest (fault injection, and in a future
+  // daemon any stale in-place numeric update), including finite-but-absurd
+  // entries that pass a bare finiteness check yet poison pricing.
+  for (std::size_t j = 0; j < art_begin_; ++j) {
+    const double c = j < n_user_ ? model_.variable(j).objective : 0.0;
+    cost2_[j] = c;
+    cols_[j].cost = c;
+  }
+  for (std::size_t i = 0; i < m_; ++i) b_[i] = model_.constraint(i).rhs;
 }
 
 void Engine::init_cold_point() {
@@ -300,6 +319,7 @@ bool Engine::import_basis(const Basis& start) {
 }
 
 bool Engine::refactorize() {
+  if (chaos_ != nullptr && chaos_->fail_refactorize()) return false;
   // Gauss-Jordan on [B | I].
   DenseMatrix bm(m_);
   for (std::size_t i = 0; i < m_; ++i) {
@@ -749,6 +769,7 @@ SolveStatus Engine::cold_solve() {
   } else {
     max_iter_ = iterations_ + automatic_iteration_budget(m_, cols_.size());
   }
+  if (chaos_ != nullptr) max_iter_ = chaos_->cap_budget(iterations_, max_iter_);
 
   std::vector<double> cost1(cols_.size(), 0.0);
   for (std::size_t j = art_begin_; j < cols_.size(); ++j) cost1[j] = 1.0;
@@ -789,6 +810,10 @@ LpSolution Engine::run(const Basis* start) {
   LpSolution out;
   out.values.assign(n_user_, 0.0);
 
+  // Roll this solve's fate exactly once, even on the bounds-only early path,
+  // so the injector's RNG stream advances per solve, not per code path.
+  if (chaos_ != nullptr) chaos_->begin_solve();
+
   // Bounds-only model: optimum is at a bound per variable.
   if (m_ == 0) {
     for (std::size_t j = 0; j < n_user_; ++j) {
@@ -826,11 +851,24 @@ LpSolution Engine::run(const Basis* start) {
   }
 
   build_columns();
+  if (chaos_ != nullptr) {
+    chaos_->corrupt_costs(cost2_);
+    chaos_->corrupt_rhs(b_);
+  }
+  if (opt_.sanitize_model) sanitize_computational_form();
   banned_.assign(cols_.size(), false);
 
   const bool explicit_budget = opt_.max_iterations > 0;
   SolveStatus result = SolveStatus::IterationLimit;
   bool solved = false;
+
+  Basis corrupted_start;
+  if (start != nullptr && chaos_ != nullptr &&
+      chaos_->basis_corruption_armed()) {
+    corrupted_start = *start;  // never mutate the caller's basis
+    chaos_->corrupt_basis(corrupted_start);
+    start = &corrupted_start;
+  }
 
   if (start != nullptr && import_basis(*start)) {
     out.warm_start_attempted = true;
@@ -842,6 +880,8 @@ LpSolution Engine::run(const Basis* start) {
                     ? opt_.max_iterations
                     : automatic_iteration_budget(m_, cols_.size(),
                                                  primal_bad + dual_bad);
+    if (chaos_ != nullptr)
+      max_iter_ = chaos_->cap_budget(iterations_, max_iter_);
     const std::vector<bool> allow_all(cols_.size(), true);
 
     // Repair order: if the basis is dual feasible, the dual simplex fixes

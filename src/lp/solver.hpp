@@ -87,12 +87,24 @@ enum class PricingRule {
   Dantzig,  ///< most-negative reduced cost, full pricing
 };
 
+class SolverFaultInjector;  // lp/solver_faults.hpp
+
 /// Numeric / budget options common to both solvers.
 struct SolverOptions {
   double tolerance = 1e-7;          ///< feasibility & reduced-cost tolerance
   std::size_t max_iterations = 0;   ///< 0 = automatic (see
                                     ///< automatic_iteration_budget)
   PricingRule pricing = PricingRule::Devex;  ///< revised simplex only
+  /// Re-derive the engine's computational objective/RHS arrays from the
+  /// (finiteness-guarded) LpModel right before pivoting, healing NaN/Inf
+  /// and |c| >= 1e50 entries that crept in after ingest. This is the
+  /// degradation ladder's "re-sanitized retry" rung; off by default because
+  /// a healthy pipeline never needs it.
+  bool sanitize_model = false;
+  /// Deterministic chaos hook (lp/solver_faults.hpp); not owned, may be
+  /// null. The revised simplex consults it at its corruption seams; the
+  /// dense solver ignores it.
+  SolverFaultInjector* fault_injector = nullptr;
 };
 
 /// The pivot budget used when `SolverOptions::max_iterations == 0`.

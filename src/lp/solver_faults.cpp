@@ -1,0 +1,155 @@
+#include "lp/solver_faults.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lips::lp {
+
+namespace {
+
+constexpr double kHuge = 1e100;
+
+void require_probability(const std::string& key, double v) {
+  LIPS_REQUIRE(v >= 0.0 && v <= 1.0,
+               "solver fault probability '" + key + "' must be in [0, 1]");
+}
+
+}  // namespace
+
+SolverFaultConfig parse_solver_fault_spec(const std::string& spec) {
+  SolverFaultConfig c;
+  std::stringstream entries(spec);
+  std::string entry;
+  std::set<std::string> seen;
+  while (std::getline(entries, entry, ',')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    LIPS_REQUIRE(eq != std::string::npos,
+                 "solver fault spec entry must be key=value: " + entry);
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    LIPS_REQUIRE(seen.insert(key).second,
+                 "solver fault spec key given twice: " + key);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    LIPS_REQUIRE(end && *end == '\0' && !value.empty(),
+                 "solver fault spec value is not a number: " + entry);
+    if (key == "nan") {
+      c.nan_probability = v;
+    } else if (key == "inf") {
+      c.inf_probability = v;
+    } else if (key == "huge") {
+      c.huge_probability = v;
+    } else if (key == "basis") {
+      c.basis_corruption_probability = v;
+    } else if (key == "refactor") {
+      c.refactor_failure_probability = v;
+    } else if (key == "budget") {
+      c.budget_starvation_probability = v;
+    } else if (key == "starve_iters") {
+      LIPS_REQUIRE(v >= 0.0, "starve_iters must be >= 0");
+      c.starved_iterations = static_cast<std::size_t>(v);
+    } else if (key == "seed") {
+      c.seed = static_cast<std::uint64_t>(v);
+    } else {
+      LIPS_REQUIRE(false, "unknown solver fault spec key: " + key);
+    }
+  }
+  require_probability("nan", c.nan_probability);
+  require_probability("inf", c.inf_probability);
+  require_probability("huge", c.huge_probability);
+  require_probability("basis", c.basis_corruption_probability);
+  require_probability("refactor", c.refactor_failure_probability);
+  require_probability("budget", c.budget_starvation_probability);
+  return c;
+}
+
+SolverFaultInjector::SolverFaultInjector(const SolverFaultConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+void SolverFaultInjector::begin_solve() {
+  stats_.solves_seen += 1;
+  // Fixed draw count per solve: the fate of solve N never shifts the RNG
+  // stream consumed by solve N+1.
+  arm_nan_ = rng_.uniform01() < config_.nan_probability;
+  nan_targets_cost_ = (rng_.next() & 1u) != 0;
+  arm_inf_ = rng_.uniform01() < config_.inf_probability;
+  arm_huge_ = rng_.uniform01() < config_.huge_probability;
+  arm_basis_ = rng_.uniform01() < config_.basis_corruption_probability;
+  arm_refactor_ = rng_.uniform01() < config_.refactor_failure_probability;
+  arm_budget_ = rng_.uniform01() < config_.budget_starvation_probability;
+  budget_counted_ = false;
+}
+
+void SolverFaultInjector::corrupt_costs(std::vector<double>& cost) {
+  if (cost.empty()) return;
+  if (arm_nan_ && nan_targets_cost_) {
+    cost[rng_.uniform_int(0, cost.size() - 1)] =
+        std::numeric_limits<double>::quiet_NaN();
+    stats_.objective_nans += 1;
+    arm_nan_ = false;
+  }
+  if (arm_huge_) {
+    cost[rng_.uniform_int(0, cost.size() - 1)] = kHuge;
+    stats_.objective_huges += 1;
+    arm_huge_ = false;
+  }
+}
+
+void SolverFaultInjector::corrupt_rhs(std::vector<double>& rhs) {
+  if (rhs.empty()) return;
+  if (arm_nan_ && !nan_targets_cost_) {
+    rhs[rng_.uniform_int(0, rhs.size() - 1)] =
+        std::numeric_limits<double>::quiet_NaN();
+    stats_.rhs_nans += 1;
+    arm_nan_ = false;
+  }
+  if (arm_inf_) {
+    rhs[rng_.uniform_int(0, rhs.size() - 1)] =
+        std::numeric_limits<double>::infinity();
+    stats_.rhs_infs += 1;
+    arm_inf_ = false;
+  }
+}
+
+void SolverFaultInjector::corrupt_basis(Basis& basis) {
+  if (!arm_basis_) return;
+  const std::size_t span = basis.variables.size() + basis.slacks.size();
+  if (span == 0) return;
+  const std::size_t flips = 1 + rng_.uniform_int(0, 2);
+  static constexpr BasisStatus kStatuses[] = {
+      BasisStatus::Basic, BasisStatus::AtLower, BasisStatus::AtUpper};
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t pos = rng_.uniform_int(0, span - 1);
+    const BasisStatus status = kStatuses[rng_.uniform_int(0, 2)];
+    if (pos < basis.variables.size())
+      basis.variables[pos] = status;
+    else
+      basis.slacks[pos - basis.variables.size()] = status;
+  }
+  stats_.bases_corrupted += 1;
+  arm_basis_ = false;
+}
+
+bool SolverFaultInjector::fail_refactorize() {
+  if (!arm_refactor_) return false;
+  stats_.refactor_failures += 1;
+  return true;
+}
+
+std::size_t SolverFaultInjector::cap_budget(std::size_t iterations_done,
+                                            std::size_t budget) {
+  if (!arm_budget_) return budget;
+  if (!budget_counted_) {
+    stats_.budgets_starved += 1;
+    budget_counted_ = true;
+  }
+  const std::size_t cap = iterations_done + config_.starved_iterations;
+  return cap < budget ? cap : budget;
+}
+
+}  // namespace lips::lp

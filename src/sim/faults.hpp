@@ -15,6 +15,12 @@
 //
 // An empty plan is the default everywhere and costs nothing: the simulator
 // schedules no fault events and follows the exact pre-fault code path.
+//
+// These plans break the *world* the scheduler plans for. The planner-side
+// counterpart is lp/solver_faults.hpp, which breaks the LP solver itself
+// (NaN/Inf corruption, basis flips, budget starvation) to exercise the
+// validation gate and degradation ladder in LipsPolicy (DESIGN.md §10);
+// the chaos suite runs both storms at once.
 #pragma once
 
 #include <cstdint>

@@ -29,6 +29,12 @@
 //                        the obs exporters (which take a caller-supplied
 //                        ostream); only the obs exporters and the tools/
 //                        binaries own process stdout
+//   unchecked-solve-status
+//                        an LpSolution's .values/.objective consumed while
+//                        the file never inspects that solution's .status or
+//                        .optimal() — IterationLimit/Infeasible solutions
+//                        carry empty or stale vectors, so acting on them
+//                        silently schedules garbage
 //
 // Usage:
 //   lips_lint <file>...              lint; exit 1 if any finding
@@ -257,6 +263,32 @@ struct FileLint {
       scan_regex(re, "raw-stdout-in-lib",
                  "printf/std::cout in src/ library code; return data or "
                  "write through an obs exporter's ostream instead");
+    }
+
+    // unchecked-solve-status — a solution's values are only meaningful when
+    // its status was inspected; a solve that hit IterationLimit or proved
+    // the model Infeasible hands back empty or stale vectors. Matches local
+    // by-value declarations (`LpSolution s = ...;`) and flags each
+    // .values/.objective use when the file never reads that solution's
+    // .status or calls .optimal().
+    {
+      static const std::regex decl(R"(\bLpSolution\s+([A-Za-z_]\w*)\s*[=;])");
+      std::set<std::string> names;
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), decl);
+           it != std::sregex_iterator(); ++it)
+        names.insert((*it)[1].str());
+      for (const std::string& name : names) {
+        const std::regex checked(R"(\b)" + name +
+                                 R"(\s*\.\s*(?:status\b|optimal\s*\())");
+        if (std::regex_search(code, checked)) continue;
+        const std::regex use(R"(\b)" + name +
+                             R"(\s*\.\s*(?:values|objective)\b)");
+        scan_regex(use, "unchecked-solve-status",
+                   "LpSolution '" + name +
+                       "' consumed without inspecting .status/.optimal(); "
+                       "guard IterationLimit/Infeasible before using its "
+                       "values");
+      }
     }
   }
 };

@@ -9,6 +9,12 @@
 //           [--faults SPEC]  (inject a fault storm, e.g.
 //                             "mtbf=3600,revoke=0.1,seed=7" — sim/faults.hpp;
 //                             slowdown=2,slowdown_factor=4 adds stragglers)
+//           [--solver-faults SPEC]
+//                            (chaos-test the LiPS solver itself, e.g.
+//                             "nan=0.2,basis=0.3,budget=0.2,seed=7" —
+//                             lp/solver_faults.hpp; applies to the lips
+//                             scheduler only and exercises the
+//                             graceful-degradation ladder)
 //           [--speculation auto|off|naive|cost]
 //                            (straggler duplication: auto keeps each
 //                             scheduler's paper default — naive for the
@@ -43,6 +49,7 @@
 #include "common/table.hpp"
 #include "obs/export.hpp"
 #include "core/lips_policy.hpp"
+#include "lp/solver_faults.hpp"
 #include "sched/delay_scheduler.hpp"
 #include "sched/fair_scheduler.hpp"
 #include "sched/fifo_scheduler.hpp"
@@ -73,6 +80,7 @@ struct Args {
   std::string trace_out;
   std::string ledger_out;
   std::string faults;  // fault-storm spec; empty = fault-free
+  std::string solver_faults;  // LP solver chaos spec; empty = no injection
   std::string speculation = "auto";  // auto|off|naive|cost
   bool feedback = true;  // LiPS observed-throughput feedback / quarantine
 };
@@ -88,6 +96,7 @@ struct Args {
          "       [--metrics-out BASE] [--trace-out BASE] [--ledger-out "
          "BASE]\n"
          "       [--faults SPEC]   e.g. mtbf=3600,revoke=0.1,seed=7\n"
+         "       [--solver-faults SPEC]   e.g. nan=0.2,basis=0.3,seed=7\n"
          "       [--speculation auto|off|naive|cost] [--no-feedback]\n";
   std::exit(2);
 }
@@ -137,6 +146,8 @@ Args parse(int argc, char** argv) {
       a.ledger_out = value();
     } else if (flag == "--faults") {
       a.faults = value();
+    } else if (flag == "--solver-faults") {
+      a.solver_faults = value();
     } else if (flag == "--speculation") {
       a.speculation = value();
       if (a.speculation != "auto" && a.speculation != "off" &&
@@ -198,6 +209,15 @@ int main(int argc, char** argv) {
       std::exit(2);
     }
   }
+  lp::SolverFaultConfig solver_fault_config;
+  if (!args.solver_faults.empty()) {
+    try {
+      solver_fault_config = lp::parse_solver_fault_spec(args.solver_faults);
+    } catch (const std::exception& e) {
+      std::cerr << "bad --solver-faults spec: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
 
   Table t;
   std::vector<std::string> header{"scheduler", "cost_usd", "makespan_s",
@@ -226,6 +246,9 @@ int main(int argc, char** argv) {
     cfg.faults = fault_plan;
     std::unique_ptr<sched::Scheduler> policy;
     core::LipsPolicy* lips_policy = nullptr;  // for LP telemetry below
+    // Fresh injector per run: its RNG stream is part of the run's identity,
+    // and it must outlive the policy that holds a pointer to it.
+    std::unique_ptr<lp::SolverFaultInjector> injector;
     if (name == "default") {
       cfg.speculative_execution = true;
       cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
@@ -256,6 +279,11 @@ int main(int argc, char** argv) {
       }
       lo.throughput_feedback = args.feedback;
       if (!args.feedback) lo.quarantine_below = 0.0;
+      if (!args.solver_faults.empty()) {
+        injector =
+            std::make_unique<lp::SolverFaultInjector>(solver_fault_config);
+        lo.model.solver_options.fault_injector = injector.get();
+      }
       cfg.hdfs_replication = 1;  // LiPS manages placement itself
       cfg.task_timeout_s = 1200.0;
       auto lips = std::make_unique<core::LipsPolicy>(lo);
@@ -385,6 +413,29 @@ int main(int argc, char** argv) {
          << lips_policy->total_lp_iterations() << " pivots ("
          << lips_policy->lp_repair_iterations() << " dual repair), "
          << lips_policy->off_cycle_resolves() << " off-cycle re-solves\n";
+      os << "lips resilience: " << lips_policy->schedules_validated()
+         << " schedules validated (" << lips_policy->validation_failures()
+         << " rejected), degradations: "
+         << lips_policy->degradations(core::LipsPolicy::DegradationRung::ColdRebuild)
+         << " cold rebuild, "
+         << lips_policy->degradations(core::LipsPolicy::DegradationRung::SanitizedRetry)
+         << " sanitized retry, "
+         << lips_policy->degradations(core::LipsPolicy::DegradationRung::GreedyFallback)
+         << " greedy fallback, "
+         << lips_policy->degradations(core::LipsPolicy::DegradationRung::ReuseLastPlan)
+         << " plan reuse, " << lips_policy->solver_exceptions()
+         << " solver exceptions\n";
+      if (injector != nullptr) {
+        const lp::SolverFaultInjector::Stats& fs = injector->stats();
+        os << "lips solver-faults: " << fs.total_injected()
+           << " faults injected over " << fs.solves_seen << " solves ("
+           << fs.objective_nans << " cost NaN, " << fs.rhs_nans
+           << " rhs NaN, " << fs.rhs_infs << " rhs Inf, "
+           << fs.objective_huges << " cost huge, " << fs.bases_corrupted
+           << " bases corrupted, " << fs.refactor_failures
+           << " refactor failures, " << fs.budgets_starved
+           << " budgets starved)\n";
+      }
       lips_lp_summary = os.str();
     }
   }
