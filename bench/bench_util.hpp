@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/lips_policy.hpp"
@@ -92,13 +93,19 @@ struct BenchRecord {
 }
 
 /// Write `<dir>/BENCH_<bench>.json` with one object per record. Missing
-/// parent directories are created (obs::open_output).
+/// parent directories are created (obs::open_output). A `build` object
+/// (git sha, compiler, build type — common/build_info.hpp) is embedded so
+/// two artifacts can be compared knowing exactly what produced each; a
+/// Debug-vs-Release wall-ms diff is noise, not a regression.
 inline void write_bench_records(const std::string& bench,
                                 const std::vector<BenchRecord>& records) {
   std::ofstream out =
       obs::open_output(bench_result_dir() + "/BENCH_" + bench + ".json");
   out.precision(12);
-  out << "{\n  \"bench\": \"" << bench << "\",\n  \"records\": [";
+  const BuildInfo& b = build_info();
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"build\": {\"git_sha\": \""
+      << b.git_sha << "\", \"compiler\": \"" << b.compiler
+      << "\", \"build_type\": \"" << b.build_type << "\"},\n  \"records\": [";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     out << (i == 0 ? "" : ",") << "\n    {\"scenario\": \"" << r.scenario

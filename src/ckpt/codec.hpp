@@ -1,0 +1,161 @@
+// Binary encode/decode primitives for the checkpoint subsystem.
+//
+// Snapshots must be byte-stable: the same run state always encodes to the
+// same bytes, on every platform, so CRC guards and divergence digests mean
+// something. The codec therefore commits to little-endian fixed-width
+// integers and raw IEEE-754 bit patterns for doubles — a double that went
+// through a decimal print/parse cycle could legally come back one ulp off,
+// which would break the bit-identical resume contract (the `Millicents`
+// ledger reconciles with `==`, not a tolerance).
+//
+// Writer/Reader are deliberately dumb byte streams with no schema: framing,
+// versioning, and CRC live one layer up in snapshot.hpp. Reader underrun or
+// malformed variable-length fields throw SnapshotError — corruption is an
+// expected runtime outcome with a recovery path (fall back to the previous
+// good snapshot), not a programmer error.
+//
+// Header-only so that layers below lips_ckpt (sched, core, lp, obs) can
+// declare `save(Writer&)`/`load(Reader&)` hooks without a link dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lips::ckpt {
+
+/// Thrown when snapshot bytes cannot be decoded (underrun, bad magic, CRC
+/// mismatch, unsupported version). Recoverable: the checkpoint store
+/// catches it and falls back to the previous good snapshot.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian byte sink.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  /// std::size_t is always written as 8 bytes (32-bit hosts would truncate
+  /// silently otherwise).
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Exact IEEE-754 bit pattern; NaNs round-trip too.
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    size(s.size());
+    bytes(s.data(), s.size());
+  }
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked mirror of Writer. Does not own the bytes.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t n) : data_(data), end_(n) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::size_t size() {
+    const std::uint64_t v = u64();
+    if constexpr (sizeof(std::size_t) < sizeof(std::uint64_t)) {
+      if (v > std::uint64_t{SIZE_MAX})
+        throw SnapshotError("size field overflows std::size_t");
+    }
+    return static_cast<std::size_t>(v);
+  }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw SnapshotError("boolean field is not 0/1");
+    return v != 0;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::size_t n = size();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  void bytes_into(void* dst, std::size_t n) {
+    need(n);
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return end_ - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == end_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (end_ - pos_ < n)
+      throw SnapshotError("snapshot truncated: needed " + std::to_string(n) +
+                          " bytes, " + std::to_string(end_ - pos_) + " left");
+  }
+  const std::uint8_t* data_;
+  std::size_t end_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Guards every snapshot file.
+[[nodiscard]] inline std::uint32_t crc32(const std::uint8_t* data,
+                                         std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace lips::ckpt

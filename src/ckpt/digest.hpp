@@ -1,0 +1,47 @@
+// Streaming FNV-1a 64-bit digest.
+//
+// Used for the schedule-decision digest: the simulator folds every task
+// launch (time, job, task, machine, store) into one 64-bit value, and the
+// bit-identical-resume contract requires a restored run to finish with
+// exactly the digest of the uninterrupted run. FNV-1a is not cryptographic —
+// it only needs to make *any* divergence in the decision stream visible,
+// and it must be cheap enough to run unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace lips::ckpt {
+
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= kPrime;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+  void reset(std::uint64_t h = kOffsetBasis) { h_ = h; }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace lips::ckpt

@@ -1,0 +1,60 @@
+#include "ckpt/divergence.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "ckpt/digest.hpp"
+
+namespace lips::ckpt {
+
+namespace {
+
+std::uint64_t log_digest(const std::vector<std::string>& lines) {
+  Fnv1a64 d;
+  for (const std::string& line : lines) d.str(line);
+  return d.digest();
+}
+
+}  // namespace
+
+DivergenceReport diff_event_logs(const std::vector<std::string>& baseline,
+                                 const std::vector<std::string>& resumed,
+                                 std::size_t max_mismatches) {
+  DivergenceReport r;
+  r.baseline_events = baseline.size();
+  r.resumed_events = resumed.size();
+  r.baseline_digest = log_digest(baseline);
+  r.resumed_digest = log_digest(resumed);
+  const std::size_t common = std::min(baseline.size(), resumed.size());
+  const std::size_t total = std::max(baseline.size(), resumed.size());
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool both = i < common;
+    if (both && baseline[i] == resumed[i]) continue;
+    r.identical = false;
+    if (r.first_mismatch == SIZE_MAX) r.first_mismatch = i;
+    if (r.mismatches.size() < max_mismatches) {
+      r.mismatches.push_back(
+          "event " + std::to_string(i) + ":\n  baseline: " +
+          (i < baseline.size() ? baseline[i] : std::string("<absent>")) +
+          "\n  resumed:  " +
+          (i < resumed.size() ? resumed[i] : std::string("<absent>")));
+    }
+  }
+  return r;
+}
+
+void write_divergence_report(const DivergenceReport& report,
+                             std::ostream& os) {
+  os << "divergence report\n"
+     << "  identical: " << (report.identical ? "yes" : "NO") << "\n"
+     << "  baseline events: " << report.baseline_events
+     << "  digest: " << std::hex << report.baseline_digest << std::dec << "\n"
+     << "  resumed events:  " << report.resumed_events
+     << "  digest: " << std::hex << report.resumed_digest << std::dec << "\n";
+  if (!report.identical) {
+    os << "  first mismatch at event " << report.first_mismatch << "\n";
+    for (const std::string& m : report.mismatches) os << m << "\n";
+  }
+}
+
+}  // namespace lips::ckpt

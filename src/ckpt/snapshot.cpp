@@ -1,0 +1,69 @@
+#include "ckpt/snapshot.hpp"
+
+#include <cstring>
+
+namespace lips::ckpt {
+
+std::vector<std::uint8_t> encode_snapshot(const Snapshot& s) {
+  Writer w;
+  w.bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.u32(kSnapshotVersion);
+  w.str(s.meta.git_sha);
+  w.str(s.meta.compiler);
+  w.str(s.meta.build_type);
+  w.str(s.meta.label);
+  w.f64(s.meta.sim_time_s);
+  w.u64(s.meta.epoch);
+  w.u64(s.meta.sequence);
+  w.u64(s.payload.size());
+  w.bytes(s.payload.data(), s.payload.size());
+  const std::uint32_t crc = crc32(w.buffer().data(), w.buffer().size());
+  w.u32(crc);
+  return w.take();
+}
+
+Snapshot decode_snapshot(const std::uint8_t* data, std::size_t n) {
+  if (n < sizeof(kSnapshotMagic) + 4 + 4)
+    throw SnapshotError("snapshot file too short (" + std::to_string(n) +
+                        " bytes)");
+  // CRC first: nothing else is trusted until the whole file checks out.
+  const std::uint32_t stored = static_cast<std::uint32_t>(data[n - 4]) |
+                               static_cast<std::uint32_t>(data[n - 3]) << 8 |
+                               static_cast<std::uint32_t>(data[n - 2]) << 16 |
+                               static_cast<std::uint32_t>(data[n - 1]) << 24;
+  const std::uint32_t actual = crc32(data, n - 4);
+  if (stored != actual)
+    throw SnapshotError("snapshot CRC mismatch (stored " +
+                        std::to_string(stored) + ", computed " +
+                        std::to_string(actual) + ")");
+  Reader r(data, n - 4);
+  char magic[sizeof(kSnapshotMagic)];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0)
+    throw SnapshotError("snapshot magic mismatch");
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion)
+    throw SnapshotError("unsupported snapshot version " +
+                        std::to_string(version) + " (want " +
+                        std::to_string(kSnapshotVersion) + ")");
+  Snapshot s;
+  s.meta.git_sha = r.str();
+  s.meta.compiler = r.str();
+  s.meta.build_type = r.str();
+  s.meta.label = r.str();
+  s.meta.sim_time_s = r.f64();
+  s.meta.epoch = r.u64();
+  s.meta.sequence = r.u64();
+  const std::size_t payload_len = r.size();
+  if (payload_len != r.remaining())
+    throw SnapshotError("snapshot payload length field disagrees with file");
+  s.payload.resize(payload_len);
+  if (payload_len > 0) r.bytes_into(s.payload.data(), payload_len);
+  return s;
+}
+
+Snapshot decode_snapshot(const std::vector<std::uint8_t>& buf) {
+  return decode_snapshot(buf.data(), buf.size());
+}
+
+}  // namespace lips::ckpt

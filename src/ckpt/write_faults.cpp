@@ -1,0 +1,54 @@
+#include "ckpt/write_faults.hpp"
+
+#include <cmath>
+
+#include "common/spec.hpp"
+
+namespace lips::ckpt {
+
+SnapshotFaultConfig parse_snapshot_fault_spec(const std::string& spec) {
+  SnapshotFaultConfig c;
+  SpecBinder("checkpoint fault spec")
+      .probability("torn", &c.torn_probability)
+      .probability("trunc", &c.truncate_probability)
+      .probability("corrupt", &c.corrupt_probability)
+      .seed("seed", &c.seed)
+      .parse(spec);
+  return c;
+}
+
+SnapshotFaultInjector::SnapshotFaultInjector(const SnapshotFaultConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+void SnapshotFaultInjector::apply(std::vector<std::uint8_t>& bytes) {
+  stats_.snapshots_seen += 1;
+  // Fixed draw count per snapshot (see header). uniform01 rather than
+  // uniform_int: rejection sampling would make the draw count data-dependent.
+  const bool arm_torn = rng_.uniform01() < config_.torn_probability;
+  const bool arm_trunc = rng_.uniform01() < config_.truncate_probability;
+  const bool arm_corrupt = rng_.uniform01() < config_.corrupt_probability;
+  const double torn_frac = rng_.uniform01();
+  const double pos_frac = rng_.uniform01();
+  const std::uint64_t bit_pick = rng_.next();
+
+  if (arm_torn && bytes.size() > 1) {
+    // Keep at least one byte so the file exists but can never decode.
+    const auto keep = static_cast<std::size_t>(
+        1 + std::floor(torn_frac * static_cast<double>(bytes.size() - 1)));
+    bytes.resize(keep);
+    stats_.torn += 1;
+  }
+  if (arm_trunc && bytes.size() > 4) {
+    bytes.resize(bytes.size() - 4);
+    stats_.truncated += 1;
+  }
+  if (arm_corrupt && !bytes.empty()) {
+    const auto pos = static_cast<std::size_t>(
+        std::floor(pos_frac * static_cast<double>(bytes.size())));
+    bytes[pos < bytes.size() ? pos : bytes.size() - 1] ^=
+        static_cast<std::uint8_t>(1u << (bit_pick & 7u));
+    stats_.corrupted += 1;
+  }
+}
+
+}  // namespace lips::ckpt

@@ -1,0 +1,69 @@
+// Seeded fault injection for snapshot writes — the storage-side adversary.
+//
+// The checkpoint reader's whole value is surviving bad bytes: a snapshot
+// that was torn mid-write by a power cut, silently truncated by a full
+// disk, or bit-flipped by the storage stack must be *detected* (CRC/version
+// checks) and *survived* (fall back to the previous good snapshot), never
+// half-restored. This injector manufactures those three corruptions
+// deterministically from a seed, mirroring lp/solver_faults.hpp: a fixed
+// number of RNG draws per snapshot, so whether snapshot N is faulted never
+// shifts the fate of snapshot N+1.
+//
+// The injector perturbs the encoded bytes *after* CRC computation and
+// before they reach disk — the file lands corrupt on disk exactly as a
+// misbehaving device would leave it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lips::ckpt {
+
+/// All probabilities are per-snapshot in [0, 1].
+struct SnapshotFaultConfig {
+  /// Probability the file is torn: only a uniform-length prefix survives.
+  double torn_probability = 0.0;
+  /// Probability the file loses its trailing CRC field (short truncation).
+  double truncate_probability = 0.0;
+  /// Probability one pseudo-random byte has one bit flipped.
+  double corrupt_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Parse a `--checkpoint-faults` spec: "torn=P,trunc=P,corrupt=P,seed=N".
+/// Same contract as sim::parse_fault_spec (common/spec.hpp errors).
+[[nodiscard]] SnapshotFaultConfig parse_snapshot_fault_spec(
+    const std::string& spec);
+
+class SnapshotFaultInjector {
+ public:
+  struct Stats {
+    std::size_t snapshots_seen = 0;
+    std::size_t torn = 0;
+    std::size_t truncated = 0;
+    std::size_t corrupted = 0;
+    [[nodiscard]] std::size_t total_injected() const {
+      return torn + truncated + corrupted;
+    }
+  };
+
+  explicit SnapshotFaultInjector(const SnapshotFaultConfig& config);
+
+  /// Possibly perturb one snapshot's encoded bytes in place. Draws a fixed
+  /// number of uniforms regardless of which faults fire.
+  void apply(std::vector<std::uint8_t>& bytes);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const SnapshotFaultConfig& config() const { return config_; }
+
+ private:
+  SnapshotFaultConfig config_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace lips::ckpt

@@ -1,0 +1,26 @@
+#include "common/build_info.hpp"
+
+#ifndef LIPS_BUILD_GIT_SHA
+#define LIPS_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef LIPS_BUILD_COMPILER
+#define LIPS_BUILD_COMPILER "unknown"
+#endif
+#ifndef LIPS_BUILD_TYPE
+#define LIPS_BUILD_TYPE "unknown"
+#endif
+
+namespace lips {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{LIPS_BUILD_GIT_SHA, LIPS_BUILD_COMPILER,
+                              LIPS_BUILD_TYPE};
+  return info;
+}
+
+std::string version_line() {
+  const BuildInfo& b = build_info();
+  return "lips " + b.git_sha + " (" + b.compiler + ", " + b.build_type + ")";
+}
+
+}  // namespace lips

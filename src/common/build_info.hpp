@@ -1,0 +1,30 @@
+// Build provenance — git SHA, compiler, build type — stamped at configure
+// time.
+//
+// Checkpoint headers and BENCH_*.json artifacts both need to answer "which
+// build produced this file": a snapshot restored into a different build is
+// suspect (serializers may have changed), and a benchmark number without its
+// commit is noise. The values are injected by CMake as compile definitions
+// on build_info.cpp; a tree built outside git reports "unknown". The SHA is
+// captured at *configure* time, so an incremental build after new commits
+// reports the SHA of the last configure — CI configures fresh, where it is
+// exact.
+#pragma once
+
+#include <string>
+
+namespace lips {
+
+struct BuildInfo {
+  std::string git_sha;     ///< short commit SHA, "unknown" outside git
+  std::string compiler;    ///< e.g. "GNU 13.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, e.g. "Release"
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+/// One-line provenance string for `lipsctl --version` and artifact headers:
+/// "lips <sha> (<compiler>, <build_type>)".
+[[nodiscard]] std::string version_line();
+
+}  // namespace lips

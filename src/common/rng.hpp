@@ -133,6 +133,21 @@ class Rng {
   /// Derive an independent child generator (stable stream splitting).
   Rng split() { return Rng(next() ^ 0xA3EC4D1F00C0FFEEULL); }
 
+  /// Raw xoshiro256++ state, exposed so checkpoints can persist a stream
+  /// mid-sequence and resume it bit-identically.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+
+  /// Restore a state captured by state(). The all-zero state is the fixed
+  /// point of xoshiro256++ (the generator would emit zeros forever) and can
+  /// never be produced by the seeding path, so it is rejected as corruption.
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    LIPS_REQUIRE((s[0] | s[1] | s[2] | s[3]) != 0,
+                 "Rng::set_state: all-zero state is invalid");
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,94 @@
+#include "common/spec.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lips {
+
+SpecBinder& SpecBinder::add(
+    const std::string& key,
+    std::function<void(const std::string&, double)> apply) {
+  for (const Field& f : fields_)
+    LIPS_REQUIRE(f.key != key, domain_ + " key bound twice: " + key);
+  fields_.push_back(Field{key, std::move(apply)});
+  return *this;
+}
+
+SpecBinder& SpecBinder::number(const std::string& key, double* out) {
+  return add(key, [this, key, out](const std::string& entry, double v) {
+    LIPS_REQUIRE(std::isfinite(v),
+                 domain_ + " value must be finite: " + entry);
+    *out = v;
+  });
+}
+
+SpecBinder& SpecBinder::probability(const std::string& key, double* out) {
+  return add(key, [this, key, out](const std::string&, double v) {
+    LIPS_REQUIRE(v >= 0.0 && v <= 1.0,
+                 domain_ + " key '" + key + "' must be in [0, 1]");
+    *out = v;
+  });
+}
+
+SpecBinder& SpecBinder::count(const std::string& key, std::size_t* out) {
+  return add(key, [this, key, out](const std::string& entry, double v) {
+    LIPS_REQUIRE(v >= 0.0 && std::isfinite(v),
+                 domain_ + " key '" + key + "' must be >= 0");
+    LIPS_REQUIRE(v == std::floor(v),
+                 domain_ + " key '" + key + "' must be an integer: " + entry);
+    *out = static_cast<std::size_t>(v);
+  });
+}
+
+SpecBinder& SpecBinder::seed(const std::string& key, std::uint64_t* out) {
+  return add(key, [this, key, out](const std::string&, double v) {
+    LIPS_REQUIRE(v >= 0.0 && std::isfinite(v),
+                 domain_ + " key '" + key + "' must be >= 0");
+    *out = static_cast<std::uint64_t>(v);
+  });
+}
+
+std::string SpecBinder::known_keys() const {
+  std::string keys;
+  for (const Field& f : fields_) {
+    if (!keys.empty()) keys += ", ";
+    keys += f.key;
+  }
+  return keys;
+}
+
+void SpecBinder::parse(const std::string& spec) const {
+  std::stringstream entries(spec);
+  std::string entry;
+  std::set<std::string> seen;
+  while (std::getline(entries, entry, ',')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    LIPS_REQUIRE(eq != std::string::npos,
+                 domain_ + " entry must be key=value: " + entry);
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    LIPS_REQUIRE(seen.insert(key).second,
+                 domain_ + " key given twice: " + key);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    LIPS_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+                 domain_ + " value is not a number: " + entry);
+    const Field* field = nullptr;
+    for (const Field& f : fields_) {
+      if (f.key == key) {
+        field = &f;
+        break;
+      }
+    }
+    LIPS_REQUIRE(field != nullptr, "unknown " + domain_ + " key: " + key +
+                                       " (known: " + known_keys() + ")");
+    field->apply(entry, v);
+  }
+}
+
+}  // namespace lips

@@ -1,0 +1,57 @@
+// Declarative parser for compact command-line key=value specs.
+//
+// Three subsystems accept "k1=v1,k2=v2" specs on the lipsctl command line —
+// cluster fault storms (`--faults`), solver fault injection
+// (`--solver-faults`), and checkpointing (`--checkpoint-faults`) — and each
+// used to hand-roll the same getline/strtod/duplicate-set loop with subtly
+// different error text. SpecBinder centralizes that loop: a caller binds each
+// key to a destination (with its range contract) once, and parse() applies a
+// spec with uniform errors for malformed entries, non-numeric values,
+// duplicate keys, out-of-range values, and unknown keys (which list the
+// accepted key set, since a typo on the command line is the common case).
+//
+// All errors are PreconditionError, matching the LIPS_REQUIRE convention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lips {
+
+class SpecBinder {
+ public:
+  /// `domain` prefixes every error message, e.g. "fault spec".
+  explicit SpecBinder(std::string domain) : domain_(std::move(domain)) {}
+
+  /// Any finite double.
+  SpecBinder& number(const std::string& key, double* out);
+  /// Double in [0, 1] (probabilities; range-checked at parse time).
+  SpecBinder& probability(const std::string& key, double* out);
+  /// Non-negative integral count.
+  SpecBinder& count(const std::string& key, std::size_t* out);
+  /// Non-negative 64-bit seed.
+  SpecBinder& seed(const std::string& key, std::uint64_t* out);
+
+  /// Parse "k1=v1,k2=v2" and write each bound destination. Empty entries
+  /// (",,") are skipped; an empty spec is a no-op. Throws PreconditionError
+  /// on: an entry without '=', a value that is not a number, a key bound
+  /// range being violated, a key given twice, or an unknown key.
+  void parse(const std::string& spec) const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::function<void(const std::string& entry, double value)> apply;
+  };
+  SpecBinder& add(const std::string& key,
+                  std::function<void(const std::string&, double)> apply);
+  [[nodiscard]] std::string known_keys() const;
+
+  std::string domain_;
+  std::vector<Field> fields_;
+};
+
+}  // namespace lips

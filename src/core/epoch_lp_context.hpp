@@ -26,6 +26,7 @@
 
 #include <vector>
 
+#include "ckpt/codec.hpp"
 #include "core/lp_model_builder.hpp"
 #include "core/lp_models.hpp"
 #include "obs/obs.hpp"
@@ -63,6 +64,16 @@ class EpochLpContext {
   /// and a duration histogram into the metrics registry.
   void set_observer(const obs::Observer& observer) { obs_ = observer; }
 
+  /// Checkpoint hooks (DESIGN.md §11). The cached model, layout, and basis
+  /// are decision-relevant state: a warm solve and a cold solve can land on
+  /// different (equally optimal) vertices, so bit-identical resume requires
+  /// restoring the incremental pipeline exactly. The StructureKey's raw
+  /// cluster/workload pointers cannot survive a process boundary; they are
+  /// restored null and re-adopted by the first solve() whose key matches in
+  /// every other field.
+  void save_state(ckpt::Writer& writer) const;
+  void load_state(ckpt::Reader& reader);
+
  private:
   /// Everything that fixes the *structure* (columns and rows, not values)
   /// of the built model. Two solves with equal keys share a model skeleton.
@@ -96,6 +107,9 @@ class EpochLpContext {
 
   obs::Observer obs_{};
   bool have_model_ = false;
+  /// Set by load_state: key_ carries null cluster/workload pointers that
+  /// the next matching solve() stamps with its own arguments.
+  bool restored_key_pending_ = false;
   StructureKey key_;
   lp::LpModel model_;
   detail::ModelLayout layout_;

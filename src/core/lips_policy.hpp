@@ -110,6 +110,16 @@ class LipsPolicy : public sched::Scheduler {
   void on_spot_warning(MachineId machine, double revoke_time_s,
                        const sched::ClusterState& state) override;
 
+  // Checkpoint hooks (DESIGN.md §11): full serialization of the plan and
+  // gates, quarantine/doomed sets (sorted — they live in unordered
+  // containers), the degradation-ladder state, every cost accumulator and
+  // counter, and the incremental LP context (model + layout + basis). When
+  // a solver fault injector is installed its RNG position rides along; a
+  // restored policy must be constructed with the same options (and the same
+  // injector wiring) as the one that saved.
+  void save_state(ckpt::Writer& writer) const override;
+  void load_state(ckpt::Reader& reader) override;
+
   // --- introspection (for tests and reports) ------------------------------
   [[nodiscard]] std::size_t lp_solves() const { return lp_solves_; }
   /// Replans where *every* LP rung of the ladder failed and the greedy

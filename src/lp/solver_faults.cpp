@@ -1,11 +1,10 @@
 #include "lp/solver_faults.hpp"
 
-#include <cstdlib>
+#include <array>
 #include <limits>
-#include <set>
-#include <sstream>
 
 #include "common/error.hpp"
+#include "common/spec.hpp"
 
 namespace lips::lp {
 
@@ -13,58 +12,20 @@ namespace {
 
 constexpr double kHuge = 1e100;
 
-void require_probability(const std::string& key, double v) {
-  LIPS_REQUIRE(v >= 0.0 && v <= 1.0,
-               "solver fault probability '" + key + "' must be in [0, 1]");
-}
-
 }  // namespace
 
 SolverFaultConfig parse_solver_fault_spec(const std::string& spec) {
   SolverFaultConfig c;
-  std::stringstream entries(spec);
-  std::string entry;
-  std::set<std::string> seen;
-  while (std::getline(entries, entry, ',')) {
-    if (entry.empty()) continue;
-    const auto eq = entry.find('=');
-    LIPS_REQUIRE(eq != std::string::npos,
-                 "solver fault spec entry must be key=value: " + entry);
-    const std::string key = entry.substr(0, eq);
-    const std::string value = entry.substr(eq + 1);
-    LIPS_REQUIRE(seen.insert(key).second,
-                 "solver fault spec key given twice: " + key);
-    char* end = nullptr;
-    const double v = std::strtod(value.c_str(), &end);
-    LIPS_REQUIRE(end && *end == '\0' && !value.empty(),
-                 "solver fault spec value is not a number: " + entry);
-    if (key == "nan") {
-      c.nan_probability = v;
-    } else if (key == "inf") {
-      c.inf_probability = v;
-    } else if (key == "huge") {
-      c.huge_probability = v;
-    } else if (key == "basis") {
-      c.basis_corruption_probability = v;
-    } else if (key == "refactor") {
-      c.refactor_failure_probability = v;
-    } else if (key == "budget") {
-      c.budget_starvation_probability = v;
-    } else if (key == "starve_iters") {
-      LIPS_REQUIRE(v >= 0.0, "starve_iters must be >= 0");
-      c.starved_iterations = static_cast<std::size_t>(v);
-    } else if (key == "seed") {
-      c.seed = static_cast<std::uint64_t>(v);
-    } else {
-      LIPS_REQUIRE(false, "unknown solver fault spec key: " + key);
-    }
-  }
-  require_probability("nan", c.nan_probability);
-  require_probability("inf", c.inf_probability);
-  require_probability("huge", c.huge_probability);
-  require_probability("basis", c.basis_corruption_probability);
-  require_probability("refactor", c.refactor_failure_probability);
-  require_probability("budget", c.budget_starvation_probability);
+  SpecBinder("solver fault spec")
+      .probability("nan", &c.nan_probability)
+      .probability("inf", &c.inf_probability)
+      .probability("huge", &c.huge_probability)
+      .probability("basis", &c.basis_corruption_probability)
+      .probability("refactor", &c.refactor_failure_probability)
+      .probability("budget", &c.budget_starvation_probability)
+      .count("starve_iters", &c.starved_iterations)
+      .seed("seed", &c.seed)
+      .parse(spec);
   return c;
 }
 
@@ -139,6 +100,49 @@ bool SolverFaultInjector::fail_refactorize() {
   if (!arm_refactor_) return false;
   stats_.refactor_failures += 1;
   return true;
+}
+
+void SolverFaultInjector::save_state(ckpt::Writer& writer) const {
+  const auto& s = rng_.state();
+  for (const std::uint64_t word : s) writer.u64(word);
+  writer.size(stats_.solves_seen);
+  writer.size(stats_.objective_nans);
+  writer.size(stats_.rhs_nans);
+  writer.size(stats_.rhs_infs);
+  writer.size(stats_.objective_huges);
+  writer.size(stats_.bases_corrupted);
+  writer.size(stats_.refactor_failures);
+  writer.size(stats_.budgets_starved);
+  writer.boolean(arm_nan_);
+  writer.boolean(nan_targets_cost_);
+  writer.boolean(arm_inf_);
+  writer.boolean(arm_huge_);
+  writer.boolean(arm_basis_);
+  writer.boolean(arm_refactor_);
+  writer.boolean(arm_budget_);
+  writer.boolean(budget_counted_);
+}
+
+void SolverFaultInjector::load_state(ckpt::Reader& reader) {
+  std::array<std::uint64_t, 4> s{};
+  for (std::uint64_t& word : s) word = reader.u64();
+  rng_.set_state(s);
+  stats_.solves_seen = reader.size();
+  stats_.objective_nans = reader.size();
+  stats_.rhs_nans = reader.size();
+  stats_.rhs_infs = reader.size();
+  stats_.objective_huges = reader.size();
+  stats_.bases_corrupted = reader.size();
+  stats_.refactor_failures = reader.size();
+  stats_.budgets_starved = reader.size();
+  arm_nan_ = reader.boolean();
+  nan_targets_cost_ = reader.boolean();
+  arm_inf_ = reader.boolean();
+  arm_huge_ = reader.boolean();
+  arm_basis_ = reader.boolean();
+  arm_refactor_ = reader.boolean();
+  arm_budget_ = reader.boolean();
+  budget_counted_ = reader.boolean();
 }
 
 std::size_t SolverFaultInjector::cap_budget(std::size_t iterations_done,

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/codec.hpp"
 #include "common/rng.hpp"
 #include "lp/solver.hpp"
 
@@ -132,6 +133,14 @@ class SolverFaultInjector {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const SolverFaultConfig& config() const { return config_; }
+
+  /// Checkpoint hooks (DESIGN.md §11): the RNG stream position, per-solve
+  /// armed flags, and counters are run state — a resumed run must draw the
+  /// exact fault sequence the uninterrupted run would have drawn. The
+  /// config is not serialized; the caller reconstructs the injector from
+  /// the same spec and restores into it.
+  void save_state(ckpt::Writer& writer) const;
+  void load_state(ckpt::Reader& reader);
 
  private:
   SolverFaultConfig config_;

@@ -123,6 +123,19 @@ class CostLedger {
   /// simulator's accumulators. `ok` iff every meter matches exactly.
   [[nodiscard]] Reconciliation reconcile(const BilledTotals& billed) const;
 
+  /// Overwrite the entire ledger state (checkpoint restore, DESIGN.md §11).
+  /// The caller supplies exactly what a snapshot captured: the running
+  /// totals keep their bit pattern, so a resumed run's subsequent `+=`
+  /// chain still reconciles with `==` against the simulator's accumulators.
+  void restore(std::size_t epoch,
+               const std::array<Millicents, kMeterCount>& totals,
+               std::map<CellKey, Millicents> cells, std::size_t posts) {
+    epoch_ = epoch;
+    totals_ = totals;
+    cells_ = std::move(cells);
+    posts_ = posts;
+  }
+
  private:
   std::size_t epoch_ = 0;
   std::array<Millicents, kMeterCount> totals_{};

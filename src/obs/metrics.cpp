@@ -153,6 +153,29 @@ std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
   return out;
 }
 
+void MetricRegistry::restore(const std::vector<Sample>& samples) {
+  for (const Sample& s : samples) {
+    switch (s.kind) {
+      case Kind::Counter:
+        counter(s.name, s.labels).v_.store(s.value, std::memory_order_relaxed);
+        break;
+      case Kind::Gauge:
+        gauge(s.name, s.labels).v_.store(s.value, std::memory_order_relaxed);
+        break;
+      case Kind::Histogram: {
+        LIPS_REQUIRE(s.counts.size() == s.bounds.size() + 1,
+                     "restore: histogram '" + s.name +
+                         "' sample has a bucket-count mismatch");
+        Histogram& h = histogram(s.name, s.bounds, s.labels);
+        for (std::size_t i = 0; i < s.counts.size(); ++i)
+          h.counts_[i].store(s.counts[i], std::memory_order_relaxed);
+        h.sum_.store(s.sum, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+}
+
 std::size_t MetricRegistry::series_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();

@@ -144,6 +144,13 @@ class MetricRegistry {
   /// Number of registered series.
   [[nodiscard]] std::size_t series_count() const;
 
+  /// Overwrite instrument values from a snapshot (checkpoint restore,
+  /// DESIGN.md §11). Instruments named by a sample are registered if
+  /// missing and their values replaced wholesale; instruments not named
+  /// are left untouched (pre-registered series the snapshot predates stay
+  /// at zero). Histogram samples must carry counts for every bucket.
+  void restore(const std::vector<Sample>& samples);
+
  private:
   struct Key {
     std::string name;

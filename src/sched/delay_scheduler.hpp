@@ -12,7 +12,10 @@
 // after `zone_delay_s` total it accepts an arbitrary remote slot.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sched/fifo_scheduler.hpp"
 
@@ -33,6 +36,27 @@ class DelayScheduler : public FifoLocalityScheduler {
 
   void on_task_complete(std::size_t task, MachineId machine,
                         const ClusterState& state) override;
+
+  // Checkpoint hooks (DESIGN.md §11): the wait clocks are decision state.
+  void save_state(ckpt::Writer& w) const override {
+    std::vector<std::pair<std::size_t, double>> waits(
+        wait_since_.begin(),  // lips-lint: allow(unordered-iteration)
+        wait_since_.end());   // sorted-copy idiom: order fixed by the sort
+    std::sort(waits.begin(), waits.end());
+    w.size(waits.size());
+    for (const auto& [job, since] : waits) {
+      w.size(job);
+      w.f64(since);
+    }
+  }
+  void load_state(ckpt::Reader& r) override {
+    wait_since_.clear();
+    const std::size_t n = r.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t job = r.size();
+      wait_since_[job] = r.f64();
+    }
+  }
 
  private:
   /// Max locality level job `j` currently accepts (0 node, 1 zone, 2 any).

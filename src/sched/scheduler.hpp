@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/codec.hpp"
 #include "cluster/cluster.hpp"
 #include "common/ids.hpp"
 #include "obs/obs.hpp"
@@ -154,6 +155,16 @@ class Scheduler {
     (void)revoke_time_s;
     (void)state;
   }
+
+  /// Checkpoint hooks (src/ckpt, DESIGN.md §11). `save_state` must
+  /// serialize every bit of mutable decision state; `load_state` restores
+  /// it on a freshly constructed policy with identical options. The
+  /// bit-identical-resume contract requires a restored scheduler to make
+  /// exactly the decisions the uninterrupted one would have made, so any
+  /// unordered container must be serialized in a sorted order. The defaults
+  /// are correct only for stateless policies (e.g. FIFO).
+  virtual void save_state(ckpt::Writer& writer) const { (void)writer; }
+  virtual void load_state(ckpt::Reader& reader) { (void)reader; }
 
   /// Attach observability sinks (src/obs). The simulator forwards its
   /// SimConfig::obs here before the run starts; schedulers emit through the

@@ -1,12 +1,10 @@
 #include "sim/faults.hpp"
 
 #include <algorithm>
-#include <cstdlib>
-#include <set>
-#include <sstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/spec.hpp"
 
 namespace lips::sim {
 
@@ -178,54 +176,22 @@ FaultPlan make_fault_storm(const FaultStormParams& p,
 
 FaultStormParams parse_fault_spec(const std::string& spec) {
   FaultStormParams p;
-  std::stringstream entries(spec);
-  std::string entry;
-  std::set<std::string> seen;
-  while (std::getline(entries, entry, ',')) {
-    if (entry.empty()) continue;
-    const auto eq = entry.find('=');
-    LIPS_REQUIRE(eq != std::string::npos,
-                 "fault spec entry must be key=value: " + entry);
-    const std::string key = entry.substr(0, eq);
-    const std::string value = entry.substr(eq + 1);
-    LIPS_REQUIRE(seen.insert(key).second,
-                 "fault spec key given twice: " + key);
-    char* end = nullptr;
-    const double v = std::strtod(value.c_str(), &end);
-    LIPS_REQUIRE(end && *end == '\0' && !value.empty(),
-                 "fault spec value is not a number: " + entry);
-    if (key == "mtbf") {
-      p.mtbf_s = v;
-    } else if (key == "mttr") {
-      p.mttr_s = v;
-    } else if (key == "permanent") {
-      p.permanent_fraction = v;
-    } else if (key == "revoke") {
-      p.revoke_probability = v;
-    } else if (key == "warn") {
-      p.spot_warning_s = v;
-    } else if (key == "storeloss") {
-      p.store_loss_rate = v;
-    } else if (key == "degrade") {
-      p.degrade_rate = v;
-    } else if (key == "degrade_factor") {
-      p.degrade_factor = v;
-    } else if (key == "degrade_window") {
-      p.degrade_window_s = v;
-    } else if (key == "slowdown") {
-      p.slowdown_rate = v;
-    } else if (key == "slowdown_factor") {
-      p.slowdown_factor = v;
-    } else if (key == "slowdown_window") {
-      p.slowdown_window_s = v;
-    } else if (key == "horizon") {
-      p.horizon_s = v;
-    } else if (key == "seed") {
-      p.seed = static_cast<std::uint64_t>(v);
-    } else {
-      LIPS_REQUIRE(false, "unknown fault spec key: " + key);
-    }
-  }
+  SpecBinder("fault spec")
+      .number("mtbf", &p.mtbf_s)
+      .number("mttr", &p.mttr_s)
+      .probability("permanent", &p.permanent_fraction)
+      .probability("revoke", &p.revoke_probability)
+      .number("warn", &p.spot_warning_s)
+      .number("storeloss", &p.store_loss_rate)
+      .number("degrade", &p.degrade_rate)
+      .number("degrade_factor", &p.degrade_factor)
+      .number("degrade_window", &p.degrade_window_s)
+      .number("slowdown", &p.slowdown_rate)
+      .number("slowdown_factor", &p.slowdown_factor)
+      .number("slowdown_window", &p.slowdown_window_s)
+      .number("horizon", &p.horizon_s)
+      .seed("seed", &p.seed)
+      .parse(spec);
   return p;
 }
 

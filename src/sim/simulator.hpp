@@ -20,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
+#include "ckpt/store.hpp"
+#include "ckpt/write_faults.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "sched/scheduler.hpp"
@@ -106,6 +109,34 @@ struct SimConfig {
   /// a *fresh* ledger per run: the ledger folds posts in billing order and a
   /// ledger shared across runs cannot reconcile against either one.
   obs::Observer obs{};
+
+  // --- Checkpoint/restore (src/ckpt, DESIGN.md §11) ------------------------
+  /// When non-null, the engine writes a crash-consistent snapshot of its
+  /// entire mutable state at every `checkpoint_every_epochs`-th epoch tick
+  /// (the run's consistency point: the policy has replanned, data moves and
+  /// the next tick are queued). Snapshot writes are atomic
+  /// (tmp + fsync + rename); a write failure is counted, never fatal.
+  const ckpt::CheckpointDir* checkpoint_dir = nullptr;
+  std::size_t checkpoint_every_epochs = 1;
+  /// Checkpoint cadence for epoch-less schedulers (fifo/delay/fair have no
+  /// replanning tick to piggyback on): the engine seeds an invisible
+  /// CheckpointTick event every this many simulated seconds and snapshots at
+  /// every `checkpoint_every_epochs`-th tick. Ignored when the policy has a
+  /// positive epoch; <= 0 disables checkpointing for epoch-less runs.
+  double checkpoint_interval_s = 300.0;
+  /// Label stamped into snapshot headers (e.g. "<scheduler>:<seed>").
+  std::string checkpoint_label;
+  /// Testing only: perturbs snapshot bytes before they reach disk so the
+  /// CRC/fallback recovery path stays exercised (ckpt/write_faults.hpp).
+  ckpt::SnapshotFaultInjector* checkpoint_faults = nullptr;
+  /// Resume from this decoded snapshot (null = fresh run). The engine is
+  /// constructed normally, then every piece of mutable state — event queue,
+  /// clock, tasks, fault windows, policy state, ledger, metrics — is
+  /// overwritten from the payload before the event loop starts. The resumed
+  /// run is bit-identical to the uninterrupted one: same decisions, same
+  /// ledger bits, same schedule digest. The cluster, workload, policy
+  /// options, and fault plan must be the ones the snapshot was taken under.
+  const ckpt::Snapshot* restore_from = nullptr;
 };
 
 /// One recorded scheduling event (SimConfig::record_trace).
@@ -193,6 +224,15 @@ struct SimResult {
   /// killed instances plus partially-transferred bytes of aborted moves.
   Millicents wasted_cost_mc = Millicents::zero();
 
+  // --- Checkpoint/restore accounting (DESIGN.md §11) -----------------------
+  /// FNV-1a 64 digest folded over every launch decision (time, job, task,
+  /// machine, store, speculative flag) — the bit-identical-resume witness:
+  /// a resumed run must finish with exactly the uninterrupted run's digest.
+  std::uint64_t schedule_digest = 0;
+  std::size_t checkpoints_written = 0;
+  std::size_t checkpoint_failures = 0;  ///< snapshot writes that threw
+  bool restored = false;                ///< run resumed from a snapshot
+
   std::vector<MachineMetrics> machines;
   std::vector<double> job_finish_s;  ///< per job; NaN when unfinished
   std::vector<TraceEvent> trace;     ///< populated when record_trace is set
@@ -201,6 +241,12 @@ struct SimResult {
     return jobs == 0 ? 0.0 : sum_job_duration_s / static_cast<double>(jobs);
   }
 };
+
+/// Render SimResult::trace into stable one-line strings for the divergence
+/// detector (ckpt/divergence.hpp): a baseline run and a resumed run are
+/// diffed event by event. Doubles are printed with max_digits10 precision so
+/// distinct bit patterns render distinctly.
+[[nodiscard]] std::vector<std::string> render_trace_lines(const SimResult& r);
 
 /// Adapter for obs::CostLedger::reconcile: the run's aggregate billing
 /// accumulators in the ledger's sim-free struct. A ledger attached for the

@@ -286,6 +286,44 @@ TEST(Metrics, SnapshotIsSortedAndExportsHaveShape) {
   EXPECT_EQ(parsed.arr()[2].at("sum").num(), 3.0);
 }
 
+// Byte-exact golden exposition text. Prometheus output is part of the
+// deterministic-artifact contract (two runs of a deterministic simulation
+// must produce byte-identical dumps), so this pins the *entire* rendering —
+// TYPE lines, label quoting, cumulative le buckets, double formatting —
+// rather than spot-checking substrings. A restored registry (checkpoint
+// path, DESIGN.md §11) must render the very same bytes.
+TEST(Metrics, PrometheusExportMatchesGoldenText) {
+  obs::MetricRegistry reg;
+  reg.counter("lips_tasks_total", {{"sched", "lips"}}).inc(3.0);
+  reg.gauge("lips_queue_depth").set(2.5);
+  auto& h = reg.histogram("lips_epoch_seconds", {0.5, 2.0});
+  h.observe(0.25);
+  h.observe(1.5);
+  h.observe(99.0);
+
+  const std::string golden =
+      "# TYPE lips_epoch_seconds histogram\n"
+      "lips_epoch_seconds_bucket{le=\"0.5\"} 1\n"
+      "lips_epoch_seconds_bucket{le=\"2\"} 2\n"
+      "lips_epoch_seconds_bucket{le=\"+Inf\"} 3\n"
+      "lips_epoch_seconds_sum 100.75\n"
+      "lips_epoch_seconds_count 3\n"
+      "# TYPE lips_queue_depth gauge\n"
+      "lips_queue_depth 2.5\n"
+      "# TYPE lips_tasks_total counter\n"
+      "lips_tasks_total{sched=\"lips\"} 3\n";
+
+  std::ostringstream prom;
+  obs::write_prometheus(reg.snapshot(), prom);
+  EXPECT_EQ(prom.str(), golden);
+
+  obs::MetricRegistry restored;
+  restored.restore(reg.snapshot());
+  std::ostringstream again;
+  obs::write_prometheus(restored.snapshot(), again);
+  EXPECT_EQ(again.str(), golden);
+}
+
 // ----------------------------------------------------------------- tracer ---
 
 TEST(Trace, RingOverwritesOldestAndKeepsCounts) {

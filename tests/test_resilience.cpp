@@ -61,23 +61,23 @@ TEST(SolverFaultSpec, EmptySpecIsAllDefaults) {
 }
 
 TEST(SolverFaultSpec, RejectsUnknownKey) {
-  EXPECT_THROW(lp::parse_solver_fault_spec("nan=0.1,bogus=1"),
+  EXPECT_THROW((void)lp::parse_solver_fault_spec("nan=0.1,bogus=1"),
                PreconditionError);
 }
 
 TEST(SolverFaultSpec, RejectsDuplicateKey) {
-  EXPECT_THROW(lp::parse_solver_fault_spec("nan=0.1,nan=0.2"),
+  EXPECT_THROW((void)lp::parse_solver_fault_spec("nan=0.1,nan=0.2"),
                PreconditionError);
 }
 
 TEST(SolverFaultSpec, RejectsOutOfRangeProbability) {
-  EXPECT_THROW(lp::parse_solver_fault_spec("nan=1.5"), PreconditionError);
-  EXPECT_THROW(lp::parse_solver_fault_spec("basis=-0.1"), PreconditionError);
+  EXPECT_THROW((void)lp::parse_solver_fault_spec("nan=1.5"), PreconditionError);
+  EXPECT_THROW((void)lp::parse_solver_fault_spec("basis=-0.1"), PreconditionError);
 }
 
 TEST(SolverFaultSpec, RejectsNonNumericValue) {
-  EXPECT_THROW(lp::parse_solver_fault_spec("nan=lots"), PreconditionError);
-  EXPECT_THROW(lp::parse_solver_fault_spec("nan"), PreconditionError);
+  EXPECT_THROW((void)lp::parse_solver_fault_spec("nan=lots"), PreconditionError);
+  EXPECT_THROW((void)lp::parse_solver_fault_spec("nan"), PreconditionError);
 }
 
 // ------------------------------------- model input hardening (diagnosis) --

@@ -1,0 +1,31 @@
+// Seeded-violation fixture for the unordered-serialize rule. NOT part of the
+// build: never compiled, only scanned by `lips_lint --self-test`. The file
+// name starts with "ckpt" so in_ckpt_layer() treats it as checkpoint-layer
+// code (see the linter); violations.cpp deliberately does NOT opt in, since
+// it seeds unordered containers for the unordered-iteration rule.
+#include <cstdint>
+#include <map>
+#include <unordered_map>  // lint-expect(unordered-serialize)
+#include <unordered_set>  // lint-expect(unordered-serialize)
+
+namespace ckpt_fixture {
+
+struct Writer;
+
+// Any unordered container in serialization code fires, declaration included —
+// the rule bans the type, not just iteration.
+struct BadSnapshotState {
+  std::unordered_map<std::size_t, double> presence;  // lint-expect(unordered-serialize)
+  std::unordered_set<std::size_t> doomed;            // lint-expect(unordered-serialize)
+};
+
+// Ordered containers are the sanctioned spelling and must not fire.
+struct GoodSnapshotState {
+  std::map<std::size_t, double> presence;
+};
+
+// A comment naming unordered_map must not fire, and a suppressed line
+// must not be reported:
+using Legacy = std::unordered_map<int, int>;  // lips-lint: allow(unordered-serialize)
+
+}  // namespace ckpt_fixture

@@ -35,6 +35,13 @@
 //                        .optimal() — IterationLimit/Infeasible solutions
 //                        carry empty or stale vectors, so acting on them
 //                        silently schedules garbage
+//   unordered-serialize  any std::unordered_* container inside src/ckpt/ —
+//                        snapshot byte streams must be byte-stable
+//                        (ckpt/codec.hpp), and hash-order anywhere in the
+//                        serialization layer is a latent nondeterminism bug
+//                        even before someone iterates it; use std::map/
+//                        std::set (layers above may keep unordered state but
+//                        must serialize a sorted copy)
 //
 // Usage:
 //   lips_lint <file>...              lint; exit 1 if any finding
@@ -136,6 +143,14 @@ bool in_bench(const std::string& path) {
 bool in_solver_layer(const std::string& path) {
   return path.find("src/lp/") != std::string::npos ||
          path.find("src/core/") != std::string::npos;
+}
+
+/// Checkpoint serialization layer, subject to unordered-serialize. Only the
+/// ckpt fixture opts in (violations.cpp seeds unordered containers for the
+/// unordered-iteration rule and must not trip this one).
+bool in_ckpt_layer(const std::string& path) {
+  return path.find("src/ckpt/") != std::string::npos ||
+         path.find("lint_fixtures/ckpt") != std::string::npos;
 }
 
 /// Library source subject to raw-stdout-in-lib: everything under src/ except
@@ -263,6 +278,18 @@ struct FileLint {
       scan_regex(re, "raw-stdout-in-lib",
                  "printf/std::cout in src/ library code; return data or "
                  "write through an obs exporter's ostream instead");
+    }
+
+    // unordered-serialize — the checkpoint layer turns state into bytes, and
+    // hash iteration order would leak straight into CRC-guarded files; ban
+    // the containers outright there rather than auditing every loop.
+    if (in_ckpt_layer(path)) {
+      static const std::regex re(
+          R"(\bunordered_(?:map|set|multimap|multiset)\b)");
+      scan_regex(re, "unordered-serialize",
+                 "unordered container in checkpoint serialization code; "
+                 "snapshot bytes must be deterministic — use std::map/"
+                 "std::set (or serialize a sorted copy upstream)");
     }
 
     // unchecked-solve-status — a solution's values are only meaningful when

@@ -22,6 +22,21 @@
 //           [--no-feedback]  (disable LiPS observed-throughput feedback and
 //                             quarantine)
 //           [--trace FILE]   (write a per-scheduler event trace as CSV)
+//           [--checkpoint-dir DIR]
+//                            (crash-consistent snapshots, one subdirectory
+//                             per scheduler — DESIGN.md §11; written every
+//                             --checkpoint-every epochs, default 1)
+//           [--restore]      (resume each run from its newest good snapshot
+//                             in --checkpoint-dir; bit-identical to the
+//                             uninterrupted run. Corrupt/torn snapshots are
+//                             skipped with a warning and the previous good
+//                             one is used; no snapshot = fresh run)
+//           [--checkpoint-faults SPEC]
+//                            (storage-side chaos, e.g.
+//                             "torn=0.2,corrupt=0.1,seed=7" —
+//                             ckpt/write_faults.hpp; corrupts snapshot
+//                             *writes* so the CRC/fallback path is exercised)
+//           [--version]      (print build provenance and exit)
 //           [--metrics-out BASE] [--trace-out BASE] [--ledger-out BASE]
 //                            (observability dumps, one file set per
 //                             scheduler: BASE.<sched>.prom + .json metrics
@@ -44,8 +59,12 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 
+#include "ckpt/store.hpp"
+#include "ckpt/write_faults.hpp"
+#include "common/build_info.hpp"
 #include "common/table.hpp"
 #include "obs/export.hpp"
 #include "core/lips_policy.hpp"
@@ -83,6 +102,10 @@ struct Args {
   std::string solver_faults;  // LP solver chaos spec; empty = no injection
   std::string speculation = "auto";  // auto|off|naive|cost
   bool feedback = true;  // LiPS observed-throughput feedback / quarantine
+  std::string checkpoint_dir;     // empty = checkpointing off
+  std::size_t checkpoint_every = 1;  // epochs between snapshots
+  std::string checkpoint_faults;  // snapshot write-fault spec; empty = none
+  bool restore = false;           // resume from the newest good snapshot
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -97,7 +120,11 @@ struct Args {
          "BASE]\n"
          "       [--faults SPEC]   e.g. mtbf=3600,revoke=0.1,seed=7\n"
          "       [--solver-faults SPEC]   e.g. nan=0.2,basis=0.3,seed=7\n"
-         "       [--speculation auto|off|naive|cost] [--no-feedback]\n";
+         "       [--speculation auto|off|naive|cost] [--no-feedback]\n"
+         "       [--checkpoint-dir DIR] [--checkpoint-every EPOCHS] "
+         "[--restore]\n"
+         "       [--checkpoint-faults SPEC]   e.g. torn=0.2,corrupt=0.1\n"
+         "       [--version]\n";
   std::exit(2);
 }
 
@@ -155,6 +182,17 @@ Args parse(int argc, char** argv) {
         usage(argv[0]);
     } else if (flag == "--no-feedback") {
       a.feedback = false;
+    } else if (flag == "--checkpoint-dir") {
+      a.checkpoint_dir = value();
+    } else if (flag == "--checkpoint-every") {
+      a.checkpoint_every = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--checkpoint-faults") {
+      a.checkpoint_faults = value();
+    } else if (flag == "--restore") {
+      a.restore = true;
+    } else if (flag == "--version") {
+      std::cout << version_line() << "\n";
+      std::exit(0);
     } else {
       usage(argv[0]);
     }
@@ -215,6 +253,16 @@ int main(int argc, char** argv) {
       solver_fault_config = lp::parse_solver_fault_spec(args.solver_faults);
     } catch (const std::exception& e) {
       std::cerr << "bad --solver-faults spec: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+  ckpt::SnapshotFaultConfig ckpt_fault_config;
+  if (!args.checkpoint_faults.empty()) {
+    try {
+      ckpt_fault_config =
+          ckpt::parse_snapshot_fault_spec(args.checkpoint_faults);
+    } catch (const std::exception& e) {
+      std::cerr << "bad --checkpoint-faults spec: " << e.what() << "\n";
       std::exit(2);
     }
   }
@@ -314,8 +362,64 @@ int main(int argc, char** argv) {
       ledger = std::make_unique<obs::CostLedger>();
       cfg.obs = obs::Observer{metrics.get(), tracer.get(), ledger.get()};
     }
+    // Checkpoint wiring (DESIGN.md §11). Each scheduler gets its own
+    // subdirectory so sequence numbers never interleave across runs.
+    std::unique_ptr<ckpt::CheckpointDir> ckpt_dir;
+    std::unique_ptr<ckpt::SnapshotFaultInjector> ckpt_faults;
+    std::optional<ckpt::Snapshot> resume_snap;  // must outlive the run
+    if (!args.checkpoint_dir.empty()) {
+      ckpt_dir = std::make_unique<ckpt::CheckpointDir>(args.checkpoint_dir +
+                                                       "/" + name);
+      cfg.checkpoint_dir = ckpt_dir.get();
+      cfg.checkpoint_every_epochs =
+          args.checkpoint_every > 0 ? args.checkpoint_every : 1;
+      cfg.checkpoint_label = name + ":seed=" + std::to_string(args.seed);
+      if (!args.checkpoint_faults.empty()) {
+        ckpt_faults =
+            std::make_unique<ckpt::SnapshotFaultInjector>(ckpt_fault_config);
+        cfg.checkpoint_faults = ckpt_faults.get();
+      }
+      if (args.restore) {
+        std::vector<ckpt::CheckpointDir::Skipped> skipped;
+        resume_snap = ckpt_dir->load_latest(&skipped);
+        for (const auto& s : skipped) {
+          std::cerr << "lips ckpt: " << name << ": skipping " << s.path
+                    << ": " << s.reason << "\n";
+        }
+        if (resume_snap) {
+          cfg.restore_from = &*resume_snap;
+          if (!args.csv) {
+            std::cout << "lips ckpt: " << name << ": resuming from epoch "
+                      << resume_snap->meta.epoch << " (t="
+                      << Table::num(resume_snap->meta.sim_time_s, 1)
+                      << " s, built from " << resume_snap->meta.git_sha
+                      << ")\n";
+          }
+        } else if (!args.csv) {
+          std::cout << "lips ckpt: " << name
+                    << ": no usable snapshot, starting fresh\n";
+        }
+      }
+    } else if (args.restore || !args.checkpoint_faults.empty()) {
+      std::cerr << "--restore/--checkpoint-faults require --checkpoint-dir\n";
+      return 2;
+    }
     const sim::SimResult r = sim::simulate(c, w, *policy, cfg);
     all_completed = all_completed && r.completed;
+    if (ckpt_dir && !args.csv) {
+      std::cout << "lips ckpt: " << name << ": " << r.checkpoints_written
+                << " snapshot(s) written, " << r.checkpoint_failures
+                << " failed, schedule digest " << std::hex
+                << r.schedule_digest << std::dec
+                << (r.restored ? " (resumed run)" : "") << "\n";
+      if (ckpt_faults) {
+        const auto st = ckpt_faults->stats();
+        std::cout << "lips ckpt: " << name << ": fault injector saw "
+                  << st.snapshots_seen << " write(s): " << st.torn
+                  << " torn, " << st.truncated << " truncated, "
+                  << st.corrupted << " corrupted\n";
+      }
+    }
     if (want_obs) {
       if (!args.metrics_out.empty()) {
         const auto samples = metrics->snapshot();
