@@ -15,6 +15,16 @@
 // returns the first file that decodes cleanly, reporting every skipped
 // (corrupt/torn/truncated) file to the caller. Retention keeps the newest
 // `keep` files so one bad write never destroys the only good snapshot.
+//
+// Thread role: per-resource. A CheckpointDir holds no mutable state (path
+// and retention count are fixed at construction), so any number of threads
+// may operate on *distinct directories* concurrently — the farm gives each
+// seeded run its own directory. Concurrent writers into the SAME directory
+// are externally synchronized by the sequence-number discipline instead:
+// each run owns its monotone sequence counter, and two runs must never
+// share a directory (their retention pruning would delete each other's
+// snapshots; the write path itself stays atomic either way thanks to the
+// tmp+rename protocol).
 #pragma once
 
 #include <cstdint>
@@ -24,10 +34,11 @@
 
 #include "ckpt/snapshot.hpp"
 #include "ckpt/write_faults.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace lips::ckpt {
 
-class CheckpointDir {
+class LIPS_EXTERNALLY_SYNCHRONIZED CheckpointDir {
  public:
   /// Creates `path` (and parents) if missing. `keep` >= 2: retaining fewer
   /// than two snapshots would leave no fallback for a corrupt newest file.

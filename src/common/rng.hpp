@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace lips {
 
@@ -30,7 +31,16 @@ namespace lips {
 }
 
 /// Deterministic xoshiro256++ generator with distribution helpers.
-class Rng {
+///
+/// Thread role: per-thread (LIPS_EXTERNALLY_SYNCHRONIZED). Every draw
+/// mutates the 256-bit state, and a locked shared stream would still be
+/// nondeterministic — draw *order* across threads is scheduler-dependent, so
+/// sharing one Rng forfeits the seed-reproducibility contract even without a
+/// data race. Each farm worker owns its own generator, derived with split()
+/// (stable stream splitting), making every seeded run independent and
+/// bit-reproducible. The rng-by-ref-escape lint rule enforces that any type
+/// storing an Rng reference declares this ownership with LIPS_PER_THREAD.
+class LIPS_EXTERNALLY_SYNCHRONIZED Rng {
  public:
   using result_type = std::uint64_t;
 

@@ -40,14 +40,24 @@ SpecBinder& SpecBinder::count(const std::string& key, std::size_t* out) {
                  domain_ + " key '" + key + "' must be >= 0");
     LIPS_REQUIRE(v == std::floor(v),
                  domain_ + " key '" + key + "' must be an integer: " + entry);
+    // A double >= 2^64 is finite and integral, but casting it to a 64-bit
+    // type is undefined behaviour — reject before the cast.
+    LIPS_REQUIRE(v < 0x1p64,
+                 domain_ + " key '" + key + "' overflows 64 bits: " + entry);
     *out = static_cast<std::size_t>(v);
   });
 }
 
 SpecBinder& SpecBinder::seed(const std::string& key, std::uint64_t* out) {
-  return add(key, [this, key, out](const std::string&, double v) {
+  return add(key, [this, key, out](const std::string& entry, double v) {
     LIPS_REQUIRE(v >= 0.0 && std::isfinite(v),
                  domain_ + " key '" + key + "' must be >= 0");
+    // Same 2^64 cast hazard as count(); seeds also silently truncate any
+    // fractional part otherwise, so require integral input too.
+    LIPS_REQUIRE(v == std::floor(v),
+                 domain_ + " key '" + key + "' must be an integer: " + entry);
+    LIPS_REQUIRE(v < 0x1p64,
+                 domain_ + " key '" + key + "' overflows 64 bits: " + entry);
     *out = static_cast<std::uint64_t>(v);
   });
 }

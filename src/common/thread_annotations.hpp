@@ -1,0 +1,122 @@
+// Clang thread-safety annotations and the annotated lock vocabulary.
+//
+// The simulation-farm direction (ROADMAP: hundreds of concurrent seeded runs
+// aggregating into one MetricRegistry, plus lipsd sessions) turns "which
+// state may be touched from which thread" into a correctness question. This
+// header makes the answer *static*, in the same spirit as common/units.hpp
+// made dimensional mixups compile errors:
+//
+//   * under clang with -Wthread-safety (the CI `thread-safety-analysis`
+//     lane builds with -DLIPS_THREAD_SAFETY=ON -Werror), reading or writing
+//     a LIPS_GUARDED_BY member without holding its mutex is a compile error;
+//   * under every other compiler the macros expand to nothing, so the
+//     annotations cost nothing and the tree builds identically;
+//   * the marker macros (LIPS_PER_THREAD, LIPS_EXTERNALLY_SYNCHRONIZED)
+//     expand to nothing everywhere but are read by lips-lint, whose
+//     `rng-by-ref-escape` rule requires them on stored Rng references.
+//
+// Locking vocabulary: library code uses lips::Mutex + lips::MutexLock, never
+// raw std::mutex / std::lock_guard (the `raw-mutex` lint rule enforces
+// this). The wrappers carry the capability annotations, so every lock in the
+// tree participates in the analysis by construction.
+//
+// Thread-role taxonomy used across the codebase (DESIGN.md §12):
+//
+//   shared        safe for concurrent use from any thread (MetricRegistry,
+//                 Tracer, instrument handles); internally synchronized or
+//                 lock-free with a documented memory-ordering contract;
+//   per-thread    one owner thread at a time, no internal locking; marked
+//                 LIPS_PER_THREAD / LIPS_EXTERNALLY_SYNCHRONIZED at the
+//                 declaration (Rng, CostLedger, Simulator, schedulers);
+//   per-resource  safe concurrently against *distinct* instances, externally
+//                 synchronized per instance (CheckpointDir).
+#pragma once
+
+#include <mutex>  // lips-lint: allow(raw-mutex)
+
+// clang implements the analysis attributes; GCC parses none of them. Gate on
+// the capability attribute itself rather than __clang__ so a future GCC that
+// learns the attributes picks them up for free.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LIPS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LIPS_THREAD_ANNOTATION
+#define LIPS_THREAD_ANNOTATION(x)  // expands to nothing outside clang
+#endif
+
+/// A type that is a lockable capability (mutexes).
+#define LIPS_CAPABILITY(x) LIPS_THREAD_ANNOTATION(capability(x))
+/// A RAII type that acquires on construction and releases on destruction.
+#define LIPS_SCOPED_CAPABILITY LIPS_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the named mutex.
+#define LIPS_GUARDED_BY(x) LIPS_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the named mutex.
+#define LIPS_PT_GUARDED_BY(x) LIPS_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function that acquires the capability and holds it on return.
+#define LIPS_ACQUIRE(...) \
+  LIPS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function that releases the capability.
+#define LIPS_RELEASE(...) \
+  LIPS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function callable only while already holding the capability.
+#define LIPS_REQUIRES(...) \
+  LIPS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function that must NOT be entered holding the capability (deadlock guard).
+#define LIPS_EXCLUDES(...) LIPS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function that acquires iff it returns the given value.
+#define LIPS_TRY_ACQUIRE(...) \
+  LIPS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Escape hatch: suppress analysis inside one function. Every use must carry
+/// a comment proving the manual reasoning.
+#define LIPS_NO_THREAD_SAFETY_ANALYSIS \
+  LIPS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// --- Ownership markers (lint-visible, compiler-invisible) -------------------
+// These expand to nothing under every compiler; they exist so the ownership
+// contract is written *in the declaration* where lips-lint can check it.
+
+/// The annotated member/object belongs to exactly one thread at a time; the
+/// owner provides all synchronization. Required by the `rng-by-ref-escape`
+/// lint rule on any stored `Rng&`/`Rng*` member.
+#define LIPS_PER_THREAD
+/// The annotated type performs no internal locking; callers serialize all
+/// access (class-level marker, e.g. lips::Rng, obs::CostLedger).
+#define LIPS_EXTERNALLY_SYNCHRONIZED
+
+namespace lips {
+
+/// std::mutex carrying the capability annotation. The only sanctioned mutex
+/// type in library code (`raw-mutex` lint rule); this wrapper is the one
+/// place allowed to name std::mutex.
+class LIPS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LIPS_ACQUIRE() { mu_.lock(); }
+  void unlock() LIPS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() LIPS_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;  // lips-lint: allow(raw-mutex)
+};
+
+/// Scoped lock for lips::Mutex — the std::lock_guard of this codebase, with
+/// the scoped-capability annotation so clang tracks the critical section.
+class LIPS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LIPS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() LIPS_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace lips

@@ -19,6 +19,14 @@
 // respectively — two meters can share a category, never the reverse).
 //
 // All amounts are `Millicents` from common/units.hpp end to end.
+//
+// Thread role: per-thread (LIPS_EXTERNALLY_SYNCHRONIZED). Bitwise
+// reconciliation *requires* that posts fold in the simulator's own `+=`
+// order, so a ledger can never be shared between concurrently-posting
+// threads — interleaved folds would change the double association order and
+// break the `==` bar even if every access were locked. The farm gives each
+// worker its own ledger (one per seeded run, matching its simulator) and
+// merges results after workers join; only MetricRegistry is shared live.
 #pragma once
 
 #include <array>
@@ -26,6 +34,7 @@
 #include <limits>
 #include <map>
 
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 
 namespace lips::obs {
@@ -58,7 +67,7 @@ inline constexpr std::size_t kMeterCount = 7;
 [[nodiscard]] const char* to_string(CostMeter m);
 [[nodiscard]] CostCategory category_of(CostMeter m);
 
-class CostLedger {
+class LIPS_EXTERNALLY_SYNCHRONIZED CostLedger {
  public:
   /// Sentinel for posts with no job / machine attribution (e.g. ingest
   /// replication happens before any task exists).

@@ -70,7 +70,7 @@ MetricRegistry::Key MetricRegistry::make_key(std::string_view name,
 
 Counter& MetricRegistry::counter(std::string_view name, Labels labels) {
   Key key = make_key(name, std::move(labels));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto [kit, fresh] = kind_of_name_.try_emplace(key.name, Kind::Counter);
   LIPS_REQUIRE(kit->second == Kind::Counter,
                "metric '" + key.name + "' already registered as another kind");
@@ -82,7 +82,7 @@ Counter& MetricRegistry::counter(std::string_view name, Labels labels) {
 
 Gauge& MetricRegistry::gauge(std::string_view name, Labels labels) {
   Key key = make_key(name, std::move(labels));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto [kit, fresh] = kind_of_name_.try_emplace(key.name, Kind::Gauge);
   LIPS_REQUIRE(kit->second == Kind::Gauge,
                "metric '" + key.name + "' already registered as another kind");
@@ -96,7 +96,7 @@ Histogram& MetricRegistry::histogram(std::string_view name,
                                      std::vector<double> bounds,
                                      Labels labels) {
   Key key = make_key(name, std::move(labels));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto [kit, fresh] =
       kind_of_name_.try_emplace(key.name, Kind::Histogram);
   LIPS_REQUIRE(kit->second == Kind::Histogram,
@@ -114,7 +114,7 @@ Histogram& MetricRegistry::histogram(std::string_view name,
 }
 
 std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Sample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [key, c] : counters_) {
@@ -177,7 +177,7 @@ void MetricRegistry::restore(const std::vector<Sample>& samples) {
 }
 
 std::size_t MetricRegistry::series_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace lips::obs {
 
@@ -38,7 +39,9 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 namespace detail {
 /// Relaxed atomic add for doubles (no fetch_add for floating point until
 /// C++20's is library-optional); a CAS loop is the portable spelling and
-/// uncontended it costs the same as one exchange.
+/// uncontended it costs the same as one exchange. The CAS makes each add
+/// atomic as a unit, so N threads adding integral deltas lose nothing —
+/// the final value is the exact sum regardless of interleaving.
 inline void atomic_add(std::atomic<double>& a, double v) {
   double cur = a.load(std::memory_order_relaxed);
   while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
@@ -48,6 +51,14 @@ inline void atomic_add(std::atomic<double>& a, double v) {
 }  // namespace detail
 
 /// Monotone event count. `inc` is the hot path.
+///
+/// Thread role: shared. Memory-ordering contract for `v_`: all accesses are
+/// memory_order_relaxed. Each inc() is atomic (no lost updates), but an inc
+/// carries no happens-before edge — a reader on another thread may observe
+/// the count before it observes whatever work the count describes. That is
+/// deliberate: instruments describe a run, nothing in the run reads them
+/// back for control flow. Anyone tempted to publish data *through* a
+/// counter must use an acquire/release pair instead.
 class Counter {
  public:
   void inc(double delta = 1.0) { detail::atomic_add(v_, delta); }
@@ -62,6 +73,11 @@ class Counter {
 };
 
 /// Point-in-time level; `set` overwrites, `add` adjusts.
+///
+/// Thread role: shared. Memory-ordering contract for `v_`: relaxed
+/// everywhere, same rationale as Counter. Concurrent set() is
+/// last-writer-wins with no ordering guarantee between threads; concurrent
+/// add() never loses an update (CAS loop).
 class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
@@ -80,6 +96,15 @@ class Gauge {
 /// semantics: an observation lands in the first bucket whose bound is
 /// >= the value; values above every bound land in the implicit +Inf bucket.
 /// Bounds are fixed at registration — no re-bucketing on the hot path.
+///
+/// Thread role: shared. Memory-ordering contract: `bounds_` is immutable
+/// after construction (safe to read unsynchronized); each `counts_[i]` is a
+/// relaxed fetch_add and `sum_` a relaxed CAS add. observe() performs TWO
+/// independent relaxed operations, so a concurrent reader can see the bucket
+/// increment before the sum update (or vice versa) — bucket counts and sum
+/// are each exact but only *eventually* mutually consistent; they agree
+/// whenever no observe() is in flight (e.g. after the farm joins its
+/// workers). Snapshots therefore never compute one from the other.
 class Histogram {
  public:
   void observe(double v);
@@ -111,6 +136,13 @@ class Histogram {
 /// moved or destroyed before the registry. Re-registering the same
 /// (name, labels) returns the existing instrument; the same name with a
 /// different instrument kind is a precondition error.
+///
+/// Thread role: shared — this is the farm's aggregation point. Registration,
+/// snapshot(), series_count() and restore() serialize on `mu_`; instrument
+/// *handles* returned by registration are stable for the registry's lifetime
+/// and their hot paths (inc/set/observe) are lock-free per the contracts
+/// above. A snapshot taken while writers are live is per-instrument atomic,
+/// not cross-instrument: it is a consistent point only after workers join.
 class MetricRegistry {
  public:
   MetricRegistry() = default;
@@ -162,12 +194,12 @@ class MetricRegistry {
   };
   static Key make_key(std::string_view name, Labels labels);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // unique_ptr for address stability; std::map for deterministic snapshots.
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, Kind> kind_of_name_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ LIPS_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ LIPS_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ LIPS_GUARDED_BY(mu_);
+  std::map<std::string, Kind> kind_of_name_ LIPS_GUARDED_BY(mu_);
 };
 
 }  // namespace lips::obs

@@ -22,8 +22,14 @@ class Tracer;
 class CostLedger;
 
 struct Observer {
+  /// Shared: internally synchronized, safe to point many concurrent runs at
+  /// one registry (the farm's aggregation point).
   MetricRegistry* metrics = nullptr;
+  /// Shared: internally synchronized; concurrent runs interleave onto one
+  /// process-wide track (prefer one tracer per run when that matters).
   Tracer* tracer = nullptr;
+  /// Per-thread: folds posts in billing order for bitwise reconciliation —
+  /// never share one ledger between concurrent runs (obs/ledger.hpp).
   CostLedger* ledger = nullptr;
 
   /// True when at least one sink is attached.

@@ -18,11 +18,14 @@ std::uint64_t monotonic_now_us() {
 
 Tracer::Tracer(std::size_t capacity) {
   LIPS_REQUIRE(capacity >= 1, "tracer ring needs at least one slot");
+  MutexLock lock(mu_);
   ring_.resize(capacity);
   t0_us_ = monotonic_now_us();
 }
 
-void Tracer::push(const TraceRecord& rec) {
+void Tracer::push(TraceRecord& rec) {
+  // Clock read inside the critical section: append order == ts order.
+  rec.ts_us = monotonic_now_us() - t0_us_;
   ring_[next_] = rec;
   next_ = (next_ + 1) % ring_.size();
   if (next_ == 0) wrapped_ = true;
@@ -30,45 +33,58 @@ void Tracer::push(const TraceRecord& rec) {
 }
 
 void Tracer::begin(const char* name, const char* cat) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceRecord rec;
   rec.name = name;
   rec.cat = cat;
   rec.phase = 'B';
-  rec.ts_us = monotonic_now_us() - t0_us_;
+  MutexLock lock(mu_);
   push(rec);
 }
 
 void Tracer::end(const char* name, const char* cat) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceRecord rec;
   rec.name = name;
   rec.cat = cat;
   rec.phase = 'E';
-  rec.ts_us = monotonic_now_us() - t0_us_;
+  MutexLock lock(mu_);
   push(rec);
 }
 
 void Tracer::instant(const char* name, const char* cat, const char* k1,
                      double v1, const char* k2, double v2) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceRecord rec;
   rec.name = name;
   rec.cat = cat;
   rec.phase = 'i';
-  rec.ts_us = monotonic_now_us() - t0_us_;
   rec.arg_key[0] = k1;
   rec.arg_val[0] = v1;
   rec.arg_key[1] = k2;
   rec.arg_val[1] = v2;
+  MutexLock lock(mu_);
   push(rec);
 }
 
 std::size_t Tracer::size() const {
+  MutexLock lock(mu_);
   return wrapped_ ? ring_.size() : next_;
 }
 
+std::uint64_t Tracer::total_recorded() const {
+  MutexLock lock(mu_);
+  return total_;
+}
+
+std::uint64_t Tracer::overwritten() const {
+  MutexLock lock(mu_);
+  const std::size_t held = wrapped_ ? ring_.size() : next_;
+  return total_ - held;
+}
+
 void Tracer::clear() {
+  MutexLock lock(mu_);
   next_ = 0;
   wrapped_ = false;
   total_ = 0;

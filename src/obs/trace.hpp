@@ -9,18 +9,29 @@
 // on. A ring overwrite can orphan a 'B' whose 'E' survived; trace viewers
 // (chrome://tracing, Perfetto) tolerate that at the window edge.
 //
-// Zero-cost when disabled: every record call first checks one bool; a
-// disabled tracer performs no clock read, no argument marshalling, no write.
-// The Span RAII helper latches enablement at open so a span closed after a
-// mid-run disable stays balanced.
+// Thread role: shared. Record calls and accessors from any thread serialize
+// on one internal lips::Mutex; crucially the *clock read happens inside the
+// critical section*, so "append order == timestamp order" holds even when
+// multiple farm workers trace concurrently (reading the clock outside the
+// lock would let two threads read in one order and append in the other).
+// Interleaving of spans from different threads is inherent — viewers group
+// by tid in a future farm; today one process-wide track is accurate enough.
+//
+// Zero-cost when disabled: every record call first checks one atomic bool
+// (relaxed — see set_enabled) and takes no lock, reads no clock, writes
+// nothing. The Span RAII helper latches enablement at open so a span closed
+// after a mid-run disable stays balanced.
 //
 // Names and categories are `const char*` by design: instrumentation sites
 // pass string literals, the tracer stores the pointer — no copies on the hot
 // path. Dynamic strings are not supported; that is a feature.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace lips::obs {
 
@@ -45,8 +56,15 @@ class Tracer {
   /// `capacity` is the ring size in records (>= 1).
   explicit Tracer(std::size_t capacity = 1 << 16);
 
-  void set_enabled(bool on) { enabled_ = on; }
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// Memory-ordering contract for `enabled_`: relaxed load on the record
+  /// fast path, relaxed store here. A toggle is advisory — a record racing
+  /// with set_enabled may land on either side of the flip; what is
+  /// guaranteed is that the decision is a single atomic read (no torn state)
+  /// and that a disabled tracer's fast path stays one branch, lock-free.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   void begin(const char* name, const char* cat);
   void end(const char* name, const char* cat);
@@ -56,32 +74,38 @@ class Tracer {
   /// Records currently held (<= capacity).
   [[nodiscard]] std::size_t size() const;
   /// Records ever recorded, including ones the ring has since overwritten.
-  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t total_recorded() const;
   /// Records lost to ring overwrite.
-  [[nodiscard]] std::uint64_t overwritten() const {
-    return total_ - size();
-  }
+  [[nodiscard]] std::uint64_t overwritten() const;
 
   void clear();
 
   /// Visit surviving records oldest → newest (i.e. in non-decreasing ts_us).
+  /// Holds the tracer lock for the whole walk: the visitor must not call
+  /// back into this tracer, and concurrent record calls block until the
+  /// walk finishes (exports happen at run end; this is the cold path).
   template <typename F>
   void for_each(F&& f) const {
-    const std::size_t n = size();
+    MutexLock lock(mu_);
+    const std::size_t n = wrapped_ ? ring_.size() : next_;
     const std::size_t start = wrapped_ ? next_ : 0;
     for (std::size_t i = 0; i < n; ++i)
       f(ring_[(start + i) % ring_.size()]);
   }
 
  private:
-  void push(const TraceRecord& rec);
+  /// Stamps `rec.ts_us` (clock read under the lock — see file comment) and
+  /// appends, advancing the ring.
+  void push(TraceRecord& rec) LIPS_REQUIRES(mu_);
 
-  std::vector<TraceRecord> ring_;
-  std::size_t next_ = 0;
-  bool wrapped_ = false;
-  std::uint64_t total_ = 0;
-  std::uint64_t t0_us_ = 0;  // construction time; records are relative
-  bool enabled_ = true;
+  mutable Mutex mu_;
+  std::vector<TraceRecord> ring_ LIPS_GUARDED_BY(mu_);
+  std::size_t next_ LIPS_GUARDED_BY(mu_) = 0;
+  bool wrapped_ LIPS_GUARDED_BY(mu_) = false;
+  std::uint64_t total_ LIPS_GUARDED_BY(mu_) = 0;
+  // Construction time; records are relative.
+  std::uint64_t t0_us_ LIPS_GUARDED_BY(mu_) = 0;
+  std::atomic<bool> enabled_{true};
 };
 
 /// RAII duration span: begin on construction, end on destruction. Null or

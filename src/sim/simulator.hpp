@@ -273,6 +273,16 @@ struct SimResult {
 /// `dependencies`, when given, gates each job on the completion of its DAG
 /// predecessors (in addition to its arrival time) — this is how reduce
 /// stages wait for their map stage (workload/mapreduce.hpp).
+///
+/// Thread role: per-thread. One simulate() call is one deterministic run;
+/// every mutable ingredient — the scheduler, the SimConfig's ledger/tracer
+/// sinks, checkpoint dir and fault injectors — must be private to the
+/// calling thread (LIPS_EXTERNALLY_SYNCHRONIZED). Concurrent simulate()
+/// calls on *disjoint* ingredient sets are safe and are exactly how the
+/// simulation farm runs hundreds of seeds: the one sink that MAY be shared
+/// across concurrent runs is SimConfig::obs.metrics (internally
+/// synchronized; see obs/metrics.hpp) and, if interleaved process-wide
+/// timelines are acceptable, obs.tracer.
 [[nodiscard]] SimResult simulate(const cluster::Cluster& cluster,
                                  const workload::Workload& workload,
                                  sched::Scheduler& policy,

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "common/spec.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -250,6 +251,94 @@ TEST(TableTest, HeaderAfterRowsThrows) {
   Table t;
   t.add_row({"x"});
   EXPECT_THROW(t.set_header({"a"}), PreconditionError);
+}
+
+// ------------------------------------------------------- SpecBinder ------
+
+/// One binder with every destination kind, for the edge-case tests below.
+struct SpecFixture {
+  double num = -1.0;
+  double prob = -1.0;
+  std::size_t count = 0;
+  std::uint64_t seed = 0;
+  SpecBinder binder{"test spec"};
+  SpecFixture() {
+    binder.number("num", &num)
+        .probability("prob", &prob)
+        .count("count", &count)
+        .seed("seed", &seed);
+  }
+};
+
+TEST(SpecBinder, ParsesEveryBinderKind) {
+  SpecFixture f;
+  f.binder.parse("num=-2.5,prob=0.25,count=42,seed=7");
+  EXPECT_EQ(f.num, -2.5);
+  EXPECT_EQ(f.prob, 0.25);
+  EXPECT_EQ(f.count, 42u);
+  EXPECT_EQ(f.seed, 7u);
+}
+
+TEST(SpecBinder, OverflowValuesThrowBeforeTheCast) {
+  // A finite integral double >= 2^64 would make the size_t/uint64_t cast
+  // undefined behaviour; the binder must reject it, not truncate.
+  SpecFixture f;
+  EXPECT_THROW(f.binder.parse("count=1e20"), PreconditionError);
+  EXPECT_THROW(f.binder.parse("seed=1e20"), PreconditionError);
+  // Exact boundary: 2^64 itself must throw...
+  EXPECT_THROW(f.binder.parse("count=18446744073709551616"),
+               PreconditionError);
+  EXPECT_THROW(f.binder.parse("seed=18446744073709551616"),
+               PreconditionError);
+  // ...while the largest double below 2^64 (2^64 - 2048) still parses.
+  f.binder.parse("count=18446744073709549568,seed=18446744073709549568");
+  EXPECT_EQ(f.count, 18446744073709549568ull);
+  EXPECT_EQ(f.seed, 18446744073709549568ull);
+  // Out-of-double-range literals overflow strtod to +Inf and fail the
+  // finiteness contract of every kind, including plain number().
+  EXPECT_THROW(f.binder.parse("num=1e999"), PreconditionError);
+  EXPECT_THROW(f.binder.parse("count=1e999"), PreconditionError);
+}
+
+TEST(SpecBinder, SeedRequiresAnInteger) {
+  SpecFixture f;
+  EXPECT_THROW(f.binder.parse("seed=1.5"), PreconditionError);
+  EXPECT_THROW(f.binder.parse("count=1.5"), PreconditionError);
+}
+
+TEST(SpecBinder, EmptyValueAfterEqualsThrows) {
+  SpecFixture f;
+  EXPECT_THROW(f.binder.parse("num="), PreconditionError);
+  EXPECT_THROW(f.binder.parse("num=1,prob="), PreconditionError);
+  // An empty key is not bound, and says so with the accepted key list.
+  EXPECT_THROW(f.binder.parse("=1"), PreconditionError);
+}
+
+TEST(SpecBinder, DuplicateKeyDetectionIsPerParseCall) {
+  SpecFixture f;
+  // Within one spec a duplicate key is ambiguous → error.
+  EXPECT_THROW(f.binder.parse("num=1,num=2"), PreconditionError);
+  // Across separate parse() calls the same key is a deliberate override
+  // (e.g. a preset spec refined by a later command-line flag): last wins.
+  f.binder.parse("num=1,count=3");
+  f.binder.parse("num=2");
+  EXPECT_EQ(f.num, 2.0);
+  EXPECT_EQ(f.count, 3u);  // untouched by the second call
+}
+
+TEST(SpecBinder, TrailingAndRepeatedSeparatorsAreSkipped) {
+  SpecFixture f;
+  f.binder.parse("num=1,");
+  EXPECT_EQ(f.num, 1.0);
+  f.binder.parse(",prob=0.5");
+  EXPECT_EQ(f.prob, 0.5);
+  f.binder.parse("count=2,,seed=9");
+  EXPECT_EQ(f.count, 2u);
+  EXPECT_EQ(f.seed, 9u);
+  // Pure separators and the empty spec are no-ops.
+  f.binder.parse(",");
+  f.binder.parse("");
+  EXPECT_EQ(f.num, 1.0);
 }
 
 }  // namespace

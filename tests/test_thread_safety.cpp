@@ -1,0 +1,292 @@
+// Threaded stress tests for the types the sim farm will share — the
+// executable spec for DESIGN.md §12 (concurrency readiness).
+//
+// Each test hammers one shared (or per-thread / per-resource) type from
+// several threads and asserts the documented contract:
+//   * MetricRegistry — relaxed CAS adds lose nothing: integral deltas sum
+//     exactly; registration races return the same instrument; snapshots
+//     taken mid-run never tear an instrument;
+//   * Tracer — the clock read inside the critical section keeps "append
+//     order == timestamp order" under concurrency; B/E records stay
+//     balanced; ring wrap accounting stays exact;
+//   * CheckpointDir — distinct directories are safely concurrent
+//     (per-resource role);
+//   * Rng — split() streams drawn on worker threads reproduce the serial
+//     draws bit-exactly (per-thread role).
+//
+// These tests pass under the plain build but earn their keep under
+// `-DLIPS_SANITIZE=thread`: the CI tsan lane runs them so every lock and
+// atomic contract above is checked against real interleavings.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+#include "ckpt/store.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using lips::Rng;
+using lips::ckpt::CheckpointDir;
+using lips::ckpt::Snapshot;
+using lips::obs::MetricRegistry;
+using lips::obs::Span;
+using lips::obs::TraceRecord;
+using lips::obs::Tracer;
+
+constexpr std::size_t kThreads = 8;
+
+/// Launch `n` workers running `fn(tid)` and join them all.
+template <typename F>
+void run_threads(std::size_t n, F fn) {
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) workers.emplace_back(fn, t);
+  for (auto& w : workers) w.join();
+}
+
+/// Fresh (empty) per-test scratch directory under the gtest temp root.
+std::string scratch_dir(const std::string& tag) {
+  const fs::path p = fs::path(::testing::TempDir()) / ("lips_tsan_" + tag);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+// --------------------------------------------------- MetricRegistry ------
+
+TEST(ThreadSafetyMetrics, CounterSumsExactlyAcrossThreads) {
+  constexpr std::size_t kIncs = 10'000;
+  MetricRegistry reg;
+  auto& hits = reg.counter("farm_hits_total");
+  run_threads(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kIncs; ++i) hits.inc();
+  });
+  // Integral deltas through the CAS loop lose nothing: the sum is exact,
+  // not approximate (80000 is far below 2^53).
+  EXPECT_EQ(hits.value(), static_cast<double>(kThreads * kIncs));
+}
+
+TEST(ThreadSafetyMetrics, RegistrationRaceYieldsOneInstrument) {
+  constexpr std::size_t kIncs = 2'000;
+  MetricRegistry reg;
+  std::array<lips::obs::Counter*, kThreads> handles{};
+  run_threads(kThreads, [&](std::size_t tid) {
+    // Every thread registers the same series concurrently, then hammers
+    // whatever handle it got back.
+    auto& c = reg.counter("farm_shared_total", {{"pool", "workers"}});
+    handles[tid] = &c;
+    for (std::size_t i = 0; i < kIncs; ++i) c.inc();
+  });
+  for (std::size_t t = 1; t < kThreads; ++t)
+    EXPECT_EQ(handles[t], handles[0]) << "registration race forked a series";
+  EXPECT_EQ(handles[0]->value(), static_cast<double>(kThreads * kIncs));
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(ThreadSafetyMetrics, HistogramBucketsAndSumStayExact) {
+  constexpr std::size_t kObs = 400;  // divisible by 4: one value per bucket
+  MetricRegistry reg;
+  auto& h = reg.histogram("farm_latency_s", {0.5, 1.5, 2.5});
+  run_threads(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kObs; ++i)
+      h.observe(static_cast<double>(i % 4));  // 0,1,2 → buckets; 3 → +Inf
+  });
+  const std::uint64_t per_bucket = kThreads * kObs / 4;
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(h.bucket_count(b), per_bucket);
+  EXPECT_EQ(h.total_count(), kThreads * kObs);
+  // Sum of one 0+1+2+3 cycle is 6; all integral, so exact.
+  EXPECT_EQ(h.sum(), static_cast<double>(kThreads * kObs / 4 * 6));
+}
+
+TEST(ThreadSafetyMetrics, SnapshotReaderRacesWritersWithoutTearing) {
+  constexpr std::size_t kIncs = 5'000;
+  MetricRegistry reg;
+  std::atomic<bool> done{false};
+  const double expected = static_cast<double>(kThreads * kIncs);
+
+  std::thread reader([&] {
+    // Snapshot continuously while writers register and increment. Values
+    // are per-instrument atomic: anything outside [0, expected] is a torn
+    // read, and series must only ever accumulate.
+    std::size_t last_series = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = reg.snapshot();
+      EXPECT_GE(snap.size(), last_series);
+      last_series = snap.size();
+      for (const auto& s : snap) {
+        EXPECT_GE(s.value, 0.0);
+        EXPECT_LE(s.value, expected);
+      }
+    }
+  });
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    auto& mine =
+        reg.counter("farm_worker_total", {{"tid", std::to_string(tid)}});
+    auto& all = reg.counter("farm_all_total");
+    for (std::size_t i = 0; i < kIncs; ++i) {
+      mine.inc();
+      all.inc();
+    }
+  });
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), kThreads + 1);
+  double total = 0.0;
+  for (const auto& s : snap)
+    if (s.name == "farm_worker_total") total += s.value;
+  EXPECT_EQ(total, expected);
+}
+
+// ------------------------------------------------------------ Tracer ------
+
+TEST(ThreadSafetyTracer, ConcurrentSpansStayBalancedAndOrdered) {
+  constexpr std::size_t kSpans = 200;
+  Tracer tracer(1 << 13);  // big enough: nothing overwritten
+  run_threads(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kSpans; ++i) {
+      Span span(&tracer, "work", "farm");
+      tracer.instant("tick", "farm", "i", static_cast<double>(i));
+    }
+  });
+  // Span = one B + one E, plus one instant each iteration.
+  const std::uint64_t expected = kThreads * kSpans * 3;
+  EXPECT_EQ(tracer.total_recorded(), expected);
+  EXPECT_EQ(tracer.size(), expected);
+  EXPECT_EQ(tracer.overwritten(), 0u);
+
+  std::uint64_t last_ts = 0;
+  std::size_t begins = 0, ends = 0, instants = 0;
+  tracer.for_each([&](const TraceRecord& r) {
+    EXPECT_GE(r.ts_us, last_ts) << "append order != timestamp order";
+    last_ts = r.ts_us;
+    if (r.phase == 'B') ++begins;
+    if (r.phase == 'E') ++ends;
+    if (r.phase == 'i') ++instants;
+  });
+  EXPECT_EQ(begins, kThreads * kSpans);
+  EXPECT_EQ(ends, kThreads * kSpans);
+  EXPECT_EQ(instants, kThreads * kSpans);
+}
+
+TEST(ThreadSafetyTracer, RingWrapAccountingIsExactUnderContention) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr std::size_t kEvents = 500;
+  Tracer tracer(kCapacity);
+  run_threads(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kEvents; ++i) tracer.instant("e", "farm");
+  });
+  const std::uint64_t total = kThreads * kEvents;
+  EXPECT_EQ(tracer.total_recorded(), total);
+  EXPECT_EQ(tracer.size(), kCapacity);
+  EXPECT_EQ(tracer.overwritten(), total - kCapacity);
+}
+
+TEST(ThreadSafetyTracer, EnableToggleRacesRecordersSafely) {
+  constexpr std::size_t kEvents = 2'000;
+  Tracer tracer(1 << 15);
+  std::atomic<bool> done{false};
+  std::thread toggler([&] {
+    // Flip the advisory enable flag as fast as possible; racing records
+    // may land on either side of a flip but must never tear or deadlock.
+    bool on = false;
+    while (!done.load(std::memory_order_acquire)) {
+      tracer.set_enabled(on);
+      on = !on;
+    }
+    tracer.set_enabled(true);
+  });
+  run_threads(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kEvents; ++i) tracer.instant("e", "farm");
+  });
+  done.store(true, std::memory_order_release);
+  toggler.join();
+  // Every record either landed whole or was skipped whole.
+  EXPECT_LE(tracer.total_recorded(), kThreads * kEvents);
+  std::uint64_t last_ts = 0;
+  tracer.for_each([&](const TraceRecord& r) {
+    EXPECT_GE(r.ts_us, last_ts);
+    last_ts = r.ts_us;
+  });
+}
+
+// ----------------------------------------------------- CheckpointDir ------
+
+TEST(ThreadSafetyCkpt, DistinctDirectoriesWriteConcurrently) {
+  constexpr std::size_t kSnapshots = 5;
+  const std::string root = scratch_dir("distinct_dirs");
+  run_threads(kThreads, [&](std::size_t tid) {
+    // Per-resource role: each worker owns its directory outright, exactly
+    // how the farm checkpoints seeded runs side by side.
+    CheckpointDir dir(root + "/worker-" + std::to_string(tid));
+    for (std::size_t k = 1; k <= kSnapshots; ++k) {
+      Snapshot s;
+      s.meta.label = "worker-" + std::to_string(tid);
+      s.meta.sim_time_s = static_cast<double>(k);
+      s.meta.epoch = k;
+      s.meta.sequence = k;
+      s.payload = {static_cast<std::uint8_t>(tid),
+                   static_cast<std::uint8_t>(k)};
+      dir.write(s);
+    }
+  });
+  // Every directory recovered independently: newest sequence, own payload.
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    CheckpointDir dir(root + "/worker-" + std::to_string(tid));
+    std::vector<CheckpointDir::Skipped> skipped;
+    const auto latest = dir.load_latest(&skipped);
+    ASSERT_TRUE(latest.has_value()) << "worker " << tid;
+    EXPECT_TRUE(skipped.empty());
+    EXPECT_EQ(latest->meta.sequence, kSnapshots);
+    EXPECT_EQ(latest->meta.label, "worker-" + std::to_string(tid));
+    ASSERT_EQ(latest->payload.size(), 2u);
+    EXPECT_EQ(latest->payload[0], static_cast<std::uint8_t>(tid));
+    EXPECT_EQ(latest->payload[1], static_cast<std::uint8_t>(kSnapshots));
+  }
+}
+
+// --------------------------------------------------------------- Rng ------
+
+TEST(ThreadSafetyRng, SplitStreamsReproduceSerialDrawsExactly) {
+  constexpr std::size_t kDraws = 1'000;
+  constexpr std::uint64_t kSeed = 123;
+
+  // Serial reference: split kThreads children in order, drain each.
+  std::array<std::uint64_t, kThreads> expected{};
+  {
+    Rng parent(kSeed);
+    std::vector<Rng> children;
+    for (std::size_t t = 0; t < kThreads; ++t) children.push_back(parent.split());
+    for (std::size_t t = 0; t < kThreads; ++t)
+      for (std::size_t i = 0; i < kDraws; ++i) expected[t] += children[t].next();
+  }
+
+  // Concurrent run: same split order (splitting is the serial phase), each
+  // child drained on its own thread — per-thread ownership means scheduling
+  // cannot perturb any stream.
+  std::array<std::uint64_t, kThreads> got{};
+  {
+    Rng parent(kSeed);
+    std::vector<Rng> children;
+    for (std::size_t t = 0; t < kThreads; ++t) children.push_back(parent.split());
+    run_threads(kThreads, [&](std::size_t tid) {
+      for (std::size_t i = 0; i < kDraws; ++i) got[tid] += children[tid].next();
+    });
+  }
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Seeded-violation fixture for the unguarded-member-mutation rule. NOT part
+// of the build: never compiled, only scanned by `lips_lint --self-test`. A
+// class that holds a by-value lips::Mutex has declared itself internally
+// synchronized; every mutable data member must then carry
+// LIPS_GUARDED_BY(<mutex>) so clang's -Wthread-safety can reject lock-free
+// access. Unannotated members compile silently under the analysis — exactly
+// the hole this rule closes.
+#include <atomic>
+#include <map>
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture_member {
+
+class BadRegistry {
+ public:
+  void touch(int k);
+  [[nodiscard]] std::size_t count() const;
+
+ private:
+  lips::Mutex mu_;
+  std::map<int, double> cells_;  // lint-expect(unguarded-member-mutation)
+  std::size_t revision_ = 0;     // lint-expect(unguarded-member-mutation)
+
+  // Annotated members are visible to the analysis — must not fire.
+  std::map<int, double> guarded_cells_ LIPS_GUARDED_BY(mu_);
+  std::size_t guarded_revision_ LIPS_GUARDED_BY(mu_) = 0;
+  // Atomics synchronize themselves (their ordering contract is documented
+  // at the declaration site, per DESIGN.md §12).
+  std::atomic<std::size_t> hot_counter_{0};
+  // Immutable after construction.
+  const std::size_t capacity_ = 16;
+  static constexpr std::size_t kMaxSeries = 1 << 20;
+  // Explicitly per-thread members opt out with the marker.
+  std::size_t scratch_ LIPS_PER_THREAD = 0;
+};
+
+// No mutex member → the class makes no internal-synchronization claim, and
+// the rule stays silent (per-thread types are the default).
+class PlainAccumulator {
+ private:
+  std::map<int, double> cells_;
+  std::size_t revision_ = 0;
+};
+
+// MutexLock-style RAII holds a Mutex by *reference* — that is borrowing a
+// capability, not owning one, and must not mark the class.
+class ScopedThing {
+ public:
+  explicit ScopedThing(lips::Mutex& mu);
+
+ private:
+  lips::Mutex& mu_;
+  bool engaged_ = false;
+};
+
+// A suppressed line must not be reported.
+class Grandfathered {
+ private:
+  lips::Mutex mu_;
+  std::size_t legacy_field_;  // lips-lint: allow(unguarded-member-mutation)
+};
+
+}  // namespace fixture_member

@@ -1,0 +1,39 @@
+// Seeded-violation fixture for the raw-mutex rule. NOT part of the build:
+// never compiled, only scanned by `lips_lint --self-test`. A raw std::mutex
+// (or a raw lock adapter) carries no clang thread-safety capability
+// annotations, so -Wthread-safety cannot see the critical sections it
+// guards; lips::Mutex / lips::MutexLock are the sanctioned spellings.
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture_mutex {
+
+struct Session {
+  // The annotated wrapper is the sanctioned member spelling — must not fire.
+  lips::Mutex mu_;
+  int revision_ LIPS_GUARDED_BY(mu_) = 0;
+};
+
+inline void raw_locking(Session& s) {
+  std::mutex local;  // lint-expect(raw-mutex)
+  std::lock_guard<lips::Mutex> hold(s.mu_);  // lint-expect(raw-mutex)
+  std::recursive_mutex nested;  // lint-expect(raw-mutex)
+  std::shared_mutex readers;    // lint-expect(raw-mutex)
+  std::unique_lock<lips::Mutex> deferred;  // lint-expect(raw-mutex)
+  (void)local;
+  (void)nested;
+  (void)readers;
+  (void)deferred;
+}
+
+inline void sanctioned_locking(Session& s) {
+  // The wrapper pair must not fire.
+  lips::MutexLock hold(s.mu_);
+  ++s.revision_;
+}
+
+// A suppressed line must not be reported.
+inline std::mutex legacy_global_lock;  // lips-lint: allow(raw-mutex) lips-lint: allow(shared-mutable-static)
+
+}  // namespace fixture_mutex

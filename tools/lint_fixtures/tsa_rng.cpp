@@ -1,0 +1,53 @@
+// Seeded-violation fixture for the rng-by-ref-escape rule. NOT part of the
+// build: never compiled, only scanned by `lips_lint --self-test`. Storing a
+// reference to an Rng stream is how one generator silently ends up drawn
+// from two threads (or in scheduler-dependent order), which breaks the
+// seed-reproducibility contract even when every access is locked; a stored
+// stream must be declared per-thread at the member or the class.
+#include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace fixture_rng {
+
+using lips::Rng;
+
+// Un-annotated stored references escape their owner thread: both fire.
+class StormDriver {
+ public:
+  explicit StormDriver(Rng& stream);
+
+ private:
+  Rng* rng_;      // lint-expect(rng-by-ref-escape)
+  Rng& stream_;   // lint-expect(rng-by-ref-escape)
+};
+
+// Member-level marker: the declaration states the ownership contract.
+class WorkerState {
+ private:
+  Rng* rng_ LIPS_PER_THREAD;
+  std::size_t draws_ = 0;
+};
+
+// Class-level marker: the whole type is externally synchronized.
+class LIPS_EXTERNALLY_SYNCHRONIZED SeedPlan {
+ private:
+  Rng* rng_;
+  double horizon_factor_ = 1.0;
+};
+
+// A by-value Rng member is an owned stream, not an escape — must not fire.
+class OwnedStream {
+ private:
+  Rng rng_;
+};
+
+// Rng parameters passed through (the dominant idiom in workload/cluster
+// synthesis) are not stored and must not fire.
+double draw_uniform(Rng& rng);
+
+// A suppressed line must not be reported.
+class Legacy {
+  Rng* rng_;  // lips-lint: allow(rng-by-ref-escape)
+};
+
+}  // namespace fixture_rng

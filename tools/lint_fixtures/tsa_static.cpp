@@ -1,0 +1,38 @@
+// Seeded-violation fixture for the shared-mutable-static rule. NOT part of
+// the build: never compiled, only scanned by `lips_lint --self-test`. The
+// file name starts with "tsa_" so in_concurrency_scope() applies the
+// concurrency rules (real library code matches via src/).
+#include <cstddef>
+
+namespace fixture_static {
+
+// A mutable namespace-scope static is shared by every farm worker thread.
+static std::size_t total_runs = 0;  // lint-expect(shared-mutable-static)
+
+// Immutable statics are shared-read-only and must not fire.
+static const double kRate = 0.5;
+static constexpr int kSlots = 4;
+
+// thread_local is per-thread by definition — the sanctioned escape hatch.
+static thread_local std::size_t per_worker_scratch = 0;
+
+// A static *function* declaration is internal linkage, not shared data.
+static double scale_factor();
+
+inline std::size_t bump() {
+  // Function-scope mutable static: same shared-state hazard, same rule.
+  static std::size_t calls = 0;  // lint-expect(shared-mutable-static)
+  return ++calls;
+}
+
+struct Widget {
+  // Class-scope static data members are process-wide state too.
+  static std::size_t live_count;  // lint-expect(shared-mutable-static)
+  // Static member functions are not data.
+  static std::size_t peak();
+};
+
+// A suppressed line must not be reported.
+static std::size_t grandfathered = 0;  // lips-lint: allow(shared-mutable-static)
+
+}  // namespace fixture_static
