@@ -1,0 +1,256 @@
+// Monte Carlo sweep bench — savings *distributions*, not point estimates.
+//
+// Every other bench in this directory reports single-seed numbers; this one
+// drives the simulation farm (src/farm) across a (seed × scenario) grid and
+// reports the distribution of the paper's headline statistic — LiPS cost
+// savings vs delay scheduling — per cell: mean, p5/p50/p95, and the 95% CI
+// half-width the farm's stop controller targets. The artifact is the
+// canonical BENCH_sweep.json (farm/sweep_json.hpp).
+//
+// `--check-speedup` turns the binary into the CI perf-smoke gate: it runs
+// the same sweep serially and on N threads, asserts the two results are
+// bit-identical (the farm's determinism contract — ledger totals, schedule
+// digests, every seed), and asserts the threaded run is at least
+// `max(1, 0.5 · min(N, hardware_concurrency))`× faster (≥4× on the 8-thread
+// CI runners; degrades gracefully on smaller machines). Environment
+// overrides: LIPS_SWEEP_THREADS (worker count, default 8 for the gate,
+// hardware_concurrency for the table), LIPS_SWEEP_MIN_SPEEDUP (explicit
+// required ratio).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "farm/farm.hpp"
+#include "farm/sweep_json.hpp"
+
+namespace {
+
+using namespace lips;
+
+std::size_t env_threads(std::size_t fallback) {
+  const char* env = std::getenv("LIPS_SWEEP_THREADS");
+  if (env != nullptr && *env != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+/// The default grid: a fault-free baseline, a fault storm, and a straggler
+/// storm — the ablation axes, now with seeds as a Monte Carlo dimension.
+std::vector<farm::ScenarioSpec> default_cells() {
+  std::vector<farm::ScenarioSpec> cells;
+  cells.push_back(farm::parse_scenario_spec("name=baseline,nodes=10,jobs=20"));
+  cells.push_back(farm::parse_scenario_spec(
+      "name=faults-mtbf1h,nodes=10,jobs=20,mtbf=3600,mttr=900,revoke=0.05,"
+      "horizon=86400"));
+  cells.push_back(farm::parse_scenario_spec(
+      "name=stragglers-4x,nodes=10,jobs=20,slowdown=3,slowdown_factor=4,"
+      "slowdown_window=1800,horizon=86400"));
+  return cells;
+}
+
+farm::SweepConfig default_config(std::size_t threads) {
+  farm::SweepConfig cfg;
+  cfg.cells = default_cells();
+  cfg.seed = 2013;
+  cfg.threads = threads;
+  cfg.stop.min_seeds = 8;
+  cfg.stop.max_seeds = 24;
+  cfg.stop.batch_seeds = 8;
+  cfg.stop.target_half_width = 0.02;  // ±2 percentage points of savings
+  return cfg;
+}
+
+void print_distribution_table(const farm::SweepResult& sweep) {
+  Table t;
+  t.set_header({"scenario", "seeds", "mean savings", "±95% CI", "p5", "p50",
+                "p95", "stopped early", "ledgers"});
+  for (const farm::CellResult& c : sweep.cells) {
+    const farm::CellStats& st = c.stats;
+    t.add_row({c.spec.name, std::to_string(st.n), Table::pct(st.mean),
+               Table::pct(st.half_width), Table::pct(st.p5),
+               Table::pct(st.p50), Table::pct(st.p95),
+               c.stopped_early ? "yes" : "no",
+               c.ledgers_reconcile ? "ok" : "MISMATCH"});
+  }
+  t.print(std::cout);
+}
+
+void run_table() {
+  bench::banner("Monte Carlo sweep — LiPS savings distributions vs delay");
+  const std::size_t hw = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  const std::size_t threads = env_threads(hw);
+  farm::SweepConfig cfg = default_config(threads);
+  obs::MetricRegistry metrics;
+  cfg.metrics = &metrics;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const farm::SweepResult sweep = farm::run_sweep(cfg);
+  const double wall_s = bench::wall_ms_since(t0) / 1000.0;
+
+  print_distribution_table(sweep);
+  std::cout << sweep.total_runs << " runs ("
+            << sweep.total_runs * 2 /* schedulers per cell */
+            << " simulations) on " << sweep.threads << " thread(s) in "
+            << Table::num(wall_s, 2) << " s; farm_runs_total = "
+            << metrics.counter("farm_runs_total").value() << "\n";
+
+  farm::SweepMeta meta;
+  meta.bench = "sweep";
+  meta.wall_time_s = wall_s;
+  const std::string path =
+      farm::write_sweep_file(sweep, meta, bench::bench_result_dir());
+  std::cout << "sweep artifact written to " << path << "\n";
+
+  // The BenchRecord view of the same sweep, so BENCH-family consumers that
+  // read the flat schema see the distribution rows too.
+  std::vector<bench::BenchRecord> records;
+  for (const farm::CellResult& c : sweep.cells) {
+    bench::BenchRecord r;
+    r.scenario = c.spec.name;
+    r.seed = cfg.seed;
+    r.cost_usd = c.mean_dollars(c.spec.stat_scheduler);
+    r.n_seeds = c.stats.n;
+    r.threads = sweep.threads;
+    r.wall_time_s = wall_s;
+    records.push_back(r);
+  }
+  bench::write_bench_records("sweep_cells", records);
+}
+
+/// Strict bit-identity between two sweeps of the same config — the farm's
+/// determinism contract, checked with `==` (never a tolerance).
+bool identical(const farm::SweepResult& a, const farm::SweepResult& b,
+               std::string* why) {
+  if (a.cells.size() != b.cells.size() || a.total_runs != b.total_runs) {
+    *why = "run counts differ";
+    return false;
+  }
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    const farm::CellResult& x = a.cells[c];
+    const farm::CellResult& y = b.cells[c];
+    if (x.runs.size() != y.runs.size()) {
+      *why = "cell " + x.spec.name + ": seed counts differ";
+      return false;
+    }
+    if (x.stats.mean != y.stats.mean || x.stats.stddev != y.stats.stddev ||
+        x.stats.half_width != y.stats.half_width) {
+      *why = "cell " + x.spec.name + ": stats differ";
+      return false;
+    }
+    for (std::size_t i = 0; i < x.runs.size(); ++i) {
+      const farm::RunResult& rx = x.runs[i];
+      const farm::RunResult& ry = y.runs[i];
+      if (rx.seed != ry.seed || rx.stat != ry.stat) {
+        *why = "cell " + x.spec.name + ": run " + std::to_string(i) +
+               " seed/stat differs";
+        return false;
+      }
+      for (std::size_t s = 0; s < rx.runs.size(); ++s) {
+        if (rx.runs[s].schedule_digest != ry.runs[s].schedule_digest ||
+            rx.runs[s].total_cost_mc != ry.runs[s].total_cost_mc) {
+          *why = "cell " + x.spec.name + ": run " + std::to_string(i) +
+                 " scheduler " + rx.runs[s].label + " digest/cost differs";
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// CI perf-smoke: serial vs N-thread wall clock on identical work, with the
+/// bit-identity check riding along. Returns a process exit code.
+int check_speedup() {
+  bench::banner("Sweep speedup gate — serial vs threaded, bit-identical");
+  const std::size_t threads = env_threads(8);
+  const std::size_t hw = std::max<unsigned>(1, std::thread::hardware_concurrency());
+
+  farm::SweepConfig serial_cfg = default_config(1);
+  // A fixed-size grid for timing: early stopping off so both runs do
+  // exactly the same number of simulations.
+  serial_cfg.stop.target_half_width = 0.0;
+  serial_cfg.stop.min_seeds = 16;
+  serial_cfg.stop.max_seeds = 16;
+  farm::SweepConfig threaded_cfg = serial_cfg;
+  threaded_cfg.threads = threads;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const farm::SweepResult serial = farm::run_sweep(serial_cfg);
+  const double serial_s = bench::wall_ms_since(t0) / 1000.0;
+  const auto t1 = std::chrono::steady_clock::now();
+  const farm::SweepResult threaded = farm::run_sweep(threaded_cfg);
+  const double threaded_s = bench::wall_ms_since(t1) / 1000.0;
+
+  std::string why;
+  if (!identical(serial, threaded, &why)) {
+    std::cout << "FAIL: serial and " << threads
+              << "-thread sweeps are not bit-identical: " << why << "\n";
+    return 1;
+  }
+  std::cout << "bit-identity: serial == " << threads << "-thread sweep ("
+            << serial.total_runs << " runs)\n";
+
+  const double speedup = threaded_s > 0.0 ? serial_s / threaded_s : 0.0;
+  // Required ratio scales with what the machine can actually deliver: half
+  // of the effective parallelism, so 8 threads on >=8 cores must hit 4x. A
+  // 1-core container cannot speed up at all — there the gate only rejects
+  // a pathological slowdown (pool overhead must stay under ~25%).
+  const std::size_t effective = std::min(threads, hw);
+  double required =
+      effective <= 1 ? 0.75 : 0.5 * static_cast<double>(effective);
+  const char* env = std::getenv("LIPS_SWEEP_MIN_SPEEDUP");
+  if (env != nullptr && *env != '\0') required = std::strtod(env, nullptr);
+
+  std::cout << "serial " << Table::num(serial_s, 2) << " s, " << threads
+            << "-thread " << Table::num(threaded_s, 2) << " s -> speedup "
+            << Table::num(speedup, 2) << "x (required >= "
+            << Table::num(required, 2) << "x, hardware_concurrency=" << hw
+            << ")\n";
+  if (speedup < required) {
+    std::cout << "FAIL: speedup below the gate\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}
+
+void BM_RunOneBaseline(benchmark::State& state) {
+  const farm::ScenarioSpec spec =
+      farm::parse_scenario_spec("name=bm,nodes=10,jobs=20");
+  std::uint64_t seed = 42;
+  for (auto _ : state) {
+    const farm::RunResult r = farm::run_one(spec, 0, 0, seed++);
+    benchmark::DoNotOptimize(r.stat);
+  }
+}
+BENCHMARK(BM_RunOneBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_SweepThreads(benchmark::State& state) {
+  farm::SweepConfig cfg = default_config(static_cast<std::size_t>(state.range(0)));
+  cfg.cells.resize(1);
+  cfg.stop.target_half_width = 0.0;
+  cfg.stop.min_seeds = 8;
+  cfg.stop.max_seeds = 8;
+  for (auto _ : state) {
+    const farm::SweepResult r = farm::run_sweep(cfg);
+    benchmark::DoNotOptimize(r.total_runs);
+  }
+}
+BENCHMARK(BM_SweepThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-speedup") == 0) return check_speedup();
+  }
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

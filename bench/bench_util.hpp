@@ -77,13 +77,22 @@ struct ThreeWayOptions {
 /// One row of the canonical benchmark artifact. Every bench binary that
 /// produces headline numbers appends its runs to a `BENCH_<name>.json` file
 /// so CI (and humans diffing two commits) consume one schema instead of
-/// scraping stdout: bench name, scenario, seed, cost, wall-ms, pivots.
+/// scraping stdout: bench name, scenario, seed, cost, wall-ms, pivots, and
+/// for farm-driven benches the aggregation shape (seeds per cell, worker
+/// threads, whole-sweep wall time).
 struct BenchRecord {
   std::string scenario;
   std::uint64_t seed = 0;
   double cost_usd = 0.0;
   double wall_ms = 0.0;
   std::size_t pivots = 0;
+  /// Seeds aggregated into this row (1 = a single-run row; >1 = the row
+  /// reports a distribution across n_seeds Monte Carlo runs).
+  std::size_t n_seeds = 1;
+  /// Worker threads used to produce the row (farm sweeps; 1 = serial).
+  std::size_t threads = 1;
+  /// Wall-clock seconds for the whole sweep/run that produced the row.
+  double wall_time_s = 0.0;
 };
 
 /// Artifact directory: $LIPS_BENCH_DIR, defaulting to ./bench-results.
@@ -111,7 +120,8 @@ inline void write_bench_records(const std::string& bench,
     out << (i == 0 ? "" : ",") << "\n    {\"scenario\": \"" << r.scenario
         << "\", \"seed\": " << r.seed << ", \"cost_usd\": " << r.cost_usd
         << ", \"wall_ms\": " << r.wall_ms << ", \"pivots\": " << r.pivots
-        << "}";
+        << ", \"n_seeds\": " << r.n_seeds << ", \"threads\": " << r.threads
+        << ", \"wall_time_s\": " << r.wall_time_s << "}";
   }
   out << "\n  ]\n}\n";
   std::cout << "bench records written to " << bench_result_dir() << "/BENCH_"

@@ -1,0 +1,189 @@
+#include "farm/farm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace lips::farm {
+
+double CellResult::mean_of(const std::string& label,
+                           double (*get)(const SchedulerRunResult&)) const {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const RunResult& r : runs) {
+    const SchedulerRunResult* s = r.find(label);
+    if (s != nullptr) xs.push_back(get(*s));
+  }
+  return mean(xs);
+}
+
+double CellResult::mean_dollars(const std::string& label) const {
+  return mean_of(label, [](const SchedulerRunResult& s) {
+    return millicents_to_dollars(s.total_cost_mc);
+  });
+}
+
+std::vector<RunResult> run_batch(const std::vector<RunSpec>& specs,
+                                 std::size_t threads,
+                                 obs::Counter* runs_counter) {
+  const std::size_t n = specs.size();
+  std::vector<RunResult> results(n);
+  if (n == 0) return results;
+
+  std::vector<std::exception_ptr> errors(n);
+  // The only cross-worker state: a cursor handing out slot indices. Each
+  // worker writes results[i]/errors[i] for indices it alone claimed, so no
+  // two threads ever touch the same slot — lock-free by partition, not by
+  // cleverness.
+  std::atomic<std::size_t> cursor{0};
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        const RunSpec& rs = specs[i];
+        results[i] = run_one(*rs.spec, rs.cell, rs.seed_index, rs.seed);
+        if (runs_counter != nullptr) runs_counter->inc();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t pool = std::min(threads, n);
+  if (pool <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) workers.emplace_back(work);
+    for (std::thread& t : workers) t.join();
+  }
+
+  // Deterministic error policy: the lowest-index failure wins, independent
+  // of which worker hit it first.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  return results;
+}
+
+namespace {
+
+/// Per-cell driver-side state across rounds (driver thread only).
+struct LIPS_EXTERNALLY_SYNCHRONIZED CellState {
+  StopController controller;
+  Rng seeds;  ///< this cell's independent seed stream
+  std::size_t next_seed_index = 0;
+  explicit CellState(const StopRule& rule, Rng rng)
+      : controller(rule), seeds(rng) {}
+};
+
+}  // namespace
+
+SweepResult run_sweep(const SweepConfig& config) {
+  LIPS_REQUIRE(!config.cells.empty(), "run_sweep: no cells");
+  for (const ScenarioSpec& spec : config.cells) validate_scenario(spec);
+
+  SweepResult out;
+  out.threads = config.threads == 0 ? 1 : config.threads;
+  out.cells.reserve(config.cells.size());
+  for (const ScenarioSpec& spec : config.cells) {
+    CellResult cr;
+    cr.spec = spec;
+    cr.ledgers_reconcile = true;
+    out.cells.push_back(std::move(cr));
+  }
+
+  // Seed plan: one split() per cell off the master stream, in cell order.
+  // Each run's seed is then a next() draw of its cell's stream at enqueue
+  // time — a pure function of (config.seed, cell index, seed index).
+  Rng master(config.seed);
+  std::vector<CellState> state;
+  state.reserve(config.cells.size());
+  for (std::size_t i = 0; i < config.cells.size(); ++i)
+    state.emplace_back(config.stop, master.split());
+
+  obs::Counter* runs_counter = nullptr;
+  obs::Counter* batches_counter = nullptr;
+  if (config.metrics != nullptr) {
+    runs_counter = &config.metrics->counter("farm_runs_total");
+    batches_counter = &config.metrics->counter("farm_batches_total");
+  }
+
+  // Round loop: every still-active cell contributes its next batch, the
+  // whole round fans out over one worker pool (so a sweep with many small
+  // cells still saturates the pool), and folds happen after the join.
+  for (;;) {
+    std::vector<RunSpec> round;
+    for (std::size_t c = 0; c < out.cells.size(); ++c) {
+      const std::size_t batch = state[c].controller.next_batch();
+      for (std::size_t k = 0; k < batch; ++k) {
+        RunSpec rs;
+        rs.spec = &out.cells[c].spec;
+        rs.cell = c;
+        rs.seed_index = state[c].next_seed_index++;
+        rs.seed = state[c].seeds.next();
+        round.push_back(rs);
+      }
+      if (batch > 0 && batches_counter != nullptr) batches_counter->inc();
+    }
+    if (round.empty()) break;
+
+    std::vector<RunResult> results =
+        run_batch(round, out.threads, runs_counter);
+
+    // Post-join fold, driver thread only, in (cell, seed, scheduler) order:
+    // round order already is (cell, seed) order, and each run's scheduler
+    // list is ordered, so a single pass is the canonical order.
+    for (RunResult& r : results) {
+      CellResult& cr = out.cells[r.cell];
+      state[r.cell].controller.add(r.stat);
+      cr.ledgers_reconcile = cr.ledgers_reconcile && r.ledgers_reconcile;
+      if (config.metrics != nullptr) {
+        for (const SchedulerRunResult& s : r.runs) {
+          config.metrics->merge(s.metrics, {{"scenario", cr.spec.name},
+                                            {"sched", s.label}});
+        }
+      }
+      cr.runs.push_back(std::move(r));
+      ++out.total_runs;
+    }
+  }
+
+  // Final per-cell distribution stats (the controller's moments plus
+  // order statistics over the full stream).
+  for (std::size_t c = 0; c < out.cells.size(); ++c) {
+    CellResult& cr = out.cells[c];
+    const StopController& ctl = state[c].controller;
+    cr.stopped_early = ctl.target_reached() && ctl.n() < config.stop.max_seeds;
+    CellStats& st = cr.stats;
+    st.n = ctl.n();
+    st.mean = ctl.mean();
+    st.stddev = ctl.stddev();
+    const double hw = ctl.half_width();
+    st.half_width = std::isfinite(hw) ? hw : 0.0;
+    std::vector<double> xs;
+    xs.reserve(cr.runs.size());
+    for (const RunResult& r : cr.runs) xs.push_back(r.stat);
+    if (!xs.empty()) {
+      st.p5 = percentile(xs, 0.05);
+      st.p50 = percentile(xs, 0.50);
+      st.p95 = percentile(xs, 0.95);
+      const Summary s = summarize(xs);
+      st.min = s.min;
+      st.max = s.max;
+    }
+  }
+  return out;
+}
+
+}  // namespace lips::farm

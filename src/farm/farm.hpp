@@ -1,0 +1,122 @@
+// The simulation farm: a worker-pool harness that runs hundreds of fully
+// independent deterministic simulations concurrently and aggregates their
+// results into savings *distributions* per sweep cell.
+//
+// Determinism contract (verified serial-vs-threaded in tests/test_farm.cpp
+// and under TSan in CI): for a fixed SweepConfig, every per-run ledger,
+// schedule digest, metric snapshot and every cell statistic is bit-identical
+// whether the sweep runs on 1 thread or N. Three mechanisms make that hold:
+//
+//   1. seeds are precomputed on the driver thread — a master Rng splits one
+//      independent stream per cell, and each run's seed is the next() draw
+//      of its cell's stream, so seed assignment never depends on which
+//      worker picks up which run;
+//   2. run_one is a pure function (farm/run_one.hpp) and each result is
+//      written into a pre-sized slot by index — workers share no mutable
+//      state beyond the work-queue cursor and exact integral counters;
+//   3. stopping decisions are made only at batch boundaries with
+//      thread-count-independent batch sizes (farm/stop_controller.hpp), and
+//      all floating-point folds — Welford updates, metric merges — happen on
+//      the driver thread in (cell, seed, scheduler) order after workers
+//      join, because double addition is not associative.
+//
+// Thread roles (DESIGN.md §12 taxonomy, detailed in §13): the driver owns
+// SweepConfig/StopController/CellResult (per-thread); workers own everything
+// a run_one call constructs (per-thread); the work cursor and the live
+// progress counter are shared (exact under relaxed atomics — integral
+// deltas); the caller's MetricRegistry is shared but all double-valued
+// merges into it are post-join, driver-only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "farm/run_one.hpp"
+#include "farm/scenario.hpp"
+#include "farm/stop_controller.hpp"
+#include "obs/metrics.hpp"
+
+namespace lips::farm {
+
+/// One unit of work for the pool: evaluate `spec` (not owned) under `seed`.
+struct LIPS_EXTERNALLY_SYNCHRONIZED RunSpec {
+  const ScenarioSpec* spec = nullptr;
+  std::size_t cell = 0;
+  std::size_t seed_index = 0;
+  std::uint64_t seed = 0;
+};
+
+/// A whole sweep: the cell list, the seed policy, and the worker count.
+struct LIPS_EXTERNALLY_SYNCHRONIZED SweepConfig {
+  std::vector<ScenarioSpec> cells;
+  /// Master seed; each cell derives an independent stream via Rng::split,
+  /// so adding a cell never perturbs another cell's runs.
+  std::uint64_t seed = 2013;
+  /// Worker threads. 0 and 1 both mean serial (run on the calling thread);
+  /// values above the round's run count are clamped (oversubscription is
+  /// harmless).
+  std::size_t threads = 1;
+  /// Stopping rule applied to every cell's statistic stream.
+  StopRule stop;
+  /// Optional shared aggregation registry. Per-run snapshots are folded in
+  /// post-join with extra labels {scenario, sched}; live farm progress
+  /// counters (farm_runs_total, farm_batches_total) tick during execution.
+  obs::MetricRegistry* metrics = nullptr;
+};
+
+/// Distribution of one cell's statistic across its executed seeds.
+struct LIPS_EXTERNALLY_SYNCHRONIZED CellStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;      ///< sample stddev (n−1)
+  double half_width = 0.0;  ///< z·s/√n at the final n (0 when n < 2)
+  double p5 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Everything the sweep learned about one cell.
+struct LIPS_EXTERNALLY_SYNCHRONIZED CellResult {
+  ScenarioSpec spec;
+  std::vector<RunResult> runs;  ///< in seed order — deterministic
+  CellStats stats;
+  /// True when the stop rule ended the cell before max_seeds.
+  bool stopped_early = false;
+  /// True when every run's every ledger reconciled bit-identically.
+  bool ledgers_reconcile = false;
+
+  /// Mean of a per-scheduler numeric across this cell's runs; 0 when the
+  /// label matches nothing. `get` maps a SchedulerRunResult to the value.
+  [[nodiscard]] double mean_of(const std::string& label,
+                               double (*get)(const SchedulerRunResult&)) const;
+  /// Mean total bill in dollars for the scheduler labeled `label`.
+  [[nodiscard]] double mean_dollars(const std::string& label) const;
+};
+
+struct LIPS_EXTERNALLY_SYNCHRONIZED SweepResult {
+  std::vector<CellResult> cells;
+  std::size_t total_runs = 0;
+  std::size_t threads = 1;  ///< as executed (after clamping 0 → 1)
+};
+
+/// Execute one batch of runs on `threads` workers (clamped to the batch
+/// size; <= 1 runs on the calling thread). Results come back in `specs`
+/// order regardless of worker interleaving. The first failing run's
+/// exception (lowest index — deterministic) is rethrown after all workers
+/// join. `runs_counter`, when non-null, is incremented once per completed
+/// run while the batch executes (lock-free, exact).
+[[nodiscard]] std::vector<RunResult> run_batch(const std::vector<RunSpec>& specs,
+                                               std::size_t threads,
+                                               obs::Counter* runs_counter);
+
+/// Run the whole sweep: per-cell batch loop under the stop rule, workers
+/// across cells within a round, deterministic post-join aggregation.
+/// Throws PreconditionError on an invalid config (no cells, bad stop rule,
+/// invalid scenario).
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& config);
+
+}  // namespace lips::farm

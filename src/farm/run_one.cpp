@@ -1,0 +1,169 @@
+#include "farm/run_one.hpp"
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/lips_policy.hpp"
+#include "obs/obs.hpp"
+#include "sched/delay_scheduler.hpp"
+#include "sched/fair_scheduler.hpp"
+#include "sched/fifo_scheduler.hpp"
+#include "sched/flow_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "workload/swim.hpp"
+#include "workload/workload.hpp"
+
+namespace lips::farm {
+
+namespace {
+
+/// Wall-clock profiling series (LP solve duration) measure the host, not
+/// the simulation, so they can never be bit-identical across runs. They are
+/// dropped from the snapshot the determinism contract covers; everything
+/// else — simulated time, counts, dollars — is a pure function of the seed.
+std::vector<obs::MetricRegistry::Sample> deterministic_samples(
+    std::vector<obs::MetricRegistry::Sample> samples) {
+  std::erase_if(samples, [](const obs::MetricRegistry::Sample& s) {
+    return s.name == "lips_lp_solve_duration_ms";
+  });
+  return samples;
+}
+
+workload::Workload make_workload(const ScenarioSpec& sc,
+                                 const cluster::Cluster& c, Rng& rng) {
+  if (sc.workload == "swim") {
+    workload::SwimParams sp;
+    sp.n_jobs = sc.jobs;
+    return workload::make_swim_workload(sp, c, rng).workload;
+  }
+  if (sc.workload == "table4") return workload::make_table4_workload(c, rng);
+  workload::RandomWorkloadParams wp;
+  wp.n_tasks = sc.tasks;
+  return workload::make_random_workload(wp, c, rng);
+}
+
+/// Build the policy and the scheduler-specific SimConfig deltas, mirroring
+/// lipsctl's per-scheduler defaults (the paper's configurations).
+std::unique_ptr<sched::Scheduler> make_policy(const ScenarioSpec& sc,
+                                              const SchedulerSpec& ss,
+                                              sim::SimConfig& cfg) {
+  cfg.hdfs_replication = sc.replication;
+  cfg.task_timeout_s = sc.baseline_timeout_s;
+  if (ss.name == "default") {
+    cfg.speculative_execution = true;
+    cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
+    return std::make_unique<sched::FifoLocalityScheduler>();
+  }
+  if (ss.name == "delay") {
+    cfg.speculative_execution = true;
+    cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
+    return std::make_unique<sched::DelayScheduler>();
+  }
+  if (ss.name == "fair") return std::make_unique<sched::FairScheduler>();
+  if (ss.name == "quincy")
+    return std::make_unique<sched::QuincyFlowScheduler>();
+  LIPS_REQUIRE(ss.name == "lips",
+               "farm: unknown scheduler '" + ss.name + "'");
+  core::LipsPolicyOptions lo;
+  lo.epoch_s = sc.epoch_s;
+  lo.model.max_candidate_machines = sc.prune_machines;
+  lo.model.max_candidate_stores = sc.prune_stores;
+  lo.throughput_feedback = ss.feedback;
+  if (!ss.feedback) lo.quarantine_below = 0.0;
+  cfg.hdfs_replication = 1;  // LiPS manages placement itself
+  cfg.speculative_execution = false;
+  cfg.task_timeout_s = sc.lips_timeout_s;
+  return std::make_unique<core::LipsPolicy>(lo);
+}
+
+void apply_speculation(const SchedulerSpec& ss, sim::SimConfig& cfg) {
+  if (ss.speculation == "off") {
+    cfg.speculative_execution = false;
+  } else if (ss.speculation == "naive") {
+    cfg.speculative_execution = true;
+    cfg.speculation.mode = sim::SpeculationConfig::Mode::Naive;
+  } else if (ss.speculation == "cost") {
+    cfg.speculative_execution = true;
+    cfg.speculation.mode = sim::SpeculationConfig::Mode::CostAware;
+  }  // "auto": keep the scheduler's paper default from make_policy
+}
+
+}  // namespace
+
+const SchedulerRunResult* RunResult::find(const std::string& label) const {
+  for (const SchedulerRunResult& r : runs) {
+    if (r.label == label) return &r;
+  }
+  return nullptr;
+}
+
+RunResult run_one(const ScenarioSpec& spec, std::size_t cell,
+                  std::size_t seed_index, std::uint64_t seed) {
+  validate_scenario(spec);
+  RunResult out;
+  out.cell = cell;
+  out.seed_index = seed_index;
+  out.seed = seed;
+
+  // Every ingredient below is local to this call: the cluster is rebuilt
+  // (cheap, deterministic in its parameters), the workload and storm are
+  // drawn from this run's own Rng stream, and each scheduler run gets a
+  // fresh ledger + registry, so nothing is shared across concurrent calls.
+  const cluster::Cluster c = cluster::make_ec2_cluster(
+      spec.nodes, spec.c1_fraction, spec.zones, spec.small_fraction);
+  Rng rng(seed);
+  const workload::Workload w = make_workload(spec, c, rng);
+  sim::FaultPlan plan;
+  if (spec.has_storm()) {
+    sim::FaultStormParams p = spec.storm;
+    p.seed = rng.next();  // storm varies per seed — a Monte Carlo axis
+    plan = sim::make_fault_storm(p, c.machine_count(), c.store_count());
+  }
+
+  out.ledgers_reconcile = true;
+  for (const SchedulerSpec& ss : spec.resolved_schedulers()) {
+    sim::SimConfig cfg;
+    cfg.faults = plan;
+    cfg.replication_seed = seed;
+    std::unique_ptr<sched::Scheduler> policy = make_policy(spec, ss, cfg);
+    apply_speculation(ss, cfg);
+    obs::MetricRegistry metrics;
+    obs::CostLedger ledger;
+    cfg.obs = obs::Observer{&metrics, nullptr, &ledger};
+    const sim::SimResult r = sim::simulate(c, w, *policy, cfg);
+
+    SchedulerRunResult srr;
+    srr.label = ss.display();
+    srr.completed = r.completed;
+    srr.makespan_s = r.makespan_s;
+    srr.total_cost_mc = r.total_cost_mc;
+    srr.wasted_cost_mc = r.wasted_cost_mc;
+    srr.speculation_cost_mc = r.speculation_cost_mc;
+    srr.tasks_completed = r.tasks_completed;
+    srr.tasks_killed_by_faults = r.tasks_killed_by_faults;
+    srr.tasks_lost = r.tasks_lost;
+    srr.speculative_launched = r.speculative_launched;
+    srr.schedule_digest = r.schedule_digest;
+    srr.ledger = sim::billed_totals(r);
+    srr.ledger_reconciles = ledger.reconcile(srr.ledger).ok;
+    srr.metrics = deterministic_samples(metrics.snapshot());
+    out.ledgers_reconcile = out.ledgers_reconcile && srr.ledger_reconciles;
+    out.runs.push_back(std::move(srr));
+  }
+
+  // Cell statistic: headline savings when both labels resolve, dollars of
+  // the stat scheduler (or the first run) otherwise.
+  const SchedulerRunResult* stat_run = out.find(spec.stat_scheduler);
+  if (stat_run == nullptr) stat_run = &out.runs.front();
+  const SchedulerRunResult* vs = out.find(spec.savings_vs);
+  if (vs != nullptr && vs != stat_run && vs->total_cost_mc.mc() > 0.0) {
+    out.stat = 1.0 - stat_run->total_cost_mc.mc() / vs->total_cost_mc.mc();
+  } else {
+    out.stat = millicents_to_dollars(stat_run->total_cost_mc);
+  }
+  return out;
+}
+
+}  // namespace lips::farm

@@ -1,0 +1,78 @@
+// Reentrant run-one-seed entry point for the simulation farm.
+//
+// run_one(spec, seed) is a pure function: it constructs every mutable
+// ingredient — cluster, workload, fault storm, schedulers, per-run metric
+// registry and per-scheduler cost ledgers — locally from its arguments,
+// calls sim::simulate once per scheduler configuration, and returns plain
+// data. No shared mutable state is touched, so any number of run_one calls
+// may execute concurrently on worker threads and each produces bit-identical
+// results to a serial call with the same arguments (the farm's determinism
+// contract, verified serial-vs-threaded in tests/test_farm.cpp and under
+// TSan in CI).
+//
+// Thread role: per-thread by construction (a call owns everything it
+// mutates); results are value types handed back across the join.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "common/units.hpp"
+#include "farm/scenario.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+
+namespace lips::farm {
+
+/// One scheduler's outcome inside one seeded run.
+struct LIPS_EXTERNALLY_SYNCHRONIZED SchedulerRunResult {
+  std::string label;
+  bool completed = false;
+  double makespan_s = 0.0;
+  Millicents total_cost_mc = Millicents::zero();
+  Millicents wasted_cost_mc = Millicents::zero();
+  Millicents speculation_cost_mc = Millicents::zero();
+  std::size_t tasks_completed = 0;
+  std::size_t tasks_killed_by_faults = 0;
+  std::size_t tasks_lost = 0;
+  std::size_t speculative_launched = 0;
+  /// FNV-1a digest over every launch decision — the per-run bit-identity
+  /// witness (sim/simulator.hpp).
+  std::uint64_t schedule_digest = 0;
+  /// The run's ledger meter totals, bit-exact (obs/ledger.hpp fold order).
+  obs::CostLedger::BilledTotals ledger{};
+  /// Ledger-vs-simulator bitwise reconciliation verdict for this run.
+  bool ledger_reconciles = false;
+  /// Per-run metric snapshot (sorted, deterministic); the sweep driver
+  /// folds these into the shared registry after workers join, in (cell,
+  /// seed, scheduler) order, so the global registry is bit-identical for
+  /// any thread count.
+  std::vector<obs::MetricRegistry::Sample> metrics;
+};
+
+/// One (scenario × seed) cell evaluation.
+struct LIPS_EXTERNALLY_SYNCHRONIZED RunResult {
+  std::size_t cell = 0;        ///< index into the sweep's cell list
+  std::size_t seed_index = 0;  ///< ordinal of this seed within the cell
+  std::uint64_t seed = 0;      ///< the run's own RNG seed
+  std::vector<SchedulerRunResult> runs;  ///< one per SchedulerSpec, in order
+  /// The cell statistic (ScenarioSpec::stat_scheduler / savings_vs): a
+  /// savings fraction when both labels resolve, else dollars.
+  double stat = 0.0;
+  /// True when every scheduler run's ledger reconciled bit-identically.
+  bool ledgers_reconcile = false;
+
+  /// The run labeled `label` (resolved_schedulers order), or nullptr.
+  [[nodiscard]] const SchedulerRunResult* find(const std::string& label) const;
+};
+
+/// Execute one fully independent deterministic run. `cell`/`seed_index`
+/// are bookkeeping stamped into the result; `seed` alone (with the spec)
+/// determines every bit of the outcome. Throws PreconditionError on an
+/// invalid spec (validate_scenario).
+[[nodiscard]] RunResult run_one(const ScenarioSpec& spec, std::size_t cell,
+                                std::size_t seed_index, std::uint64_t seed);
+
+}  // namespace lips::farm

@@ -1,0 +1,137 @@
+#include "farm/scenario.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/spec.hpp"
+
+namespace lips::farm {
+
+std::vector<SchedulerSpec> ScenarioSpec::resolved_schedulers() const {
+  if (!schedulers.empty()) return schedulers;
+  SchedulerSpec delay;
+  delay.name = "delay";
+  SchedulerSpec lips;
+  lips.name = "lips";
+  return {delay, lips};
+}
+
+bool ScenarioSpec::stat_is_savings() const {
+  const std::vector<SchedulerSpec> scheds = resolved_schedulers();
+  const SchedulerSpec* stat = nullptr;
+  const SchedulerSpec* vs = nullptr;
+  for (const SchedulerSpec& s : scheds) {
+    if (stat == nullptr && s.display() == stat_scheduler) stat = &s;
+    if (vs == nullptr && s.display() == savings_vs) vs = &s;
+  }
+  if (stat == nullptr && !scheds.empty()) stat = &scheds.front();
+  return stat != nullptr && vs != nullptr && stat != vs;
+}
+
+namespace {
+
+bool known_scheduler(const std::string& name) {
+  return name == "default" || name == "delay" || name == "fair" ||
+         name == "quincy" || name == "lips";
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario_spec(const std::string& spec) {
+  ScenarioSpec sc;
+  // Route the string-valued keys by hand, collect the numeric remainder for
+  // SpecBinder (which owns the duplicate/range/unknown-key diagnostics).
+  std::string numeric;
+  std::stringstream ss(spec);
+  std::string entry;
+  while (std::getline(ss, entry, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    LIPS_REQUIRE(eq != std::string::npos,
+                 "scenario spec: entry '" + entry + "' is not key=value");
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "name") {
+      sc.name = value;
+    } else if (key == "workload") {
+      sc.workload = value;
+    } else if (key == "sched") {
+      sc.schedulers.clear();
+      std::stringstream names(value);
+      std::string n;
+      while (std::getline(names, n, '+')) {
+        if (n.empty()) continue;
+        SchedulerSpec s;
+        s.name = n;
+        sc.schedulers.push_back(std::move(s));
+      }
+    } else if (key == "vs" || key == "baseline") {
+      sc.savings_vs = value;
+    } else if (key == "stat") {
+      sc.stat_scheduler = value;
+    } else {
+      if (!numeric.empty()) numeric += ',';
+      numeric += entry;
+    }
+  }
+  double zones = static_cast<double>(sc.zones);
+  SpecBinder binder("scenario spec");
+  binder.count("nodes", &sc.nodes)
+      .probability("c1", &sc.c1_fraction)
+      .probability("small", &sc.small_fraction)
+      .number("zones", &zones)
+      .count("jobs", &sc.jobs)
+      .count("tasks", &sc.tasks)
+      .number("epoch", &sc.epoch_s)
+      .count("replication", &sc.replication)
+      .count("prune_machines", &sc.prune_machines)
+      .count("prune_stores", &sc.prune_stores)
+      .number("mtbf", &sc.storm.mtbf_s)
+      .number("mttr", &sc.storm.mttr_s)
+      .probability("permanent", &sc.storm.permanent_fraction)
+      .probability("revoke", &sc.storm.revoke_probability)
+      .number("warn", &sc.storm.spot_warning_s)
+      .number("storeloss", &sc.storm.store_loss_rate)
+      .number("degrade", &sc.storm.degrade_rate)
+      .number("degrade_factor", &sc.storm.degrade_factor)
+      .number("degrade_window", &sc.storm.degrade_window_s)
+      .number("slowdown", &sc.storm.slowdown_rate)
+      .number("slowdown_factor", &sc.storm.slowdown_factor)
+      .number("slowdown_window", &sc.storm.slowdown_window_s)
+      .number("horizon", &sc.storm.horizon_s);
+  binder.parse(numeric);
+  LIPS_REQUIRE(zones >= 1.0, "scenario spec: zones must be >= 1");
+  sc.zones = static_cast<std::size_t>(zones);
+  validate_scenario(sc);
+  return sc;
+}
+
+void validate_scenario(const ScenarioSpec& spec) {
+  LIPS_REQUIRE(spec.nodes > 0, "scenario '" + spec.name + "': nodes == 0");
+  LIPS_REQUIRE(spec.zones > 0, "scenario '" + spec.name + "': zones == 0");
+  LIPS_REQUIRE(spec.workload == "swim" || spec.workload == "table4" ||
+                   spec.workload == "random",
+               "scenario '" + spec.name + "': unknown workload '" +
+                   spec.workload + "' (swim|table4|random)");
+  LIPS_REQUIRE(spec.epoch_s > 0.0,
+               "scenario '" + spec.name + "': epoch must be positive");
+  const std::vector<SchedulerSpec> scheds = spec.resolved_schedulers();
+  std::vector<std::string> seen;
+  for (const SchedulerSpec& s : scheds) {
+    LIPS_REQUIRE(known_scheduler(s.name),
+                 "scenario '" + spec.name + "': unknown scheduler '" + s.name +
+                     "' (default|delay|fair|quincy|lips)");
+    LIPS_REQUIRE(s.speculation == "auto" || s.speculation == "off" ||
+                     s.speculation == "naive" || s.speculation == "cost",
+                 "scenario '" + spec.name + "': scheduler '" + s.display() +
+                     "': speculation must be auto|off|naive|cost");
+    for (const std::string& prev : seen) {
+      LIPS_REQUIRE(prev != s.display(),
+                   "scenario '" + spec.name + "': duplicate scheduler label '" +
+                       s.display() + "'");
+    }
+    seen.push_back(s.display());
+  }
+}
+
+}  // namespace lips::farm

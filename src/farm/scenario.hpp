@@ -1,0 +1,122 @@
+// Scenario cells for the Monte Carlo simulation farm.
+//
+// A ScenarioSpec is one *cell* of a sweep: everything needed to construct a
+// fully independent, deterministic simulation run — cluster shape, workload
+// synthesis knobs, fault-storm parameters, and the scheduler configurations
+// to compare — except the seed, which the sweep driver supplies per run.
+// A cell is pure data: (spec, seed) → run is a pure function (farm/run_one),
+// which is the property that lets hundreds of (seed × scenario) runs execute
+// on worker threads with bit-identical results to a serial sweep.
+//
+// Thread role: value type; built once by the driver, then shared read-only
+// by every worker (workers never mutate a spec).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "sim/faults.hpp"
+
+namespace lips::farm {
+
+/// One scheduler configuration inside a cell. `name` selects the policy
+/// (lipsctl vocabulary: default|delay|fair|quincy|lips); the remaining knobs
+/// override that scheduler's paper defaults so ablation benches can put
+/// e.g. "lips without feedback" and "lips with the full defense" side by
+/// side in one cell.
+struct LIPS_EXTERNALLY_SYNCHRONIZED SchedulerSpec {
+  std::string name = "lips";
+  /// Display/JSON label; defaults to `name` when empty. Must be unique
+  /// within a cell (two "lips" variants need distinct labels).
+  std::string label;
+  /// auto = the scheduler's paper default (naive for the Hadoop baselines,
+  /// off for LiPS); off|naive|cost override it.
+  std::string speculation = "auto";
+  /// LiPS observed-throughput feedback + quarantine (lips only).
+  bool feedback = true;
+
+  [[nodiscard]] const std::string& display() const {
+    return label.empty() ? name : label;
+  }
+};
+
+/// One sweep cell. Defaults reproduce the ablation benches' setup (20-node
+/// EC2 cluster, SWIM workload, delay-vs-LiPS comparison).
+struct LIPS_EXTERNALLY_SYNCHRONIZED ScenarioSpec {
+  std::string name = "baseline";
+
+  // Cluster shape (cluster::make_ec2_cluster).
+  std::size_t nodes = 20;
+  double c1_fraction = 0.5;
+  std::size_t zones = 3;
+  double small_fraction = 0.0;
+
+  // Workload synthesis: swim|table4|random. Each run draws a fresh workload
+  // from its own seed — the workload itself is a Monte Carlo axis.
+  std::string workload = "swim";
+  std::size_t jobs = 60;    ///< swim
+  std::size_t tasks = 400;  ///< random
+
+  // Scheduler knobs shared by the cell.
+  double epoch_s = 400.0;             ///< LiPS epoch
+  std::size_t replication = 3;        ///< baseline HDFS replication
+  double baseline_timeout_s = 600.0;  ///< Hadoop progress timeout
+  double lips_timeout_s = 1200.0;     ///< paper's raised LiPS timeout
+  std::size_t prune_machines = 0;     ///< LP candidate pruning (0 = exact)
+  std::size_t prune_stores = 0;
+
+  /// Fault-storm shape. `storm.seed` is ignored: each run derives its storm
+  /// seed from the run seed, so the storm varies per seed (another Monte
+  /// Carlo axis). An all-default storm (every rate zero) means fault-free.
+  sim::FaultStormParams storm;
+
+  /// Scheduler configurations to run per seed (identical cluster, workload
+  /// and storm for each — apples to apples). Empty = {delay, lips}.
+  std::vector<SchedulerSpec> schedulers;
+
+  /// Stop-rule statistic of the cell:
+  ///   * when a run labeled `stat_scheduler` AND one labeled `savings_vs`
+  ///     both exist, the statistic is the paper's headline
+  ///     `1 − cost(stat_scheduler)/cost(savings_vs)` (a savings fraction);
+  ///   * otherwise it is `stat_scheduler`'s total cost in dollars (or the
+  ///     first scheduler's, when the label matches nothing).
+  std::string stat_scheduler = "lips";
+  std::string savings_vs = "delay";
+
+  /// True when the storm parameters inject anything at all.
+  [[nodiscard]] bool has_storm() const {
+    return storm.mtbf_s > 0.0 || storm.revoke_probability > 0.0 ||
+           storm.store_loss_rate > 0.0 || storm.degrade_rate > 0.0 ||
+           storm.slowdown_rate > 0.0;
+  }
+
+  /// Scheduler list with the default pair applied when empty.
+  [[nodiscard]] std::vector<SchedulerSpec> resolved_schedulers() const;
+
+  /// True when the cell statistic is a savings fraction (both stat labels
+  /// resolve to distinct schedulers), false when it degrades to dollars —
+  /// mirrors run_one's per-run decision, for display formatting.
+  [[nodiscard]] bool stat_is_savings() const;
+};
+
+/// Parse a compact command-line cell spec such as
+///   "name=storm4x,mtbf=3600,slowdown=2,slowdown_factor=4,jobs=40,
+///    sched=default+delay+lips"
+/// String keys: name, workload (swim|table4|random), sched ('+'-separated
+/// lipsctl scheduler names), baseline (alias for vs), vs, stat. Numeric keys
+/// (via common/spec.hpp SpecBinder, with its uniform error handling): nodes,
+/// c1, small, zones, jobs, tasks, epoch, replication, prune_machines,
+/// prune_stores, and the storm knobs mtbf, mttr, permanent, revoke, warn,
+/// storeloss, degrade, degrade_factor, degrade_window, slowdown,
+/// slowdown_factor, slowdown_window, horizon. Throws PreconditionError with
+/// the offending key on malformed input.
+[[nodiscard]] ScenarioSpec parse_scenario_spec(const std::string& spec);
+
+/// The validation every cell must pass before the farm accepts it: known
+/// workload and scheduler names, unique scheduler labels, positive counts.
+/// Throws PreconditionError naming the violation.
+void validate_scenario(const ScenarioSpec& spec);
+
+}  // namespace lips::farm

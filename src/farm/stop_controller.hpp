@@ -1,0 +1,116 @@
+// Early-stopping controller for one sweep cell.
+//
+// The farm runs a cell's seeds in deterministic batches and, at each batch
+// boundary, asks this controller whether the cost-savings confidence
+// interval is already tight enough to stop spending seeds on the cell
+// (MAGPIE's autoplay stopping-controller shape, adapted to batch semantics:
+// evaluating only at batch boundaries keeps the *set* of executed seeds
+// independent of the thread count, which is what makes an N-thread sweep
+// bit-identical to the serial one).
+//
+// The statistic stream is accumulated with Welford's algorithm (numerically
+// stable single pass); the half-width is the normal-approximation
+// z · s/√n confidence-interval half-width. All arithmetic is a deterministic
+// function of the values in arrival order — the driver feeds results in
+// (cell, seed) order regardless of which worker produced them.
+//
+// Thread role: per-thread. Only the sweep driver thread touches a
+// controller; workers never see one.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace lips::farm {
+
+/// Stopping rule for one cell. The default (target_half_width = 0) disables
+/// early stopping: the cell runs exactly `max_seeds` seeds.
+struct LIPS_EXTERNALLY_SYNCHRONIZED StopRule {
+  /// Stop once the CI half-width of the cell statistic is <= this
+  /// (absolute, in the statistic's own unit — a savings fraction or
+  /// dollars). <= 0 disables early stopping.
+  double target_half_width = 0.0;
+  /// Never stop before this many seeds (the CI is meaningless at n < 2;
+  /// small n also under-estimates variance).
+  std::size_t min_seeds = 8;
+  /// Hard cap per cell.
+  std::size_t max_seeds = 64;
+  /// Seeds launched per batch after the first (the first batch is
+  /// min_seeds). Deliberately thread-count-independent: batch sizes are
+  /// part of the deterministic schedule.
+  std::size_t batch_seeds = 8;
+  /// Critical value of the normal approximation (default: two-sided 95%).
+  double z = 1.959963984540054;
+};
+
+/// Welford accumulator + stopping decision for one cell's statistic stream.
+class LIPS_EXTERNALLY_SYNCHRONIZED StopController {
+ public:
+  explicit StopController(const StopRule& rule) : rule_(rule) {
+    LIPS_REQUIRE(rule.max_seeds > 0, "StopRule: max_seeds must be positive");
+    LIPS_REQUIRE(rule.min_seeds <= rule.max_seeds,
+                 "StopRule: min_seeds must be <= max_seeds");
+    LIPS_REQUIRE(rule.batch_seeds > 0,
+                 "StopRule: batch_seeds must be positive");
+    LIPS_REQUIRE(rule.z > 0.0, "StopRule: z must be positive");
+  }
+
+  /// Fold one run's statistic (driver thread, deterministic order).
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Sample variance (n−1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// z · s/√n — infinite until two samples exist (no interval from one).
+  [[nodiscard]] double half_width() const {
+    if (n_ < 2) return std::numeric_limits<double>::infinity();
+    return rule_.z * std::sqrt(variance() / static_cast<double>(n_));
+  }
+
+  /// True when the target half-width is reached (never before min_seeds;
+  /// always false when early stopping is disabled).
+  [[nodiscard]] bool target_reached() const {
+    return rule_.target_half_width > 0.0 && n_ >= rule_.min_seeds &&
+           half_width() <= rule_.target_half_width;
+  }
+
+  /// True when the cell should launch no further seeds.
+  [[nodiscard]] bool should_stop() const {
+    return n_ >= rule_.max_seeds || target_reached();
+  }
+
+  /// Size of the next batch to launch: min_seeds for the first batch,
+  /// batch_seeds after, clamped so the cell never exceeds max_seeds.
+  /// 0 when the cell is done.
+  [[nodiscard]] std::size_t next_batch() const {
+    if (should_stop()) return 0;
+    const std::size_t first =
+        rule_.min_seeds > 0 ? rule_.min_seeds : rule_.batch_seeds;
+    const std::size_t want = n_ == 0 ? first : rule_.batch_seeds;
+    const std::size_t room = rule_.max_seeds - n_;
+    return want < room ? want : room;
+  }
+
+ private:
+  StopRule rule_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace lips::farm

@@ -1,0 +1,51 @@
+#include "farm/sweep_json.hpp"
+
+#include <fstream>
+
+#include "common/build_info.hpp"
+#include "obs/export.hpp"
+
+namespace lips::farm {
+
+void write_sweep_json(const SweepResult& sweep, const SweepMeta& meta,
+                      std::ostream& out) {
+  out.precision(12);
+  const BuildInfo& b = build_info();
+  out << "{\n  \"bench\": \"" << meta.bench << "\",\n  \"build\": {\"git_sha\": \""
+      << b.git_sha << "\", \"compiler\": \"" << b.compiler
+      << "\", \"build_type\": \"" << b.build_type << "\"},\n"
+      << "  \"threads\": " << sweep.threads
+      << ",\n  \"wall_time_s\": " << meta.wall_time_s
+      << ",\n  \"total_runs\": " << sweep.total_runs << ",\n  \"cells\": [";
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    const CellResult& c = sweep.cells[i];
+    const CellStats& st = c.stats;
+    out << (i == 0 ? "" : ",") << "\n    {\"scenario\": \"" << c.spec.name
+        << "\", \"n_seeds\": " << st.n << ", \"mean\": " << st.mean
+        << ", \"stddev\": " << st.stddev
+        << ", \"half_width\": " << st.half_width << ", \"p5\": " << st.p5
+        << ", \"p50\": " << st.p50 << ", \"p95\": " << st.p95
+        << ", \"min\": " << st.min << ", \"max\": " << st.max
+        << ", \"stopped_early\": " << (c.stopped_early ? "true" : "false")
+        << ", \"ledgers_reconcile\": "
+        << (c.ledgers_reconcile ? "true" : "false") << ", \"schedulers\": [";
+    const std::vector<SchedulerSpec> scheds = c.spec.resolved_schedulers();
+    for (std::size_t s = 0; s < scheds.size(); ++s) {
+      const std::string& label = scheds[s].display();
+      out << (s == 0 ? "" : ",") << "\n      {\"label\": \"" << label
+          << "\", \"mean_cost_usd\": " << c.mean_dollars(label) << "}";
+    }
+    out << "\n    ]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string write_sweep_file(const SweepResult& sweep, const SweepMeta& meta,
+                             const std::string& dir) {
+  const std::string path = dir + "/BENCH_" + meta.bench + ".json";
+  std::ofstream out = obs::open_output(path);
+  write_sweep_json(sweep, meta, out);
+  return path;
+}
+
+}  // namespace lips::farm

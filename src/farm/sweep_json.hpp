@@ -1,0 +1,40 @@
+// Canonical BENCH_sweep.json emitter for farm sweeps.
+//
+// The farm library sits below bench/ (which links google-benchmark), so it
+// owns its own writer for the sweep artifact rather than reusing
+// bench/bench_util.hpp. The schema mirrors the BENCH_*.json family — bench
+// name + build object + rows — but a sweep row is a *distribution* (mean,
+// p5/p50/p95, CI half-width, n_seeds) rather than a single run, and the
+// top level carries the execution shape (threads, wall_time_s, total_runs)
+// so two artifacts can be compared knowing how each was produced.
+//
+// The farm never reads a clock (the nondet-time lint rule bans clocks
+// outside bench/): callers measure wall time around run_sweep and pass it
+// in.
+//
+// Thread role: driver-only, post-join.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "farm/farm.hpp"
+
+namespace lips::farm {
+
+/// Execution-shape fields the caller measured around run_sweep.
+struct LIPS_EXTERNALLY_SYNCHRONIZED SweepMeta {
+  std::string bench = "sweep";
+  double wall_time_s = 0.0;
+};
+
+/// Serialize the sweep as the canonical artifact JSON onto `out`.
+void write_sweep_json(const SweepResult& sweep, const SweepMeta& meta,
+                      std::ostream& out);
+
+/// Write `<dir>/BENCH_<meta.bench>.json` (creating parent directories) and
+/// return the path written.
+std::string write_sweep_file(const SweepResult& sweep, const SweepMeta& meta,
+                             const std::string& dir);
+
+}  // namespace lips::farm

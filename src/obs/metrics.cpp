@@ -176,6 +176,34 @@ void MetricRegistry::restore(const std::vector<Sample>& samples) {
   }
 }
 
+void MetricRegistry::merge(const std::vector<Sample>& samples,
+                           const Labels& extra) {
+  for (const Sample& s : samples) {
+    Labels labels = s.labels;
+    labels.insert(labels.end(), extra.begin(), extra.end());
+    switch (s.kind) {
+      case Kind::Counter:
+        counter(s.name, std::move(labels)).inc(s.value);
+        break;
+      case Kind::Gauge:
+        gauge(s.name, std::move(labels)).add(s.value);
+        break;
+      case Kind::Histogram: {
+        LIPS_REQUIRE(s.counts.size() == s.bounds.size() + 1,
+                     "merge: histogram '" + s.name +
+                         "' sample has a bucket-count mismatch");
+        Histogram& h = histogram(s.name, s.bounds, std::move(labels));
+        LIPS_REQUIRE(h.bounds() == s.bounds,
+                     "merge: histogram '" + s.name + "' bounds mismatch");
+        for (std::size_t i = 0; i < s.counts.size(); ++i)
+          h.counts_[i].fetch_add(s.counts[i], std::memory_order_relaxed);
+        detail::atomic_add(h.sum_, s.sum);
+        break;
+      }
+    }
+  }
+}
+
 std::size_t MetricRegistry::series_count() const {
   MutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();

@@ -183,6 +183,17 @@ class MetricRegistry {
   /// at zero). Histogram samples must carry counts for every bucket.
   void restore(const std::vector<Sample>& samples);
 
+  /// Fold a snapshot *into* this registry, additively: counters and gauges
+  /// are incremented by the sample value, histogram buckets and sums are
+  /// added. `extra` labels are appended to each sample's labels (duplicate
+  /// keys are a precondition error), letting the farm tag per-run snapshots
+  /// with {scenario, sched, ...} before aggregation. Because double addition
+  /// is not associative, callers wanting bit-identical aggregates must call
+  /// merge() from one thread in a deterministic order — the farm driver
+  /// folds per-run snapshots post-join in (cell, seed, scheduler) order
+  /// (DESIGN.md §13).
+  void merge(const std::vector<Sample>& samples, const Labels& extra = {});
+
  private:
   struct Key {
     std::string name;

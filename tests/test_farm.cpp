@@ -1,0 +1,370 @@
+// Tests for the simulation farm (src/farm): the stop controller's
+// hand-checkable arithmetic, run_one purity, and — the core of the farm's
+// contract — bit-identity between a serial sweep and the same sweep on N
+// worker threads (every seed, ledger meter, schedule digest and merged
+// metric series compared with strict ==, never a tolerance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "farm/farm.hpp"
+#include "obs/metrics.hpp"
+
+namespace lips::farm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StopController
+
+StopRule rule(double target, std::size_t min_s, std::size_t max_s,
+              std::size_t batch, double z = 2.0) {
+  StopRule r;
+  r.target_half_width = target;
+  r.min_seeds = min_s;
+  r.max_seeds = max_s;
+  r.batch_seeds = batch;
+  r.z = z;
+  return r;
+}
+
+TEST(StopController, WelfordMatchesDirectComputation) {
+  StopController c(rule(0.0, 2, 100, 2));
+  const double xs[] = {0.70, 0.74, 0.69, 0.73, 0.71};
+  double sum = 0.0;
+  for (const double x : xs) {
+    c.add(x);
+    sum += x;
+  }
+  const double mean = sum / 5.0;
+  double m2 = 0.0;
+  for (const double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_EQ(c.n(), 5u);
+  EXPECT_NEAR(c.mean(), mean, 1e-15);
+  EXPECT_NEAR(c.variance(), m2 / 4.0, 1e-15);
+}
+
+TEST(StopController, HalfWidthInfiniteBelowTwoSamples) {
+  StopController c(rule(0.01, 2, 10, 2));
+  EXPECT_TRUE(std::isinf(c.half_width()));
+  EXPECT_FALSE(c.target_reached());
+  c.add(0.5);
+  EXPECT_TRUE(std::isinf(c.half_width()));
+  EXPECT_FALSE(c.target_reached());
+}
+
+TEST(StopController, HandComputedStoppingPoint) {
+  // Two samples 0 and 1 with z = 2: mean 0.5, sample variance
+  // ((0−.5)² + (1−.5)²)/1 = 0.5, half-width 2·√(0.5/2) = 1.0 exactly.
+  StopController reached(rule(1.0, 2, 100, 2));
+  reached.add(0.0);
+  reached.add(1.0);
+  EXPECT_DOUBLE_EQ(reached.half_width(), 1.0);
+  EXPECT_TRUE(reached.target_reached());
+  EXPECT_TRUE(reached.should_stop());
+  EXPECT_EQ(reached.next_batch(), 0u);
+
+  // A target one notch tighter than the exact half-width must not stop.
+  StopController not_reached(rule(0.999, 2, 100, 2));
+  not_reached.add(0.0);
+  not_reached.add(1.0);
+  EXPECT_FALSE(not_reached.target_reached());
+  EXPECT_EQ(not_reached.next_batch(), 2u);
+}
+
+TEST(StopController, NeverStopsBeforeMinSeeds) {
+  // Zero variance from sample two onward — the interval is degenerate-tight
+  // — but min_seeds = 4 must still hold the gate closed at n = 2.
+  StopController c(rule(0.5, 4, 10, 3));
+  c.add(0.5);
+  c.add(0.5);
+  EXPECT_DOUBLE_EQ(c.half_width(), 0.0);
+  EXPECT_FALSE(c.target_reached());
+  c.add(0.5);
+  c.add(0.5);
+  EXPECT_TRUE(c.target_reached());
+}
+
+TEST(StopController, BatchScheduleIsFirstThenBatchClampedToMax) {
+  StopController c(rule(0.0, 3, 10, 5));
+  EXPECT_EQ(c.next_batch(), 3u);  // first batch = min_seeds
+  for (int i = 0; i < 3; ++i) c.add(1.0);
+  EXPECT_EQ(c.next_batch(), 5u);  // then batch_seeds
+  for (int i = 0; i < 5; ++i) c.add(1.0);
+  EXPECT_EQ(c.next_batch(), 2u);  // clamped: 10 − 8
+  c.add(1.0);
+  c.add(1.0);
+  EXPECT_EQ(c.next_batch(), 0u);
+  EXPECT_TRUE(c.should_stop());
+}
+
+TEST(StopController, ZeroMinSeedsFallsBackToBatchSize) {
+  StopController c(rule(0.0, 0, 10, 4));
+  EXPECT_EQ(c.next_batch(), 4u);
+}
+
+TEST(StopController, DisabledTargetRunsToMax) {
+  StopController c(rule(0.0, 2, 6, 2));
+  for (int i = 0; i < 4; ++i) c.add(0.5);  // zero variance, hw = 0
+  EXPECT_FALSE(c.target_reached());        // disabled: target = 0
+  EXPECT_FALSE(c.should_stop());
+  c.add(0.5);
+  c.add(0.5);
+  EXPECT_TRUE(c.should_stop());
+}
+
+TEST(StopController, RejectsBadRules) {
+  EXPECT_THROW(StopController(rule(0.0, 5, 4, 2)), PreconditionError);
+  EXPECT_THROW(StopController(rule(0.0, 0, 0, 2)), PreconditionError);
+  EXPECT_THROW(StopController(rule(0.0, 0, 4, 0)), PreconditionError);
+  EXPECT_THROW(StopController(rule(0.0, 0, 4, 2, 0.0)), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// run_one
+
+ScenarioSpec small_scenario() {
+  return parse_scenario_spec("name=t,nodes=6,jobs=6");
+}
+
+TEST(RunOne, SameSeedIsBitIdentical) {
+  const ScenarioSpec spec = small_scenario();
+  const RunResult a = run_one(spec, 0, 0, 42);
+  const RunResult b = run_one(spec, 0, 0, 42);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  EXPECT_EQ(a.stat, b.stat);
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].schedule_digest, b.runs[i].schedule_digest);
+    EXPECT_EQ(a.runs[i].total_cost_mc, b.runs[i].total_cost_mc);
+    EXPECT_EQ(a.runs[i].ledger.execution, b.runs[i].ledger.execution);
+  }
+}
+
+TEST(RunOne, DifferentSeedsDiverge) {
+  const ScenarioSpec spec = small_scenario();
+  const RunResult a = run_one(spec, 0, 0, 1);
+  const RunResult b = run_one(spec, 0, 1, 2);
+  ASSERT_FALSE(a.runs.empty());
+  // Workloads are redrawn per seed, so the launch streams must differ.
+  EXPECT_NE(a.runs[0].schedule_digest, b.runs[0].schedule_digest);
+}
+
+TEST(RunOne, LedgersReconcileAndStatIsSavings) {
+  const ScenarioSpec spec = small_scenario();  // default: lips vs delay
+  const RunResult r = run_one(spec, 0, 0, 7);
+  EXPECT_TRUE(r.ledgers_reconcile);
+  ASSERT_EQ(r.runs.size(), 2u);  // delay + lips
+  for (const SchedulerRunResult& s : r.runs) {
+    EXPECT_TRUE(s.completed);
+    EXPECT_TRUE(s.ledger_reconciles);
+    EXPECT_FALSE(s.metrics.empty());
+  }
+  // stat = 1 − lips/delay, a fraction strictly below 1.
+  EXPECT_LT(r.stat, 1.0);
+  const SchedulerRunResult* lips_run = r.find("lips");
+  const SchedulerRunResult* delay_run = r.find("delay");
+  ASSERT_NE(lips_run, nullptr);
+  ASSERT_NE(delay_run, nullptr);
+  const double expect = 1.0 - millicents_to_dollars(lips_run->total_cost_mc) /
+                                  millicents_to_dollars(delay_run->total_cost_mc);
+  EXPECT_DOUBLE_EQ(r.stat, expect);
+  EXPECT_EQ(r.find("nonexistent"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep bit-identity: the heart of the contract.
+
+SweepConfig identity_config(std::size_t threads, std::size_t seeds) {
+  SweepConfig cfg;
+  cfg.cells.push_back(small_scenario());
+  cfg.seed = 99;
+  cfg.threads = threads;
+  cfg.stop.target_half_width = 0.0;  // fixed-size grid
+  cfg.stop.min_seeds = seeds;
+  cfg.stop.max_seeds = seeds;
+  cfg.stop.batch_seeds = seeds;
+  return cfg;
+}
+
+void expect_samples_identical(const std::vector<obs::MetricRegistry::Sample>& a,
+                              const std::vector<obs::MetricRegistry::Sample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].labels, b[i].labels);
+    EXPECT_EQ(a[i].value, b[i].value);  // strict, not NEAR: fold order fixed
+    EXPECT_EQ(a[i].counts, b[i].counts);
+    EXPECT_EQ(a[i].sum, b[i].sum);
+    EXPECT_EQ(a[i].count, b[i].count);
+  }
+}
+
+void expect_sweeps_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  EXPECT_EQ(a.total_runs, b.total_runs);
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    const CellResult& x = a.cells[c];
+    const CellResult& y = b.cells[c];
+    ASSERT_EQ(x.runs.size(), y.runs.size());
+    EXPECT_EQ(x.stats.n, y.stats.n);
+    EXPECT_EQ(x.stats.mean, y.stats.mean);
+    EXPECT_EQ(x.stats.stddev, y.stats.stddev);
+    EXPECT_EQ(x.stats.half_width, y.stats.half_width);
+    EXPECT_EQ(x.stats.p5, y.stats.p5);
+    EXPECT_EQ(x.stats.p50, y.stats.p50);
+    EXPECT_EQ(x.stats.p95, y.stats.p95);
+    EXPECT_EQ(x.ledgers_reconcile, y.ledgers_reconcile);
+    for (std::size_t i = 0; i < x.runs.size(); ++i) {
+      const RunResult& rx = x.runs[i];
+      const RunResult& ry = y.runs[i];
+      EXPECT_EQ(rx.seed, ry.seed);
+      EXPECT_EQ(rx.seed_index, ry.seed_index);
+      EXPECT_EQ(rx.stat, ry.stat);
+      ASSERT_EQ(rx.runs.size(), ry.runs.size());
+      for (std::size_t s = 0; s < rx.runs.size(); ++s) {
+        const SchedulerRunResult& sx = rx.runs[s];
+        const SchedulerRunResult& sy = ry.runs[s];
+        EXPECT_EQ(sx.label, sy.label);
+        EXPECT_EQ(sx.schedule_digest, sy.schedule_digest);
+        EXPECT_EQ(sx.makespan_s, sy.makespan_s);
+        EXPECT_EQ(sx.total_cost_mc, sy.total_cost_mc);
+        EXPECT_EQ(sx.wasted_cost_mc, sy.wasted_cost_mc);
+        EXPECT_EQ(sx.ledger.execution, sy.ledger.execution);
+        EXPECT_EQ(sx.ledger.read_transfer, sy.ledger.read_transfer);
+        EXPECT_EQ(sx.ledger.placement_transfer, sy.ledger.placement_transfer);
+        EXPECT_EQ(sx.ledger.ingest_replication, sy.ledger.ingest_replication);
+        EXPECT_EQ(sx.ledger.wasted, sy.ledger.wasted);
+        EXPECT_EQ(sx.ledger.speculation, sy.ledger.speculation);
+        expect_samples_identical(sx.metrics, sy.metrics);
+      }
+    }
+  }
+}
+
+TEST(Sweep, SerialVsThreadedBitIdentityAcross20Seeds) {
+  SweepConfig serial_cfg = identity_config(1, 20);
+  SweepConfig threaded_cfg = identity_config(4, 20);
+  obs::MetricRegistry serial_metrics;
+  obs::MetricRegistry threaded_metrics;
+  serial_cfg.metrics = &serial_metrics;
+  threaded_cfg.metrics = &threaded_metrics;
+
+  const SweepResult serial = run_sweep(serial_cfg);
+  const SweepResult threaded = run_sweep(threaded_cfg);
+
+  EXPECT_EQ(serial.total_runs, 20u);
+  EXPECT_EQ(serial.threads, 1u);
+  EXPECT_EQ(threaded.threads, 4u);
+  expect_sweeps_identical(serial, threaded);
+  // The merged registries — per-run snapshots folded post-join with
+  // {scenario, sched} labels plus the live farm counters — must match too.
+  expect_samples_identical(serial_metrics.snapshot(),
+                           threaded_metrics.snapshot());
+  EXPECT_EQ(serial_metrics.counter("farm_runs_total").value(), 20.0);
+  EXPECT_EQ(threaded_metrics.counter("farm_runs_total").value(), 20.0);
+}
+
+TEST(Sweep, OversubscriptionIsHarmless) {
+  // Far more threads than runs: the pool clamps to the batch size and the
+  // result is still bit-identical to serial.
+  SweepConfig wide = identity_config(64, 3);
+  const SweepResult a = run_sweep(wide);
+  const SweepResult b = run_sweep(identity_config(1, 3));
+  EXPECT_EQ(a.total_runs, 3u);
+  expect_sweeps_identical(a, b);
+}
+
+TEST(Sweep, ZeroAndOneThreadAreBothSerial) {
+  const SweepResult zero = run_sweep(identity_config(0, 2));
+  const SweepResult one = run_sweep(identity_config(1, 2));
+  EXPECT_EQ(zero.threads, 1u);  // 0 is normalized
+  EXPECT_EQ(one.threads, 1u);
+  expect_sweeps_identical(zero, one);
+}
+
+TEST(Sweep, EarlyStopHaltsAtFirstBatchBoundary) {
+  SweepConfig cfg = identity_config(2, 3);
+  // An absurdly loose target: reached at the first boundary, so the cell
+  // must execute exactly min_seeds = 3 of its allowed 20.
+  cfg.stop.target_half_width = 10.0;
+  cfg.stop.min_seeds = 3;
+  cfg.stop.max_seeds = 20;
+  cfg.stop.batch_seeds = 5;
+  const SweepResult r = run_sweep(cfg);
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_EQ(r.cells[0].stats.n, 3u);
+  EXPECT_TRUE(r.cells[0].stopped_early);
+  EXPECT_EQ(r.total_runs, 3u);
+}
+
+TEST(Sweep, CellSeedStreamsAreIndependentOfOtherCells) {
+  // Adding a second cell must not perturb the first cell's seeds: each cell
+  // splits its own stream off the master in cell order.
+  SweepConfig one_cell = identity_config(1, 2);
+  SweepConfig two_cells = identity_config(1, 2);
+  ScenarioSpec second = small_scenario();
+  second.name = "t2";
+  two_cells.cells.push_back(second);
+  const SweepResult a = run_sweep(one_cell);
+  const SweepResult b = run_sweep(two_cells);
+  ASSERT_EQ(b.cells.size(), 2u);
+  ASSERT_EQ(a.cells[0].runs.size(), b.cells[0].runs.size());
+  for (std::size_t i = 0; i < a.cells[0].runs.size(); ++i) {
+    EXPECT_EQ(a.cells[0].runs[i].seed, b.cells[0].runs[i].seed);
+    EXPECT_EQ(a.cells[0].runs[i].stat, b.cells[0].runs[i].stat);
+  }
+  // And the two cells of the same sweep use different seeds.
+  EXPECT_NE(b.cells[0].runs[0].seed, b.cells[1].runs[0].seed);
+}
+
+TEST(Sweep, RejectsEmptyAndInvalidConfigs) {
+  SweepConfig empty;
+  EXPECT_THROW((void)run_sweep(empty), PreconditionError);
+  SweepConfig bad = identity_config(1, 2);
+  bad.cells[0].nodes = 0;
+  EXPECT_THROW((void)run_sweep(bad), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry::merge (the farm's post-join fold primitive)
+
+TEST(Merge, AddsCountersWithExtraLabels) {
+  obs::MetricRegistry src;
+  src.counter("runs").inc(3.0);
+  src.gauge("queue_depth").add(2.5);
+
+  obs::MetricRegistry dst;
+  dst.merge(src.snapshot(), {{"scenario", "baseline"}, {"sched", "lips"}});
+  dst.merge(src.snapshot(), {{"scenario", "baseline"}, {"sched", "lips"}});
+
+  const double runs =
+      dst.counter("runs", {{"scenario", "baseline"}, {"sched", "lips"}})
+          .value();
+  EXPECT_EQ(runs, 6.0);  // additive across merges
+  // The unlabeled series must not exist in dst — labels route the fold.
+  EXPECT_EQ(dst.counter("runs").value(), 0.0);
+}
+
+TEST(Merge, FoldsHistogramsBucketwise) {
+  const std::vector<double> bounds = {1.0, 10.0};
+  obs::MetricRegistry src;
+  src.histogram("lat", bounds).observe(0.5);
+  src.histogram("lat", bounds).observe(5.0);
+  src.histogram("lat", bounds).observe(50.0);
+
+  obs::MetricRegistry dst;
+  dst.merge(src.snapshot());
+  dst.merge(src.snapshot());
+
+  const std::vector<obs::MetricRegistry::Sample> out = dst.snapshot();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].count, 6u);
+  EXPECT_EQ(out[0].sum, 111.0);  // 2 × (0.5 + 5 + 50)
+  ASSERT_EQ(out[0].counts.size(), 3u);
+  EXPECT_EQ(out[0].counts[0], 2u);
+  EXPECT_EQ(out[0].counts[1], 2u);
+  EXPECT_EQ(out[0].counts[2], 2u);
+}
+
+}  // namespace
+}  // namespace lips::farm

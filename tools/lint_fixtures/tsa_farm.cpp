@@ -1,0 +1,55 @@
+// Seeded-violation fixture for the farm-shared-state rule. NOT part of the
+// build: never compiled, only scanned by `lips_lint --self-test`. The file
+// name starts with "tsa_farm", which opts into BOTH the src/ concurrency
+// scope (tsa_ prefix) and the src/farm/ scope — so a plain mutable static
+// here fires shared-mutable-static AND farm-shared-state, and the line
+// carries a marker for each.
+//
+// The farm's contract (DESIGN.md §13): an N-thread sweep must be
+// bit-identical to the serial one, which bans every form of hidden shared
+// or sticky state — including thread_local, because pool threads are reused
+// across batches and a value left behind by run A is visible to whichever
+// run B lands on that thread next.
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture_farm {
+
+// Shared across every worker: fires both static rules.
+static std::size_t runs_completed = 0;  // lint-expect(shared-mutable-static) lint-expect(farm-shared-state)
+
+// Per-thread but *sticky* across runs on a reused pool thread: exempt from
+// shared-mutable-static, but exactly the state farm-shared-state exists to
+// catch.
+static thread_local std::size_t scratch_from_last_run = 0;  // lint-expect(farm-shared-state)
+
+// A class with no declared thread role: every mutable member fires.
+struct UndeclaredAccumulator {
+  double total = 0.0;        // lint-expect(farm-shared-state)
+  std::size_t n = 0;         // lint-expect(farm-shared-state)
+  std::vector<double> xs;    // lint-expect(farm-shared-state)
+  void add(double x);
+  // Immutable/static members are inherently safe — must not fire.
+  const double bias = 0.0;
+  static constexpr std::size_t kCap = 64;
+};
+
+// A head marker declares the thread role for the whole class — silent.
+struct LIPS_EXTERNALLY_SYNCHRONIZED DeclaredAccumulator {
+  double total = 0.0;
+  std::size_t n = 0;
+};
+
+// Per-member annotations also satisfy the rule — silent.
+struct AnnotatedWorkerState {
+  double partial_ LIPS_PER_THREAD = 0.0;
+};
+
+// A suppressed line must not be reported.
+struct Grandfathered {
+  double legacy_total = 0.0;  // lips-lint: allow(farm-shared-state)
+};
+
+}  // namespace fixture_farm

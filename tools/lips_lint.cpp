@@ -84,9 +84,19 @@
 //                        analysis, so a lock-free access would compile
 //                        silently. Atomics, const/static members, and
 //                        LIPS_PER_THREAD-marked members are exempt
+//   farm-shared-state    (src/farm/ only) the farm's serial-vs-threaded
+//                        bit-identity contract bans hidden shared or sticky
+//                        state: any non-const static — *including*
+//                        thread_local, which leaks state between runs when
+//                        pool threads are reused — and any mutable data
+//                        member of a class that does not declare its thread
+//                        role (a LIPS_EXTERNALLY_SYNCHRONIZED or
+//                        LIPS_PER_THREAD head marker, or a per-member
+//                        LIPS_GUARDED_BY/LIPS_PER_THREAD annotation)
 //
 // The four concurrency rules apply under src/ (and to lint_fixtures/tsa_*
-// files, which opt in so the self-test can seed violations).
+// files, which opt in so the self-test can seed violations);
+// farm-shared-state applies under src/farm/ (and lint_fixtures/tsa_farm*).
 //
 // Usage:
 //   lips_lint [--format=json] <file>...   lint; exit 1 if any finding
@@ -223,6 +233,14 @@ bool stdout_banned(const std::string& path) {
 bool in_concurrency_scope(const std::string& path) {
   return path.find("src/") != std::string::npos ||
          path.find("lint_fixtures/tsa_") != std::string::npos;
+}
+
+/// The farm-shared-state rule: the worker-pool library itself, plus its
+/// seeded fixture (which also matches the tsa_ concurrency opt-in above, so
+/// fixture lines carry markers for every rule that fires on them).
+bool in_farm_scope(const std::string& path) {
+  return path.find("src/farm/") != std::string::npos ||
+         path.find("lint_fixtures/tsa_farm") != std::string::npos;
 }
 
 /// Tree-scan exclusion: configured build trees (any directory component
@@ -624,6 +642,82 @@ struct FileLint {
     }
   }
 
+  void rule_farm_shared_state() {
+    if (!in_farm_scope(path)) return;
+    // Part 1: statics. Stricter than shared-mutable-static — thread_local
+    // is NOT exempt here. Pool threads are reused across batches and cells,
+    // so thread_local state survives from one run into the next and makes a
+    // result depend on which worker executed it: exactly the failure the
+    // farm's bit-identity contract forbids.
+    {
+      static const std::regex re(R"(\bstatic\b)");
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+           it != std::sregex_iterator(); ++it) {
+        const std::size_t at = static_cast<std::size_t>(it->position());
+        const std::size_t after = at + 6;
+        if (code.compare(after, 1, "_") == 0) continue;  // static_cast/assert
+        const std::size_t end = code.find_first_of(";{", after);
+        if (end == std::string::npos || end - after > 500) continue;
+        const std::string decl = code.substr(after, end - after);
+        if (std::regex_search(decl, std::regex(R"(\bconst(?:expr|init)?\b)")))
+          continue;
+        const std::size_t paren = decl.find('(');
+        const std::size_t eq = decl.find('=');
+        if (paren != std::string::npos &&
+            (eq == std::string::npos || paren < eq))
+          continue;  // function declarator, not data
+        if (std::regex_search(decl, std::regex(R"(^\s*$)"))) continue;
+        const bool tl = decl.find("thread_local") != std::string::npos;
+        add(line_of(code, at), "farm-shared-state",
+            tl ? "thread_local static in farm code outlives a run: pool "
+                 "threads are reused, so sticky per-thread state breaks "
+                 "serial-vs-threaded bit-identity; pass state through "
+                 "run-local objects instead"
+               : "mutable static in farm code is shared across workers; "
+                 "the farm's determinism contract requires all mutable "
+                 "state to be run-local");
+      }
+    }
+    // Part 2: every farm class must declare its thread role. A head marker
+    // (LIPS_EXTERNALLY_SYNCHRONIZED / LIPS_PER_THREAD) covers the whole
+    // class; otherwise each mutable data member needs its own annotation.
+    for (const ClassInfo& ci : classes) {
+      const bool class_marked =
+          ci.head.find("LIPS_EXTERNALLY_SYNCHRONIZED") != std::string::npos ||
+          ci.head.find("LIPS_PER_THREAD") != std::string::npos;
+      if (class_marked) continue;
+      static const std::regex data_member(
+          R"(\b(?:[A-Za-z_][\w:<>,&*\s]*?)\s[&*]?([A-Za-z_]\w*)\s*(?:;|=|\{))");
+      for (const MemberStmt& m : ci.members) {
+        const std::string& t = m.text;
+        if (t.find("LIPS_GUARDED_BY") != std::string::npos) continue;
+        if (t.find("LIPS_PER_THREAD") != std::string::npos) continue;
+        if (std::regex_search(
+                t, std::regex(R"(\b(?:static|const|constexpr|using|typedef)"
+                              R"(|friend|atomic|enum|class|struct|Mutex)\b)")))
+          continue;
+        const std::size_t paren = t.find('(');
+        const std::size_t eq = t.find('=');
+        const std::size_t brace = t.find('{');
+        const std::size_t init = std::min(eq, brace);
+        if (paren != std::string::npos &&
+            (init == std::string::npos || paren < init))
+          continue;  // member function
+        if (t.find('&') != std::string::npos &&
+            t.find("&&") == std::string::npos && paren == std::string::npos &&
+            init == std::string::npos)
+          continue;  // reference member (non-reseatable)
+        std::smatch sm;
+        if (!std::regex_search(t, sm, data_member)) continue;
+        add(line_of(code, m.offset), "farm-shared-state",
+            "member '" + sm[1].str() + "' of farm class '" + ci.name +
+                "' has no declared thread role; mark the class "
+                "LIPS_EXTERNALLY_SYNCHRONIZED / LIPS_PER_THREAD or annotate "
+                "the member (DESIGN.md §13 determinism contract)");
+      }
+    }
+  }
+
   void run() {
     parse();
     rule_raw_cost_double();
@@ -639,6 +733,7 @@ struct FileLint {
     rule_raw_mutex();
     rule_rng_by_ref_escape();
     rule_unguarded_member_mutation();
+    rule_farm_shared_state();
   }
 };
 

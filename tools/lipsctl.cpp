@@ -1,6 +1,20 @@
 // lipsctl — run ad-hoc scheduler comparisons from the command line.
 //
 // Usage:
+//   lipsctl sweep [--cell SPEC]... [--threads N] [--seed S]
+//                 [--seeds MAX] [--min-seeds N] [--batch-seeds N]
+//                 [--target-halfwidth X] [--out FILE]
+//                            (Monte Carlo sweep on the simulation farm —
+//                             src/farm. Each --cell is a scenario spec, e.g.
+//                             "name=storm,mtbf=3600,sched=delay+lips"
+//                             (farm/scenario.hpp vocabulary); every cell
+//                             runs across many seeds on worker threads,
+//                             bit-identical to a serial sweep, and prints
+//                             the savings distribution (mean, p5/p50/p95,
+//                             95% CI half-width). The stop rule ends a cell
+//                             early once the CI is tighter than
+//                             --target-halfwidth. --out writes the
+//                             canonical BENCH_sweep.json)
 //   lipsctl [--nodes N] [--c1 FRAC] [--small FRAC] [--zones Z]
 //           [--workload table4|swim|random] [--jobs N] [--tasks N]
 //           [--epoch SECONDS] [--seed S]
@@ -62,10 +76,16 @@
 #include <optional>
 #include <sstream>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "ckpt/store.hpp"
 #include "ckpt/write_faults.hpp"
 #include "common/build_info.hpp"
 #include "common/table.hpp"
+#include "farm/farm.hpp"
+#include "farm/sweep_json.hpp"
 #include "obs/export.hpp"
 #include "core/lips_policy.hpp"
 #include "lp/solver_faults.hpp"
@@ -217,9 +237,126 @@ workload::Workload make_workload(const Args& a, const cluster::Cluster& c) {
   std::exit(2);
 }
 
+[[noreturn]] void sweep_usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " sweep [--cell SPEC]... [--threads N] [--seed S]\n"
+               "       [--seeds MAX] [--min-seeds N] [--batch-seeds N]\n"
+               "       [--target-halfwidth X] [--out FILE]\n"
+               "cell spec keys: name, workload, sched (e.g. delay+lips), vs,\n"
+               "  stat, nodes, c1, small, zones, jobs, tasks, epoch,\n"
+               "  replication, prune_machines, prune_stores, mtbf, mttr,\n"
+               "  permanent, revoke, warn, storeloss, degrade, slowdown,\n"
+               "  slowdown_factor, slowdown_window, horizon, ...\n";
+  std::exit(2);
+}
+
+int sweep_main(int argc, char** argv) {
+  farm::SweepConfig cfg;
+  cfg.threads = std::max(1u, std::thread::hardware_concurrency());
+  cfg.stop.min_seeds = 8;
+  cfg.stop.max_seeds = 32;
+  cfg.stop.batch_seeds = 8;
+  cfg.stop.target_half_width = 0.02;
+  std::string out_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) sweep_usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--cell") {
+      try {
+        cfg.cells.push_back(farm::parse_scenario_spec(value()));
+      } catch (const std::exception& e) {
+        std::cerr << "bad --cell spec: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (flag == "--threads") {
+      cfg.threads = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--seed") {
+      cfg.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--seeds") {
+      cfg.stop.max_seeds = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--min-seeds") {
+      cfg.stop.min_seeds = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--batch-seeds") {
+      cfg.stop.batch_seeds = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (flag == "--target-halfwidth") {
+      cfg.stop.target_half_width = std::atof(value().c_str());
+    } else if (flag == "--out") {
+      out_file = value();
+    } else {
+      sweep_usage(argv[0]);
+    }
+  }
+  if (cfg.stop.min_seeds > cfg.stop.max_seeds)
+    cfg.stop.min_seeds = cfg.stop.max_seeds;
+  if (cfg.cells.empty())
+    cfg.cells.push_back(farm::parse_scenario_spec("name=baseline"));
+
+  std::cout << "sweep: " << cfg.cells.size() << " cell(s), seeds "
+            << cfg.stop.min_seeds << ".." << cfg.stop.max_seeds
+            << " (batch " << cfg.stop.batch_seeds << ", target CI ±"
+            << Table::pct(cfg.stop.target_half_width) << "), "
+            << cfg.threads << " thread(s), master seed " << cfg.seed << "\n";
+
+  obs::MetricRegistry metrics;
+  cfg.metrics = &metrics;
+  // A sweep's *results* are deterministic; its wall clock is telemetry the
+  // farm itself never reads (that is the callers' job, here and in bench/).
+  const auto t0 = std::chrono::steady_clock::now();  // lips-lint: allow(nondet-time)
+  farm::SweepResult sweep;
+  try {
+    sweep = farm::run_sweep(cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "sweep failed: " << e.what() << "\n";
+    return 1;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - t0)  // lips-lint: allow(nondet-time)
+          .count();
+
+  Table t;
+  t.set_header({"scenario", "stat", "seeds", "mean", "±95% CI", "p5", "p50",
+                "p95", "stopped early", "ledgers"});
+  bool all_reconcile = true;
+  for (const farm::CellResult& c : sweep.cells) {
+    const farm::CellStats& st = c.stats;
+    // Savings cells format as percents; dollar cells as plain numbers.
+    const bool pct = c.spec.stat_is_savings();
+    auto fmt = [&](double v) {
+      return pct ? Table::pct(v) : Table::num(v, 3);
+    };
+    t.add_row({c.spec.name, pct ? "savings" : "cost_usd",
+               std::to_string(st.n), fmt(st.mean), fmt(st.half_width),
+               fmt(st.p5), fmt(st.p50), fmt(st.p95),
+               c.stopped_early ? "yes" : "no",
+               c.ledgers_reconcile ? "ok" : "MISMATCH"});
+    all_reconcile = all_reconcile && c.ledgers_reconcile;
+  }
+  t.print(std::cout);
+  std::cout << sweep.total_runs << " runs on " << sweep.threads
+            << " thread(s) in " << Table::num(wall_s, 2)
+            << " s; farm_runs_total = "
+            << metrics.counter("farm_runs_total").value() << "\n";
+
+  if (!out_file.empty()) {
+    farm::SweepMeta meta;
+    meta.bench = "sweep";
+    meta.wall_time_s = wall_s;
+    std::ofstream out = obs::open_output(out_file);
+    farm::write_sweep_json(sweep, meta, out);
+    std::cout << "sweep artifact written to " << out_file << "\n";
+  }
+  return all_reconcile ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+    return sweep_main(argc - 1, argv + 1);
   const Args args = parse(argc, argv);
   const cluster::Cluster c =
       cluster::make_ec2_cluster(args.nodes, args.c1, args.zones, args.small);
