@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -173,9 +174,20 @@ int check_obs_overhead() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
+  // Strict argv: the only flags this binary owns are --check-*; everything
+  // starting with --benchmark_ is passed through to the benchmark library.
+  // An unknown flag (e.g. a typo'd --check-obs-overhed) is a hard error —
+  // silently running the full suite instead would mask the mistake.
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check-obs-overhead") == 0)
       return check_obs_overhead();
+    if (std::strncmp(argv[i], "--benchmark_", 12) != 0) {
+      std::cerr << "bench_fig9_fig10_scale: unknown flag: " << argv[i]
+                << "\nusage: bench_fig9_fig10_scale [--check-obs-overhead]"
+                   " [--benchmark_*...]\n";
+      return 64;  // EX_USAGE
+    }
+  }
   const ScaleResult s = run_scale(400);
   print_tables(s);
   bench::write_bench_records(

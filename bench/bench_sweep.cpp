@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iostream>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -246,8 +247,17 @@ BENCHMARK(BM_SweepThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strict argv: --check-speedup is ours, --benchmark_* belongs to the
+  // benchmark library, anything else (typos included) is a hard error
+  // rather than a silent full-suite run.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check-speedup") == 0) return check_speedup();
+    if (std::strncmp(argv[i], "--benchmark_", 12) != 0) {
+      std::cerr << "bench_sweep: unknown flag: " << argv[i]
+                << "\nusage: bench_sweep [--check-speedup]"
+                   " [--benchmark_*...]\n";
+      return 64;  // EX_USAGE
+    }
   }
   run_table();
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,47 @@
+// Time source seam for scheduling policies.
+//
+// Inside the simulator, "now" is the discrete-event clock surfaced through
+// sched::ClusterState::now(). A long-running service (lipsd) has no
+// simulator: its sessions are driven by wire events that carry their own
+// timestamps. ClockSource abstracts "what time does the policy think it is"
+// so core::LipsPolicy prices spot schedules and stamps epoch models off an
+// injected clock instead of reaching into the simulator — the decoupling the
+// ROADMAP's daemon direction requires. When no clock is injected the policy
+// falls back to ClusterState::now(), so every existing simulator path is
+// bit-identical to the pre-seam behavior (tests/test_svc.cpp proves the two
+// paths agree bit for bit across seeded runs).
+//
+// This is *simulated/model* time, never wall time — the nondet-time lint
+// rule still bans wall-clock reads everywhere outside bench/.
+#pragma once
+
+namespace lips {
+
+/// Read-only time source. Implementations return seconds on the same axis
+/// the driving events use (the simulator clock, or a session's mirrored
+/// event time).
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  /// Current time in seconds.
+  [[nodiscard]] virtual double now_s() const = 0;
+};
+
+/// Explicitly advanced clock.
+///
+/// Thread role: per-thread (LIPS_EXTERNALLY_SYNCHRONIZED) — the owner
+/// advances it between policy callbacks; the policy only reads it during a
+/// callback on the same thread.
+class ManualClock final : public ClockSource {
+ public:
+  explicit ManualClock(double t = 0.0) : t_(t) {}
+  [[nodiscard]] double now_s() const override { return t_; }
+  /// Set the current time. Callers advance monotonically in practice, but
+  /// the clock itself does not enforce it (restore rewinds it).
+  void set(double t) { t_ = t; }
+
+ private:
+  double t_ = 0.0;
+};
+
+}  // namespace lips

@@ -14,7 +14,7 @@ SpecBinder& SpecBinder::add(
     std::function<void(const std::string&, double)> apply) {
   for (const Field& f : fields_)
     LIPS_REQUIRE(f.key != key, domain_ + " key bound twice: " + key);
-  fields_.push_back(Field{key, std::move(apply)});
+  fields_.push_back(Field{key, std::move(apply), nullptr});
   return *this;
 }
 
@@ -46,6 +46,20 @@ SpecBinder& SpecBinder::count(const std::string& key, std::size_t* out) {
                  domain_ + " key '" + key + "' overflows 64 bits: " + entry);
     *out = static_cast<std::size_t>(v);
   });
+}
+
+SpecBinder& SpecBinder::text(const std::string& key, std::string* out) {
+  for (const Field& f : fields_)
+    LIPS_REQUIRE(f.key != key, domain_ + " key bound twice: " + key);
+  Field field;
+  field.key = key;
+  field.apply_text = [this, key, out](const std::string& value) {
+    LIPS_REQUIRE(!value.empty(),
+                 domain_ + " key '" + key + "' needs a non-empty value");
+    *out = value;
+  };
+  fields_.push_back(std::move(field));
+  return *this;
 }
 
 SpecBinder& SpecBinder::seed(const std::string& key, std::uint64_t* out) {
@@ -84,10 +98,6 @@ void SpecBinder::parse(const std::string& spec) const {
     const std::string value = entry.substr(eq + 1);
     LIPS_REQUIRE(seen.insert(key).second,
                  domain_ + " key given twice: " + key);
-    char* end = nullptr;
-    const double v = std::strtod(value.c_str(), &end);
-    LIPS_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
-                 domain_ + " value is not a number: " + entry);
     const Field* field = nullptr;
     for (const Field& f : fields_) {
       if (f.key == key) {
@@ -97,6 +107,14 @@ void SpecBinder::parse(const std::string& spec) const {
     }
     LIPS_REQUIRE(field != nullptr, "unknown " + domain_ + " key: " + key +
                                        " (known: " + known_keys() + ")");
+    if (field->apply_text) {
+      field->apply_text(value);
+      continue;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    LIPS_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+                 domain_ + " value is not a number: " + entry);
     field->apply(entry, v);
   }
 }

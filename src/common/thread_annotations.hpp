@@ -32,6 +32,7 @@
 //                 synchronized per instance (CheckpointDir).
 #pragma once
 
+#include <condition_variable>
 #include <mutex>  // lips-lint: allow(raw-mutex)
 
 // clang implements the analysis attributes; GCC parses none of them. Gate on
@@ -117,6 +118,30 @@ class LIPS_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// Condition variable paired with lips::Mutex (condition_variable_any over
+/// the annotated mutex, so no raw std::mutex leaks back in). wait() requires
+/// the capability: it atomically releases `mu` while blocked and re-acquires
+/// before returning, which is exactly the REQUIRES contract at entry and
+/// exit — the only window clang cannot see is the blocked interval, during
+/// which the caller by definition touches nothing guarded.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) LIPS_REQUIRES(mu) { cv_.wait(mu); }
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) LIPS_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace lips

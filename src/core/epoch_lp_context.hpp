@@ -22,6 +22,12 @@
 // A context is bound to one (cluster, workload) pair for its useful life;
 // pointing it at different objects is safe (the structure key mismatches and
 // it rebuilds) but defeats the caching.
+//
+// Clock independence: the context never reads a clock of any kind — time
+// enters only through ModelOptions::price_time, stamped by the caller
+// (LipsPolicy resolves it through its ClockSource seam, common/clock.hpp).
+// That is what lets one EpochLpContext serve a lipsd session with no
+// simulator behind it.
 #pragma once
 
 #include <vector>

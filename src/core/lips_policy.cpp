@@ -319,7 +319,7 @@ void LipsPolicy::replan(const sched::ClusterState& state) {
 
   lp_solves_ += 1;
   ModelOptions model = options_.model;
-  model.price_time = state.now();  // honor spot-price schedules
+  model.price_time = decision_time(state);  // honor spot-price schedules
   // Down machines cannot run work and spot-warned ones are about to die;
   // wiped stores must not be chosen as placement targets. Straggler
   // feedback can add further exclusions (quarantine) on top.
@@ -620,7 +620,7 @@ void LipsPolicy::fallback_plan(const sched::ClusterState& state) {
         if (!state.machine_up(MachineId{m}) || doomed_.count(m) > 0) continue;
         if (pass == 0 && quarantined_.count(m) > 0) continue;
         Millicents cost = CpuSeconds::ecu_s(t.cpu_ecu_s) *
-                          c.cpu_price_mc_at(MachineId{m}, state.now());
+                          c.cpu_price_mc_at(MachineId{m}, decision_time(state));
         if (source)
           cost += Bytes::mb(t.input_mb) *
                   c.ms_cost_mc_per_mb(MachineId{m}, *source);

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/clock.hpp"
 #include "core/epoch_lp_context.hpp"
 #include "core/lp_models.hpp"
 #include "core/rounding.hpp"
@@ -66,6 +67,13 @@ struct LipsPolicyOptions {
   /// fails validation is treated like a failed solve and the degradation
   /// ladder escalates. One extra O(nnz) pass per replan.
   bool validate_schedules = true;
+
+  /// Time source for spot-price resolution and epoch-model stamping
+  /// (common/clock.hpp). Null (the default) reads ClusterState::now() — the
+  /// simulator path, bit-identical to the pre-seam behavior. lipsd sessions
+  /// inject a ManualClock advanced from wire events, which is how the policy
+  /// runs without a simulator at all. Non-owning; must outlive the policy.
+  const ClockSource* clock = nullptr;
 };
 
 class LipsPolicy : public sched::Scheduler {
@@ -208,6 +216,12 @@ class LipsPolicy : public sched::Scheduler {
     double required_fraction = 0.0;  ///< presence threshold to open
   };
 
+  /// The policy's notion of "now": the injected ClockSource when one is
+  /// configured, the simulator clock otherwise. Every time read inside the
+  /// policy goes through here — the decoupling seam the service relies on.
+  [[nodiscard]] double decision_time(const sched::ClusterState& state) const {
+    return options_.clock != nullptr ? options_.clock->now_s() : state.now();
+  }
   /// Rebuild the plan from the current queue (epoch tick or fault).
   void replan(const sched::ClusterState& state);
   /// Fill model.machine_throughput_factor from observed throughput and mark

@@ -4,15 +4,14 @@
 
 #include "cluster/cluster.hpp"
 #include "common/error.hpp"
-#include "common/rng.hpp"
 #include "core/lips_policy.hpp"
+#include "farm/recipe.hpp"
 #include "obs/obs.hpp"
 #include "sched/delay_scheduler.hpp"
 #include "sched/fair_scheduler.hpp"
 #include "sched/fifo_scheduler.hpp"
 #include "sched/flow_scheduler.hpp"
 #include "sim/simulator.hpp"
-#include "workload/swim.hpp"
 #include "workload/workload.hpp"
 
 namespace lips::farm {
@@ -29,19 +28,6 @@ std::vector<obs::MetricRegistry::Sample> deterministic_samples(
     return s.name == "lips_lp_solve_duration_ms";
   });
   return samples;
-}
-
-workload::Workload make_workload(const ScenarioSpec& sc,
-                                 const cluster::Cluster& c, Rng& rng) {
-  if (sc.workload == "swim") {
-    workload::SwimParams sp;
-    sp.n_jobs = sc.jobs;
-    return workload::make_swim_workload(sp, c, rng).workload;
-  }
-  if (sc.workload == "table4") return workload::make_table4_workload(c, rng);
-  workload::RandomWorkloadParams wp;
-  wp.n_tasks = sc.tasks;
-  return workload::make_random_workload(wp, c, rng);
 }
 
 /// Build the policy and the scheduler-specific SimConfig deltas, mirroring
@@ -66,16 +52,10 @@ std::unique_ptr<sched::Scheduler> make_policy(const ScenarioSpec& sc,
     return std::make_unique<sched::QuincyFlowScheduler>();
   LIPS_REQUIRE(ss.name == "lips",
                "farm: unknown scheduler '" + ss.name + "'");
-  core::LipsPolicyOptions lo;
-  lo.epoch_s = sc.epoch_s;
-  lo.model.max_candidate_machines = sc.prune_machines;
-  lo.model.max_candidate_stores = sc.prune_stores;
-  lo.throughput_feedback = ss.feedback;
-  if (!ss.feedback) lo.quarantine_below = 0.0;
-  cfg.hdfs_replication = 1;  // LiPS manages placement itself
-  cfg.speculative_execution = false;
-  cfg.task_timeout_s = sc.lips_timeout_s;
-  return std::make_unique<core::LipsPolicy>(lo);
+  // Replication seed is already on cfg (run_one stamps it for every
+  // scheduler); apply_lips_sim_config re-stamping it is a no-op here.
+  apply_lips_sim_config(sc, cfg.replication_seed, cfg);
+  return std::make_unique<core::LipsPolicy>(make_lips_options(sc, ss));
 }
 
 void apply_speculation(const SchedulerSpec& ss, sim::SimConfig& cfg) {
@@ -111,16 +91,12 @@ RunResult run_one(const ScenarioSpec& spec, std::size_t cell,
   // (cheap, deterministic in its parameters), the workload and storm are
   // drawn from this run's own Rng stream, and each scheduler run gets a
   // fresh ledger + registry, so nothing is shared across concurrent calls.
-  const cluster::Cluster c = cluster::make_ec2_cluster(
-      spec.nodes, spec.c1_fraction, spec.zones, spec.small_fraction);
-  Rng rng(seed);
-  const workload::Workload w = make_workload(spec, c, rng);
-  sim::FaultPlan plan;
-  if (spec.has_storm()) {
-    sim::FaultStormParams p = spec.storm;
-    p.seed = rng.next();  // storm varies per seed — a Monte Carlo axis
-    plan = sim::make_fault_storm(p, c.machine_count(), c.store_count());
-  }
+  // The recipe is shared with lipsd (farm/recipe.hpp): a service session
+  // and a replaying client rebuild this exact world from (spec, seed).
+  const RunInputs inputs = make_run_inputs(spec, seed);
+  const cluster::Cluster& c = inputs.cluster;
+  const workload::Workload& w = inputs.workload;
+  const sim::FaultPlan& plan = inputs.faults;
 
   out.ledgers_reconcile = true;
   for (const SchedulerSpec& ss : spec.resolved_schedulers()) {

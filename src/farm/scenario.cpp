@@ -39,44 +39,19 @@ bool known_scheduler(const std::string& name) {
 
 ScenarioSpec parse_scenario_spec(const std::string& spec) {
   ScenarioSpec sc;
-  // Route the string-valued keys by hand, collect the numeric remainder for
-  // SpecBinder (which owns the duplicate/range/unknown-key diagnostics).
-  std::string numeric;
-  std::stringstream ss(spec);
-  std::string entry;
-  while (std::getline(ss, entry, ',')) {
-    if (entry.empty()) continue;
-    const std::size_t eq = entry.find('=');
-    LIPS_REQUIRE(eq != std::string::npos,
-                 "scenario spec: entry '" + entry + "' is not key=value");
-    const std::string key = entry.substr(0, eq);
-    const std::string value = entry.substr(eq + 1);
-    if (key == "name") {
-      sc.name = value;
-    } else if (key == "workload") {
-      sc.workload = value;
-    } else if (key == "sched") {
-      sc.schedulers.clear();
-      std::stringstream names(value);
-      std::string n;
-      while (std::getline(names, n, '+')) {
-        if (n.empty()) continue;
-        SchedulerSpec s;
-        s.name = n;
-        sc.schedulers.push_back(std::move(s));
-      }
-    } else if (key == "vs" || key == "baseline") {
-      sc.savings_vs = value;
-    } else if (key == "stat") {
-      sc.stat_scheduler = value;
-    } else {
-      if (!numeric.empty()) numeric += ',';
-      numeric += entry;
-    }
-  }
+  // String-valued keys ride SpecBinder::text, so every key — numeric or
+  // text — shares one diagnostic surface (duplicates, unknown keys listing
+  // the accepted set, empty values).
   double zones = static_cast<double>(sc.zones);
+  std::string sched_list;
   SpecBinder binder("scenario spec");
-  binder.count("nodes", &sc.nodes)
+  binder.text("name", &sc.name)
+      .text("workload", &sc.workload)
+      .text("sched", &sched_list)
+      .text("vs", &sc.savings_vs)
+      .text("baseline", &sc.savings_vs)
+      .text("stat", &sc.stat_scheduler)
+      .count("nodes", &sc.nodes)
       .probability("c1", &sc.c1_fraction)
       .probability("small", &sc.small_fraction)
       .number("zones", &zones)
@@ -99,7 +74,18 @@ ScenarioSpec parse_scenario_spec(const std::string& spec) {
       .number("slowdown_factor", &sc.storm.slowdown_factor)
       .number("slowdown_window", &sc.storm.slowdown_window_s)
       .number("horizon", &sc.storm.horizon_s);
-  binder.parse(numeric);
+  binder.parse(spec);
+  if (!sched_list.empty()) {
+    sc.schedulers.clear();
+    std::stringstream names(sched_list);
+    std::string n;
+    while (std::getline(names, n, '+')) {
+      if (n.empty()) continue;
+      SchedulerSpec s;
+      s.name = n;
+      sc.schedulers.push_back(std::move(s));
+    }
+  }
   LIPS_REQUIRE(zones >= 1.0, "scenario spec: zones must be >= 1");
   sc.zones = static_cast<std::size_t>(zones);
   validate_scenario(sc);

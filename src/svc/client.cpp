@@ -1,0 +1,372 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/lips_policy.hpp"
+#include "farm/recipe.hpp"
+#include "obs/ledger.hpp"
+#include "sim/simulator.hpp"
+
+namespace lips::svc {
+
+namespace {
+
+void write_all(int fd, const std::string& bytes) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LIPS_REQUIRE(false, "svc client: write failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+[[nodiscard]] bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Bitwise double equality — the determinism bar, stricter than == (which
+/// would conflate -0.0/0.0 and fail NaN).
+[[nodiscard]] bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+LineClient LineClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LIPS_REQUIRE(!path.empty() && path.size() < sizeof(addr.sun_path),
+               "svc client: bad socket path: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  LIPS_REQUIRE(fd >= 0, "svc client: socket() failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    LIPS_REQUIRE(false, "svc client: connect(" + path + ") failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  return LineClient(fd);
+}
+
+LineClient::~LineClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+  other.fd_ = -1;
+}
+
+std::string LineClient::read_line() {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LIPS_REQUIRE(false, "svc client: read failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    LIPS_REQUIRE(n != 0, "svc client: connection closed mid-reply");
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Response LineClient::request(const std::string& line) {
+  LIPS_REQUIRE(fd_ >= 0, "svc client: not connected");
+  write_all(fd_, line + "\n");
+  Response resp;
+  for (;;) {
+    const std::string reply = read_line();
+    if (starts_with(reply, "OK ") || starts_with(reply, "BUSY ") ||
+        starts_with(reply, "ERR ")) {
+      const std::vector<std::string> tok = split(reply, ' ');
+      resp.seq = parse_u64(tok[1]);
+      if (tok[0] == "OK") {
+        resp.status = Response::Status::Ok;
+        if (tok.size() > 2) resp.spec = tok[2];
+      } else if (tok[0] == "BUSY") {
+        resp.status = Response::Status::Busy;
+      } else {
+        resp.status = Response::Status::Err;
+        if (tok.size() > 2) resp.code = tok[2];
+        // Detail = everything after the third space ("ERR <seq> <code> ...").
+        std::size_t pos = 0;
+        for (int i = 0; i < 3 && pos != std::string::npos; ++i) {
+          pos = reply.find(' ', pos);
+          if (pos != std::string::npos) ++pos;
+        }
+        if (pos != std::string::npos && pos < reply.size())
+          resp.detail = reply.substr(pos);
+      }
+      return resp;
+    }
+    resp.data.push_back(reply);
+  }
+}
+
+Response LineClient::request_ok(const std::string& line) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    Response resp = request(line);
+    if (resp.status == Response::Status::Busy) {
+      // Explicit backpressure: the session queue is full; yield and retry.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    LIPS_REQUIRE(resp.ok(), "svc client: " + line.substr(0, 32) +
+                                " failed: " + resp.code + " " + resp.detail);
+    return resp;
+  }
+  LIPS_REQUIRE(false, "svc client: session stayed busy: " + line);
+  return {};
+}
+
+// --- RemotePolicy -----------------------------------------------------------
+
+WireState capture_state(const sched::ClusterState& state) {
+  WireState ws;
+  ws.now = state.now();
+  const std::span<const std::size_t> pending = state.pending();
+  ws.pending.assign(pending.begin(), pending.end());
+  const std::size_t machines = state.cluster().machine_count();
+  const std::size_t stores = state.cluster().store_count();
+  const std::size_t objects = state.workload().data_count();
+  for (std::size_t m = 0; m < machines; ++m) {
+    if (!state.machine_up(MachineId{m})) ws.machines_down.push_back(m);
+    const double tp = state.observed_throughput(MachineId{m});
+    if (tp != 1.0) ws.throughput.emplace_back(m, tp);
+  }
+  for (std::size_t s = 0; s < stores; ++s)
+    if (!state.store_up(StoreId{s})) ws.stores_down.push_back(s);
+  for (std::size_t d = 0; d < objects; ++d) {
+    for (std::size_t s = 0; s < stores; ++s) {
+      const double f = state.stored_fraction(DataId{d}, StoreId{s});
+      if (f != 0.0) ws.fractions.push_back(WireFraction{d, s, f});
+    }
+  }
+  return ws;
+}
+
+RemotePolicy::RemotePolicy(LineClient& client, double epoch_s)
+    : client_(client), epoch_s_(epoch_s) {}
+
+void RemotePolicy::sync_state(const sched::ClusterState& state) {
+  (void)client_.request_ok("STATE " + encode_state(capture_state(state)));
+}
+
+void RemotePolicy::on_epoch(const sched::ClusterState& state) {
+  sync_state(state);
+  (void)client_.request_ok("TICK");
+}
+
+std::vector<sched::DataMove> RemotePolicy::take_data_moves() {
+  const Response resp = client_.request_ok("MOVES?");
+  std::vector<sched::DataMove> moves;
+  for (const std::string& line : resp.data) {
+    LIPS_REQUIRE(starts_with(line, "MOVE "),
+                 "svc client: unexpected MOVES? data line: " + line);
+    const auto kv = parse_kv(line.substr(5));
+    sched::DataMove mv;
+    mv.data = DataId{static_cast<std::size_t>(parse_u64(*kv_get(kv, "data")))};
+    mv.from = StoreId{static_cast<std::size_t>(parse_u64(*kv_get(kv, "from")))};
+    mv.to = StoreId{static_cast<std::size_t>(parse_u64(*kv_get(kv, "to")))};
+    mv.fraction = parse_f64(*kv_get(kv, "frac"));
+    moves.push_back(mv);
+  }
+  return moves;
+}
+
+std::optional<sched::LaunchDecision> RemotePolicy::on_slot_available(
+    MachineId machine, const sched::ClusterState& state) {
+  sync_state(state);
+  const Response resp = client_.request_ok(
+      "SLOT m=" + std::to_string(machine.value()));
+  const auto kv = parse_kv(resp.spec);
+  if (kv_get(kv, "idle").has_value()) return std::nullopt;
+  sched::LaunchDecision d;
+  d.task = static_cast<std::size_t>(parse_u64(*kv_get(kv, "task")));
+  if (const std::optional<std::string> store = kv_get(kv, "store"))
+    d.read_from = StoreId{static_cast<std::size_t>(parse_u64(*store))};
+  return d;
+}
+
+void RemotePolicy::on_job_arrival(JobId job,
+                                  const sched::ClusterState& state) {
+  sync_state(state);
+  // The job's freshly-arrived tasks are pending right now; stream their
+  // descriptors so the server never re-derives task splitting.
+  std::vector<WireTask> tasks;
+  for (const std::size_t id : state.pending()) {
+    const sched::SimTask& t = state.task(id);
+    if (t.job != job) continue;
+    WireTask wt;
+    wt.id = id;
+    wt.job = t.job.value();
+    wt.index_in_job = t.index_in_job;
+    wt.input_mb = t.input_mb;
+    wt.cpu_ecu_s = t.cpu_ecu_s;
+    if (t.data.has_value()) wt.data = t.data->value();
+    tasks.push_back(wt);
+  }
+  (void)client_.request_ok("JOB job=" + std::to_string(job.value()) +
+                           ",tasks=" + encode_tasks(tasks));
+}
+
+void RemotePolicy::on_task_complete(std::size_t task, MachineId machine,
+                                    const sched::ClusterState& state) {
+  sync_state(state);
+  (void)client_.request_ok("TASK id=" + std::to_string(task) +
+                           ",m=" + std::to_string(machine.value()));
+}
+
+void RemotePolicy::on_machine_lost(MachineId machine,
+                                   const sched::ClusterState& state) {
+  sync_state(state);
+  (void)client_.request_ok("MACHINE down m=" +
+                           std::to_string(machine.value()));
+}
+
+void RemotePolicy::on_machine_restored(MachineId machine,
+                                       const sched::ClusterState& state) {
+  sync_state(state);
+  (void)client_.request_ok("MACHINE up m=" + std::to_string(machine.value()));
+}
+
+void RemotePolicy::on_store_lost(StoreId store,
+                                 const sched::ClusterState& state) {
+  sync_state(state);
+  (void)client_.request_ok("STORE down s=" + std::to_string(store.value()));
+}
+
+void RemotePolicy::on_spot_warning(MachineId machine, double revoke_time_s,
+                                   const sched::ClusterState& state) {
+  sync_state(state);
+  (void)client_.request_ok("MACHINE warn m=" +
+                           std::to_string(machine.value()) +
+                           ",at=" + hex_f64(revoke_time_s));
+}
+
+// --- replay comparison ------------------------------------------------------
+
+namespace {
+
+/// ',' owns the outer OPEN spec; scenario entries travel with ';'.
+std::string escape_scenario(std::string s) {
+  for (char& c : s)
+    if (c == ',') c = ';';
+  return s;
+}
+
+}  // namespace
+
+ReplayComparison replay_and_compare(const std::string& socket_path,
+                                    const std::string& scenario_spec,
+                                    std::uint64_t seed,
+                                    const std::string& session) {
+  const farm::ScenarioSpec sc = farm::parse_scenario_spec(scenario_spec);
+  ReplayComparison out;
+
+  // In-process reference run. The ledger rides through cfg.obs (the
+  // simulator re-wires the policy's observer from there); only the policy
+  // posts FakeNodeCarry, so its fold is comparable to the session ledger's.
+  obs::CostLedger local_ledger;
+  core::LipsPolicy local_policy(
+      farm::make_lips_options(sc, farm::SchedulerSpec{}));
+  sim::SimResult local;
+  {
+    const farm::RunInputs inputs = farm::make_run_inputs(sc, seed);
+    sim::SimConfig cfg;
+    cfg.faults = inputs.faults;
+    farm::apply_lips_sim_config(sc, seed, cfg);
+    cfg.obs.ledger = &local_ledger;
+    local = sim::simulate(inputs.cluster, inputs.workload, local_policy, cfg);
+  }
+
+  // Remote run: identical world, policy hosted by the daemon.
+  LineClient client = LineClient::connect_unix(socket_path);
+  std::string open = "OPEN session=" + session +
+                     ",seed=" + std::to_string(seed);
+  if (!scenario_spec.empty())
+    open += ",scenario=" + escape_scenario(scenario_spec);
+  (void)client.request_ok(open);
+  RemotePolicy proxy(client, sc.epoch_s);
+  sim::SimResult remote;
+  {
+    const farm::RunInputs inputs = farm::make_run_inputs(sc, seed);
+    sim::SimConfig cfg;
+    cfg.faults = inputs.faults;
+    farm::apply_lips_sim_config(sc, seed, cfg);
+    remote = sim::simulate(inputs.cluster, inputs.workload, proxy, cfg);
+  }
+
+  // Server-side witnesses.
+  const Response plan = client.request_ok("PLAN?");
+  const auto plan_kv = parse_kv(plan.spec);
+  const Response ledger = client.request_ok("LEDGER?");
+  std::optional<double> remote_carry_raw;
+  for (const std::string& line : ledger.data) {
+    if (!starts_with(line, "LEDGER ")) continue;
+    const auto kv = parse_kv(line.substr(7));
+    if (kv_get(kv, "meter") == std::optional<std::string>("fake_node_carry"))
+      remote_carry_raw = parse_f64(*kv_get(kv, "total"));
+  }
+  (void)client.request_ok("QUIT");
+
+  out.local_digest = local.schedule_digest;
+  out.remote_digest = remote.schedule_digest;
+  out.local_total = local.total_cost_mc;
+  out.remote_total = remote.total_cost_mc;
+  out.local_carry =
+      local_ledger.meter_total(obs::CostMeter::FakeNodeCarry);
+  out.remote_carry = Millicents::from_raw(remote_carry_raw.value_or(0.0));
+  out.local_lp_solves = local_policy.lp_solves();
+  out.remote_lp_solves =
+      static_cast<std::size_t>(parse_u64(*kv_get(plan_kv, "lp_solves")));
+
+  auto diverge = [&out](const std::string& what) {
+    if (out.divergence.empty()) out.divergence = what;
+  };
+  if (out.local_digest != out.remote_digest)
+    diverge("schedule_digest differs");
+  if (!same_bits(out.local_total.raw(), out.remote_total.raw()))
+    diverge("total_cost differs");
+  if (!same_bits(local.makespan_s, remote.makespan_s))
+    diverge("makespan differs");
+  if (local.epochs != remote.epochs) diverge("epoch count differs");
+  if (out.local_lp_solves != out.remote_lp_solves)
+    diverge("lp_solves differs");
+  if (!same_bits(local_policy.planned_cost_mc().raw(),
+                 parse_f64(*kv_get(plan_kv, "planned"))))
+    diverge("planned cost differs");
+  if (!same_bits(local_policy.fake_node_carry_mc().raw(),
+                 parse_f64(*kv_get(plan_kv, "carry"))))
+    diverge("fake-node carry differs");
+  if (!same_bits(out.local_carry.raw(), out.remote_carry.raw()))
+    diverge("FakeNodeCarry ledger fold differs");
+  out.identical = out.divergence.empty();
+  return out;
+}
+
+}  // namespace lips::svc

@@ -1,0 +1,134 @@
+// lipsd client: line transport, the RemotePolicy proxy, and the replay
+// comparison harness.
+//
+// RemotePolicy is the piece that turns the simulator into "just one client"
+// of the service (ISSUE 10): it implements sched::Scheduler by forwarding
+// every callback over the wire — a full `STATE` snapshot first (hexfloat
+// doubles, so the mirror is bit-exact), then the event command — and
+// translating replies back into LaunchDecisions/DataMoves. The simulator
+// cannot tell it from an in-process LipsPolicy, which is exactly the claim
+// replay_and_compare() verifies: run the same (scenario, seed) once
+// in-process and once through a daemon, and demand bit-identical schedule
+// digests, cost totals, plan counters, and FakeNodeCarry ledger folds.
+//
+// Thread role: a LineClient and its RemotePolicy belong to one thread (the
+// simulator driving them); concurrent tenants use one connection each.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "farm/scenario.hpp"
+#include "sched/scheduler.hpp"
+#include "svc/wire.hpp"
+
+namespace lips::svc {
+
+/// One request's outcome, data lines included.
+struct Response {
+  enum class Status : unsigned char { Ok, Busy, Err };
+  Status status = Status::Ok;
+  std::uint64_t seq = 0;
+  std::string spec;    ///< OK result spec (may be empty)
+  std::string code;    ///< ERR code
+  std::string detail;  ///< ERR detail
+  std::vector<std::string> data;
+
+  [[nodiscard]] bool ok() const { return status == Status::Ok; }
+};
+
+/// Blocking request/reply line transport over a connected stream fd.
+class LIPS_EXTERNALLY_SYNCHRONIZED LineClient {
+ public:
+  /// Connect to a lipsd unix socket; throws PreconditionError on failure.
+  [[nodiscard]] static LineClient connect_unix(const std::string& path);
+  /// Adopt an already-connected stream fd (socketpair tests, stdio).
+  explicit LineClient(int fd) : fd_(fd) {}
+  ~LineClient();
+
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&&) = delete;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Send one request line, collect data lines until the status line.
+  /// Throws PreconditionError on transport failure (EOF mid-reply).
+  [[nodiscard]] Response request(const std::string& line);
+
+  /// request() + retry on BUSY (bounded backoff) + throw on ERR — the
+  /// convenience wrapper every happy-path call site wants.
+  [[nodiscard]] Response request_ok(const std::string& line);
+
+ private:
+  [[nodiscard]] std::string read_line();
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// sched::Scheduler proxy that forwards every callback to a lipsd session
+/// already OPENed on `client`. `epoch_s` must match the server-side policy
+/// (both ends derive it from the same ScenarioSpec).
+class LIPS_EXTERNALLY_SYNCHRONIZED RemotePolicy final
+    : public sched::Scheduler {
+ public:
+  RemotePolicy(LineClient& client, double epoch_s);
+
+  [[nodiscard]] std::string name() const override { return "lips-remote"; }
+  [[nodiscard]] double epoch_s() const override { return epoch_s_; }
+
+  void on_epoch(const sched::ClusterState& state) override;
+  [[nodiscard]] std::vector<sched::DataMove> take_data_moves() override;
+  [[nodiscard]] std::optional<sched::LaunchDecision> on_slot_available(
+      MachineId machine, const sched::ClusterState& state) override;
+  void on_job_arrival(JobId job, const sched::ClusterState& state) override;
+  void on_task_complete(std::size_t task, MachineId machine,
+                        const sched::ClusterState& state) override;
+  void on_machine_lost(MachineId machine,
+                       const sched::ClusterState& state) override;
+  void on_machine_restored(MachineId machine,
+                           const sched::ClusterState& state) override;
+  void on_store_lost(StoreId store, const sched::ClusterState& state) override;
+  void on_spot_warning(MachineId machine, double revoke_time_s,
+                       const sched::ClusterState& state) override;
+
+ private:
+  /// Stream the full ClusterState slice the hosted policy may read.
+  void sync_state(const sched::ClusterState& state);
+
+  LineClient& client_;
+  const double epoch_s_;
+};
+
+/// Capture the full WireState for `state` — every value the hosted policy
+/// can observe (exposed for tests; RemotePolicy uses it per event).
+[[nodiscard]] WireState capture_state(const sched::ClusterState& state);
+
+/// Verdict of one remote-vs-local determinism comparison.
+struct ReplayComparison {
+  bool identical = false;
+  std::string divergence;  ///< empty when identical; first mismatch else
+  // Witnesses from both runs.
+  std::uint64_t local_digest = 0;
+  std::uint64_t remote_digest = 0;
+  Millicents local_total = Millicents::zero();
+  Millicents remote_total = Millicents::zero();
+  Millicents local_carry = Millicents::zero();   ///< ledger FakeNodeCarry
+  Millicents remote_carry = Millicents::zero();  ///< via LEDGER?
+  std::size_t local_lp_solves = 0;
+  std::size_t remote_lp_solves = 0;
+};
+
+/// Run (scenario, seed) once in-process and once against the lipsd at
+/// `socket_path` (session `session` is OPENed on a fresh connection), and
+/// compare bit-for-bit: schedule digest, total cost, makespan bits, LP
+/// solve counts, planned/carry accumulators, and the FakeNodeCarry ledger
+/// fold. `scenario_spec` uses the farm cell vocabulary ("nodes=8,jobs=3").
+[[nodiscard]] ReplayComparison replay_and_compare(
+    const std::string& socket_path, const std::string& scenario_spec,
+    std::uint64_t seed, const std::string& session);
+
+}  // namespace lips::svc

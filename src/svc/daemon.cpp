@@ -1,0 +1,109 @@
+#include "svc/daemon.hpp"
+
+#include <cstdlib>
+
+namespace lips::svc {
+
+namespace {
+
+/// Accepts "--flag value" and "--flag=value"; advances `i` for the former.
+/// Returns false (setting an error) when the value is missing.
+bool flag_value(const std::vector<std::string>& args, std::size_t& i,
+                const std::string& flag, std::string* out,
+                DaemonArgs* parsed) {
+  const std::string& arg = args[i];
+  if (arg == flag) {
+    if (i + 1 >= args.size()) {
+      parsed->mode = DaemonArgs::Mode::Error;
+      parsed->error = flag + " requires a value";
+      return false;
+    }
+    *out = args[++i];
+    return true;
+  }
+  *out = arg.substr(flag.size() + 1);  // "--flag=value"
+  if (out->empty()) {
+    parsed->mode = DaemonArgs::Mode::Error;
+    parsed->error = flag + " requires a non-empty value";
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool matches(const std::string& arg, const std::string& flag) {
+  return arg == flag || arg.rfind(flag + "=", 0) == 0;
+}
+
+}  // namespace
+
+DaemonArgs parse_daemon_args(const std::vector<std::string>& args) {
+  DaemonArgs parsed;
+  parsed.mode = DaemonArgs::Mode::Serve;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--version") {
+      parsed.mode = DaemonArgs::Mode::Version;
+      return parsed;
+    }
+    if (arg == "--help" || arg == "-h") {
+      parsed.mode = DaemonArgs::Mode::Help;
+      return parsed;
+    }
+    if (arg == "--stdio") {
+      parsed.stdio = true;
+      continue;
+    }
+    if (matches(arg, "--socket")) {
+      if (!flag_value(args, i, "--socket", &parsed.socket_path, &parsed))
+        return parsed;
+      continue;
+    }
+    if (matches(arg, "--snapshot-dir")) {
+      if (!flag_value(args, i, "--snapshot-dir", &parsed.snapshot_dir,
+                      &parsed))
+        return parsed;
+      continue;
+    }
+    if (matches(arg, "--queue-capacity")) {
+      std::string value;
+      if (!flag_value(args, i, "--queue-capacity", &value, &parsed))
+        return parsed;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || value.empty() || n == 0) {
+        parsed.mode = DaemonArgs::Mode::Error;
+        parsed.error = "--queue-capacity needs a positive integer, got '" +
+                       value + "'";
+        return parsed;
+      }
+      parsed.queue_capacity = static_cast<std::size_t>(n);
+      continue;
+    }
+    parsed.mode = DaemonArgs::Mode::Error;
+    parsed.error = "unknown flag: " + arg;
+    return parsed;
+  }
+  if (parsed.stdio == !parsed.socket_path.empty()) {
+    // Either both transports or neither: exactly one is required.
+    parsed.mode = DaemonArgs::Mode::Error;
+    parsed.error = parsed.stdio ? "--stdio and --socket are exclusive"
+                                : "one of --socket PATH or --stdio required";
+  }
+  return parsed;
+}
+
+std::string daemon_usage() {
+  return "usage: lipsd (--socket PATH | --stdio) [--snapshot-dir PATH]\n"
+         "             [--queue-capacity N] | --version | --help\n"
+         "\n"
+         "Long-running LiPS co-scheduler service (DESIGN.md section 14).\n"
+         "  --socket PATH        listen on a unix stream socket\n"
+         "  --stdio              serve one session over stdin/stdout\n"
+         "  --snapshot-dir PATH  enable SNAPSHOT / OPEN restore=1\n"
+         "  --queue-capacity N   per-session command buffer before BUSY "
+         "(default 64)\n"
+         "  --version            print build provenance and exit\n"
+         "  --help               this text\n";
+}
+
+}  // namespace lips::svc

@@ -1,0 +1,39 @@
+// lipsd command-line contract, as a pure testable function.
+//
+// The daemon's flag parsing is strict by design: an unknown or malformed
+// flag is a hard error (usage + exit 64), never a silent ignore — a typo'd
+// --snapshot-dri must not quietly run without snapshots. Keeping the parse
+// in the library lets tests/test_svc.cpp pin that contract without spawning
+// binaries; tools/lipsd.cpp is a thin shell around it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lips::svc {
+
+struct DaemonArgs {
+  enum class Mode : unsigned char {
+    Serve,    ///< run the daemon (socket or stdio transport)
+    Version,  ///< print version_line() and exit 0
+    Help,     ///< print usage and exit 0
+    Error,    ///< bad invocation: print `error` + usage, exit 64
+  };
+  Mode mode = Mode::Error;
+  std::string socket_path;        ///< --socket PATH (unix listener)
+  bool stdio = false;             ///< --stdio (serve fds 0/1, single conn)
+  std::string snapshot_dir;       ///< --snapshot-dir PATH (enables SNAPSHOT)
+  std::size_t queue_capacity = 64;  ///< --queue-capacity N
+  std::string error;              ///< Error mode: what was wrong
+};
+
+/// Parse argv (program name excluded). Never throws; bad input comes back
+/// as Mode::Error with a one-line reason.
+[[nodiscard]] DaemonArgs parse_daemon_args(
+    const std::vector<std::string>& args);
+
+/// The usage text lipsd prints for --help and on Mode::Error.
+[[nodiscard]] std::string daemon_usage();
+
+}  // namespace lips::svc

@@ -1,0 +1,71 @@
+// Bounded command queue between a connection reader and a session worker.
+//
+// Backpressure is explicit (ISSUE: no unbounded buffering between a fast
+// client and a slow LP solve): try_push never blocks and returns false when
+// the queue is at capacity, upon which the reader answers `BUSY <seq>` and
+// drops the command — the client owns the retry. The worker side blocks in
+// pop() until a command arrives or the queue is closed.
+//
+// Thread roles: any number of producers (in practice one reader thread per
+// connection bound to the session) and exactly one consumer (the session
+// worker). All state is guarded by mu_; the lint unguarded-member-mutation
+// rule holds this file to that annotation discipline.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/thread_annotations.hpp"
+
+namespace lips::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueue unless full or closed; never blocks. False means the caller
+  /// must reply BUSY (full) or drop the command (closed).
+  [[nodiscard]] bool try_push(T item) {
+    lips::MutexLock lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed and drained;
+  /// nullopt signals the worker to exit.
+  [[nodiscard]] std::optional<T> pop() {
+    lips::MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.wait(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Wake the consumer for shutdown. Items already queued still drain;
+  /// further pushes are refused.
+  void close() {
+    lips::MutexLock lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    lips::MutexLock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable lips::Mutex mu_;
+  lips::CondVar cv_ LIPS_GUARDED_BY(mu_);
+  std::deque<T> items_ LIPS_GUARDED_BY(mu_);
+  bool closed_ LIPS_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace lips::svc

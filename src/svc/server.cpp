@@ -1,0 +1,188 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "svc/wire.hpp"
+
+namespace lips::svc {
+
+namespace {
+
+/// Reply sink over a file descriptor. One rendered reply = one locked
+/// write loop, so replies from the session worker and BUSY/ERR replies from
+/// the reader never interleave mid-line.
+class FdSink final : public ReplySink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+
+  void write(const std::string& rendered) override {
+    lips::MutexLock lock(mu_);
+    const char* p = rendered.data();
+    std::size_t left = rendered.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // peer gone; the reader will see the error and reap
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  const int fd_;
+  lips::Mutex mu_;
+};
+
+/// Split a byte stream into lines with a hard cap: bytes past kMaxLineBytes
+/// are dropped (the kept prefix is cap+1 long so handle_line still sees an
+/// oversized line and answers ERR line-too-long).
+class BoundedLineBuffer {
+ public:
+  /// Feed a chunk; invokes `on_line` for each completed line.
+  template <typename F>
+  void feed(const char* data, std::size_t n, F&& on_line) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const char c = data[i];
+      if (c == '\n') {
+        on_line(line_);
+        line_.clear();
+        overflowed_ = false;
+        continue;
+      }
+      if (line_.size() > kMaxLineBytes) {
+        overflowed_ = true;
+        continue;  // keep the over-cap witness, drop the rest
+      }
+      line_.push_back(c);
+    }
+  }
+
+  [[nodiscard]] bool mid_line() const { return !line_.empty() || overflowed_; }
+
+ private:
+  std::string line_;
+  bool overflowed_ = false;
+};
+
+}  // namespace
+
+Server::Server(Service& service) : service_(service) {
+  LIPS_REQUIRE(::pipe(stop_pipe_) == 0, "svc: pipe() failed");
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!path_.empty()) ::unlink(path_.c_str());
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+}
+
+void Server::listen_unix(const std::string& path) {
+  LIPS_REQUIRE(!path.empty(), "svc: socket path must be non-empty");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LIPS_REQUIRE(path.size() < sizeof(addr.sun_path),
+               "svc: socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  LIPS_REQUIRE(fd >= 0, "svc: socket() failed");
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    LIPS_REQUIRE(false, "svc: bind(" + path + ") failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    LIPS_REQUIRE(false, "svc: listen(" + path + ") failed");
+  }
+  listen_fd_ = fd;
+  path_ = path;
+}
+
+void Server::run() {
+  LIPS_REQUIRE(listen_fd_ >= 0, "svc: run() before listen_unix()");
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = pollfd{listen_fd_, POLLIN, 0};
+    fds[1] = pollfd{stop_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    track(conn);
+    lips::MutexLock lock(mu_);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+  // Stop accepting, unblock every reader, join, drain sessions.
+  std::vector<std::thread> readers;
+  {
+    lips::MutexLock lock(mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers) t.join();
+  service_.shutdown();
+}
+
+void Server::request_stop() {
+  const char byte = 's';
+  // Single write(2): async-signal-safe, and the self-pipe is never full in
+  // practice (one byte per stop request).
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void Server::serve_fd(int in_fd, int out_fd) {
+  auto sink = std::make_shared<FdSink>(out_fd);
+  Service::ConnectionCtx ctx;
+  BoundedLineBuffer buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::read(in_fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF
+    buf.feed(chunk, static_cast<std::size_t>(n), [&](const std::string& line) {
+      if (open) open = service_.handle_line(ctx, line, sink);
+    });
+  }
+  service_.on_disconnect(ctx);
+}
+
+void Server::reader_loop(int fd) {
+  serve_fd(fd, fd);
+  // Untrack before close: once closed the fd number can be reused by a new
+  // accept, and the stop path must never shutdown() a stranger's fd.
+  untrack(fd);
+  ::close(fd);
+}
+
+void Server::track(int fd) {
+  lips::MutexLock lock(mu_);
+  conn_fds_.push_back(fd);
+}
+
+void Server::untrack(int fd) {
+  lips::MutexLock lock(mu_);
+  std::erase(conn_fds_, fd);
+}
+
+}  // namespace lips::svc

@@ -1,0 +1,83 @@
+// Connection-facing core of lipsd: line dispatch and the tenant registry.
+//
+// Service is transport-agnostic — server.cpp feeds it lines read from unix
+// sockets or stdio, tests feed it lines directly — and owns the multi-tenant
+// session table. Per line it:
+//
+//   1. enforces framing invariants (no NUL bytes; the byte-length cap is
+//      enforced upstream by the transport's bounded reader, and again here
+//      for transports that bypass it),
+//   2. handles connection-scoped verbs inline on the reader thread:
+//      OPEN (create + bind a session; heavy but once per tenant) and QUIT
+//      (drain + destroy the bound session, close the connection),
+//   3. try_pushes every other verb onto the bound session's bounded queue,
+//      answering `BUSY <seq>` itself when the queue is full (backpressure
+//      never buffers unboundedly) and `ERR no-session` when nothing is
+//      bound.
+//
+// One session is bound to exactly one connection (its creator): a second
+// OPEN with the same name is answered `ERR session-exists`, and a dropped
+// connection reaps its session. Tenants share only the internally-
+// synchronized MetricRegistry/Tracer; everything else is per-session.
+//
+// Thread role: handle_line / on_disconnect are called concurrently by
+// connection reader threads; the registry serializes on `mu_`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/thread_annotations.hpp"
+#include "svc/session.hpp"
+
+namespace lips::svc {
+
+struct ServiceOptions {
+  std::size_t queue_capacity = 64;  ///< per-session command buffer
+  std::string snapshot_root;        ///< empty = SNAPSHOT disabled
+  obs::MetricRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options) : options_(std::move(options)) {}
+  ~Service() { shutdown(); }
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Per-connection state, owned by the transport. seq counts request lines
+  /// (1-based, echoed in every status line); session is the bound tenant.
+  struct ConnectionCtx {
+    std::uint64_t seq = 0;
+    std::string session;
+  };
+
+  /// Process one request line (newline stripped). Writes exactly one reply
+  /// through `sink` — possibly deferred to the session worker for queued
+  /// verbs. Returns false when the connection should close (QUIT).
+  bool handle_line(ConnectionCtx& ctx, const std::string& line,
+                   const std::shared_ptr<ReplySink>& sink);
+
+  /// Reap a connection's session after EOF/error (QUIT without the line).
+  void on_disconnect(ConnectionCtx& ctx);
+
+  /// Drain and destroy every session (SIGTERM path). Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t session_count() const;
+
+ private:
+  [[nodiscard]] Reply open_session(ConnectionCtx& ctx,
+                                   const std::string& spec);
+
+  const ServiceOptions options_;
+  mutable lips::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_
+      LIPS_GUARDED_BY(mu_);
+};
+
+}  // namespace lips::svc

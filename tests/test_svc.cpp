@@ -1,0 +1,612 @@
+// Tests for the lipsd co-scheduler service (src/svc): the strict lipsd flag
+// contract, protocol framing edges (oversized lines, NUL bytes, truncated
+// commands, duplicate sessions, QUIT mid-stream), bounded-queue
+// backpressure, the ClockSource seam (manual clock vs simulator clock, bit
+// for bit), SNAPSHOT/restore bit-identity, and — the tentpole gate — a
+// seeded workload replayed through a real lipsd socket yielding plans and
+// ledgers bit-identical to the in-process run, single- and multi-tenant.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/spec.hpp"
+#include "common/thread_annotations.hpp"
+#include "core/lips_policy.hpp"
+#include "farm/recipe.hpp"
+#include "farm/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "svc/queue.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "svc/session.hpp"
+#include "svc/wire.hpp"
+
+namespace lips::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh (empty) per-test scratch directory under the gtest temp root.
+std::string scratch_dir(const std::string& tag) {
+  const fs::path p = fs::path(::testing::TempDir()) / ("lips_svc_" + tag);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+[[nodiscard]] bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Reply sink that captures rendered replies. Locked: queued verbs are
+/// answered from the session worker thread while the test keeps feeding.
+class CaptureSink final : public ReplySink {
+ public:
+  void write(const std::string& rendered) override {
+    lips::MutexLock lock(mu_);
+    replies_.push_back(rendered);
+  }
+  [[nodiscard]] std::vector<std::string> replies() const {
+    lips::MutexLock lock(mu_);
+    return replies_;
+  }
+  [[nodiscard]] std::string last() const {
+    lips::MutexLock lock(mu_);
+    return replies_.empty() ? "" : replies_.back();
+  }
+
+ private:
+  mutable lips::Mutex mu_;
+  std::vector<std::string> replies_ LIPS_GUARDED_BY(mu_);
+};
+
+/// "ERR <seq> <code> <detail...>" → code token; "" when not an ERR line.
+/// Looks at the rendered reply's final (status) line.
+std::string err_code(const std::string& rendered) {
+  const std::size_t nl = rendered.find_last_of('\n', rendered.size() - 2);
+  const std::string line =
+      nl == std::string::npos
+          ? rendered.substr(0, rendered.size() - 1)
+          : rendered.substr(nl + 1, rendered.size() - nl - 2);
+  if (line.rfind("ERR ", 0) != 0) return "";
+  const std::size_t seq_sp = line.find(' ', 4);
+  if (seq_sp == std::string::npos) return "";
+  const std::size_t code_end = line.find(' ', seq_sp + 1);
+  return line.substr(seq_sp + 1, code_end - seq_sp - 1);
+}
+
+// ---------------------------------------------------------------------------
+// SpecBinder text values (the binder extension the wire protocol rides on)
+
+TEST(SpecText, BindsAndValidates) {
+  std::string who;
+  double x = 0.0;
+  SpecBinder b("test spec");
+  b.text("who", &who).number("x", &x);
+  b.parse("who=alice,x=2.5");
+  EXPECT_EQ(who, "alice");
+  EXPECT_EQ(x, 2.5);
+  SpecBinder b2("test spec");
+  std::string v;
+  b2.text("v", &v);
+  EXPECT_THROW(b2.parse("nope=1"), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// lipsd flag contract (satellite: strict parsers, --version/--help)
+
+TEST(DaemonArgs, VersionHelpAndServe) {
+  EXPECT_EQ(parse_daemon_args({"--version"}).mode, DaemonArgs::Mode::Version);
+  EXPECT_EQ(parse_daemon_args({"--help"}).mode, DaemonArgs::Mode::Help);
+  EXPECT_EQ(parse_daemon_args({"-h"}).mode, DaemonArgs::Mode::Help);
+
+  const DaemonArgs sock = parse_daemon_args(
+      {"--socket", "/tmp/x.sock", "--snapshot-dir=/tmp/snaps",
+       "--queue-capacity", "8"});
+  EXPECT_EQ(sock.mode, DaemonArgs::Mode::Serve);
+  EXPECT_EQ(sock.socket_path, "/tmp/x.sock");
+  EXPECT_EQ(sock.snapshot_dir, "/tmp/snaps");
+  EXPECT_EQ(sock.queue_capacity, 8u);
+  EXPECT_FALSE(sock.stdio);
+
+  const DaemonArgs stdio = parse_daemon_args({"--stdio"});
+  EXPECT_EQ(stdio.mode, DaemonArgs::Mode::Serve);
+  EXPECT_TRUE(stdio.stdio);
+}
+
+TEST(DaemonArgs, RejectsUnknownAndMalformedFlags) {
+  // A typo must be a hard error, never a silent ignore.
+  EXPECT_EQ(parse_daemon_args({"--stdio", "--snapshot-dri=/x"}).mode,
+            DaemonArgs::Mode::Error);
+  EXPECT_EQ(parse_daemon_args({"--bogus"}).mode, DaemonArgs::Mode::Error);
+  // Missing/invalid values.
+  EXPECT_EQ(parse_daemon_args({"--socket"}).mode, DaemonArgs::Mode::Error);
+  EXPECT_EQ(parse_daemon_args({"--stdio", "--queue-capacity", "0"}).mode,
+            DaemonArgs::Mode::Error);
+  EXPECT_EQ(parse_daemon_args({"--stdio", "--queue-capacity", "abc"}).mode,
+            DaemonArgs::Mode::Error);
+  // Exactly one transport.
+  EXPECT_EQ(parse_daemon_args({}).mode, DaemonArgs::Mode::Error);
+  EXPECT_EQ(parse_daemon_args({"--stdio", "--socket", "/tmp/x"}).mode,
+            DaemonArgs::Mode::Error);
+  EXPECT_FALSE(parse_daemon_args({"--bogus"}).error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Bounded MPSC queue + BUSY backpressure
+
+TEST(BoundedQueue, CapacityAndFifoOrder) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full — caller answers BUSY
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::optional<int>(4));
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_FALSE(q.try_push(8));          // closed rejects new work
+  EXPECT_EQ(q.pop(), std::optional<int>(7));  // but drains what it holds
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(Backpressure, SubmitRejectsWhenFullAndCountsRejections) {
+  obs::MetricRegistry metrics;
+  SessionOptions so;
+  so.queue_capacity = 3;
+  so.metrics = &metrics;
+  // Unstarted session: no worker drains, so the queue fills deterministically.
+  Session s("tenant", farm::parse_scenario_spec("name=bp,nodes=4,jobs=1"), 1,
+            so);
+  auto cmd = [](std::uint64_t seq) {
+    Command c;
+    c.seq = seq;
+    c.verb = "PLAN?";
+    return c;
+  };
+  EXPECT_TRUE(s.submit(cmd(1)));
+  EXPECT_TRUE(s.submit(cmd(2)));
+  EXPECT_TRUE(s.submit(cmd(3)));
+  EXPECT_FALSE(s.submit(cmd(4)));  // BUSY
+  EXPECT_FALSE(s.submit(cmd(5)));
+  EXPECT_EQ(s.queue_depth(), 3u);
+  EXPECT_EQ(metrics.counter("lips_svc_rejected_total", {{"session", "tenant"}})
+                .value(),
+            2.0);
+  EXPECT_EQ(metrics.gauge("lips_svc_queue_depth", {{"session", "tenant"}})
+                .value(),
+            3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol framing edges (satellite: fuzz/edge tests, structured ERR codes)
+
+struct ServiceFixture {
+  Service service;
+  Service::ConnectionCtx ctx;
+  std::shared_ptr<CaptureSink> sink = std::make_shared<CaptureSink>();
+  ServiceFixture() : service(make_options()) {}
+  static ServiceOptions make_options() {
+    ServiceOptions o;
+    o.queue_capacity = 8;
+    return o;
+  }
+  bool feed(const std::string& line) {
+    return service.handle_line(ctx, line, sink);
+  }
+};
+
+TEST(ProtocolEdges, OversizedLineGetsStructuredError) {
+  ServiceFixture f;
+  const std::string line = "TICK " + std::string(kMaxLineBytes, 'A');
+  EXPECT_TRUE(f.feed(line));  // connection survives
+  EXPECT_EQ(err_code(f.sink->last()), "line-too-long");
+}
+
+TEST(ProtocolEdges, EmbeddedNulByteRejected) {
+  ServiceFixture f;
+  std::string line = "PLAN?";
+  line.push_back('\0');
+  line += "x";
+  EXPECT_TRUE(f.feed(line));
+  EXPECT_EQ(err_code(f.sink->last()), "nul-byte");
+}
+
+TEST(ProtocolEdges, CommandWithoutSessionRejected) {
+  ServiceFixture f;
+  EXPECT_TRUE(f.feed("TICK"));
+  EXPECT_EQ(err_code(f.sink->last()), "no-session");
+  EXPECT_TRUE(f.feed(""));
+  EXPECT_EQ(err_code(f.sink->last()), "bad-command");
+}
+
+TEST(ProtocolEdges, TruncatedAndMalformedSpecs) {
+  ServiceFixture f;
+  // OPEN with no spec at all: the session key is required.
+  EXPECT_TRUE(f.feed("OPEN"));
+  EXPECT_EQ(err_code(f.sink->last()), "bad-spec");
+  // Entry without '='.
+  EXPECT_TRUE(f.feed("OPEN session"));
+  EXPECT_EQ(err_code(f.sink->last()), "bad-spec");
+  // Unknown key.
+  EXPECT_TRUE(f.feed("OPEN session=a,sede=1"));
+  EXPECT_EQ(err_code(f.sink->last()), "bad-spec");
+  EXPECT_EQ(f.service.session_count(), 0u);
+}
+
+TEST(ProtocolEdges, SessionLevelErrors) {
+  SessionOptions so;
+  Session s("t", farm::parse_scenario_spec("name=edge,nodes=4,jobs=1"), 2, so);
+  // Unknown verb.
+  Reply r = s.handle("BOGUS", "");
+  EXPECT_EQ(r.status, Reply::Status::Err);
+  EXPECT_EQ(r.code, "bad-command");
+  // Truncated MACHINE (no event token).
+  r = s.handle("MACHINE", "");
+  EXPECT_EQ(r.status, Reply::Status::Err);
+  // Machine id out of range.
+  r = s.handle("MACHINE", "down m=9999");
+  EXPECT_EQ(r.status, Reply::Status::Err);
+  EXPECT_EQ(r.code, "bad-spec");
+  // SNAPSHOT without a snapshot root.
+  r = s.handle("SNAPSHOT", "");
+  EXPECT_EQ(r.status, Reply::Status::Err);
+  EXPECT_EQ(r.code, "snapshot");
+  // Malformed STATE payload.
+  r = s.handle("STATE", "now=zzz");
+  EXPECT_EQ(r.status, Reply::Status::Err);
+  EXPECT_EQ(r.code, "bad-spec");
+}
+
+TEST(ProtocolEdges, DuplicateSessionAndQuitMidStream) {
+  ServiceFixture f;
+  EXPECT_TRUE(f.feed("OPEN session=a,seed=1,scenario=nodes=4;jobs=1"));
+  EXPECT_EQ(err_code(f.sink->last()), "");
+  EXPECT_EQ(f.service.session_count(), 1u);
+
+  // Second OPEN on the same connection: already bound.
+  EXPECT_TRUE(f.feed("OPEN session=b,seed=1,scenario=nodes=4;jobs=1"));
+  EXPECT_EQ(err_code(f.sink->last()), "bad-state");
+
+  // Duplicate session name from another connection.
+  Service::ConnectionCtx ctx2;
+  auto sink2 = std::make_shared<CaptureSink>();
+  EXPECT_TRUE(f.service.handle_line(
+      ctx2, "OPEN session=a,seed=1,scenario=nodes=4;jobs=1", sink2));
+  EXPECT_EQ(err_code(sink2->last()), "session-exists");
+
+  // QUIT mid-stream: closes the connection, reaps the session, flushes the
+  // goodbye last.
+  EXPECT_FALSE(f.feed("QUIT"));
+  EXPECT_NE(f.sink->last().find("OK"), std::string::npos);
+  EXPECT_NE(f.sink->last().find("bye=1"), std::string::npos);
+  EXPECT_EQ(f.service.session_count(), 0u);
+
+  // Post-QUIT commands on a fresh connection need a new OPEN...
+  Service::ConnectionCtx ctx3;
+  auto sink3 = std::make_shared<CaptureSink>();
+  EXPECT_TRUE(f.service.handle_line(ctx3, "TICK", sink3));
+  EXPECT_EQ(err_code(sink3->last()), "no-session");
+  // ...and the reaped name is free again.
+  EXPECT_TRUE(f.service.handle_line(
+      ctx3, "OPEN session=a,seed=1,scenario=nodes=4;jobs=1", sink3));
+  EXPECT_EQ(err_code(sink3->last()), "");
+}
+
+// ---------------------------------------------------------------------------
+// ClockSource seam (satellite: manual clock ≡ simulator clock, bit for bit)
+
+/// LipsPolicy behind a ManualClock that the wrapper advances from
+/// state.now() before every callback — the exact discipline a lipsd session
+/// uses, but driven in-process so it can be diffed against the
+/// simulator-clock fallback path (options.clock == nullptr).
+class ManualClockLips final : public sched::Scheduler {
+ public:
+  explicit ManualClockLips(const core::LipsPolicyOptions& base)
+      : policy_(with_clock(base, clock_)) {}
+
+  [[nodiscard]] std::string name() const override { return policy_.name(); }
+  [[nodiscard]] double epoch_s() const override { return policy_.epoch_s(); }
+
+  void on_epoch(const sched::ClusterState& s) override {
+    sync(s);
+    policy_.on_epoch(s);
+  }
+  [[nodiscard]] std::vector<sched::DataMove> take_data_moves() override {
+    return policy_.take_data_moves();
+  }
+  [[nodiscard]] std::optional<sched::LaunchDecision> on_slot_available(
+      MachineId m, const sched::ClusterState& s) override {
+    sync(s);
+    return policy_.on_slot_available(m, s);
+  }
+  void on_job_arrival(JobId j, const sched::ClusterState& s) override {
+    sync(s);
+    policy_.on_job_arrival(j, s);
+  }
+  void on_task_complete(std::size_t t, MachineId m,
+                        const sched::ClusterState& s) override {
+    sync(s);
+    policy_.on_task_complete(t, m, s);
+  }
+  void on_machine_lost(MachineId m, const sched::ClusterState& s) override {
+    sync(s);
+    policy_.on_machine_lost(m, s);
+  }
+  void on_machine_restored(MachineId m,
+                           const sched::ClusterState& s) override {
+    sync(s);
+    policy_.on_machine_restored(m, s);
+  }
+  void on_store_lost(StoreId st, const sched::ClusterState& s) override {
+    sync(s);
+    policy_.on_store_lost(st, s);
+  }
+  void on_spot_warning(MachineId m, double at,
+                       const sched::ClusterState& s) override {
+    sync(s);
+    policy_.on_spot_warning(m, at, s);
+  }
+
+  [[nodiscard]] const core::LipsPolicy& policy() const { return policy_; }
+
+ private:
+  static core::LipsPolicyOptions with_clock(core::LipsPolicyOptions o,
+                                            const ClockSource& c) {
+    o.clock = &c;
+    return o;
+  }
+  void sync(const sched::ClusterState& s) { clock_.set(s.now()); }
+
+  ManualClock clock_;
+  core::LipsPolicy policy_;
+};
+
+TEST(ClockSeam, ManualClockBitIdenticalToSimulatorClock) {
+  const farm::ScenarioSpec sc =
+      farm::parse_scenario_spec("name=clock,nodes=6,jobs=3");
+  const std::uint64_t seeds[] = {1, 7, 42, 1234, 2013};
+  for (const std::uint64_t seed : seeds) {
+    sim::SimResult ref;
+    std::size_t ref_solves = 0;
+    double ref_planned = 0.0;
+    double ref_carry = 0.0;
+    {
+      core::LipsPolicy policy(
+          farm::make_lips_options(sc, farm::SchedulerSpec{}));
+      const farm::RunInputs in = farm::make_run_inputs(sc, seed);
+      sim::SimConfig cfg;
+      cfg.faults = in.faults;
+      farm::apply_lips_sim_config(sc, seed, cfg);
+      ref = sim::simulate(in.cluster, in.workload, policy, cfg);
+      ref_solves = policy.lp_solves();
+      ref_planned = policy.planned_cost_mc().raw();
+      ref_carry = policy.fake_node_carry_mc().raw();
+    }
+    sim::SimResult man;
+    {
+      ManualClockLips wrapper(
+          farm::make_lips_options(sc, farm::SchedulerSpec{}));
+      const farm::RunInputs in = farm::make_run_inputs(sc, seed);
+      sim::SimConfig cfg;
+      cfg.faults = in.faults;
+      farm::apply_lips_sim_config(sc, seed, cfg);
+      man = sim::simulate(in.cluster, in.workload, wrapper, cfg);
+      EXPECT_EQ(wrapper.policy().lp_solves(), ref_solves) << "seed " << seed;
+      EXPECT_TRUE(
+          same_bits(wrapper.policy().planned_cost_mc().raw(), ref_planned))
+          << "seed " << seed;
+      EXPECT_TRUE(
+          same_bits(wrapper.policy().fake_node_carry_mc().raw(), ref_carry))
+          << "seed " << seed;
+    }
+    EXPECT_EQ(man.schedule_digest, ref.schedule_digest) << "seed " << seed;
+    EXPECT_TRUE(same_bits(man.total_cost_mc.raw(), ref.total_cost_mc.raw()))
+        << "seed " << seed;
+    EXPECT_TRUE(same_bits(man.makespan_s, ref.makespan_s)) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SNAPSHOT / restore-on-start bit-identity (ckpt-driven state)
+
+/// Compare two replies field for field (rendered with the same seq).
+void expect_same_reply(const Reply& a, const Reply& b, const char* what) {
+  EXPECT_EQ(a.render(1), b.render(1)) << what;
+}
+
+TEST(SnapshotRestore, RestoredSessionContinuesBitIdentically) {
+  const std::string root = scratch_dir("restore");
+  const farm::ScenarioSpec sc =
+      farm::parse_scenario_spec("name=snap,nodes=4,jobs=2");
+  const std::uint64_t seed = 9;
+  const farm::RunInputs in = farm::make_run_inputs(sc, seed);
+
+  // Hand-rolled task descriptors for job 0 (ids are the client's currency;
+  // they only need to be self-consistent).
+  std::vector<WireTask> tasks;
+  for (std::size_t i = 0; i < 2; ++i) {
+    WireTask t;
+    t.id = i;
+    t.job = 0;
+    t.index_in_job = i;
+    t.input_mb = 128.0;
+    t.cpu_ecu_s = 400.0;
+    if (!in.workload.job(JobId{0}).data.empty())
+      t.data = in.workload.job(JobId{0}).data.front().value();
+    tasks.push_back(t);
+  }
+  WireState st0;
+  st0.now = 0.0;
+  st0.pending = {0, 1};
+  WireState st1 = st0;
+  st1.now = sc.epoch_s;
+
+  SessionOptions so;
+  so.snapshot_root = root;
+  Session live("tenant", sc, seed, so);
+
+  // Phase A: arrivals + one epoch, then SNAPSHOT.
+  EXPECT_EQ(live.handle("STATE", encode_state(st0)).status,
+            Reply::Status::Ok);
+  EXPECT_EQ(live.handle("JOB", "job=0,tasks=" + encode_tasks(tasks)).status,
+            Reply::Status::Ok);
+  EXPECT_EQ(live.handle("TICK", "").status, Reply::Status::Ok);
+  EXPECT_EQ(live.handle("MOVES?", "").status, Reply::Status::Ok);
+  EXPECT_EQ(live.handle("SLOT", "m=0").status, Reply::Status::Ok);
+  const Reply snap = live.handle("SNAPSHOT", "");
+  ASSERT_EQ(snap.status, Reply::Status::Ok) << snap.detail;
+  EXPECT_NE(snap.detail.find("seq=1"), std::string::npos);
+
+  // A second tenant restored from that snapshot. The mirror is client-owned
+  // state, so phase B re-streams STATE and the JOB descriptors — to both
+  // sessions, keeping the command history identical.
+  SessionOptions ro = so;
+  ro.restore = true;
+  Session restored("tenant", sc, seed, ro);
+
+  const std::vector<std::pair<std::string, std::string>> phase_b = {
+      {"STATE", encode_state(st1)},
+      {"JOB", "job=0,tasks=" + encode_tasks(tasks)},
+      {"TICK", ""},
+      {"SLOT", "m=1"},
+      {"MOVES?", ""},
+      {"PLAN?", ""},
+      {"LEDGER?", ""},
+  };
+  for (const auto& [verb, rest] : phase_b) {
+    const Reply a = live.handle(verb, rest);
+    const Reply b = restored.handle(verb, rest);
+    expect_same_reply(a, b, verb.c_str());
+  }
+  EXPECT_EQ(live.epochs(), 2u);
+  EXPECT_EQ(restored.epochs(), 2u);
+  // The carry accumulated in phase A must have survived the round-trip
+  // (PLAN? above compared it bitwise via hexfloats already; pin non-trivial
+  // activity so the test cannot rot into comparing zeros).
+  EXPECT_GE(live.policy().lp_solves(), 2u);
+}
+
+TEST(SnapshotRestore, RestoreRejectsMissingSnapshotAndWrongSeed) {
+  const std::string root = scratch_dir("restore_neg");
+  const farm::ScenarioSpec sc =
+      farm::parse_scenario_spec("name=snapneg,nodes=4,jobs=1");
+  SessionOptions ro;
+  ro.snapshot_root = root;
+  ro.restore = true;
+  // No snapshot on disk.
+  EXPECT_THROW(Session("ghost", sc, 1, ro), PreconditionError);
+  // Snapshot from a different seed.
+  SessionOptions so;
+  so.snapshot_root = root;
+  Session writer("tenant", sc, 1, so);
+  ASSERT_EQ(writer.handle("SNAPSHOT", "").status, Reply::Status::Ok);
+  EXPECT_THROW(Session("tenant", sc, 2, ro), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism gate: simulator as a client of a real lipsd socket
+
+struct RunningServer {
+  ServiceOptions options;
+  obs::MetricRegistry metrics;
+  Service service;
+  Server server;
+  std::thread accept_thread;
+  std::string path;
+
+  explicit RunningServer(const std::string& tag, std::string snapshot_root = "")
+      : service(make_options(metrics, std::move(snapshot_root))),
+        server(service) {
+    path = scratch_dir(tag) + "/lipsd.sock";
+    server.listen_unix(path);
+    accept_thread = std::thread([this] { server.run(); });
+  }
+  ~RunningServer() {
+    server.request_stop();
+    accept_thread.join();
+  }
+  static ServiceOptions make_options(obs::MetricRegistry& m,
+                                     std::string snapshot_root) {
+    ServiceOptions o;
+    o.metrics = &m;
+    o.snapshot_root = std::move(snapshot_root);
+    return o;
+  }
+};
+
+TEST(EndToEnd, SingleTenantReplayIsBitIdentical) {
+  RunningServer rs("e2e_single");
+  const std::uint64_t seeds[] = {3, 11, 2013};
+  for (const std::uint64_t seed : seeds) {
+    const ReplayComparison cmp =
+        replay_and_compare(rs.path, "name=e2e,nodes=8,jobs=3", seed,
+                           "tenant" + std::to_string(seed));
+    EXPECT_TRUE(cmp.identical) << "seed " << seed << ": " << cmp.divergence;
+    EXPECT_EQ(cmp.local_digest, cmp.remote_digest);
+    EXPECT_TRUE(same_bits(cmp.local_total.raw(), cmp.remote_total.raw()));
+    EXPECT_TRUE(same_bits(cmp.local_carry.raw(), cmp.remote_carry.raw()));
+    EXPECT_EQ(cmp.local_lp_solves, cmp.remote_lp_solves);
+    EXPECT_GT(cmp.local_lp_solves, 0u);  // the gate must compare real work
+  }
+  EXPECT_EQ(rs.service.session_count(), 0u);  // QUIT reaped every tenant
+}
+
+TEST(EndToEnd, ConcurrentTenantsStayIsolatedAndDeterministic) {
+  RunningServer rs("e2e_multi");
+  constexpr std::size_t kTenants = 4;
+  std::vector<ReplayComparison> results(kTenants);
+  std::vector<std::thread> clients;
+  clients.reserve(kTenants);
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    clients.emplace_back([&rs, &results, i] {
+      results[i] = replay_and_compare(
+          rs.path, "name=mt,nodes=6,jobs=2", 100 + i,
+          "tenant" + std::to_string(i));
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    EXPECT_TRUE(results[i].identical)
+        << "tenant " << i << ": " << results[i].divergence;
+  }
+  // Distinct seeds must not collapse to one plan (tenant isolation is doing
+  // real work, not sharing one policy).
+  EXPECT_NE(results[0].local_digest, results[1].local_digest);
+  EXPECT_EQ(rs.service.session_count(), 0u);
+}
+
+TEST(EndToEnd, ServerSurvivesHostileBytesThenServes) {
+  RunningServer rs("e2e_hostile");
+  LineClient probe = LineClient::connect_unix(rs.path);
+  // Oversized line: structured error, connection stays usable.
+  Response r = probe.request("TICK " + std::string(kMaxLineBytes + 7, 'x'));
+  EXPECT_EQ(r.status, Response::Status::Err);
+  EXPECT_EQ(r.code, "line-too-long");
+  r = probe.request("OPEN session=probe,seed=5,scenario=nodes=4;jobs=1");
+  EXPECT_EQ(r.status, Response::Status::Ok);
+  r = probe.request("TICK");
+  EXPECT_EQ(r.status, Response::Status::Ok);
+  r = probe.request("QUIT");
+  EXPECT_EQ(r.status, Response::Status::Ok);
+}
+
+}  // namespace
+}  // namespace lips::svc

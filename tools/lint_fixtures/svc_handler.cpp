@@ -1,0 +1,48 @@
+// Seeded-violation fixture for the blocking-call-in-handler rule. NOT part
+// of the build: never compiled, only scanned by `lips_lint --self-test`.
+// The filename matches the svc handler scope on purpose: these are the
+// primitives a per-session command handler must never call. Each session
+// has exactly one worker thread draining its bounded queue, so a handler
+// that sleeps or waits on an fd freezes every queued command behind it and
+// turns backpressure (BUSY) into a livelock for that tenant.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+namespace fixture_svc_handler {
+
+// Sleeping in a handler — "wait for the cluster to settle" — both fire.
+inline void handle_tick_with_grace_period() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // lint-expect(blocking-call-in-handler)
+  usleep(500);  // lint-expect(blocking-call-in-handler)
+}
+
+// Synchronous file IO in a handler: snapshots must go through the ckpt
+// layer (which the rule does not scan), never raw streams.
+inline void handle_snapshot_to(const char* path) {
+  std::ofstream out(path);  // lint-expect(blocking-call-in-handler)
+  std::FILE* f = fopen(path, "r");  // lint-expect(blocking-call-in-handler)
+  static_cast<void>(f);
+}
+
+// Waiting on fds belongs in the transport (server.cpp), not the handler.
+inline long handle_sideband_read(int fd, char* buf, unsigned long n) {
+  return ::read(fd, buf, n);  // lint-expect(blocking-call-in-handler)
+}
+
+// Non-blocking work — parsing, arithmetic, container ops — must not fire.
+inline unsigned long handle_plan_query(unsigned long epochs) {
+  return epochs * 2 + 1;
+}
+
+// Identifiers that merely contain a banned stem must not fire.
+inline void on_disconnect_bookkeeping();  // "connect" inside "disconnect"
+inline void spread_tasks(unsigned long readiness);
+
+// A suppressed line must not be reported.
+inline void handle_debug_pause() {
+  std::this_thread::sleep_for(std::chrono::seconds(1));  // lips-lint: allow(blocking-call-in-handler)
+}
+
+}  // namespace fixture_svc_handler

@@ -93,10 +93,20 @@
 //                        role (a LIPS_EXTERNALLY_SYNCHRONIZED or
 //                        LIPS_PER_THREAD head marker, or a per-member
 //                        LIPS_GUARDED_BY/LIPS_PER_THREAD annotation)
+//   blocking-call-in-handler
+//                        (src/svc/session*, src/svc/service* only) a raw
+//                        blocking primitive — sleeps, synchronous fstream/
+//                        fopen, fd reads, socket waits (accept/recv/poll/
+//                        select/connect) — inside the service's command-
+//                        handler layer, which runs on each session's single
+//                        worker thread; a blocked handler stalls the whole
+//                        tenant behind the bounded queue
 //
 // The four concurrency rules apply under src/ (and to lint_fixtures/tsa_*
 // files, which opt in so the self-test can seed violations);
-// farm-shared-state applies under src/farm/ (and lint_fixtures/tsa_farm*).
+// farm-shared-state applies under src/farm/ (and lint_fixtures/tsa_farm*);
+// blocking-call-in-handler applies to the svc handler layer (and
+// lint_fixtures/svc_handler*).
 //
 // Usage:
 //   lips_lint [--format=json] <file>...   lint; exit 1 if any finding
@@ -241,6 +251,16 @@ bool in_concurrency_scope(const std::string& path) {
 bool in_farm_scope(const std::string& path) {
   return path.find("src/farm/") != std::string::npos ||
          path.find("lint_fixtures/tsa_farm") != std::string::npos;
+}
+
+/// The blocking-call-in-handler rule: the svc command-handler layer only —
+/// session (worker-side handlers) and service (reader-side dispatch). The
+/// transport (server.cpp) and client legitimately block on fds, so they are
+/// deliberately out of scope; the svc_handler fixture seeds violations.
+bool in_svc_handler_scope(const std::string& path) {
+  return path.find("src/svc/session") != std::string::npos ||
+         path.find("src/svc/service") != std::string::npos ||
+         path.find("lint_fixtures/svc_handler") != std::string::npos;
 }
 
 /// Tree-scan exclusion: configured build trees (any directory component
@@ -718,6 +738,25 @@ struct FileLint {
     }
   }
 
+  void rule_blocking_call_in_handler() {
+    if (!in_svc_handler_scope(path)) return;
+    // One worker thread serves every queued command of a session; a raw
+    // blocking primitive in the handler layer stalls the whole tenant (and
+    // the BUSY backpressure behind it). Sleeps, synchronous file streams,
+    // and direct fd/socket waits all belong in the transport (server.cpp)
+    // or the ckpt/obs layers the handlers call through.
+    static const std::regex re(
+        R"((?:\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\s*\()"
+        R"(|\bsleep\s*\(|\b[io]?fstream\b(?!>)|\bfopen\s*\(|\bfreopen\s*\()"
+        R"(|\bread\s*\(|\brecv\s*\(|\brecvfrom\s*\(|\baccept\s*\()"
+        R"(|\bpoll\s*\(|\bselect\s*\(|\bconnect\s*\(|\bwaitpid\s*\()"
+        R"(|\bgetchar\s*\(|\bscanf\s*\())");
+    scan_regex(re, "blocking-call-in-handler",
+               "blocking primitive in a svc command handler; handlers run "
+               "on the session's only worker thread — push waits into the "
+               "transport or a lower layer");
+  }
+
   void run() {
     parse();
     rule_raw_cost_double();
@@ -734,6 +773,7 @@ struct FileLint {
     rule_rng_by_ref_escape();
     rule_unguarded_member_mutation();
     rule_farm_shared_state();
+    rule_blocking_call_in_handler();
   }
 };
 

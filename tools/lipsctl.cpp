@@ -15,6 +15,18 @@
 //                             early once the CI is tighter than
 //                             --target-halfwidth. --out writes the
 //                             canonical BENCH_sweep.json)
+//   lipsctl serve (--socket PATH | --stdio) [--snapshot-dir DIR]
+//                 [--queue-capacity N]
+//                            (run the lipsd co-scheduler service in-process;
+//                             same flags and semantics as the lipsd binary —
+//                             src/svc, DESIGN.md §14)
+//   lipsctl replay --connect SOCKET [--cell SPEC] [--seed S]
+//                  [--session NAME]
+//                            (drive the seeded scenario through a running
+//                             lipsd over the socket AND in-process, then
+//                             assert the schedule digests, cost totals, and
+//                             FakeNodeCarry ledger folds are bit-identical;
+//                             exit 0 only on a perfect match)
 //   lipsctl [--nodes N] [--c1 FRAC] [--small FRAC] [--zones Z]
 //           [--workload table4|swim|random] [--jobs N] [--tasks N]
 //           [--epoch SECONDS] [--seed S]
@@ -94,6 +106,10 @@
 #include "sched/fifo_scheduler.hpp"
 #include "sched/flow_scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
 #include "workload/swim.hpp"
 
 namespace {
@@ -352,11 +368,124 @@ int sweep_main(int argc, char** argv) {
   return all_reconcile ? 0 : 1;
 }
 
+// `lipsctl serve` is the lipsd daemon hosted inside lipsctl — identical
+// strict flag contract (svc::parse_daemon_args), identical transports. It
+// exists so the one binary a user already has can both drive and host a
+// service, e.g. `lipsctl serve --stdio` under a supervisor.
+int serve_main(int argc, char** argv) {
+  const svc::DaemonArgs args =
+      svc::parse_daemon_args({argv + 1, argv + argc});
+  switch (args.mode) {
+    case svc::DaemonArgs::Mode::Version:
+      std::cout << version_line() << "\n";
+      return 0;
+    case svc::DaemonArgs::Mode::Help:
+      std::cout << svc::daemon_usage();
+      return 0;
+    case svc::DaemonArgs::Mode::Error:
+      std::cerr << "lipsctl serve: " << args.error << "\n"
+                << svc::daemon_usage();
+      return 64;  // EX_USAGE
+    case svc::DaemonArgs::Mode::Serve:
+      break;
+  }
+  obs::MetricRegistry metrics;
+  obs::Tracer tracer;
+  svc::ServiceOptions options;
+  options.queue_capacity = args.queue_capacity;
+  options.snapshot_root = args.snapshot_dir;
+  options.metrics = &metrics;
+  options.tracer = &tracer;
+  svc::Service service(options);
+  svc::Server server(service);
+  if (args.stdio) {
+    server.serve_fd(0, 1);
+    return 0;
+  }
+  try {
+    server.listen_unix(args.socket_path);
+  } catch (const std::exception& e) {
+    std::cerr << "lipsctl serve: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "lipsctl serve: listening on " << server.socket_path()
+            << "\n";
+  server.run();
+  return 0;
+}
+
+[[noreturn]] void replay_usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " replay --connect SOCKET [--cell SPEC] [--seed S]\n"
+               "       [--session NAME]\n"
+               "Replays the seeded scenario against a running lipsd and\n"
+               "in-process, then demands bit-identical schedules and "
+               "ledgers.\n";
+  std::exit(64);  // EX_USAGE
+}
+
+int replay_main(int argc, char** argv) {
+  std::string socket;
+  std::string cell = "name=replay,nodes=8,jobs=3";
+  std::string session = "replay";
+  std::uint64_t seed = 2013;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) replay_usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--connect") {
+      socket = value();
+    } else if (flag == "--cell") {
+      cell = value();
+    } else if (flag == "--session") {
+      session = value();
+    } else if (flag == "--seed") {
+      seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else {
+      std::cerr << "lipsctl replay: unknown flag: " << flag << "\n";
+      replay_usage(argv[0]);
+    }
+  }
+  if (socket.empty()) {
+    std::cerr << "lipsctl replay: --connect SOCKET is required\n";
+    replay_usage(argv[0]);
+  }
+  svc::ReplayComparison cmp;
+  try {
+    cmp = svc::replay_and_compare(socket, cell, seed, session);
+  } catch (const std::exception& e) {
+    std::cerr << "lipsctl replay: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "replay: cell \"" << cell << "\" seed " << seed
+            << " session " << session << "\n"
+            << "  digest  local=" << cmp.local_digest
+            << " remote=" << cmp.remote_digest << "\n"
+            << "  total   local=" << cmp.local_total.dollars()
+            << " remote=" << cmp.remote_total.dollars() << " USD\n"
+            << "  carry   local=" << cmp.local_carry.dollars()
+            << " remote=" << cmp.remote_carry.dollars() << " USD\n"
+            << "  lp      local=" << cmp.local_lp_solves
+            << " remote=" << cmp.remote_lp_solves << " solves\n";
+  if (!cmp.identical) {
+    std::cout << "DIVERGED: " << cmp.divergence << "\n";
+    return 1;
+  }
+  std::cout << "bit-identical\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
     return sweep_main(argc - 1, argv + 1);
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+    return serve_main(argc - 1, argv + 1);
+  if (argc > 1 && std::strcmp(argv[1], "replay") == 0)
+    return replay_main(argc - 1, argv + 1);
   const Args args = parse(argc, argv);
   const cluster::Cluster c =
       cluster::make_ec2_cluster(args.nodes, args.c1, args.zones, args.small);
